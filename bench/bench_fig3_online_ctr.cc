@@ -1,0 +1,87 @@
+// Reproduces Figure 3: simulated online A/B test over 8 days — CTR of
+// SISG-F-U-D candidates vs a well-tuned item-to-item CF, under the
+// generator's ground-truth click model (DESIGN.md: the paper's claim is the
+// *relative* CTR gap, ~+10% for SISG).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cf/item_cf.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+#include "eval/ctr_simulator.h"
+#include "eval/table_printer.h"
+
+namespace sisg {
+namespace {
+
+void Main() {
+  // Figure 3 runs in the coverage-constrained regime of the production
+  // system (catalog far larger than one retraining window's interactions,
+  // ~1 click/item): this is where CF's memorization runs out of observed
+  // transitions and SISG's SI generalization earns its online CTR gap.
+  auto spec = bench::DefaultSpec("Fig3");
+  const int64_t s = bench::Scale();
+  spec.catalog.num_items =
+      static_cast<uint32_t>(GetEnvInt64("SISG_ITEMS", 64000 * s));
+  spec.catalog.num_leaf_categories =
+      static_cast<uint32_t>(GetEnvInt64("SISG_LEAVES", 256 * s));
+  spec.num_train_sessions =
+      static_cast<uint32_t>(GetEnvInt64("SISG_TRAIN_SESSIONS", 9000 * s));
+  auto dataset = SyntheticDataset::Generate(spec);
+  SISG_CHECK_OK(dataset.status());
+
+  SisgConfig config;
+  config.variant = SisgVariant::kSisgFUD;
+  config.sgns.dim = static_cast<uint32_t>(GetEnvInt64("SISG_DIM", 64));
+  config.sgns.negatives =
+      static_cast<uint32_t>(GetEnvInt64("SISG_NEGATIVES", 10));
+  config.sgns.epochs = static_cast<uint32_t>(GetEnvInt64("SISG_EPOCHS", 45));
+  SisgPipeline pipeline(config);
+  std::cerr << "[fig3] training SISG-F-U-D..." << std::endl;
+  auto model = pipeline.Train(*dataset);
+  SISG_CHECK_OK(model.status());
+  auto engine = model->BuildMatchingEngine();
+  SISG_CHECK_OK(engine.status());
+
+  ItemCf cf;
+  ItemCfOptions cfo;  // directional, window 3 — the tuned production recipe
+  SISG_CHECK_OK(
+      cf.Build(dataset->train_sessions(), dataset->catalog().num_items(), cfo));
+
+  CtrSimOptions opts;
+  opts.num_days = 8;
+  opts.impressions_per_day =
+      static_cast<uint32_t>(GetEnvInt64("SISG_IMPRESSIONS", 4000));
+  const CtrSeries sisg = SimulateCtr(
+      *dataset,
+      [&](uint32_t item, uint32_t k) { return engine->Query(item, k); }, opts);
+  const CtrSeries cfs = SimulateCtr(
+      *dataset, [&](uint32_t item, uint32_t k) { return cf.Query(item, k); },
+      opts);
+
+  TablePrinter table({"Day", "SISG-F-U-D CTR", "CF CTR", "SISG vs CF"});
+  for (uint32_t d = 0; d < opts.num_days; ++d) {
+    table.AddRow({"Day " + std::to_string(d + 1),
+                  TablePrinter::Fixed(sisg.daily_ctr[d], 4),
+                  TablePrinter::Fixed(cfs.daily_ctr[d], 4),
+                  TablePrinter::Percent(sisg.daily_ctr[d] / cfs.daily_ctr[d] - 1)});
+  }
+  table.AddRow({"Mean", TablePrinter::Fixed(sisg.mean_ctr, 4),
+                TablePrinter::Fixed(cfs.mean_ctr, 4),
+                TablePrinter::Percent(sisg.mean_ctr / cfs.mean_ctr - 1)});
+  std::cout << "\n=== Figure 3: online CTR simulation, SISG-F-U-D vs tuned CF"
+            << " (" << dataset->catalog().num_items() << " items, "
+            << dataset->train_sessions().size() << " train sessions) ===\n";
+  table.Print(std::cout);
+  std::cout << "Paper reference: SISG-F-U-D beats well-tuned CF by ~10% over "
+               "8 days (Jan 2019 A/B test).\n";
+}
+
+}  // namespace
+}  // namespace sisg
+
+int main() {
+  sisg::Main();
+  return 0;
+}

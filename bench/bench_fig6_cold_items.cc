@@ -1,0 +1,124 @@
+// Reproduces Figure 6: cold-start ITEM recommendation. A slice of items is
+// held out of training entirely; their embeddings are inferred from SI
+// vectors alone via Eq. (6) and compared against the trained-vector
+// recommendations of warm items: next-item hit rate of cold items, overlap
+// between SI-inferred and trained retrieval for warm items, and category
+// consistency of the retrieved lists.
+
+#include <iostream>
+#include <unordered_set>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "core/cold_start.h"
+#include "core/pipeline.h"
+#include "eval/hitrate.h"
+#include "eval/table_printer.h"
+
+namespace sisg {
+namespace {
+
+void Main() {
+  const auto spec = bench::DefaultSpec("Fig6");
+  auto dataset = SyntheticDataset::Generate(spec);
+  SISG_CHECK_OK(dataset.status());
+  const ItemCatalog& catalog = dataset->catalog();
+
+  // Hold out ~5% of items: drop every training session touching them.
+  std::unordered_set<uint32_t> cold;
+  for (uint32_t item = 7; item < catalog.num_items(); item += 20) {
+    cold.insert(item);
+  }
+  std::vector<Session> train;
+  for (const Session& s : dataset->train_sessions()) {
+    bool touches = false;
+    for (uint32_t it : s.items) touches |= cold.count(it) > 0;
+    if (!touches) train.push_back(s);
+  }
+  std::cerr << "[fig6] " << cold.size() << " cold items; "
+            << train.size() << "/" << dataset->train_sessions().size()
+            << " sessions kept\n";
+
+  SisgConfig config;
+  config.variant = SisgVariant::kSisgFU;
+  config.sgns.dim = static_cast<uint32_t>(GetEnvInt64("SISG_DIM", 64));
+  config.sgns.negatives =
+      static_cast<uint32_t>(GetEnvInt64("SISG_NEGATIVES", 10));
+  config.sgns.epochs = static_cast<uint32_t>(GetEnvInt64("SISG_EPOCHS", 25));
+  SisgPipeline pipeline(config);
+  auto model = pipeline.Train(train, catalog, dataset->users());
+  SISG_CHECK_OK(model.status());
+  auto engine = model->BuildMatchingEngine();
+  SISG_CHECK_OK(engine.status());
+
+  // (a) Cold items: retrieval via Eq. (6) — same-leaf rate and ground-truth
+  // successor hit rate of the SI-inferred list.
+  uint32_t cold_ok = 0, cold_total = 0;
+  double same_leaf = 0.0, succ_hit = 0.0;
+  const uint32_t kTop = 20;
+  for (uint32_t item : cold) {
+    std::vector<float> v;
+    if (!InferColdItemVector(*model, catalog.meta(item), &v).ok()) continue;
+    const auto top = engine->QueryVector(v.data(), kTop);
+    if (top.empty()) continue;
+    ++cold_total;
+    const auto& succ = dataset->generator().Successors(item);
+    bool hit = false;
+    int same = 0;
+    for (const auto& r : top) {
+      same += catalog.meta(r.id).leaf_category == catalog.meta(item).leaf_category;
+      hit |= std::find(succ.begin(), succ.end(), r.id) != succ.end();
+    }
+    same_leaf += static_cast<double>(same) / top.size();
+    succ_hit += hit;
+    cold_ok += hit;
+  }
+  SISG_CHECK_GT(cold_total, 0u);
+
+  // (b) Warm items: overlap between trained-vector retrieval and Eq. (6)
+  // retrieval (the figure's top-right vs bottom-right rows).
+  double overlap = 0.0;
+  uint32_t warm_total = 0;
+  for (uint32_t item = 0; item < catalog.num_items() && warm_total < 400;
+       item += 13) {
+    if (cold.count(item) > 0 || !engine->HasItem(item)) continue;
+    std::vector<float> v;
+    if (!InferColdItemVector(*model, catalog.meta(item), &v).ok()) continue;
+    const auto trained = engine->Query(item, kTop);
+    const auto inferred = engine->QueryVector(v.data(), kTop);
+    if (trained.empty() || inferred.empty()) continue;
+    int common = 0;
+    for (const auto& a : trained) {
+      for (const auto& b : inferred) common += a.id == b.id;
+    }
+    overlap += static_cast<double>(common) / kTop;
+    ++warm_total;
+  }
+  SISG_CHECK_GT(warm_total, 0u);
+
+  std::cout << "\n=== Figure 6: cold-start item recommendation via Eq. (6) ===\n";
+  TablePrinter t({"Measure", "Value"});
+  t.AddRow({"cold items evaluated", std::to_string(cold_total)});
+  t.AddRow({"same-leaf rate of SI-inferred top-20",
+            TablePrinter::Fixed(same_leaf / cold_total, 3)});
+  t.AddRow({"ground-truth successor in top-20 (cold)",
+            TablePrinter::Fixed(succ_hit / cold_total, 3)});
+  t.AddRow({"warm items: trained vs SI-inferred top-20 overlap",
+            TablePrinter::Fixed(overlap / warm_total, 3)});
+  t.Print(std::cout);
+  std::cout << "Paper claim (Fig. 6): SI-only vectors retrieve items similar "
+               "to what the trained vector retrieves — reproduced when the "
+               "overlap and same-leaf rates are far above chance ("
+            << TablePrinter::Fixed(
+                   static_cast<double>(kTop) / catalog.num_items(), 4)
+            << " and "
+            << TablePrinter::Fixed(1.0 / catalog.num_leaves(), 4) << ").\n";
+}
+
+}  // namespace
+}  // namespace sisg
+
+int main() {
+  sisg::Main();
+  return 0;
+}

@@ -1,0 +1,4 @@
+#!/bin/sh
+cd /root/repo
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+echo "SWEEP_COMPLETE" >> /root/repo/bench_output.txt

@@ -1,0 +1,61 @@
+#include "cf/item_cf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sisg {
+
+Status ItemCf::Build(const std::vector<Session>& sessions, uint32_t num_items,
+                     const ItemCfOptions& options) {
+  if (num_items == 0) return Status::InvalidArgument("cf: num_items must be > 0");
+  if (options.window == 0) return Status::InvalidArgument("cf: window must be > 0");
+  if (options.top_k == 0) return Status::InvalidArgument("cf: top_k must be > 0");
+  num_items_ = num_items;
+  options_ = options;
+
+  std::vector<uint64_t> item_count(num_items, 0);
+  std::unordered_map<uint64_t, uint32_t> co;
+  for (const Session& s : sessions) {
+    const size_t n = s.items.size();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t a = s.items[i];
+      if (a >= num_items) return Status::OutOfRange("cf: item id out of range");
+      ++item_count[a];
+      const size_t hi = std::min(n, i + 1 + options.window);
+      for (size_t j = i + 1; j < hi; ++j) {
+        const uint32_t b = s.items[j];
+        if (b >= num_items) return Status::OutOfRange("cf: item id out of range");
+        if (a == b) continue;
+        ++co[(static_cast<uint64_t>(a) << 32) | b];
+        if (!options.directional) {
+          ++co[(static_cast<uint64_t>(b) << 32) | a];
+        }
+      }
+    }
+  }
+
+  std::vector<TopKSelector> selectors;
+  selectors.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) selectors.emplace_back(options.top_k);
+  for (const auto& [key, c] : co) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+    const double denom = std::sqrt(static_cast<double>(item_count[a]) *
+                                   static_cast<double>(item_count[b]));
+    if (denom <= 0.0) continue;
+    selectors[a].Push(static_cast<float>(c / denom), b);
+  }
+  table_.resize(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) table_[i] = selectors[i].Take();
+  return Status::OK();
+}
+
+std::vector<ScoredId> ItemCf::Query(uint32_t item, uint32_t k) const {
+  if (item >= num_items_) return {};
+  const auto& row = table_[item];
+  if (k >= row.size()) return row;
+  return std::vector<ScoredId>(row.begin(), row.begin() + k);
+}
+
+}  // namespace sisg

@@ -1,0 +1,45 @@
+#ifndef SISG_CF_ITEM_CF_H_
+#define SISG_CF_ITEM_CF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+#include "datagen/session_generator.h"
+
+namespace sisg {
+
+/// Item-to-item collaborative filtering — the "well-tuned CF" production
+/// baseline of Figure 3 (cf. Linden et al. 2003). Similarity of items i, j
+/// is their windowed session co-occurrence normalized by popularity:
+/// sim(i,j) = c(i,j) / sqrt(c(i) * c(j)), optionally counting only ordered
+/// co-occurrences (i before j), which is the natural CF analogue of the
+/// directional similarity in SISG.
+struct ItemCfOptions {
+  uint32_t window = 3;       // co-occurrence window within a session
+  bool directional = true;   // count only (i before j)
+  uint32_t top_k = 200;      // candidates kept per item
+};
+
+class ItemCf {
+ public:
+  ItemCf() = default;
+
+  Status Build(const std::vector<Session>& sessions, uint32_t num_items,
+               const ItemCfOptions& options);
+
+  /// Top-k most similar items for `item` (k <= options.top_k).
+  std::vector<ScoredId> Query(uint32_t item, uint32_t k) const;
+
+  uint32_t num_items() const { return num_items_; }
+
+ private:
+  uint32_t num_items_ = 0;
+  ItemCfOptions options_;
+  std::vector<std::vector<ScoredId>> table_;  // per item, sorted best-first
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CF_ITEM_CF_H_

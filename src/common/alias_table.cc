@@ -1,0 +1,56 @@
+#include "common/alias_table.h"
+
+#include <numeric>
+
+namespace sisg {
+
+Status AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) {
+    return Status::InvalidArgument("AliasTable: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasTable: all weights are zero");
+  }
+
+  prob_.assign(n, 0.0f);
+  alias_.assign(n, 0);
+  normalized_.assign(n, 0.0);
+
+  // Scaled probabilities; p[i] == 1 means exactly average mass.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = static_cast<float>(scaled[s]);
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to floating-point error.
+  for (uint32_t i : large) prob_[i] = 1.0f;
+  for (uint32_t i : small) prob_[i] = 1.0f;
+
+  return Status::OK();
+}
+
+}  // namespace sisg

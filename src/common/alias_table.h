@@ -1,0 +1,43 @@
+#ifndef SISG_COMMON_ALIAS_TABLE_H_
+#define SISG_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sisg {
+
+/// O(1) sampling from an arbitrary discrete distribution (Vose's alias
+/// method). Build is O(n). Used for the unigram^alpha negative-sampling
+/// noise distribution and for the synthetic data generator.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights. At least one weight must be
+  /// positive. Weights need not be normalized.
+  Status Build(const std::vector<double>& weights);
+
+  /// Draws one index according to the built distribution.
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t i = static_cast<uint32_t>(rng.UniformU64(prob_.size()));
+    return rng.UniformFloat() < prob_[i] ? i : alias_[i];
+  }
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// The normalized probability of index i (for tests / introspection).
+  double Probability(uint32_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<float> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,31 @@
+#include "common/env_util.h"
+
+#include <cstdlib>
+
+namespace sisg {
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return default_value;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return default_value;
+  return v;
+}
+
+}  // namespace sisg

@@ -1,0 +1,17 @@
+#ifndef SISG_COMMON_ENV_UTIL_H_
+#define SISG_COMMON_ENV_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sisg {
+
+/// Reads configuration knobs from the environment so benches can be scaled
+/// without recompiling (e.g. SISG_SCALE=4 bench_table3_hitrate).
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+double GetEnvDouble(const char* name, double default_value);
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_ENV_UTIL_H_

@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sisg {
+
+Status FlagParser::Parse(int argc, const char* const* argv,
+                         const std::vector<std::string>& known) {
+  flags_.clear();
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--name value` unless the next token is another flag or missing.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("flags: empty flag name");
+    }
+    if (!known.empty() &&
+        std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("flags: unknown flag --" + name);
+    }
+    flags_[name] = value;
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name,
+                             int64_t default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return default_value;
+  return static_cast<int64_t>(v);
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return default_value;
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace sisg

@@ -1,0 +1,42 @@
+#ifndef SISG_COMMON_FLAGS_H_
+#define SISG_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sisg {
+
+/// Minimal command-line flag parser for the tools/ binaries. Accepts
+/// `--name=value`, `--name value`, and boolean `--name`; everything else is
+/// a positional argument. Unknown flags are an error only when a schema of
+/// known names is provided.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Parses argv (argv[0] skipped). `known` may be empty to accept any flag.
+  Status Parse(int argc, const char* const* argv,
+               const std::vector<std::string>& known = {});
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt64(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_FLAGS_H_

@@ -1,0 +1,77 @@
+#ifndef SISG_COMMON_LOGGING_H_
+#define SISG_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sisg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level below which log statements are dropped.
+/// Defaults to kInfo; override with SetMinLogLevel or env SISG_LOG_LEVEL=0..3.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns a stream expression into void so it can appear in a ternary
+/// alongside `(void)0`. `operator&` binds looser than `<<`, so the whole
+/// streamed chain is evaluated first (the usual glog idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define SISG_LOG(level)                                                      \
+  (::sisg::LogLevel::k##level < ::sisg::MinLogLevel())                       \
+      ? (void)0                                                              \
+      : ::sisg::internal_logging::Voidify() &                                \
+            ::sisg::internal_logging::LogMessage(::sisg::LogLevel::k##level, \
+                                                 __FILE__, __LINE__)         \
+                .stream()
+
+#define LOG_INFO SISG_LOG(Info)
+#define LOG_WARN SISG_LOG(Warning)
+#define LOG_ERROR SISG_LOG(Error)
+
+/// CHECK-style invariant assertions: always on, abort with a message.
+#define SISG_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                           \
+         : ::sisg::internal_logging::Voidify() &                             \
+               ::sisg::internal_logging::LogMessage(                         \
+                   ::sisg::LogLevel::kFatal, __FILE__, __LINE__)             \
+                   .stream()                                                 \
+                   << "Check failed: " #cond " "
+
+#define SISG_CHECK_OP(a, b, op) \
+  SISG_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SISG_CHECK_EQ(a, b) SISG_CHECK_OP(a, b, ==)
+#define SISG_CHECK_NE(a, b) SISG_CHECK_OP(a, b, !=)
+#define SISG_CHECK_LT(a, b) SISG_CHECK_OP(a, b, <)
+#define SISG_CHECK_LE(a, b) SISG_CHECK_OP(a, b, <=)
+#define SISG_CHECK_GT(a, b) SISG_CHECK_OP(a, b, >)
+#define SISG_CHECK_GE(a, b) SISG_CHECK_OP(a, b, >=)
+#define SISG_CHECK_OK(st) SISG_CHECK((st).ok()) << (st).ToString()
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_LOGGING_H_

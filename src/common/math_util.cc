@@ -1,0 +1,30 @@
+#include "common/math_util.h"
+
+namespace sisg {
+
+SigmoidTable::SigmoidTable(int size, float max_exp)
+    : table_(static_cast<size_t>(size) + 1), max_exp_(max_exp) {
+  for (int i = 0; i <= size; ++i) {
+    const double x =
+        (static_cast<double>(i) / size * 2.0 - 1.0) * static_cast<double>(max_exp);
+    table_[static_cast<size_t>(i)] = static_cast<float>(SigmoidExact(x));
+  }
+  inv_step_ = static_cast<float>(size) / (2.0f * max_exp);
+}
+
+MeanVar ComputeMeanVar(const std::vector<double>& xs) {
+  MeanVar mv;
+  if (xs.empty()) return mv;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  mv.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - mv.mean;
+    ss += d * d;
+  }
+  mv.var = ss / static_cast<double>(xs.size());
+  return mv;
+}
+
+}  // namespace sisg

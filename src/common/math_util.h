@@ -1,0 +1,79 @@
+#ifndef SISG_COMMON_MATH_UTIL_H_
+#define SISG_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sisg {
+
+/// Dense float kernels used by all trainers. The loops are written so the
+/// compiler auto-vectorizes them; dimensions are small (64-256).
+
+inline float Dot(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// y += alpha * x
+inline void Axpy(float alpha, const float* x, float* y, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) y[i] += alpha * x[i];
+}
+
+inline void Scale(float alpha, float* x, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) x[i] *= alpha;
+}
+
+inline void Zero(float* x, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) x[i] = 0.0f;
+}
+
+inline float L2Norm(const float* x, size_t dim) {
+  return std::sqrt(Dot(x, x, dim));
+}
+
+/// Cosine of two vectors; 0 if either has zero norm.
+inline float CosineSimilarity(const float* a, const float* b, size_t dim) {
+  const float na = L2Norm(a, dim);
+  const float nb = L2Norm(b, dim);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b, dim) / (na * nb);
+}
+
+/// Precomputed sigmoid lookup table, the standard word2vec trick: sigmoid is
+/// evaluated via a table over [-max_exp, max_exp] with `size` buckets;
+/// arguments outside the range clamp to 0/1.
+class SigmoidTable {
+ public:
+  explicit SigmoidTable(int size = 1024, float max_exp = 6.0f);
+
+  float Sigmoid(float x) const {
+    if (x >= max_exp_) return 1.0f;
+    if (x <= -max_exp_) return 0.0f;
+    const int idx =
+        static_cast<int>((x + max_exp_) * inv_step_);
+    return table_[idx];
+  }
+
+  float max_exp() const { return max_exp_; }
+
+ private:
+  std::vector<float> table_;
+  float max_exp_;
+  float inv_step_;
+};
+
+/// Exact sigmoid, for tests and reference implementations.
+inline double SigmoidExact(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Mean and (population) variance of a sample.
+struct MeanVar {
+  double mean = 0.0;
+  double var = 0.0;
+};
+MeanVar ComputeMeanVar(const std::vector<double>& xs);
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_MATH_UTIL_H_

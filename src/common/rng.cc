@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+namespace sisg {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  // Rejection sampling from the Zipf(s) distribution over {1..n}
+  // (Devroye 1986). Returns a 0-based rank.
+  if (n <= 1) return 0;
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = UniformDouble();
+    const double v = UniformDouble();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace sisg

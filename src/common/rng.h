@@ -1,0 +1,102 @@
+#ifndef SISG_COMMON_RNG_H_
+#define SISG_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sisg {
+
+/// splitmix64 step; used to seed and also useful as a cheap hash mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (Stafford variant 13).
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fast, high-quality PRNG (xoshiro256**). Not cryptographic. One instance
+/// per thread; instances seeded with distinct seeds produce independent
+/// streams for all practical purposes.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5deece66dULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& si : s_) si = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t UniformU64(uint64_t n) {
+    // Lemire's multiply-shift rejection-free variant is fine here: the bias
+    // for n << 2^64 is negligible for sampling workloads.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformU64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() { return (Next() >> 40) * 0x1.0p-24f; }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (no cached second value; fine for our use).
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Geometric-ish Zipf sampler over ranks [0, n) with exponent s, using
+  /// inverse-CDF on a precomputed table is the caller's job (AliasTable);
+  /// this is a quick rejection sampler adequate for small n.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates in-place shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_RNG_H_

@@ -1,0 +1,133 @@
+#ifndef SISG_COMMON_STATUS_H_
+#define SISG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sisg {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-engine convention (RocksDB-style Status) so that no exceptions
+/// cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight success-or-error result carrying a code and a message.
+///
+/// A default-constructed `Status` is OK. Statuses are cheap to copy when OK
+/// (no allocation) and carry a message only on error.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering for logs and tests.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. `ok()` must be checked before `value()`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound(...)` works.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  /// Implicit from T so `return value;` works.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define SISG_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::sisg::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr), propagates error, else binds the value.
+#define SISG_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto SISG_CONCAT_(_sor_, __LINE__) = (rexpr);           \
+  if (!SISG_CONCAT_(_sor_, __LINE__).ok())                \
+    return SISG_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(SISG_CONCAT_(_sor_, __LINE__)).value()
+
+#define SISG_CONCAT_INNER_(a, b) a##b
+#define SISG_CONCAT_(a, b) SISG_CONCAT_INNER_(a, b)
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_STATUS_H_

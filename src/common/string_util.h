@@ -1,0 +1,30 @@
+#ifndef SISG_COMMON_STRING_UTIL_H_
+#define SISG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sisg {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on whitespace runs; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats n with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(uint64_t n);
+
+/// Scientific-ish compact count, e.g. 2.3e+10, matching the paper's tables.
+std::string FormatApprox(double n);
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_STRING_UTIL_H_

@@ -1,0 +1,50 @@
+#ifndef SISG_COMMON_THREAD_POOL_H_
+#define SISG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sisg {
+
+/// Fixed-size worker pool. Tasks are arbitrary std::function<void()>.
+/// `Wait()` blocks until every submitted task has finished; the pool can be
+/// reused after Wait. Destruction joins all workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers: work or shutdown
+  std::condition_variable done_cv_;   // signals Wait(): all tasks drained
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_THREAD_POOL_H_

@@ -1,0 +1,69 @@
+#ifndef SISG_COMMON_TOP_K_H_
+#define SISG_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sisg {
+
+/// A (score, id) pair returned by retrieval components.
+struct ScoredId {
+  float score = 0.0f;
+  uint32_t id = 0;
+
+  friend bool operator==(const ScoredId& a, const ScoredId& b) {
+    return a.score == b.score && a.id == b.id;
+  }
+};
+
+/// Bounded selector that keeps the k highest-scoring ids seen so far.
+/// Push is O(log k) via a min-heap over the kept set; Take() returns the
+/// survivors sorted by descending score (ties broken by ascending id so
+/// results are deterministic).
+class TopKSelector {
+ public:
+  explicit TopKSelector(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  void Push(float score, uint32_t id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({score, id});
+      std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+      return;
+    }
+    if (score <= heap_.front().score) return;
+    std::pop_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+    heap_.back() = {score, id};
+    std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+  }
+
+  /// Current worst kept score, or -inf semantics when not yet full.
+  bool Full() const { return heap_.size() >= k_; }
+  float Threshold() const { return heap_.empty() ? 0.0f : heap_.front().score; }
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts results sorted best-first. The selector is emptied.
+  std::vector<ScoredId> Take() {
+    std::vector<ScoredId> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const ScoredId& a, const ScoredId& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+ private:
+  static bool MinHeapCmp(const ScoredId& a, const ScoredId& b) {
+    if (a.score != b.score) return a.score > b.score;  // min-heap on score
+    return a.id < b.id;
+  }
+
+  size_t k_;
+  std::vector<ScoredId> heap_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_TOP_K_H_

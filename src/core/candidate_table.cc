@@ -1,0 +1,62 @@
+#include "core/candidate_table.h"
+
+#include <cstdio>
+
+#include "common/thread_pool.h"
+
+namespace sisg {
+
+Status CandidateTable::Build(const MatchingEngine& engine, uint32_t k,
+                             uint32_t num_threads) {
+  if (k == 0) return Status::InvalidArgument("candidate table: k must be > 0");
+  if (engine.num_items() == 0) {
+    return Status::FailedPrecondition("candidate table: engine not built");
+  }
+  k_ = k;
+  table_.assign(engine.num_items(), {});
+  if (num_threads <= 1) {
+    for (uint32_t item = 0; item < engine.num_items(); ++item) {
+      table_[item] = engine.Query(item, k);
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(num_threads);
+  const uint32_t shard = (engine.num_items() + num_threads - 1) / num_threads;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    const uint32_t begin = t * shard;
+    const uint32_t end = std::min(engine.num_items(), begin + shard);
+    pool.Submit([this, &engine, k, begin, end] {
+      for (uint32_t item = begin; item < end; ++item) {
+        table_[item] = engine.Query(item, k);
+      }
+    });
+  }
+  pool.Wait();
+  return Status::OK();
+}
+
+const std::vector<ScoredId>& CandidateTable::Get(uint32_t item) const {
+  static const auto& kEmpty = *new std::vector<ScoredId>();
+  if (item >= table_.size()) return kEmpty;
+  return table_[item];
+}
+
+Status CandidateTable::SaveText(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = true;
+  for (uint32_t item = 0; item < table_.size(); ++item) {
+    if (table_[item].empty()) continue;
+    ok = ok && std::fprintf(f, "%u\t", item) > 0;
+    for (size_t i = 0; i < table_[item].size(); ++i) {
+      ok = ok && std::fprintf(f, "%s%u:%.6f", i > 0 ? " " : "",
+                              table_[item][i].id, table_[item][i].score) > 0;
+    }
+    ok = ok && std::fputc('\n', f) != EOF;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sisg

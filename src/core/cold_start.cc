@@ -1,0 +1,54 @@
+#include "core/cold_start.h"
+
+#include "common/math_util.h"
+
+namespace sisg {
+
+Status InferColdItemVector(const SisgModel& model, const ItemMeta& meta,
+                           std::vector<float>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("cold item: out must not be null");
+  }
+  const uint32_t d = model.dim();
+  out->assign(d, 0.0f);
+  int used = 0;
+  for (ItemFeatureKind kind : AllItemFeatureKinds()) {
+    const uint32_t token =
+        model.token_space().SiToken(kind, meta.Feature(kind));
+    const float* v = model.InputOfToken(token);
+    if (v != nullptr) {
+      Axpy(1.0f, v, out->data(), d);
+      ++used;
+    }
+  }
+  if (used == 0) {
+    return Status::NotFound("cold item: no SI vector available for this item");
+  }
+  return Status::OK();
+}
+
+Status InferColdUserVector(const SisgModel& model, const UserUniverse& users,
+                           int gender, int age_bucket, int purchase_level,
+                           std::vector<float>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("cold user: out must not be null");
+  }
+  const uint32_t d = model.dim();
+  out->assign(d, 0.0f);
+  int used = 0;
+  for (uint32_t ut : users.MatchTypes(gender, age_bucket, purchase_level)) {
+    const float* v =
+        model.InputOfToken(model.token_space().UserTypeToken(ut));
+    if (v != nullptr) {
+      Axpy(1.0f, v, out->data(), d);
+      ++used;
+    }
+  }
+  if (used == 0) {
+    return Status::NotFound("cold user: no matching trained user type");
+  }
+  Scale(1.0f / static_cast<float>(used), out->data(), d);
+  return Status::OK();
+}
+
+}  // namespace sisg

@@ -1,0 +1,31 @@
+#ifndef SISG_CORE_COLD_START_H_
+#define SISG_CORE_COLD_START_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/sisg_model.h"
+#include "datagen/user_universe.h"
+
+namespace sisg {
+
+/// Cold-start inference (Section IV-C). Both functions only use vectors
+/// that exist in the trained joint semantic space, which is exactly what
+/// makes SISG's cold start work: SI and user types are first-class tokens.
+
+/// Eq. (6): v = sum_k SI_k(v) — infers an embedding for an item with no
+/// interaction history from its metadata. Fails with NotFound when none of
+/// the item's SI values made it into the vocabulary.
+Status InferColdItemVector(const SisgModel& model, const ItemMeta& meta,
+                           std::vector<float>* out);
+
+/// Average of all user-type input vectors matching the partial demographics
+/// (-1 = wildcard), as in Section IV-C1's cold-user recommendation. Fails
+/// with NotFound when no matching user type was trained.
+Status InferColdUserVector(const SisgModel& model, const UserUniverse& users,
+                           int gender, int age_bucket, int purchase_level,
+                           std::vector<float>* out);
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_COLD_START_H_

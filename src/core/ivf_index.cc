@@ -1,0 +1,54 @@
+#include "core/ivf_index.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace sisg {
+
+Status IvfIndex::Build(const float* data, uint32_t rows, uint32_t dim,
+                       const IvfOptions& options) {
+  if (options.nprobe == 0) {
+    return Status::InvalidArgument("ivf: nprobe must be > 0");
+  }
+  SISG_RETURN_IF_ERROR(quantizer_.Fit(data, rows, dim, options.kmeans));
+  options_ = options;
+  dim_ = dim;
+  num_indexed_ = 0;
+  list_ids_.assign(quantizer_.num_clusters(), {});
+  list_vecs_.assign(quantizer_.num_clusters(), {});
+  for (uint32_t r = 0; r < rows; ++r) {
+    const float* row = data + static_cast<size_t>(r) * dim;
+    if (L2Norm(row, dim) == 0.0f) continue;
+    const uint32_t c = quantizer_.Assign(row);
+    list_ids_[c].push_back(r);
+    list_vecs_[c].insert(list_vecs_[c].end(), row, row + dim);
+    ++num_indexed_;
+  }
+  return Status::OK();
+}
+
+std::vector<ScoredId> IvfIndex::Query(const float* query, uint32_t k,
+                                      uint32_t exclude) const {
+  TopKSelector sel(k);
+  for (uint32_t c : quantizer_.AssignTopN(query, options_.nprobe)) {
+    const auto& ids = list_ids_[c];
+    const float* vecs = list_vecs_[c].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == exclude) continue;
+      sel.Push(Dot(query, vecs + i * dim_, dim_), ids[i]);
+    }
+  }
+  return sel.Take();
+}
+
+double IvfIndex::ExpectedScanFraction() const {
+  if (num_indexed_ == 0) return 0.0;
+  // Average list size times nprobe over the corpus: a first-order proxy; a
+  // real deployment measures per-query scan counts.
+  const double avg_list =
+      static_cast<double>(num_indexed_) / quantizer_.num_clusters();
+  return std::min(1.0, avg_list * options_.nprobe / num_indexed_);
+}
+
+}  // namespace sisg

@@ -1,0 +1,56 @@
+#ifndef SISG_CORE_IVF_INDEX_H_
+#define SISG_CORE_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+#include "core/kmeans.h"
+
+namespace sisg {
+
+/// Inverted-file approximate nearest neighbor index over candidate
+/// embedding rows. At production scale the matching stage cannot brute-force
+/// a billion-item scan per query; IVF restricts each query to the `nprobe`
+/// clusters nearest to it. Scores are inner products, so it serves both
+/// modes of the MatchingEngine (rows pre-normalized for cosine).
+struct IvfOptions {
+  KMeansOptions kmeans;
+  uint32_t nprobe = 8;  // clusters scanned per query
+};
+
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  /// Indexes `rows` x `dim` row-major candidate vectors; zero rows
+  /// (untrained items) are excluded. The data is copied.
+  Status Build(const float* data, uint32_t rows, uint32_t dim,
+               const IvfOptions& options);
+
+  uint32_t num_vectors() const { return num_indexed_; }
+  uint32_t dim() const { return dim_; }
+  const IvfOptions& options() const { return options_; }
+
+  /// Top-k rows by inner product with `query`, scanning the nprobe nearest
+  /// lists. `exclude` (e.g. the query item itself) is skipped.
+  std::vector<ScoredId> Query(const float* query, uint32_t k,
+                              uint32_t exclude = UINT32_MAX) const;
+
+  /// Fraction of indexed vectors scanned by one query (the speedup proxy:
+  /// brute force scans 1.0).
+  double ExpectedScanFraction() const;
+
+ private:
+  IvfOptions options_;
+  uint32_t dim_ = 0;
+  uint32_t num_indexed_ = 0;
+  KMeans quantizer_;
+  std::vector<std::vector<uint32_t>> list_ids_;  // per cluster: row ids
+  std::vector<std::vector<float>> list_vecs_;    // per cluster: packed rows
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_IVF_INDEX_H_

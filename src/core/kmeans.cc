@@ -1,0 +1,132 @@
+#include "core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace sisg {
+namespace {
+
+float SquaredDistance(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Status KMeans::Fit(const float* data, uint32_t rows, uint32_t dim,
+                   const KMeansOptions& options) {
+  if (data == nullptr || rows == 0 || dim == 0) {
+    return Status::InvalidArgument("kmeans: empty input");
+  }
+  if (options.num_clusters == 0 || options.iterations == 0) {
+    return Status::InvalidArgument("kmeans: clusters and iterations must be > 0");
+  }
+  std::vector<uint32_t> live;
+  live.reserve(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (L2Norm(data + static_cast<size_t>(r) * dim, dim) > 0.0f) {
+      live.push_back(r);
+    }
+  }
+  if (live.empty()) return Status::InvalidArgument("kmeans: all rows are zero");
+
+  dim_ = dim;
+  num_clusters_ = std::min<uint32_t>(options.num_clusters,
+                                     static_cast<uint32_t>(live.size()));
+  centroids_.assign(static_cast<size_t>(num_clusters_) * dim, 0.0f);
+
+  // Farthest-point seeding (deterministic k-means++ flavor).
+  Rng rng(options.seed);
+  std::vector<float> min_d2(live.size(), std::numeric_limits<float>::max());
+  uint32_t first = live[rng.UniformU64(live.size())];
+  std::copy_n(data + static_cast<size_t>(first) * dim, dim, centroids_.data());
+  for (uint32_t c = 1; c < num_clusters_; ++c) {
+    const float* prev = Centroid(c - 1);
+    uint32_t farthest = 0;
+    float best = -1.0f;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const float d2 = SquaredDistance(
+          data + static_cast<size_t>(live[i]) * dim, prev, dim);
+      min_d2[i] = std::min(min_d2[i], d2);
+      if (min_d2[i] > best) {
+        best = min_d2[i];
+        farthest = static_cast<uint32_t>(i);
+      }
+    }
+    std::copy_n(data + static_cast<size_t>(live[farthest]) * dim, dim,
+                centroids_.data() + static_cast<size_t>(c) * dim);
+  }
+
+  // Lloyd iterations.
+  std::vector<uint32_t> assignment(live.size(), 0);
+  std::vector<float> sums(static_cast<size_t>(num_clusters_) * dim);
+  std::vector<uint32_t> counts(num_clusters_);
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const uint32_t c = Assign(data + static_cast<size_t>(live[i]) * dim);
+      if (c != assignment[i]) {
+        assignment[i] = c;
+        changed = true;
+      }
+    }
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < live.size(); ++i) {
+      Axpy(1.0f, data + static_cast<size_t>(live[i]) * dim,
+           sums.data() + static_cast<size_t>(assignment[i]) * dim, dim);
+      ++counts[assignment[i]];
+    }
+    for (uint32_t c = 0; c < num_clusters_; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on a random live row.
+        const uint32_t r = live[rng.UniformU64(live.size())];
+        std::copy_n(data + static_cast<size_t>(r) * dim, dim,
+                    centroids_.data() + static_cast<size_t>(c) * dim);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (uint32_t d = 0; d < dim; ++d) {
+        centroids_[static_cast<size_t>(c) * dim + d] =
+            sums[static_cast<size_t>(c) * dim + d] * inv;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  return Status::OK();
+}
+
+uint32_t KMeans::Assign(const float* vec) const {
+  uint32_t best = 0;
+  float best_d2 = std::numeric_limits<float>::max();
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    const float d2 = SquaredDistance(vec, Centroid(c), dim_);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> KMeans::AssignTopN(const float* vec, uint32_t n) const {
+  n = std::min(n, num_clusters_);
+  std::vector<std::pair<float, uint32_t>> d2(num_clusters_);
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    d2[c] = {SquaredDistance(vec, Centroid(c), dim_), c};
+  }
+  std::partial_sort(d2.begin(), d2.begin() + n, d2.end());
+  std::vector<uint32_t> out(n);
+  for (uint32_t i = 0; i < n; ++i) out[i] = d2[i].second;
+  return out;
+}
+
+}  // namespace sisg

@@ -1,0 +1,85 @@
+#include "core/matching_engine.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace sisg {
+
+Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
+                             uint32_t num_items, uint32_t dim,
+                             SimilarityMode mode) {
+  if (num_items == 0 || dim == 0) {
+    return Status::InvalidArgument("matching engine: empty shape");
+  }
+  const size_t expected = static_cast<size_t>(num_items) * dim;
+  if (in.size() != expected) {
+    return Status::InvalidArgument("matching engine: input matrix size mismatch");
+  }
+  if (mode == SimilarityMode::kDirectionalInOut && out.size() != expected) {
+    return Status::InvalidArgument(
+        "matching engine: output matrix required for directional mode");
+  }
+  num_items_ = num_items;
+  dim_ = dim;
+  mode_ = mode;
+  in_ = std::move(in);
+  out_ = std::move(out);
+
+  has_item_.assign(num_items, 0);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    float* row = in_.data() + static_cast<size_t>(i) * dim;
+    const float norm = L2Norm(row, dim);
+    if (norm > 0.0f) has_item_[i] = 1;
+    if (mode == SimilarityMode::kCosineInput && norm > 0.0f) {
+      Scale(1.0f / norm, row, dim);
+    }
+  }
+  if (mode == SimilarityMode::kDirectionalInOut) {
+    // Directional scores are inner products in(q) . out(c); candidate rows
+    // are normalized so ranking is cosine-like — a raw out-norm carries the
+    // item's context frequency and would drown the query signal under Zipf
+    // popularity. Items never observed as a context keep a zero row and are
+    // never retrieved.
+    for (uint32_t i = 0; i < num_items; ++i) {
+      float* row = out_.data() + static_cast<size_t>(i) * dim;
+      const float norm = L2Norm(row, dim);
+      if (norm > 0.0f) Scale(1.0f / norm, row, dim);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ScoredId> MatchingEngine::Query(uint32_t item, uint32_t k) const {
+  if (!HasItem(item)) return {};
+  const float* q = in_.data() + static_cast<size_t>(item) * dim_;
+  TopKSelector sel(k);
+  for (uint32_t c = 0; c < num_items_; ++c) {
+    if (c == item || has_item_[c] == 0) continue;
+    sel.Push(Dot(q, CandidateRow(c), dim_), c);
+  }
+  return sel.Take();
+}
+
+std::vector<ScoredId> MatchingEngine::QueryVector(const float* query,
+                                                  uint32_t k) const {
+  std::vector<float> q(query, query + dim_);
+  if (mode_ == SimilarityMode::kCosineInput) {
+    const float norm = L2Norm(q.data(), dim_);
+    if (norm > 0.0f) Scale(1.0f / norm, q.data(), dim_);
+  }
+  TopKSelector sel(k);
+  for (uint32_t c = 0; c < num_items_; ++c) {
+    if (has_item_[c] == 0) continue;
+    sel.Push(Dot(q.data(), CandidateRow(c), dim_), c);
+  }
+  return sel.Take();
+}
+
+float MatchingEngine::Score(uint32_t query_item, uint32_t candidate) const {
+  if (query_item >= num_items_ || candidate >= num_items_) return 0.0f;
+  const float* q = in_.data() + static_cast<size_t>(query_item) * dim_;
+  return Dot(q, CandidateRow(candidate), dim_);
+}
+
+}  // namespace sisg

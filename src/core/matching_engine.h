@@ -1,0 +1,82 @@
+#ifndef SISG_CORE_MATCHING_ENGINE_H_
+#define SISG_CORE_MATCHING_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+
+namespace sisg {
+
+/// How a query item is scored against candidates (Section II-C).
+enum class SimilarityMode {
+  /// cosine(input_q, input_c): the standard symmetric similarity.
+  kCosineInput,
+  /// input_q . output_c: the directional score used by SISG-F-U-D — the
+  /// probability-like affinity of c FOLLOWING q.
+  kDirectionalInOut,
+};
+
+/// Brute-force top-K retrieval over per-item embedding matrices — the
+/// matching-stage candidate generator. Rows for items absent from training
+/// should be zero; they are skipped as candidates.
+class MatchingEngine {
+ public:
+  MatchingEngine() = default;
+
+  /// `in` is num_items x dim row-major. `out` is required (same shape) for
+  /// kDirectionalInOut and ignored for kCosineInput.
+  Status Build(std::vector<float> in, std::vector<float> out, uint32_t num_items,
+               uint32_t dim, SimilarityMode mode);
+
+  uint32_t num_items() const { return num_items_; }
+  uint32_t dim() const { return dim_; }
+  SimilarityMode mode() const { return mode_; }
+
+  /// Whether the item had a non-zero embedding (i.e. was trained).
+  bool HasItem(uint32_t item) const {
+    return item < num_items_ && has_item_[item] != 0;
+  }
+
+  /// Top-k most similar items to `item`, excluding itself. Empty when the
+  /// item is unknown/untrained.
+  std::vector<ScoredId> Query(uint32_t item, uint32_t k) const;
+
+  /// Top-k against an externally supplied query vector (cold-start inference
+  /// via Eq. 6, or cold-user vectors). The vector must have dim() floats.
+  std::vector<ScoredId> QueryVector(const float* query, uint32_t k) const;
+
+  /// Pairwise score between two items under the engine's mode.
+  float Score(uint32_t query_item, uint32_t candidate) const;
+
+  /// The matrix candidates are scored against (normalized input rows in
+  /// cosine mode, normalized output rows in directional mode) — what an ANN
+  /// index (IvfIndex) should be built over. num_items() x dim() row-major.
+  const std::vector<float>& candidate_matrix() const {
+    return mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
+  }
+
+  /// The query-side row for an item (valid while the engine lives).
+  const float* QueryRow(uint32_t item) const {
+    return in_.data() + static_cast<size_t>(item) * dim_;
+  }
+
+ private:
+  const float* CandidateRow(uint32_t item) const {
+    const std::vector<float>& m =
+        mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
+    return m.data() + static_cast<size_t>(item) * dim_;
+  }
+
+  uint32_t num_items_ = 0;
+  uint32_t dim_ = 0;
+  SimilarityMode mode_ = SimilarityMode::kCosineInput;
+  std::vector<float> in_;   // normalized rows in cosine mode
+  std::vector<float> out_;
+  std::vector<uint8_t> has_item_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_MATCHING_ENGINE_H_

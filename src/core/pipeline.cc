@@ -1,0 +1,76 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+#include "corpus/corpus.h"
+#include "dist/distributed_trainer.h"
+#include "graph/category_graph.h"
+#include "graph/item_graph.h"
+#include "graph/partitioner.h"
+#include "sgns/trainer.h"
+
+namespace sisg {
+
+StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
+                                        const ItemCatalog& catalog,
+                                        const UserUniverse& users,
+                                        PipelineReport* report) const {
+  TokenSpace token_space = TokenSpace::Create(&catalog, &users);
+
+  CorpusOptions copts;
+  copts.enrich.include_item_si = config_.UseItemSi();
+  copts.enrich.include_user_type = config_.UseUserTypes();
+  copts.min_count = config_.min_count;
+  Corpus corpus;
+  SISG_RETURN_IF_ERROR(corpus.Build(sessions, token_space, catalog, copts));
+
+  SgnsOptions sgns = config_.sgns;
+  sgns.window.directional = config_.Directional();
+  if (config_.UseItemSi()) {
+    // The window is measured in tokens; SI injection interleaves surviving
+    // SI tokens between items, so double the token window to keep the same
+    // *item* span as the un-enriched variants (the paper sizes windows to
+    // the fixed maximal sequence length for the same reason).
+    sgns.window.window *= 2;
+  }
+
+  EmbeddingModel emb;
+  PipelineReport local_report;
+  if (config_.distributed) {
+    // Item partitioning via HBGP over the leaf-category graph (Section
+    // III-B); SI and user types are assigned randomly inside the engine.
+    ItemGraph graph;
+    SISG_RETURN_IF_ERROR(graph.Build(sessions, catalog.num_items()));
+    const CategoryGraph cg = CategoryGraph::FromItemGraph(graph, catalog);
+    HbgpPartitioner hbgp;
+    SISG_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> cat_assign,
+        hbgp.PartitionCategories(cg, config_.dist.num_workers));
+    const std::vector<uint32_t> item_worker =
+        ItemAssignmentFromCategories(cat_assign, catalog);
+
+    DistOptions dopts = config_.dist;
+    dopts.sgns = sgns;
+    DistributedTrainer trainer(dopts);
+    DistTrainResult result;
+    SISG_RETURN_IF_ERROR(
+        trainer.Train(corpus, token_space, item_worker, &emb, &result));
+    local_report.train = result.train;
+    local_report.comm = result.comm;
+  } else {
+    SgnsTrainer trainer(sgns);
+    SISG_RETURN_IF_ERROR(trainer.Train(corpus, &emb, &local_report.train));
+  }
+  local_report.vocab_size = corpus.vocab().size();
+  if (report != nullptr) *report = local_report;
+
+  return SisgModel(config_, std::move(token_space), corpus.vocab(),
+                   std::move(emb));
+}
+
+StatusOr<SisgModel> SisgPipeline::Train(const SyntheticDataset& dataset,
+                                        PipelineReport* report) const {
+  return Train(dataset.train_sessions(), dataset.catalog(), dataset.users(),
+               report);
+}
+
+}  // namespace sisg

@@ -1,0 +1,47 @@
+#ifndef SISG_CORE_PIPELINE_H_
+#define SISG_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/sisg_model.h"
+#include "datagen/dataset.h"
+#include "dist/comm_stats.h"
+
+namespace sisg {
+
+/// Everything a training run reports besides the model itself.
+struct PipelineReport {
+  TrainStats train;
+  CommStats comm;  // only populated for distributed runs
+  uint32_t vocab_size = 0;
+};
+
+/// The end-to-end SISG training pipeline (Section III-C): enrich sessions
+/// per Eq. 4 as selected by the variant, build the frequency dictionary,
+/// then train either on the local hogwild SGNS engine or on the simulated
+/// distributed engine (HBGP item partitioning + ATNS).
+class SisgPipeline {
+ public:
+  explicit SisgPipeline(const SisgConfig& config) : config_(config) {}
+
+  const SisgConfig& config() const { return config_; }
+
+  /// Trains on arbitrary sessions. `catalog` and `users` must outlive the
+  /// returned model (its TokenSpace references them).
+  StatusOr<SisgModel> Train(const std::vector<Session>& sessions,
+                            const ItemCatalog& catalog, const UserUniverse& users,
+                            PipelineReport* report = nullptr) const;
+
+  /// Convenience overload for a generated dataset (trains on its training
+  /// split).
+  StatusOr<SisgModel> Train(const SyntheticDataset& dataset,
+                            PipelineReport* report = nullptr) const;
+
+ private:
+  SisgConfig config_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_PIPELINE_H_

@@ -1,0 +1,50 @@
+#ifndef SISG_CORE_SISG_CONFIG_H_
+#define SISG_CORE_SISG_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dist/distributed_trainer.h"
+#include "sgns/trainer.h"
+
+namespace sisg {
+
+/// One of the model variants evaluated in Table III.
+enum class SisgVariant {
+  kSgns,     // items only, symmetric — the classic baseline
+  kSisgF,    // + item SI
+  kSisgU,    // + user types (no item SI)
+  kSisgFU,   // + item SI + user types
+  kSisgFUD,  // + item SI + user types + directional (asymmetric) sampling
+};
+
+const char* SisgVariantName(SisgVariant v);
+
+/// Full configuration of one SISG training run.
+struct SisgConfig {
+  SisgVariant variant = SisgVariant::kSisgFUD;
+  SgnsOptions sgns;
+  uint32_t min_count = 1;
+
+  /// When true the pipeline trains on the simulated distributed engine
+  /// (HBGP item partitioning + ATNS) instead of the local hogwild trainer.
+  bool distributed = false;
+  DistOptions dist;
+
+  /// Whether the variant injects item SI tokens.
+  bool UseItemSi() const {
+    return variant == SisgVariant::kSisgF || variant == SisgVariant::kSisgFU ||
+           variant == SisgVariant::kSisgFUD;
+  }
+  /// Whether the variant injects user-type tokens.
+  bool UseUserTypes() const {
+    return variant == SisgVariant::kSisgU || variant == SisgVariant::kSisgFU ||
+           variant == SisgVariant::kSisgFUD;
+  }
+  /// Whether pairs are sampled from the right context window only.
+  bool Directional() const { return variant == SisgVariant::kSisgFUD; }
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_SISG_CONFIG_H_

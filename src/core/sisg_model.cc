@@ -1,0 +1,100 @@
+#include "core/sisg_model.h"
+
+#include <cstdio>
+
+namespace sisg {
+
+const char* SisgVariantName(SisgVariant v) {
+  switch (v) {
+    case SisgVariant::kSgns:
+      return "SGNS";
+    case SisgVariant::kSisgF:
+      return "SISG-F";
+    case SisgVariant::kSisgU:
+      return "SISG-U";
+    case SisgVariant::kSisgFU:
+      return "SISG-F-U";
+    case SisgVariant::kSisgFUD:
+      return "SISG-F-U-D";
+  }
+  return "unknown";
+}
+
+std::vector<float> SisgModel::ItemInputMatrix() const {
+  const uint32_t n = token_space_.num_items();
+  const uint32_t d = dim();
+  std::vector<float> out(static_cast<size_t>(n) * d, 0.0f);
+  for (uint32_t item = 0; item < n; ++item) {
+    const float* row = InputOfToken(token_space_.ItemToken(item));
+    if (row != nullptr) {
+      std::copy(row, row + d, out.begin() + static_cast<size_t>(item) * d);
+    }
+  }
+  return out;
+}
+
+std::vector<float> SisgModel::ItemOutputMatrix() const {
+  const uint32_t n = token_space_.num_items();
+  const uint32_t d = dim();
+  std::vector<float> out(static_cast<size_t>(n) * d, 0.0f);
+  for (uint32_t item = 0; item < n; ++item) {
+    const float* row = OutputOfToken(token_space_.ItemToken(item));
+    if (row != nullptr) {
+      std::copy(row, row + d, out.begin() + static_cast<size_t>(item) * d);
+    }
+  }
+  return out;
+}
+
+StatusOr<MatchingEngine> SisgModel::BuildMatchingEngine() const {
+  const SimilarityMode mode = config_.Directional()
+                                  ? SimilarityMode::kDirectionalInOut
+                                  : SimilarityMode::kCosineInput;
+  MatchingEngine engine;
+  SISG_RETURN_IF_ERROR(engine.Build(
+      ItemInputMatrix(),
+      mode == SimilarityMode::kDirectionalInOut ? ItemOutputMatrix()
+                                                : std::vector<float>{},
+      token_space_.num_items(), dim(), mode));
+  return engine;
+}
+
+Status SisgModel::ExportText(const std::string& path,
+                             bool input_vectors) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = std::fprintf(f, "%u %u\n", vocab_.size(), dim()) > 0;
+  for (uint32_t v = 0; v < vocab_.size() && ok; ++v) {
+    const std::string token = token_space_.TokenString(vocab_.ToToken(v));
+    ok = std::fputs(token.c_str(), f) != EOF;
+    const float* row =
+        input_vectors ? embeddings_.Input(v) : embeddings_.Output(v);
+    for (uint32_t d = 0; d < dim() && ok; ++d) {
+      ok = std::fprintf(f, " %.6g", row[d]) > 0;
+    }
+    ok = ok && std::fputc('\n', f) != EOF;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SisgModel::Save(const std::string& prefix) const {
+  SISG_RETURN_IF_ERROR(vocab_.Save(prefix + ".vocab"));
+  return embeddings_.Save(prefix + ".emb");
+}
+
+StatusOr<SisgModel> SisgModel::Load(const std::string& prefix,
+                                    const SisgConfig& config,
+                                    TokenSpace token_space) {
+  SISG_ASSIGN_OR_RETURN(Vocabulary vocab, Vocabulary::Load(prefix + ".vocab"));
+  SISG_ASSIGN_OR_RETURN(EmbeddingModel emb,
+                        EmbeddingModel::Load(prefix + ".emb"));
+  if (emb.rows() != vocab.size()) {
+    return Status::Corruption("model: vocab/embedding size mismatch");
+  }
+  return SisgModel(config, std::move(token_space), std::move(vocab),
+                   std::move(emb));
+}
+
+}  // namespace sisg

@@ -1,0 +1,82 @@
+#ifndef SISG_CORE_SISG_MODEL_H_
+#define SISG_CORE_SISG_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matching_engine.h"
+#include "core/sisg_config.h"
+#include "corpus/token_space.h"
+#include "corpus/vocabulary.h"
+#include "sgns/embedding_model.h"
+
+namespace sisg {
+
+/// A trained SISG model: the joint semantic space over items, SI and user
+/// types (Section II-B), plus the vocabulary and token layout needed to
+/// address it. The TokenSpace references the catalog/user universe it was
+/// created from; both must outlive the model.
+class SisgModel {
+ public:
+  SisgModel() = default;
+  SisgModel(SisgConfig config, TokenSpace token_space, Vocabulary vocab,
+            EmbeddingModel embeddings)
+      : config_(std::move(config)),
+        token_space_(std::move(token_space)),
+        vocab_(std::move(vocab)),
+        embeddings_(std::move(embeddings)) {}
+
+  const SisgConfig& config() const { return config_; }
+  const TokenSpace& token_space() const { return token_space_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  const EmbeddingModel& embeddings() const { return embeddings_; }
+  uint32_t dim() const { return embeddings_.dim(); }
+
+  /// Input/output vector of a global token; nullptr when the token fell
+  /// below min_count or never occurred.
+  const float* InputOfToken(uint32_t token) const {
+    const int32_t v = vocab_.ToVocab(token);
+    return v < 0 ? nullptr : embeddings_.Input(static_cast<uint32_t>(v));
+  }
+  const float* OutputOfToken(uint32_t token) const {
+    const int32_t v = vocab_.ToVocab(token);
+    return v < 0 ? nullptr : embeddings_.Output(static_cast<uint32_t>(v));
+  }
+
+  /// Dense per-item matrices (rows zero for untrained items), ready for the
+  /// MatchingEngine.
+  std::vector<float> ItemInputMatrix() const;
+  std::vector<float> ItemOutputMatrix() const;
+
+  /// Builds the retrieval engine with the similarity mode implied by the
+  /// variant (directional for SISG-F-U-D, cosine otherwise).
+  StatusOr<MatchingEngine> BuildMatchingEngine() const;
+
+  /// Persists vocabulary + embeddings as `<prefix>.vocab` and
+  /// `<prefix>.emb`. The config/token space are reconstructed by the caller
+  /// (they derive from the catalog, not from training).
+  Status Save(const std::string& prefix) const;
+
+  /// word2vec text format: header "rows dim", then one line per vocab entry
+  /// "<token-string> v1 v2 ..." with human-readable tokens
+  /// ("item_42", "leaf_category_7", "usertype_F_26-30_..."). Exports input
+  /// vectors, or output vectors when `input_vectors` is false.
+  Status ExportText(const std::string& path, bool input_vectors = true) const;
+
+  /// Loads a model saved with Save. `token_space` must describe the same
+  /// catalog/user universe the model was trained on.
+  static StatusOr<SisgModel> Load(const std::string& prefix,
+                                  const SisgConfig& config,
+                                  TokenSpace token_space);
+
+ private:
+  SisgConfig config_;
+  TokenSpace token_space_;
+  Vocabulary vocab_;
+  EmbeddingModel embeddings_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORE_SISG_MODEL_H_

@@ -1,0 +1,46 @@
+#include "corpus/corpus.h"
+
+namespace sisg {
+
+Status Corpus::Build(const std::vector<Session>& sessions,
+                     const TokenSpace& token_space, const ItemCatalog& catalog,
+                     const CorpusOptions& options) {
+  if (sessions.empty()) {
+    return Status::InvalidArgument("corpus: no sessions");
+  }
+  options_ = options;
+
+  SequenceEnricher enricher(&token_space, &catalog, options.enrich);
+  std::vector<std::vector<uint32_t>> token_seqs;
+  token_seqs.reserve(sessions.size());
+  std::vector<uint32_t> buf;
+  for (const Session& s : sessions) {
+    enricher.Enrich(s, &buf);
+    token_seqs.push_back(buf);
+  }
+
+  SISG_RETURN_IF_ERROR(vocab_.Build(token_seqs, token_space.num_tokens(),
+                                    options.min_count, token_space));
+
+  sequences_.clear();
+  sequences_.reserve(token_seqs.size());
+  num_tokens_ = 0;
+  for (const auto& seq : token_seqs) {
+    std::vector<uint32_t> enc;
+    enc.reserve(seq.size());
+    for (uint32_t tok : seq) {
+      const int32_t v = vocab_.ToVocab(tok);
+      if (v >= 0) enc.push_back(static_cast<uint32_t>(v));
+    }
+    if (enc.size() >= 2) {
+      num_tokens_ += enc.size();
+      sequences_.push_back(std::move(enc));
+    }
+  }
+  if (sequences_.empty()) {
+    return Status::InvalidArgument("corpus: all sequences empty after filtering");
+  }
+  return Status::OK();
+}
+
+}  // namespace sisg

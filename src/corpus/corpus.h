@@ -1,0 +1,46 @@
+#ifndef SISG_CORPUS_CORPUS_H_
+#define SISG_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/enricher.h"
+#include "corpus/token_space.h"
+#include "corpus/vocabulary.h"
+#include "datagen/dataset.h"
+
+namespace sisg {
+
+struct CorpusOptions {
+  EnrichOptions enrich;
+  uint32_t min_count = 1;
+};
+
+/// The training corpus: enriched sessions re-encoded in vocab-id space
+/// (tokens below min_count dropped). This is what trainers consume.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Enriches `sessions` and builds the vocabulary in one pass.
+  Status Build(const std::vector<Session>& sessions, const TokenSpace& token_space,
+               const ItemCatalog& catalog, const CorpusOptions& options);
+
+  const Vocabulary& vocab() const { return vocab_; }
+  const std::vector<std::vector<uint32_t>>& sequences() const { return sequences_; }
+  const CorpusOptions& options() const { return options_; }
+
+  /// Total tokens across sequences (after min_count filtering).
+  uint64_t num_tokens() const { return num_tokens_; }
+
+ private:
+  CorpusOptions options_;
+  Vocabulary vocab_;
+  std::vector<std::vector<uint32_t>> sequences_;
+  uint64_t num_tokens_ = 0;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORPUS_CORPUS_H_

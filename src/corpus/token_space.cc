@@ -1,0 +1,68 @@
+#include "corpus/token_space.h"
+
+#include "common/logging.h"
+
+namespace sisg {
+
+TokenSpace TokenSpace::Create(const ItemCatalog* catalog,
+                              const UserUniverse* users) {
+  SISG_CHECK(catalog != nullptr);
+  SISG_CHECK(users != nullptr);
+  TokenSpace ts;
+  ts.catalog_ = catalog;
+  ts.users_ = users;
+  ts.num_items_ = catalog->num_items();
+  ts.num_user_types_ = users->num_types();
+
+  const CatalogConfig& cfg = catalog->config();
+  uint32_t offset = ts.num_items_;
+  auto assign = [&](ItemFeatureKind kind, uint32_t cardinality) {
+    ts.si_offset_[static_cast<int>(kind)] = offset;
+    ts.si_cardinality_[static_cast<int>(kind)] = cardinality;
+    offset += cardinality;
+  };
+  assign(ItemFeatureKind::kTopLevelCategory, catalog->num_tops());
+  assign(ItemFeatureKind::kLeafCategory, cfg.num_leaf_categories);
+  assign(ItemFeatureKind::kShop, cfg.num_shops);
+  assign(ItemFeatureKind::kCity, cfg.num_cities);
+  assign(ItemFeatureKind::kBrand, cfg.num_brands);
+  assign(ItemFeatureKind::kStyle, cfg.num_styles);
+  assign(ItemFeatureKind::kMaterial, cfg.num_materials);
+  assign(ItemFeatureKind::kAgeGenderPurchaseLevel,
+         kNumGenders * kNumAgeBuckets * kNumPurchaseLevels);
+
+  ts.ut_offset_ = offset;
+  ts.num_tokens_ = offset + ts.num_user_types_;
+  return ts;
+}
+
+void TokenSpace::DecodeSi(uint32_t token, ItemFeatureKind* kind,
+                          uint32_t* value) const {
+  SISG_CHECK(token >= num_items_ && token < ut_offset_);
+  for (int k = kNumItemFeatures - 1; k >= 0; --k) {
+    if (token >= si_offset_[k]) {
+      *kind = static_cast<ItemFeatureKind>(k);
+      *value = token - si_offset_[k];
+      return;
+    }
+  }
+  SISG_CHECK(false) << "unreachable";
+}
+
+std::string TokenSpace::TokenString(uint32_t token) const {
+  switch (ClassOf(token)) {
+    case TokenClass::kItem:
+      return "item_" + std::to_string(token);
+    case TokenClass::kItemSi: {
+      ItemFeatureKind kind;
+      uint32_t value;
+      DecodeSi(token, &kind, &value);
+      return ItemFeatureToken(kind, value);
+    }
+    case TokenClass::kUserType:
+      return users_->TypeToken(TokenToUserType(token));
+  }
+  return "invalid";
+}
+
+}  // namespace sisg

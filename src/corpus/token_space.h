@@ -1,0 +1,71 @@
+#ifndef SISG_CORPUS_TOKEN_SPACE_H_
+#define SISG_CORPUS_TOKEN_SPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "datagen/catalog.h"
+#include "datagen/user_universe.h"
+
+namespace sisg {
+
+/// The broad class of a token; drives per-class subsampling thresholds
+/// (ATNS downsamples SI far more aggressively than items, Section III-A).
+enum class TokenClass : uint8_t { kItem = 0, kItemSi = 1, kUserType = 2 };
+
+/// Dense global id space over all tokens that can appear in an enriched
+/// sequence (Eq. 4): items first, then one contiguous block per item-SI
+/// kind, then user types. The layout makes item <-> token conversion free
+/// and keeps frequency counting a flat array.
+class TokenSpace {
+ public:
+  TokenSpace() = default;
+
+  /// Catalog and users must outlive the token space.
+  static TokenSpace Create(const ItemCatalog* catalog, const UserUniverse* users);
+
+  uint32_t num_tokens() const { return num_tokens_; }
+  uint32_t num_items() const { return num_items_; }
+  uint32_t num_user_types() const { return num_user_types_; }
+
+  uint32_t ItemToken(uint32_t item) const { return item; }
+
+  uint32_t SiToken(ItemFeatureKind kind, uint32_t value) const {
+    return si_offset_[static_cast<int>(kind)] + value;
+  }
+
+  uint32_t UserTypeToken(uint32_t ut) const { return ut_offset_ + ut; }
+
+  TokenClass ClassOf(uint32_t token) const {
+    if (token < num_items_) return TokenClass::kItem;
+    if (token < ut_offset_) return TokenClass::kItemSi;
+    return TokenClass::kUserType;
+  }
+
+  bool IsItem(uint32_t token) const { return token < num_items_; }
+  uint32_t TokenToItem(uint32_t token) const { return token; }
+  uint32_t TokenToUserType(uint32_t token) const { return token - ut_offset_; }
+
+  /// For an SI token, recovers (kind, value).
+  void DecodeSi(uint32_t token, ItemFeatureKind* kind, uint32_t* value) const;
+
+  /// Human-readable rendering: "item_<id>", "[FeatureName]_[Value]" per
+  /// Table I, or the usertype token.
+  std::string TokenString(uint32_t token) const;
+
+ private:
+  const ItemCatalog* catalog_ = nullptr;
+  const UserUniverse* users_ = nullptr;
+  uint32_t num_items_ = 0;
+  uint32_t num_user_types_ = 0;
+  uint32_t num_tokens_ = 0;
+  std::array<uint32_t, kNumItemFeatures> si_offset_ = {};
+  std::array<uint32_t, kNumItemFeatures> si_cardinality_ = {};
+  uint32_t ut_offset_ = 0;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORPUS_TOKEN_SPACE_H_

@@ -1,0 +1,143 @@
+#include "corpus/vocabulary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sisg {
+
+Status Vocabulary::Build(
+    const std::vector<std::vector<uint32_t>>& token_sequences,
+    uint32_t num_global_tokens, uint32_t min_count,
+    const TokenSpace& token_space) {
+  if (min_count == 0) {
+    return Status::InvalidArgument("vocabulary: min_count must be >= 1");
+  }
+  std::vector<uint64_t> counts(num_global_tokens, 0);
+  for (const auto& seq : token_sequences) {
+    for (uint32_t tok : seq) {
+      if (tok >= num_global_tokens) {
+        return Status::OutOfRange("vocabulary: token id " + std::to_string(tok) +
+                                  " outside the token space");
+      }
+      ++counts[tok];
+    }
+  }
+
+  std::vector<uint32_t> kept;
+  kept.reserve(num_global_tokens);
+  for (uint32_t t = 0; t < num_global_tokens; ++t) {
+    if (counts[t] >= min_count) kept.push_back(t);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("vocabulary: no token reaches min_count");
+  }
+  // Descending frequency; ties by token id for determinism.
+  std::sort(kept.begin(), kept.end(), [&](uint32_t a, uint32_t b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+
+  vocab_of_.assign(num_global_tokens, -1);
+  token_of_.resize(kept.size());
+  freq_.resize(kept.size());
+  class_.resize(kept.size());
+  class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
+  total_count_ = 0;
+  for (uint32_t v = 0; v < kept.size(); ++v) {
+    const uint32_t tok = kept[v];
+    vocab_of_[tok] = static_cast<int32_t>(v);
+    token_of_[v] = tok;
+    freq_[v] = counts[tok];
+    class_[v] = token_space.ClassOf(tok);
+    ++class_counts_[static_cast<int>(class_[v])];
+    total_count_ += counts[tok];
+  }
+  return Status::OK();
+}
+
+StatusOr<AliasTable> Vocabulary::BuildNoise(double alpha) const {
+  std::vector<double> w(size());
+  for (uint32_t v = 0; v < size(); ++v) {
+    w[v] = std::pow(static_cast<double>(freq_[v]), alpha);
+  }
+  AliasTable table;
+  SISG_RETURN_IF_ERROR(table.Build(w));
+  return table;
+}
+
+namespace {
+constexpr char kVocabMagic[8] = {'S', 'I', 'S', 'G', 'V', 'O', 'C', '1'};
+}  // namespace
+
+Status Vocabulary::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const uint32_t num_global = static_cast<uint32_t>(vocab_of_.size());
+  const uint32_t n = size();
+  bool ok = std::fwrite(kVocabMagic, 1, 8, f) == 8;
+  ok = ok && std::fwrite(&num_global, sizeof(num_global), 1, f) == 1;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fwrite(token_of_.data(), sizeof(uint32_t), n, f) == n;
+  ok = ok && std::fwrite(freq_.data(), sizeof(uint64_t), n, f) == n;
+  ok = ok && std::fwrite(class_.data(), sizeof(TokenClass), n, f) == n;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Vocabulary> Vocabulary::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  uint32_t num_global = 0, n = 0;
+  if (std::fread(magic, 1, 8, f) != 8 ||
+      std::memcmp(magic, kVocabMagic, 8) != 0 ||
+      std::fread(&num_global, sizeof(num_global), 1, f) != 1 ||
+      std::fread(&n, sizeof(n), 1, f) != 1 || n == 0 || n > num_global) {
+    std::fclose(f);
+    return Status::Corruption("vocabulary: bad header in " + path);
+  }
+  Vocabulary v;
+  v.token_of_.resize(n);
+  v.freq_.resize(n);
+  v.class_.resize(n);
+  const bool ok =
+      std::fread(v.token_of_.data(), sizeof(uint32_t), n, f) == n &&
+      std::fread(v.freq_.data(), sizeof(uint64_t), n, f) == n &&
+      std::fread(v.class_.data(), sizeof(TokenClass), n, f) == n;
+  std::fclose(f);
+  if (!ok) return Status::Corruption("vocabulary: truncated file " + path);
+  v.vocab_of_.assign(num_global, -1);
+  v.total_count_ = 0;
+  v.class_counts_[0] = v.class_counts_[1] = v.class_counts_[2] = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (v.token_of_[i] >= num_global) {
+      return Status::Corruption("vocabulary: token id out of range in " + path);
+    }
+    v.vocab_of_[v.token_of_[i]] = static_cast<int32_t>(i);
+    v.total_count_ += v.freq_[i];
+    ++v.class_counts_[static_cast<int>(v.class_[i])];
+  }
+  return v;
+}
+
+StatusOr<AliasTable> Vocabulary::BuildNoiseOver(
+    const std::vector<uint32_t>& vocab_ids, double alpha) const {
+  if (vocab_ids.empty()) {
+    return Status::InvalidArgument("noise: empty vocab subset");
+  }
+  std::vector<double> w(vocab_ids.size());
+  for (size_t i = 0; i < vocab_ids.size(); ++i) {
+    w[i] = std::pow(static_cast<double>(freq_[vocab_ids[i]]), alpha);
+  }
+  AliasTable table;
+  SISG_RETURN_IF_ERROR(table.Build(w));
+  return table;
+}
+
+}  // namespace sisg

@@ -1,0 +1,66 @@
+#ifndef SISG_CORPUS_VOCABULARY_H_
+#define SISG_CORPUS_VOCABULARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/status.h"
+#include "corpus/token_space.h"
+
+namespace sisg {
+
+/// The frequency dictionary D of Section III-C: counts every token in the
+/// enriched corpus, drops tokens below `min_count`, and assigns dense vocab
+/// ids (descending frequency, word2vec-style, so id 0 is the hottest token).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Counts tokens over enriched sequences. `num_global_tokens` is
+  /// TokenSpace::num_tokens().
+  Status Build(const std::vector<std::vector<uint32_t>>& token_sequences,
+               uint32_t num_global_tokens, uint32_t min_count,
+               const TokenSpace& token_space);
+
+  uint32_t size() const { return static_cast<uint32_t>(token_of_.size()); }
+
+  /// Vocab id for a global token, or -1 if below min_count / unseen.
+  int32_t ToVocab(uint32_t token) const {
+    if (token >= vocab_of_.size()) return -1;
+    return vocab_of_[token];
+  }
+
+  uint32_t ToToken(uint32_t vocab_id) const { return token_of_[vocab_id]; }
+  uint64_t Frequency(uint32_t vocab_id) const { return freq_[vocab_id]; }
+  uint64_t total_count() const { return total_count_; }
+  TokenClass ClassOf(uint32_t vocab_id) const { return class_[vocab_id]; }
+
+  /// Number of vocab entries of each class.
+  uint32_t CountOfClass(TokenClass c) const {
+    return class_counts_[static_cast<int>(c)];
+  }
+
+  /// Builds the negative-sampling noise distribution P(v) ~ freq(v)^alpha
+  /// (Section III-C, alpha = 0.75) over all vocab entries, or over a subset
+  /// when `restrict_to` is non-empty (per-shard local noise in TNS).
+  StatusOr<AliasTable> BuildNoise(double alpha) const;
+  StatusOr<AliasTable> BuildNoiseOver(const std::vector<uint32_t>& vocab_ids,
+                                      double alpha) const;
+
+  /// Binary serialization of the dictionary (token ids, counts, classes).
+  Status Save(const std::string& path) const;
+  static StatusOr<Vocabulary> Load(const std::string& path);
+
+ private:
+  std::vector<int32_t> vocab_of_;   // global token -> vocab id (or -1)
+  std::vector<uint32_t> token_of_;  // vocab id -> global token
+  std::vector<uint64_t> freq_;      // vocab id -> count
+  std::vector<TokenClass> class_;   // vocab id -> class
+  uint32_t class_counts_[3] = {0, 0, 0};
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_CORPUS_VOCABULARY_H_

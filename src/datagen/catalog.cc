@@ -1,0 +1,219 @@
+#include "datagen/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sisg {
+namespace {
+
+/// Largest-remainder allocation of `total` units proportionally to weights,
+/// with a per-bucket minimum.
+std::vector<uint32_t> Allocate(uint32_t total, const std::vector<double>& weights,
+                               uint32_t min_per_bucket) {
+  const size_t n = weights.size();
+  std::vector<uint32_t> out(n, min_per_bucket);
+  uint32_t remaining = total - static_cast<uint32_t>(n) * min_per_bucket;
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  std::vector<std::pair<double, size_t>> fracs(n);
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = remaining * weights[i] / wsum;
+    const uint32_t base = static_cast<uint32_t>(exact);
+    out[i] += base;
+    assigned += base;
+    fracs[i] = {exact - base, i};
+  }
+  std::sort(fracs.begin(), fracs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (uint32_t i = 0; assigned < remaining; ++i, ++assigned) {
+    out[fracs[i % n].second] += 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t ItemCatalog::EncodeAgp(int gender, int age, int purchase) {
+  return static_cast<uint32_t>((gender * kNumAgeBuckets + age) * kNumPurchaseLevels +
+                               purchase);
+}
+
+void ItemCatalog::DecodeAgp(uint32_t agp, int* gender, int* age, int* purchase) {
+  *purchase = static_cast<int>(agp % kNumPurchaseLevels);
+  const uint32_t ga = agp / kNumPurchaseLevels;
+  *age = static_cast<int>(ga % kNumAgeBuckets);
+  *gender = static_cast<int>(ga / kNumAgeBuckets);
+}
+
+Status ItemCatalog::Build(const CatalogConfig& config) {
+  if (config.num_items == 0) {
+    return Status::InvalidArgument("catalog: num_items must be > 0");
+  }
+  if (config.num_leaf_categories == 0 || config.leaves_per_top == 0) {
+    return Status::InvalidArgument("catalog: category counts must be > 0");
+  }
+  const uint32_t kMinPerLeaf = 4;
+  if (config.num_items < config.num_leaf_categories * kMinPerLeaf) {
+    return Status::InvalidArgument(
+        "catalog: need at least 4 items per leaf category");
+  }
+  if (config.num_brands == 0 || config.num_shops == 0 || config.num_cities == 0 ||
+      config.num_styles == 0 || config.num_materials == 0) {
+    return Status::InvalidArgument("catalog: SI cardinalities must be > 0");
+  }
+
+  config_ = config;
+  Rng rng(config.seed);
+  const uint32_t num_leaves = config.num_leaf_categories;
+  num_tops_ = (num_leaves + config.leaves_per_top - 1) / config.leaves_per_top;
+
+  // Leaf sizes: mildly skewed Zipf over leaf rank.
+  std::vector<double> leaf_weights(num_leaves);
+  for (uint32_t l = 0; l < num_leaves; ++l) {
+    leaf_weights[l] = 1.0 / std::pow(static_cast<double>(l) + 1.0,
+                                     config.leaf_size_zipf);
+  }
+  const std::vector<uint32_t> leaf_sizes =
+      Allocate(config.num_items, leaf_weights, kMinPerLeaf);
+
+  meta_.assign(config.num_items, ItemMeta{});
+  rank_in_leaf_.assign(config.num_items, 0);
+  popularity_.assign(config.num_items, 0.0);
+  leaf_items_.assign(num_leaves, {});
+  leaf_brand_items_.assign(num_leaves, {});
+
+  // Popularity: Zipf over a random permutation so popularity is independent
+  // of leaf/rank structure.
+  std::vector<uint32_t> perm(config.num_items);
+  for (uint32_t i = 0; i < config.num_items; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  for (uint32_t r = 0; r < config.num_items; ++r) {
+    popularity_[perm[r]] =
+        1.0 / std::pow(static_cast<double>(r) + 1.0, config.popularity_zipf);
+  }
+
+  const uint32_t brands_per_leaf =
+      std::min(config.brands_per_leaf, config.num_brands);
+  const uint32_t shops_per_leaf = std::min(config.shops_per_leaf, config.num_shops);
+
+  // Brand demographic targets (drives the agp cross feature).
+  std::vector<uint32_t> brand_agp(config.num_brands);
+  for (uint32_t b = 0; b < config.num_brands; ++b) {
+    const int gender = static_cast<int>(rng.UniformU64(kNumGenders));
+    const int age = static_cast<int>(rng.UniformU64(kNumAgeBuckets));
+    const int purchase = static_cast<int>(rng.UniformU64(kNumPurchaseLevels));
+    brand_agp[b] = EncodeAgp(gender, age, purchase);
+  }
+
+  uint32_t next_item = 0;
+  for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    const uint32_t top = leaf / config.leaves_per_top;
+
+    // Per-leaf SI pools: items of one leaf share a small set of brands and
+    // shops, a dominant style and material, and a dominant city.
+    std::vector<uint32_t> brand_pool(brands_per_leaf);
+    for (auto& b : brand_pool) {
+      b = static_cast<uint32_t>(rng.UniformU64(config.num_brands));
+    }
+    std::vector<uint32_t> shop_pool(shops_per_leaf);
+    for (auto& s : shop_pool) {
+      s = static_cast<uint32_t>(rng.UniformU64(config.num_shops));
+    }
+    const uint32_t dominant_style =
+        static_cast<uint32_t>(rng.UniformU64(config.num_styles));
+    const uint32_t dominant_material =
+        static_cast<uint32_t>(rng.UniformU64(config.num_materials));
+    const uint32_t dominant_city =
+        static_cast<uint32_t>(rng.UniformU64(config.num_cities));
+
+    leaf_items_[leaf].reserve(leaf_sizes[leaf]);
+    for (uint32_t r = 0; r < leaf_sizes[leaf]; ++r) {
+      const uint32_t item = next_item++;
+      ItemMeta& m = meta_[item];
+      m.leaf_category = leaf;
+      m.top_level_category = top;
+      // Brands are Zipf within the pool so a leaf has one or two big brands.
+      const uint32_t brand_slot = static_cast<uint32_t>(std::min<uint64_t>(
+          rng.Zipf(brand_pool.size(), 1.5), brand_pool.size() - 1));
+      m.brand = brand_pool[brand_slot];
+      const uint32_t shop_slot = static_cast<uint32_t>(std::min<uint64_t>(
+          rng.Zipf(shop_pool.size(), 1.3), shop_pool.size() - 1));
+      m.shop = shop_pool[shop_slot];
+      m.city = rng.Bernoulli(0.5)
+                   ? dominant_city
+                   : static_cast<uint32_t>(rng.UniformU64(config.num_cities));
+      m.style = rng.Bernoulli(0.6)
+                    ? dominant_style
+                    : static_cast<uint32_t>(rng.UniformU64(config.num_styles));
+      m.material = rng.Bernoulli(0.6) ? dominant_material
+                                      : static_cast<uint32_t>(
+                                            rng.UniformU64(config.num_materials));
+      m.age_gender_purchase_level = brand_agp[m.brand];
+      rank_in_leaf_[item] = r;
+      leaf_items_[leaf].push_back(item);
+    }
+
+    // Index items of this leaf by brand.
+    auto& by_brand = leaf_brand_items_[leaf];
+    for (uint32_t item : leaf_items_[leaf]) {
+      const uint32_t b = meta_[item].brand;
+      auto it = std::find_if(by_brand.begin(), by_brand.end(),
+                             [b](const auto& p) { return p.first == b; });
+      if (it == by_brand.end()) {
+        by_brand.push_back({b, {item}});
+      } else {
+        it->second.push_back(item);
+      }
+    }
+  }
+  SISG_CHECK_EQ(next_item, config.num_items);
+
+  // Start-item samplers per (leaf, purchase level): popularity shaped toward
+  // the purchase level's band of the latent level axis.
+  const double kLevelAffinity = 4.0;
+  start_tables_.assign(static_cast<size_t>(num_leaves) * kNumPurchaseLevels, {});
+  for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    const auto& items = leaf_items_[leaf];
+    for (int p = 0; p < kNumPurchaseLevels; ++p) {
+      const double band = (p + 0.5) / kNumPurchaseLevels;
+      std::vector<double> w(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        const double lvl = Level(items[i]);
+        w[i] = popularity_[items[i]] *
+               std::exp(-kLevelAffinity * std::abs(lvl - band));
+      }
+      SISG_CHECK_OK(
+          start_tables_[static_cast<size_t>(leaf) * kNumPurchaseLevels + p].Build(w));
+    }
+  }
+
+  return Status::OK();
+}
+
+double ItemCatalog::Level(uint32_t item) const {
+  const uint32_t leaf = meta_[item].leaf_category;
+  const double size = static_cast<double>(leaf_items_[leaf].size());
+  return (rank_in_leaf_[item] + 0.5) / size;
+}
+
+const std::vector<uint32_t>& ItemCatalog::LeafBrandItems(uint32_t leaf,
+                                                         uint32_t brand) const {
+  static const auto& kEmpty = *new std::vector<uint32_t>();
+  const auto& by_brand = leaf_brand_items_[leaf];
+  for (const auto& p : by_brand) {
+    if (p.first == brand) return p.second;
+  }
+  return kEmpty;
+}
+
+uint32_t ItemCatalog::SampleStartItem(uint32_t leaf, int purchase_level,
+                                      Rng& rng) const {
+  const auto& table =
+      start_tables_[static_cast<size_t>(leaf) * kNumPurchaseLevels + purchase_level];
+  return leaf_items_[leaf][table.Sample(rng)];
+}
+
+}  // namespace sisg

@@ -1,0 +1,97 @@
+#ifndef SISG_DATAGEN_CATALOG_H_
+#define SISG_DATAGEN_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/feature_schema.h"
+
+namespace sisg {
+
+/// Parameters of the synthetic item universe. Defaults give a laptop-scale
+/// catalog whose *statistics* mirror the Taobao corpora of Table II:
+/// skewed leaf-category sizes, Zipf item popularity, SI values correlated
+/// within a leaf (brand/shop pools per leaf, leaf-dominant style/material),
+/// and a demographic cross-feature inherited from the brand.
+struct CatalogConfig {
+  uint32_t num_items = 8000;
+  uint32_t num_leaf_categories = 160;
+  uint32_t leaves_per_top = 8;  // top-level categories = ceil(leaves / this)
+  uint32_t num_shops = 800;
+  uint32_t num_cities = 32;
+  uint32_t num_brands = 400;
+  uint32_t num_styles = 24;
+  uint32_t num_materials = 16;
+  uint32_t brands_per_leaf = 6;
+  uint32_t shops_per_leaf = 10;
+  double popularity_zipf = 0.9;  // item popularity ~ 1/rank^zipf
+  double leaf_size_zipf = 0.4;   // leaf sizes mildly skewed
+  uint64_t seed = 42;
+};
+
+/// The synthetic item universe: per-item SI metadata (Table I), per-leaf
+/// item lists ordered by "level" (a latent browse/price rank driving the
+/// directed transition structure), popularity weights, and per-leaf
+/// samplers used by the session generator.
+class ItemCatalog {
+ public:
+  ItemCatalog() = default;
+
+  /// Builds the catalog. Returns InvalidArgument on inconsistent configs
+  /// (e.g. more leaves than items).
+  Status Build(const CatalogConfig& config);
+
+  uint32_t num_items() const { return static_cast<uint32_t>(meta_.size()); }
+  uint32_t num_leaves() const { return static_cast<uint32_t>(leaf_items_.size()); }
+  uint32_t num_tops() const { return num_tops_; }
+  const CatalogConfig& config() const { return config_; }
+
+  const ItemMeta& meta(uint32_t item) const { return meta_[item]; }
+
+  /// Items of a leaf category, ordered by ascending level.
+  const std::vector<uint32_t>& LeafItems(uint32_t leaf) const {
+    return leaf_items_[leaf];
+  }
+
+  /// Rank of the item inside its leaf (index into LeafItems of its leaf).
+  uint32_t RankInLeaf(uint32_t item) const { return rank_in_leaf_[item]; }
+
+  /// Latent level in [0,1): (rank + 0.5) / leaf size. Correlates with price
+  /// band; purchase-level p users concentrate around (p + 0.5) / 3.
+  double Level(uint32_t item) const;
+
+  /// Global popularity weight (Zipf over a random permutation of items).
+  double Popularity(uint32_t item) const { return popularity_[item]; }
+
+  /// Items of a leaf that share the given brand (ordered by level).
+  const std::vector<uint32_t>& LeafBrandItems(uint32_t leaf, uint32_t brand) const;
+
+  /// Draws a session-start item for a leaf and purchase level: weight =
+  /// popularity * exp(-level_affinity * |level - band_center(purchase)|).
+  uint32_t SampleStartItem(uint32_t leaf, int purchase_level, Rng& rng) const;
+
+  /// The demographic target of a brand, encoded like
+  /// ItemMeta::age_gender_purchase_level: ((gender*7)+age)*3+purchase.
+  static uint32_t EncodeAgp(int gender, int age, int purchase);
+  static void DecodeAgp(uint32_t agp, int* gender, int* age, int* purchase);
+
+ private:
+  CatalogConfig config_;
+  uint32_t num_tops_ = 0;
+  std::vector<ItemMeta> meta_;
+  std::vector<uint32_t> rank_in_leaf_;
+  std::vector<double> popularity_;
+  std::vector<std::vector<uint32_t>> leaf_items_;
+  // leaf -> sorted (brand, items) pairs; small per leaf, linear scan is fine.
+  std::vector<std::vector<std::pair<uint32_t, std::vector<uint32_t>>>>
+      leaf_brand_items_;
+  // leaf * kNumPurchaseLevels start-item alias tables.
+  std::vector<AliasTable> start_tables_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_DATAGEN_CATALOG_H_

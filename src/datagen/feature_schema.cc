@@ -1,0 +1,97 @@
+#include "datagen/feature_schema.h"
+
+#include "common/logging.h"
+
+namespace sisg {
+
+const char* ItemFeatureName(ItemFeatureKind kind) {
+  switch (kind) {
+    case ItemFeatureKind::kTopLevelCategory:
+      return "top_level_category";
+    case ItemFeatureKind::kLeafCategory:
+      return "leaf_category";
+    case ItemFeatureKind::kShop:
+      return "shop";
+    case ItemFeatureKind::kCity:
+      return "city";
+    case ItemFeatureKind::kBrand:
+      return "brand";
+    case ItemFeatureKind::kStyle:
+      return "style";
+    case ItemFeatureKind::kMaterial:
+      return "material";
+    case ItemFeatureKind::kAgeGenderPurchaseLevel:
+      return "age_gender_purchase_level";
+  }
+  return "unknown";
+}
+
+const char* GenderName(int gender) {
+  switch (gender) {
+    case 0:
+      return "F";
+    case 1:
+      return "M";
+    default:
+      return "null";
+  }
+}
+
+const char* AgeBucketName(int age_bucket) {
+  static const char* kNames[] = {"<18",   "18-25", "26-30", "31-35",
+                                 "36-45", "46-60", ">60"};
+  if (age_bucket < 0 || age_bucket >= kNumAgeBuckets) return "age_null";
+  return kNames[age_bucket];
+}
+
+const char* PurchaseLevelName(int level) {
+  switch (level) {
+    case 0:
+      return "p_low";
+    case 1:
+      return "p_mid";
+    case 2:
+      return "p_high";
+    default:
+      return "p_null";
+  }
+}
+
+const char* TagName(int tag_bit) {
+  static const char* kNames[] = {"married",  "haschildren", "hascar",
+                                 "student",  "urban",       "frequentbuyer"};
+  if (tag_bit < 0 || tag_bit >= kNumTagBits) return "tag_null";
+  return kNames[tag_bit];
+}
+
+uint32_t ItemMeta::Feature(ItemFeatureKind kind) const {
+  switch (kind) {
+    case ItemFeatureKind::kTopLevelCategory:
+      return top_level_category;
+    case ItemFeatureKind::kLeafCategory:
+      return leaf_category;
+    case ItemFeatureKind::kShop:
+      return shop;
+    case ItemFeatureKind::kCity:
+      return city;
+    case ItemFeatureKind::kBrand:
+      return brand;
+    case ItemFeatureKind::kStyle:
+      return style;
+    case ItemFeatureKind::kMaterial:
+      return material;
+    case ItemFeatureKind::kAgeGenderPurchaseLevel:
+      return age_gender_purchase_level;
+  }
+  SISG_CHECK(false) << "invalid ItemFeatureKind";
+  return 0;
+}
+
+std::string ItemFeatureToken(ItemFeatureKind kind, uint32_t value) {
+  std::string out = ItemFeatureName(kind);
+  out.push_back('_');
+  out += std::to_string(value);
+  return out;
+}
+
+}  // namespace sisg

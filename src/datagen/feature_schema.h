@@ -1,0 +1,72 @@
+#ifndef SISG_DATAGEN_FEATURE_SCHEMA_H_
+#define SISG_DATAGEN_FEATURE_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sisg {
+
+/// The item side-information kinds of Table I. All take discrete integer
+/// values; in textual training sequences they render as
+/// "[FeatureName]_[FeatureValue]", e.g. "leaf_category_1234".
+enum class ItemFeatureKind : uint8_t {
+  kTopLevelCategory = 0,
+  kLeafCategory = 1,
+  kShop = 2,
+  kCity = 3,
+  kBrand = 4,
+  kStyle = 5,
+  kMaterial = 6,
+  kAgeGenderPurchaseLevel = 7,  // cross feature
+};
+
+/// Number of item SI kinds ("#SI = 8" in Table II).
+inline constexpr int kNumItemFeatures = 8;
+
+/// Display/serialization name of an item feature kind.
+const char* ItemFeatureName(ItemFeatureKind kind);
+
+/// All kinds in declaration order, for iteration.
+constexpr std::array<ItemFeatureKind, kNumItemFeatures> AllItemFeatureKinds() {
+  return {ItemFeatureKind::kTopLevelCategory, ItemFeatureKind::kLeafCategory,
+          ItemFeatureKind::kShop,             ItemFeatureKind::kCity,
+          ItemFeatureKind::kBrand,            ItemFeatureKind::kStyle,
+          ItemFeatureKind::kMaterial,
+          ItemFeatureKind::kAgeGenderPurchaseLevel};
+}
+
+/// Demographics used to form user types: user_type = gender x age bucket x
+/// purchase level x tag pattern, rendered as e.g.
+/// "usertype_F_26-30_p2_t1_t5" (Section II-B).
+inline constexpr int kNumGenders = 3;        // F, M, null
+inline constexpr int kNumAgeBuckets = 7;     // <18,18-25,26-30,...,>60
+inline constexpr int kNumPurchaseLevels = 3; // low, mid, high
+inline constexpr int kNumTagBits = 6;        // married, children, car, ...
+
+const char* GenderName(int gender);
+const char* AgeBucketName(int age_bucket);
+const char* PurchaseLevelName(int level);
+const char* TagName(int tag_bit);
+
+/// The per-item SI values (Table I). Plain data carrier.
+struct ItemMeta {
+  uint32_t top_level_category = 0;
+  uint32_t leaf_category = 0;
+  uint32_t shop = 0;
+  uint32_t city = 0;
+  uint32_t brand = 0;
+  uint32_t style = 0;
+  uint32_t material = 0;
+  uint32_t age_gender_purchase_level = 0;  // cross feature value
+
+  /// Returns the value of the given SI kind.
+  uint32_t Feature(ItemFeatureKind kind) const;
+};
+
+/// Renders "[FeatureName]_[FeatureValue]" as in the paper's Table I caption.
+std::string ItemFeatureToken(ItemFeatureKind kind, uint32_t value);
+
+}  // namespace sisg
+
+#endif  // SISG_DATAGEN_FEATURE_SCHEMA_H_

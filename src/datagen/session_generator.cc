@@ -1,0 +1,213 @@
+#include "datagen/session_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace sisg {
+
+SessionGenerator::SessionGenerator(const ItemCatalog* catalog,
+                                   const UserUniverse* users,
+                                   const SessionModelConfig& config)
+    : catalog_(catalog), users_(users), config_(config) {
+  SISG_CHECK(catalog != nullptr);
+  SISG_CHECK(users != nullptr);
+  SISG_CHECK_GE(config.min_len, 2u);
+  SISG_CHECK_GE(config.max_len, config.min_len);
+  SISG_CHECK_GE(config.successors_per_item, 1u);
+  BuildCoClickGraph();
+}
+
+void SessionGenerator::BuildCoClickGraph() {
+  const uint32_t n = catalog_->num_items();
+  successors_.assign(n, {});
+  successor_weights_.assign(n, {});
+  predecessors_.assign(n, {});
+  predecessor_weights_.assign(n, {});
+
+  // The graph is part of the *world*: seed from the catalog, so train/test
+  // generators with different session seeds agree on it.
+  Rng rng(catalog_->config().seed ^ 0xc0c11c6af7ULL);
+
+  for (uint32_t item = 0; item < n; ++item) {
+    const ItemMeta& m = catalog_->meta(item);
+    const auto& leaf_items = catalog_->LeafItems(m.leaf_category);
+    const auto& brand_pool = catalog_->LeafBrandItems(m.leaf_category, m.brand);
+    const uint32_t want = std::min<uint32_t>(
+        config_.successors_per_item, static_cast<uint32_t>(leaf_items.size() - 1));
+    auto& succ = successors_[item];
+    auto& w = successor_weights_[item];
+    uint32_t guard = 0;
+    while (succ.size() < want && guard++ < 64 + 16 * want) {
+      uint32_t cand;
+      if (!brand_pool.empty() && rng.Bernoulli(config_.brand_successor_prob)) {
+        cand = brand_pool[rng.UniformU64(brand_pool.size())];
+      } else {
+        cand = leaf_items[rng.UniformU64(leaf_items.size())];
+      }
+      if (cand == item) continue;
+      if (std::find(succ.begin(), succ.end(), cand) != succ.end()) continue;
+      succ.push_back(cand);
+      // Transition mass is concentrated on the first slots (Zipf) and mildly
+      // popularity-weighted, like real co-click counts.
+      w.push_back(std::sqrt(catalog_->Popularity(cand)) /
+                  std::pow(static_cast<double>(succ.size()),
+                           config_.successor_slot_zipf));
+    }
+  }
+  for (uint32_t item = 0; item < n; ++item) {
+    for (size_t k = 0; k < successors_[item].size(); ++k) {
+      predecessors_[successors_[item][k]].push_back(item);
+      predecessor_weights_[successors_[item][k]].push_back(
+          successor_weights_[item][k]);
+    }
+  }
+}
+
+double SessionGenerator::DemoWeight(uint32_t item, const UserType& t) const {
+  int gender, age, purchase;
+  ItemCatalog::DecodeAgp(catalog_->meta(item).age_gender_purchase_level, &gender,
+                         &age, &purchase);
+  double w = 1.0;
+  if (gender == t.gender) w *= 1.0 + config_.demo_affinity;
+  if (purchase == t.purchase_level) w *= 1.0 + config_.demo_affinity;
+  return w;
+}
+
+uint32_t SessionGenerator::SampleWeighted(
+    const std::vector<uint32_t>& candidates,
+    const std::vector<double>& base_weights, const UserType& t,
+    Rng& rng) const {
+  double total = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    total += base_weights[i] * DemoWeight(candidates[i], t);
+  }
+  double u = rng.UniformDouble() * total;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    u -= base_weights[i] * DemoWeight(candidates[i], t);
+    if (u <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+uint32_t SessionGenerator::SampleNext(uint32_t cur, uint32_t ut, Rng& rng) const {
+  const UserType& t = users_->type(ut);
+  if (!rng.Bernoulli(config_.stay_in_leaf_prob)) {
+    // Switch leaf: restart from the user's preferences.
+    const uint32_t leaf = users_->SampleLeaf(ut, catalog_->config().leaves_per_top,
+                                             catalog_->num_leaves(), rng);
+    return catalog_->SampleStartItem(leaf, t.purchase_level, rng);
+  }
+  const bool forward = rng.Bernoulli(config_.forward_prob);
+  if (forward || predecessors_[cur].empty()) {
+    if (!successors_[cur].empty()) {
+      return SampleWeighted(successors_[cur], successor_weights_[cur], t, rng);
+    }
+    if (!predecessors_[cur].empty()) {
+      return SampleWeighted(predecessors_[cur], predecessor_weights_[cur], t, rng);
+    }
+    // Isolated item (degenerate tiny leaf): stay put via a leaf restart.
+    return catalog_->SampleStartItem(catalog_->meta(cur).leaf_category,
+                                     t.purchase_level, rng);
+  }
+  return SampleWeighted(predecessors_[cur], predecessor_weights_[cur], t, rng);
+}
+
+Session SessionGenerator::GenerateSession(Rng& rng) const {
+  Session s;
+  s.user_type = users_->SampleType(rng);
+  const UserType& t = users_->type(s.user_type);
+  const uint32_t leaf = users_->SampleLeaf(
+      s.user_type, catalog_->config().leaves_per_top, catalog_->num_leaves(), rng);
+  uint32_t cur = catalog_->SampleStartItem(leaf, t.purchase_level, rng);
+  s.items.push_back(cur);
+  uint32_t len = config_.min_len;
+  while (len < config_.max_len && rng.Bernoulli(config_.continue_prob)) ++len;
+  while (s.items.size() < len) {
+    cur = SampleNext(cur, s.user_type, rng);
+    s.items.push_back(cur);
+  }
+  return s;
+}
+
+std::vector<Session> SessionGenerator::GenerateSessions(uint32_t n) const {
+  Rng rng(config_.seed);
+  std::vector<Session> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.push_back(GenerateSession(rng));
+  return out;
+}
+
+std::vector<std::pair<uint32_t, double>>
+SessionGenerator::WithinLeafNextDistribution(uint32_t cur, uint32_t ut) const {
+  const UserType& t = users_->type(ut);
+  std::unordered_map<uint32_t, double> probs;
+
+  auto add_branch = [&](const std::vector<uint32_t>& cands,
+                        const std::vector<double>& base, double mass) {
+    if (cands.empty() || mass <= 0.0) return false;
+    double total = 0.0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      total += base[i] * DemoWeight(cands[i], t);
+    }
+    if (total <= 0.0) return false;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      probs[cands[i]] += mass * base[i] * DemoWeight(cands[i], t) / total;
+    }
+    return true;
+  };
+
+  const double stay = config_.stay_in_leaf_prob;
+  double fwd_mass = stay * config_.forward_prob;
+  double bwd_mass = stay * (1.0 - config_.forward_prob);
+  // Mirror SampleNext's fallbacks: missing predecessors reroute to
+  // successors and vice versa.
+  if (predecessors_[cur].empty()) {
+    fwd_mass += bwd_mass;
+    bwd_mass = 0.0;
+  }
+  if (!add_branch(successors_[cur], successor_weights_[cur], fwd_mass)) {
+    add_branch(predecessors_[cur], predecessor_weights_[cur], fwd_mass);
+  }
+  add_branch(predecessors_[cur], predecessor_weights_[cur], bwd_mass);
+
+  std::vector<std::pair<uint32_t, double>> out(probs.begin(), probs.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double SessionGenerator::MeasureAsymmetryRate(const std::vector<Session>& sessions,
+                                              double ratio_threshold,
+                                              uint32_t min_count) {
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (const Session& s : sessions) {
+    for (size_t i = 0; i + 1 < s.items.size(); ++i) {
+      const uint64_t key =
+          (static_cast<uint64_t>(s.items[i]) << 32) | s.items[i + 1];
+      ++counts[key];
+    }
+  }
+  uint64_t pairs = 0;
+  uint64_t asymmetric = 0;
+  for (const auto& [key, fwd] : counts) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+    if (a >= b) continue;  // visit each unordered pair once
+    const uint64_t rkey = (static_cast<uint64_t>(b) << 32) | a;
+    const auto it = counts.find(rkey);
+    const uint32_t bwd = it == counts.end() ? 0 : it->second;
+    if (fwd + bwd < min_count) continue;
+    ++pairs;
+    const double hi = std::max(fwd, bwd);
+    const double lo = std::min(fwd, bwd);
+    if (lo == 0.0 || hi / lo >= ratio_threshold) ++asymmetric;
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(asymmetric) / pairs;
+}
+
+}  // namespace sisg

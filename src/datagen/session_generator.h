@@ -1,0 +1,110 @@
+#ifndef SISG_DATAGEN_SESSION_GENERATOR_H_
+#define SISG_DATAGEN_SESSION_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/catalog.h"
+#include "datagen/user_universe.h"
+
+namespace sisg {
+
+/// One user behavior sequence (a click session, Figure 1a).
+struct Session {
+  uint32_t user_type = 0;
+  std::vector<uint32_t> items;
+};
+
+/// Parameters of the ground-truth behavior model.
+///
+/// The world is a directed co-click graph: every item has a small fixed set
+/// of *successors* within its leaf category (brand-biased), and sessions
+/// follow successor edges forward with probability `forward_prob` (else a
+/// predecessor edge). Successor and predecessor sets are structurally
+/// different, which is the asymmetry of Section II-C: the probability of
+/// clicking B after A is rarely that of clicking A after B. Successor
+/// choice is re-weighted by the demographic match between the user type and
+/// the candidate's brand target, so user metadata genuinely shapes
+/// behavior (the signal SISG-U exploits).
+struct SessionModelConfig {
+  uint32_t min_len = 3;
+  uint32_t max_len = 10;
+  double continue_prob = 0.80;      // geometric session length
+  double stay_in_leaf_prob = 0.90;  // users mostly browse one leaf per session
+  double forward_prob = 0.90;       // follow a successor (vs predecessor) edge
+
+  uint32_t successors_per_item = 6; // out-degree of the co-click graph
+  double brand_successor_prob = 0.4;  // successor drawn from the same brand
+  double successor_slot_zipf = 0.8;   // concentration over successor slots
+  double demo_affinity = 1.5;  // boost for gender/purchase-matching brands
+
+  uint64_t seed = 1234;
+};
+
+/// Generates click sessions from the ground-truth model and exposes the
+/// model itself (transition sampling, exact next distributions) so the
+/// evaluation harnesses can measure against ground truth.
+///
+/// The co-click graph is derived deterministically from the CATALOG's seed,
+/// not from `config.seed`, so generators with different session seeds (e.g.
+/// train vs test) share the same world.
+class SessionGenerator {
+ public:
+  /// Both catalog and users must outlive the generator.
+  SessionGenerator(const ItemCatalog* catalog, const UserUniverse* users,
+                   const SessionModelConfig& config);
+
+  const SessionModelConfig& config() const { return config_; }
+
+  /// Draws one session (user type + at least min_len items).
+  Session GenerateSession(Rng& rng) const;
+
+  /// Draws `n` sessions with the generator's seed (deterministic).
+  std::vector<Session> GenerateSessions(uint32_t n) const;
+
+  /// Samples a successor of `cur` for a user of type `ut` — the ground-truth
+  /// next-click model, used by the CTR simulator.
+  uint32_t SampleNext(uint32_t cur, uint32_t ut, Rng& rng) const;
+
+  /// Exact within-leaf next-click distribution for `cur` and user type `ut`
+  /// (the stay-in-leaf branch, mass `stay_in_leaf_prob`); (item, prob) pairs
+  /// sorted by descending probability. The remaining mass is a leaf switch.
+  std::vector<std::pair<uint32_t, double>> WithinLeafNextDistribution(
+      uint32_t cur, uint32_t ut) const;
+
+  /// Ground-truth successor edges of an item (ids, unnormalized weights).
+  const std::vector<uint32_t>& Successors(uint32_t item) const {
+    return successors_[item];
+  }
+  const std::vector<uint32_t>& Predecessors(uint32_t item) const {
+    return predecessors_[item];
+  }
+
+  /// Fraction of directed item pairs (i,j) whose transition counts differ
+  /// significantly between i->j and j->i in the given sessions — the ~20%
+  /// statistic quoted in Section II-C.
+  static double MeasureAsymmetryRate(const std::vector<Session>& sessions,
+                                     double ratio_threshold = 2.0,
+                                     uint32_t min_count = 3);
+
+ private:
+  void BuildCoClickGraph();
+  double DemoWeight(uint32_t item, const UserType& t) const;
+  uint32_t SampleWeighted(const std::vector<uint32_t>& candidates,
+                          const std::vector<double>& base_weights,
+                          const UserType& t, Rng& rng) const;
+
+  const ItemCatalog* catalog_;
+  const UserUniverse* users_;
+  SessionModelConfig config_;
+  std::vector<std::vector<uint32_t>> successors_;
+  std::vector<std::vector<double>> successor_weights_;
+  std::vector<std::vector<uint32_t>> predecessors_;
+  std::vector<std::vector<double>> predecessor_weights_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_DATAGEN_SESSION_GENERATOR_H_

@@ -1,0 +1,124 @@
+#include "datagen/user_universe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/feature_schema.h"
+
+namespace sisg {
+
+Status UserUniverse::Build(const UserUniverseConfig& config,
+                           uint32_t num_top_categories) {
+  if (config.num_user_types == 0) {
+    return Status::InvalidArgument("user universe: num_user_types must be > 0");
+  }
+  if (num_top_categories == 0) {
+    return Status::InvalidArgument("user universe: no top categories");
+  }
+  config_ = config;
+  Rng rng(config.seed);
+
+  const uint32_t num_prefs =
+      std::min(config.num_preferred_tops, num_top_categories);
+  types_.assign(config.num_user_types, UserType{});
+  for (uint32_t ut = 0; ut < config.num_user_types; ++ut) {
+    UserType& t = types_[ut];
+    // Cycle through demographic combos so all are populated, then add random
+    // tag patterns to get many fine-grained types per combo.
+    const uint32_t combo = ut % (kNumGenders * kNumAgeBuckets * kNumPurchaseLevels);
+    t.purchase_level = static_cast<int>(combo % kNumPurchaseLevels);
+    t.age_bucket = static_cast<int>((combo / kNumPurchaseLevels) % kNumAgeBuckets);
+    t.gender =
+        static_cast<int>(combo / (kNumPurchaseLevels * kNumAgeBuckets));
+    t.tag_mask = static_cast<uint32_t>(rng.UniformU64(1u << kNumTagBits));
+
+    // Preference: a gender-rotated (and mildly age-shifted) Zipf ranking over
+    // top categories. Same-gender types share head categories; age nudges.
+    const uint32_t rotation =
+        (static_cast<uint32_t>(t.gender) * num_top_categories / kNumGenders +
+         static_cast<uint32_t>(t.age_bucket) * num_top_categories /
+             (kNumAgeBuckets * 4)) %
+        num_top_categories;
+    std::vector<double> w(num_top_categories);
+    for (uint32_t c = 0; c < num_top_categories; ++c) {
+      const uint32_t rank = (c + num_top_categories - rotation) % num_top_categories;
+      w[c] = 1.0 / std::pow(static_cast<double>(rank) + 1.0, 1.2);
+    }
+    AliasTable pref_table;
+    SISG_CHECK_OK(pref_table.Build(w));
+    t.preferred_tops.clear();
+    while (t.preferred_tops.size() < num_prefs) {
+      const uint32_t c = pref_table.Sample(rng);
+      if (std::find(t.preferred_tops.begin(), t.preferred_tops.end(), c) ==
+          t.preferred_tops.end()) {
+        t.preferred_tops.push_back(c);
+      }
+    }
+  }
+
+  std::vector<double> pop(config.num_user_types);
+  for (uint32_t ut = 0; ut < config.num_user_types; ++ut) {
+    pop[ut] = 1.0 / std::pow(static_cast<double>(ut) + 1.0,
+                             config.type_popularity_zipf);
+  }
+  return popularity_.Build(pop);
+}
+
+uint32_t UserUniverse::SampleLeaf(uint32_t ut, uint32_t leaves_per_top,
+                                  uint32_t num_leaves, Rng& rng) const {
+  const UserType& t = types_[ut];
+  // Rank-weighted choice among preferred tops: first preference dominates.
+  const size_t n = t.preferred_tops.size();
+  size_t pick = 0;
+  double u = rng.UniformDouble();
+  double mass = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += 1.0 / static_cast<double>(i + 1);
+  for (size_t i = 0; i < n; ++i) {
+    mass += (1.0 / static_cast<double>(i + 1)) / total;
+    if (u < mass) {
+      pick = i;
+      break;
+    }
+  }
+  const uint32_t top = t.preferred_tops[pick];
+  const uint32_t first_leaf = top * leaves_per_top;
+  const uint32_t count =
+      std::min(leaves_per_top, num_leaves > first_leaf ? num_leaves - first_leaf : 1);
+  // Zipf inside the top category: head leaves get most sessions.
+  const uint64_t offset = std::min<uint64_t>(rng.Zipf(count, 1.3), count - 1);
+  return first_leaf + static_cast<uint32_t>(offset);
+}
+
+std::string UserUniverse::TypeToken(uint32_t ut) const {
+  const UserType& t = types_[ut];
+  std::string out = "usertype_";
+  out += GenderName(t.gender);
+  out += "_";
+  out += AgeBucketName(t.age_bucket);
+  out += "_";
+  out += PurchaseLevelName(t.purchase_level);
+  for (int b = 0; b < kNumTagBits; ++b) {
+    if (t.tag_mask & (1u << b)) {
+      out += "_";
+      out += TagName(b);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> UserUniverse::MatchTypes(int gender, int age_bucket,
+                                               int purchase_level) const {
+  std::vector<uint32_t> out;
+  for (uint32_t ut = 0; ut < num_types(); ++ut) {
+    const UserType& t = types_[ut];
+    if (gender >= 0 && t.gender != gender) continue;
+    if (age_bucket >= 0 && t.age_bucket != age_bucket) continue;
+    if (purchase_level >= 0 && t.purchase_level != purchase_level) continue;
+    out.push_back(ut);
+  }
+  return out;
+}
+
+}  // namespace sisg

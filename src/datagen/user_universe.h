@@ -1,0 +1,72 @@
+#ifndef SISG_DATAGEN_USER_UNIVERSE_H_
+#define SISG_DATAGEN_USER_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sisg {
+
+/// A user type: the fine-grained demographic categorization of Section II-B
+/// ("all female users aged 31-35, married, with children, owning a car").
+struct UserType {
+  int gender = 0;         // index into GenderName
+  int age_bucket = 0;     // index into AgeBucketName
+  int purchase_level = 0; // index into PurchaseLevelName
+  uint32_t tag_mask = 0;  // bitmask over kNumTagBits tags
+  // Top-level categories this type browses, most-preferred first.
+  std::vector<uint32_t> preferred_tops;
+};
+
+struct UserUniverseConfig {
+  uint32_t num_user_types = 1200;
+  uint32_t num_preferred_tops = 3;
+  double type_popularity_zipf = 0.8;
+  uint64_t seed = 7;
+};
+
+/// The synthetic population of user types. Preferences are strongly
+/// gender-dependent and moderately age-dependent, so that user-type
+/// embeddings learned by SISG separate by gender first and age second —
+/// the structure Figure 5 of the paper visualizes.
+class UserUniverse {
+ public:
+  UserUniverse() = default;
+
+  /// Builds `num_user_types` types over `num_top_categories` top categories.
+  Status Build(const UserUniverseConfig& config, uint32_t num_top_categories);
+
+  uint32_t num_types() const { return static_cast<uint32_t>(types_.size()); }
+  const UserType& type(uint32_t ut) const { return types_[ut]; }
+  const UserUniverseConfig& config() const { return config_; }
+
+  /// Draws a user type (Zipf over types: some demographics dominate).
+  uint32_t SampleType(Rng& rng) const { return popularity_.Sample(rng); }
+
+  /// Draws a leaf category for a session of this user type: a preferred top
+  /// category (rank-weighted), then a Zipf-weighted leaf inside it.
+  uint32_t SampleLeaf(uint32_t ut, uint32_t leaves_per_top, uint32_t num_leaves,
+                      Rng& rng) const;
+
+  /// Renders the sequence token, e.g. "usertype_F_26-30_p2_married_hascar"
+  /// (the form shown in Section II-B).
+  std::string TypeToken(uint32_t ut) const;
+
+  /// All type ids matching the given partial demographics (-1 = wildcard).
+  /// Used by cold-start user inference (Section IV-C1).
+  std::vector<uint32_t> MatchTypes(int gender, int age_bucket,
+                                   int purchase_level) const;
+
+ private:
+  UserUniverseConfig config_;
+  std::vector<UserType> types_;
+  AliasTable popularity_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_DATAGEN_USER_UNIVERSE_H_

@@ -1,0 +1,47 @@
+#ifndef SISG_DIST_COMM_STATS_H_
+#define SISG_DIST_COMM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sisg {
+
+/// Measured (not modeled) communication and load counters of one simulated
+/// distributed training run. The cost model converts these into time.
+struct CommStats {
+  uint64_t local_pairs = 0;   // context resolved on the processing worker
+  uint64_t remote_pairs = 0;  // required a remote TNS call (Algorithm 1)
+  uint64_t hot_pairs = 0;     // resolved against an ATNS hot replica
+  uint64_t bytes_sent = 0;    // request vectors + returned input gradients
+  uint64_t sync_rounds = 0;   // ATNS replica-averaging rounds
+  uint64_t sync_bytes = 0;
+
+  std::vector<uint64_t> pairs_per_worker;        // processing load
+  std::vector<uint64_t> remote_calls_per_worker; // calls *initiated* by worker
+  std::vector<uint64_t> bytes_per_worker;        // bytes sent by worker
+
+  double RemoteFraction() const {
+    const uint64_t total = local_pairs + remote_pairs + hot_pairs;
+    return total == 0 ? 0.0
+                      : static_cast<double>(remote_pairs) /
+                            static_cast<double>(total);
+  }
+
+  /// Max worker pair-load over the average (1.0 = perfectly balanced).
+  double LoadImbalance() const {
+    if (pairs_per_worker.empty()) return 0.0;
+    uint64_t sum = 0, mx = 0;
+    for (uint64_t p : pairs_per_worker) {
+      sum += p;
+      if (p > mx) mx = p;
+    }
+    if (sum == 0) return 0.0;
+    const double avg =
+        static_cast<double>(sum) / static_cast<double>(pairs_per_worker.size());
+    return static_cast<double>(mx) / avg;
+  }
+};
+
+}  // namespace sisg
+
+#endif  // SISG_DIST_COMM_STATS_H_

@@ -1,0 +1,45 @@
+#include "dist/cost_model.h"
+
+#include <algorithm>
+
+namespace sisg {
+
+double FlopsPerPair(uint32_t dim, uint32_t negatives) {
+  // Per (target, output-row) interaction: dot (2*dim) + two axpy (4*dim).
+  const double per_row = 6.0 * dim;
+  // 1 positive + negatives rows, plus applying the input gradient (2*dim).
+  return per_row * (1.0 + negatives) + 2.0 * dim;
+}
+
+SimulatedTime EstimateTime(const CommStats& stats, uint32_t dim,
+                           uint32_t negatives, const ClusterCostConfig& config) {
+  SimulatedTime out;
+  const size_t w = stats.pairs_per_worker.size();
+  if (w == 0) return out;
+  const double pair_s = FlopsPerPair(dim, negatives) / config.worker_flops;
+
+  out.per_worker_s.resize(w);
+  size_t slowest = 0;
+  for (size_t i = 0; i < w; ++i) {
+    const double compute = static_cast<double>(stats.pairs_per_worker[i]) * pair_s;
+    const double comm =
+        static_cast<double>(stats.remote_calls_per_worker[i]) /
+            std::max(1.0, config.remote_call_batch) *
+            config.remote_call_latency_s +
+        static_cast<double>(stats.bytes_per_worker[i]) / config.network_bytes_per_s;
+    out.per_worker_s[i] = compute + comm;
+    if (out.per_worker_s[i] > out.per_worker_s[slowest]) slowest = i;
+  }
+  const double pairs_slowest = static_cast<double>(stats.pairs_per_worker[slowest]);
+  out.compute_s = pairs_slowest * pair_s;
+  out.comm_s = out.per_worker_s[slowest] - out.compute_s;
+  // Replica averaging is an all-reduce: every worker ships its share in
+  // parallel, so the wire time is the per-worker share of the sync bytes.
+  out.sync_s = static_cast<double>(stats.sync_rounds) * config.sync_latency_s +
+               static_cast<double>(stats.sync_bytes) /
+                   static_cast<double>(w) / config.network_bytes_per_s;
+  out.makespan_s = out.per_worker_s[slowest] + out.sync_s;
+  return out;
+}
+
+}  // namespace sisg

@@ -1,0 +1,243 @@
+#include "dist/distributed_trainer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "sgns/sgns_kernel.h"
+#include "sgns/window.h"
+
+namespace sisg {
+namespace {
+
+// Per-pair wire overhead of one remote TNS call: message headers for the
+// request (token id, lr, flags) and the response.
+constexpr uint64_t kMessageHeaderBytes = 16;
+
+}  // namespace
+
+Status DistributedTrainer::Train(const Corpus& corpus,
+                                 const TokenSpace& token_space,
+                                 const std::vector<uint32_t>& item_worker,
+                                 EmbeddingModel* model,
+                                 DistTrainResult* result) const {
+  const uint32_t W = options_.num_workers;
+  if (W == 0) return Status::InvalidArgument("dist: num_workers must be > 0");
+  if (!options_.dry_run && model == nullptr) {
+    return Status::InvalidArgument("dist: model required unless dry_run");
+  }
+  if (item_worker.size() < token_space.num_items()) {
+    return Status::InvalidArgument("dist: item_worker smaller than item count");
+  }
+  for (uint32_t w : item_worker) {
+    if (w >= W) return Status::OutOfRange("dist: item_worker value out of range");
+  }
+
+  const Vocabulary& vocab = corpus.vocab();
+  const uint32_t V = vocab.size();
+  const size_t dim = options_.sgns.dim;
+  Rng assign_rng(options_.seed);
+
+  // --- Vocabulary sharding (Section III-C step 3) ---
+  std::vector<uint32_t> owner(V);
+  for (uint32_t v = 0; v < V; ++v) {
+    const uint32_t tok = vocab.ToToken(v);
+    if (token_space.IsItem(tok)) {
+      owner[v] = item_worker[token_space.TokenToItem(tok)];
+    } else {
+      owner[v] = static_cast<uint32_t>(assign_rng.UniformU64(W));
+    }
+  }
+
+  // --- ATNS hot set Q: every token at or above the relative-frequency
+  // threshold (vocab ids are frequency-sorted, so Q is a prefix), capped.
+  uint32_t K = 0;
+  if (options_.use_atns) {
+    const double total = static_cast<double>(vocab.total_count());
+    while (K < V && K < options_.hot_set_size &&
+           static_cast<double>(vocab.Frequency(K)) / total >=
+               options_.hot_freq_threshold) {
+      ++K;
+    }
+  }
+  std::vector<int32_t> hot_index(V, -1);
+  for (uint32_t v = 0; v < K; ++v) hot_index[v] = static_cast<int32_t>(v);
+
+  // --- Per-worker local noise distributions over P_j U Q ---
+  std::vector<std::vector<uint32_t>> local_vocab(W);
+  for (uint32_t v = 0; v < V; ++v) {
+    if (hot_index[v] >= 0) continue;  // hot ids added to every worker below
+    local_vocab[owner[v]].push_back(v);
+  }
+  for (uint32_t w = 0; w < W; ++w) {
+    for (uint32_t v = 0; v < K; ++v) local_vocab[w].push_back(v);
+    if (local_vocab[w].empty()) {
+      // A worker that owns nothing still participates; give it the full
+      // vocabulary as noise so sampling stays well-defined.
+      for (uint32_t v = 0; v < V; ++v) local_vocab[w].push_back(v);
+    }
+  }
+  std::vector<AliasTable> noise(W);
+  if (!options_.dry_run) {
+    for (uint32_t w = 0; w < W; ++w) {
+      SISG_ASSIGN_OR_RETURN(noise[w],
+                            vocab.BuildNoiseOver(local_vocab[w],
+                                                 options_.sgns.noise_alpha));
+    }
+  }
+
+  // --- Model + hot replicas ---
+  if (!options_.dry_run) {
+    SISG_RETURN_IF_ERROR(model->Init(V, options_.sgns.dim, options_.sgns.seed));
+  }
+  // replicas[w] holds K input rows then K output rows.
+  std::vector<std::vector<float>> replicas;
+  if (!options_.dry_run && K > 0) {
+    replicas.assign(W, std::vector<float>(2 * static_cast<size_t>(K) * dim));
+    for (uint32_t w = 0; w < W; ++w) {
+      for (uint32_t v = 0; v < K; ++v) {
+        std::copy_n(model->Input(v), dim, replicas[w].data() + v * dim);
+        std::copy_n(model->Output(v), dim,
+                    replicas[w].data() + (static_cast<size_t>(K) + v) * dim);
+      }
+    }
+  }
+  auto input_row = [&](uint32_t v, uint32_t w) -> float* {
+    const int32_t h = hot_index[v];
+    return h >= 0 && !replicas.empty()
+               ? replicas[w].data() + static_cast<size_t>(h) * dim
+               : model->Input(v);
+  };
+  auto output_row = [&](uint32_t v, uint32_t w) -> float* {
+    const int32_t h = hot_index[v];
+    return h >= 0 && !replicas.empty()
+               ? replicas[w].data() + (static_cast<size_t>(K) + h) * dim
+               : model->Output(v);
+  };
+
+  // --- Counters ---
+  CommStats comm;
+  comm.pairs_per_worker.assign(W, 0);
+  comm.remote_calls_per_worker.assign(W, 0);
+  comm.bytes_per_worker.assign(W, 0);
+
+  auto sync_replicas = [&]() {
+    if (K == 0) return;
+    ++comm.sync_rounds;
+    // Every worker ships its K replicas (in + out) and receives the average.
+    comm.sync_bytes +=
+        2ull * W * K * dim * sizeof(float) * 2;  // send + receive
+    if (replicas.empty()) return;
+    std::vector<float> avg(2 * static_cast<size_t>(K) * dim, 0.0f);
+    for (uint32_t w = 0; w < W; ++w) {
+      Axpy(1.0f, replicas[w].data(), avg.data(), avg.size());
+    }
+    Scale(1.0f / static_cast<float>(W), avg.data(), avg.size());
+    for (uint32_t w = 0; w < W; ++w) replicas[w] = avg;
+    for (uint32_t v = 0; v < K; ++v) {
+      std::copy_n(avg.data() + static_cast<size_t>(v) * dim, dim, model->Input(v));
+      std::copy_n(avg.data() + (static_cast<size_t>(K) + v) * dim, dim,
+                  model->Output(v));
+    }
+  };
+
+  // --- Training ---
+  const SgnsOptions& so = options_.sgns;
+  Subsampler subsampler;
+  subsampler.Build(vocab, so.subsample);
+  const SigmoidTable sigmoid;
+  Rng rng(options_.seed + 1);
+  std::vector<uint32_t> kept;
+  std::vector<float> grad_in(dim);
+  std::vector<float*> neg_ptrs(so.negatives);
+
+  const uint64_t planned_tokens =
+      static_cast<uint64_t>(so.epochs) * corpus.num_tokens();
+  // Auto sync cadence: frequent enough that hot replicas stay aligned (they
+  // receive disjoint gradient streams between averaging rounds), infrequent
+  // enough that sync traffic stays negligible.
+  const uint64_t sync_interval =
+      options_.sync_interval_pairs > 0
+          ? options_.sync_interval_pairs
+          : std::max<uint64_t>(8192, planned_tokens / 8);
+  uint64_t processed_tokens = 0;
+  uint64_t pair_counter = 0;
+  uint64_t kept_tokens = 0;
+  float lr = so.learning_rate;
+  const float min_lr = so.learning_rate * so.min_learning_rate_ratio;
+  Timer timer;
+
+  const auto& sequences = corpus.sequences();
+  for (uint32_t epoch = 0; epoch < so.epochs; ++epoch) {
+    for (size_t s = 0; s < sequences.size(); ++s) {
+      const auto& seq = sequences[s];
+      processed_tokens += seq.size();
+      lr = so.learning_rate *
+           (1.0f - static_cast<float>(processed_tokens) /
+                       static_cast<float>(planned_tokens));
+      if (lr < min_lr) lr = min_lr;
+      // In the real engine every worker scans the shared input and keeps the
+      // pairs whose target it owns; a hot target is processed wherever it is
+      // sampled. Model that sampling worker as round-robin over sequences.
+      const uint32_t sampling_worker = static_cast<uint32_t>(s % W);
+
+      SubsampleSequence(seq, subsampler, rng, &kept);
+      kept_tokens += kept.size();
+      ForEachPair(kept, so.window, rng, [&](uint32_t target, uint32_t context) {
+        const bool target_hot = hot_index[target] >= 0;
+        const bool context_hot = hot_index[context] >= 0;
+        const uint32_t proc = target_hot ? sampling_worker : owner[target];
+        uint32_t executor = proc;  // worker running the TNS function
+        if (context_hot) {
+          ++comm.hot_pairs;
+        } else if (owner[context] == proc) {
+          ++comm.local_pairs;
+        } else {
+          executor = owner[context];
+          ++comm.remote_pairs;
+          ++comm.remote_calls_per_worker[proc];
+          // Request: target input vector; response: the input gradient.
+          const uint64_t payload = dim * sizeof(float) + kMessageHeaderBytes;
+          comm.bytes_per_worker[proc] += payload;
+          comm.bytes_per_worker[executor] += payload;
+          comm.bytes_sent += 2 * payload;
+        }
+        ++comm.pairs_per_worker[executor];
+        ++pair_counter;
+
+        if (!options_.dry_run) {
+          for (uint32_t k = 0; k < so.negatives; ++k) {
+            const uint32_t neg = local_vocab[executor][noise[executor].Sample(rng)];
+            neg_ptrs[k] = (neg == context || neg == target)
+                              ? nullptr
+                              : output_row(neg, executor);
+          }
+          Zero(grad_in.data(), dim);
+          SgnsUpdate(input_row(target, proc), grad_in.data(),
+                     output_row(context, executor), neg_ptrs.data(),
+                     static_cast<int>(so.negatives), lr, dim, sigmoid);
+          Axpy(1.0f, grad_in.data(), input_row(target, proc), dim);
+        }
+
+        if (K > 0 && pair_counter % sync_interval == 0) {
+          sync_replicas();
+        }
+      });
+    }
+  }
+  if (K > 0) sync_replicas();  // publish final hot vectors into the model
+
+  if (result != nullptr) {
+    result->comm = comm;
+    result->train.pairs_trained = pair_counter;
+    result->train.tokens_seen = processed_tokens;
+    result->train.tokens_kept = kept_tokens;
+    result->train.seconds = timer.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace sisg

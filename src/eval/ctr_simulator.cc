@@ -1,0 +1,58 @@
+#include "eval/ctr_simulator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sisg {
+
+CtrSeries SimulateCtr(const SyntheticDataset& dataset,
+                      const RetrievalFn& retrieve,
+                      const CtrSimOptions& options) {
+  CtrSeries series;
+  const SessionGenerator& gen = dataset.generator();
+  const UserUniverse& users = dataset.users();
+  const ItemCatalog& catalog = dataset.catalog();
+
+  double total = 0.0;
+  for (uint32_t day = 0; day < options.num_days; ++day) {
+    // Impressions are a fixed function of (seed, day) so two arms see the
+    // same users and triggers — a paired A/B comparison.
+    Rng rng(options.seed + day * 0x9e3779b97f4a7c15ULL);
+    uint64_t clicks = 0;
+    for (uint32_t imp = 0; imp < options.impressions_per_day; ++imp) {
+      // A user mid-session: sample type, leaf, a trigger item, then the
+      // ground-truth next click.
+      const uint32_t ut = users.SampleType(rng);
+      const UserType& t = users.type(ut);
+      const uint32_t leaf = users.SampleLeaf(
+          ut, catalog.config().leaves_per_top, catalog.num_leaves(), rng);
+      uint32_t trigger = catalog.SampleStartItem(leaf, t.purchase_level, rng);
+      for (uint32_t b = 0; b < options.burn_in_transitions; ++b) {
+        trigger = gen.SampleNext(trigger, ut, rng);
+      }
+      const uint32_t truth = gen.SampleNext(trigger, ut, rng);
+
+      const auto candidates = retrieve(trigger, options.num_candidates);
+      for (size_t rank = 0; rank < candidates.size(); ++rank) {
+        if (candidates[rank].id == truth) {
+          const double examine =
+              std::pow(options.position_decay, static_cast<double>(rank));
+          if (rng.UniformDouble() < examine) ++clicks;
+          break;
+        }
+      }
+    }
+    double ctr =
+        static_cast<double>(clicks) / static_cast<double>(options.impressions_per_day);
+    // Day-level market noise, identical for both arms on the same day.
+    Rng noise_rng(options.seed * 31 + day);
+    ctr *= 1.0 + options.daily_noise * (noise_rng.UniformDouble() * 2.0 - 1.0);
+    series.daily_ctr.push_back(ctr);
+    total += ctr;
+  }
+  series.mean_ctr = options.num_days > 0 ? total / options.num_days : 0.0;
+  return series;
+}
+
+}  // namespace sisg

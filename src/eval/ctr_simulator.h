@@ -1,0 +1,43 @@
+#ifndef SISG_EVAL_CTR_SIMULATOR_H_
+#define SISG_EVAL_CTR_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "eval/hitrate.h"
+
+namespace sisg {
+
+/// Parameters of the simulated online A/B test (Figure 3). Every
+/// impression: a user (type) with a trigger item is shown the method's
+/// top-N candidates; the user's true next click is drawn from the
+/// generator's ground-truth behavior model; a click lands if that item is
+/// among the candidates, discounted by its display position.
+struct CtrSimOptions {
+  uint32_t num_days = 8;
+  uint32_t impressions_per_day = 20000;
+  uint32_t num_candidates = 20;
+  /// Ground-truth transitions simulated before the impression, so triggers
+  /// reflect diverse mid-session items (including the long tail where
+  /// memorizing methods lose coverage) rather than popular session starts.
+  uint32_t burn_in_transitions = 4;
+  double position_decay = 0.95;  // examination prob ~ decay^rank
+  double daily_noise = 0.03;     // day-level multiplicative CTR noise
+  uint64_t seed = 777;
+};
+
+struct CtrSeries {
+  std::vector<double> daily_ctr;
+  double mean_ctr = 0.0;
+};
+
+/// Runs the simulation for one retrieval method against the dataset's
+/// ground-truth model. Both A/B arms should be run with the same options
+/// (identical seeds give identical impressions, i.e. a paired test).
+CtrSeries SimulateCtr(const SyntheticDataset& dataset,
+                      const RetrievalFn& retrieve, const CtrSimOptions& options);
+
+}  // namespace sisg
+
+#endif  // SISG_EVAL_CTR_SIMULATOR_H_

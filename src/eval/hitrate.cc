@@ -1,0 +1,54 @@
+#include "eval/hitrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sisg {
+
+HitRateResult EvaluateHitRate(const std::vector<Session>& test_sessions,
+                              const RetrievalFn& retrieve,
+                              const std::vector<uint32_t>& ks) {
+  HitRateResult result;
+  result.ks = ks;
+  result.hit_rate.assign(ks.size(), 0.0);
+  result.ndcg.assign(ks.size(), 0.0);
+  if (ks.empty()) return result;
+  const uint32_t max_k = *std::max_element(ks.begin(), ks.end());
+
+  std::vector<uint64_t> hits(ks.size(), 0);
+  std::vector<double> dcg(ks.size(), 0.0);
+  double rr_sum = 0.0;
+  for (const Session& s : test_sessions) {
+    if (s.items.size() < 2) continue;
+    const uint32_t query = s.items[s.items.size() - 2];
+    const uint32_t truth = s.items[s.items.size() - 1];
+    ++result.num_queries;
+    const auto candidates = retrieve(query, max_k);
+    if (candidates.empty()) continue;
+    ++result.num_covered;
+    for (size_t rank = 0; rank < candidates.size(); ++rank) {
+      if (candidates[rank].id == truth) {
+        rr_sum += 1.0 / static_cast<double>(rank + 1);
+        for (size_t i = 0; i < ks.size(); ++i) {
+          if (rank < ks[i]) {
+            ++hits[i];
+            // One relevant item: ideal DCG is 1, so NDCG = discounted gain.
+            dcg[i] += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (result.num_queries > 0) {
+    for (size_t i = 0; i < ks.size(); ++i) {
+      result.hit_rate[i] =
+          static_cast<double>(hits[i]) / static_cast<double>(result.num_queries);
+      result.ndcg[i] = dcg[i] / static_cast<double>(result.num_queries);
+    }
+    result.mrr = rr_sum / static_cast<double>(result.num_queries);
+  }
+  return result;
+}
+
+}  // namespace sisg

@@ -1,0 +1,36 @@
+#ifndef SISG_EVAL_HITRATE_H_
+#define SISG_EVAL_HITRATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/top_k.h"
+#include "datagen/session_generator.h"
+
+namespace sisg {
+
+/// Any retrieval backend: returns top-k candidates for a query item. Bound
+/// to MatchingEngine::Query, ItemCf::Query, or an EGES engine alike.
+using RetrievalFn =
+    std::function<std::vector<ScoredId>(uint32_t item, uint32_t k)>;
+
+struct HitRateResult {
+  std::vector<uint32_t> ks;
+  std::vector<double> hit_rate;  // HR@k per entry of ks (Eq. 5)
+  std::vector<double> ndcg;      // NDCG@k (single relevant item: 1/log2(2+r))
+  double mrr = 0.0;              // reciprocal rank within the largest k
+  uint32_t num_queries = 0;      // sessions evaluated
+  uint32_t num_covered = 0;      // queries with a non-empty candidate list
+};
+
+/// Next-item evaluation protocol of Section IV-A: for every test sequence,
+/// query with v_{p-1} and check whether v_p appears in the top-k retrieved
+/// set S_K(v_{p-1}). Sessions with unretrievable queries count as misses.
+HitRateResult EvaluateHitRate(const std::vector<Session>& test_sessions,
+                              const RetrievalFn& retrieve,
+                              const std::vector<uint32_t>& ks);
+
+}  // namespace sisg
+
+#endif  // SISG_EVAL_HITRATE_H_

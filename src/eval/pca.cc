@@ -1,0 +1,71 @@
+#include "eval/pca.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sisg {
+
+StatusOr<std::vector<double>> PcaProject(const std::vector<double>& data,
+                                         uint32_t n, uint32_t d,
+                                         uint32_t components,
+                                         uint32_t iterations, uint64_t seed) {
+  if (n == 0 || d == 0 || components == 0 || components > d) {
+    return Status::InvalidArgument("pca: bad shape");
+  }
+  if (data.size() != static_cast<size_t>(n) * d) {
+    return Status::InvalidArgument("pca: data size mismatch");
+  }
+
+  // Center.
+  std::vector<double> centered = data;
+  std::vector<double> mean(d, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < d; ++j) mean[j] += centered[i * d + j];
+  }
+  for (uint32_t j = 0; j < d; ++j) mean[j] /= n;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < d; ++j) centered[i * d + j] -= mean[j];
+  }
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> basis;
+  std::vector<double> out(static_cast<size_t>(n) * components, 0.0);
+
+  for (uint32_t c = 0; c < components; ++c) {
+    std::vector<double> v(d);
+    for (auto& x : v) x = rng.UniformDouble() - 0.5;
+    std::vector<double> xv(n), next(d);
+    for (uint32_t iter = 0; iter < iterations; ++iter) {
+      // next = X^T (X v), deflated against previous components.
+      for (uint32_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (uint32_t j = 0; j < d; ++j) s += centered[i * d + j] * v[j];
+        xv[i] = s;
+      }
+      std::fill(next.begin(), next.end(), 0.0);
+      for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = 0; j < d; ++j) next[j] += centered[i * d + j] * xv[i];
+      }
+      for (const auto& b : basis) {
+        double dot = 0.0;
+        for (uint32_t j = 0; j < d; ++j) dot += next[j] * b[j];
+        for (uint32_t j = 0; j < d; ++j) next[j] -= dot * b[j];
+      }
+      double norm = 0.0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (uint32_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (uint32_t j = 0; j < d; ++j) s += centered[i * d + j] * v[j];
+      out[static_cast<size_t>(i) * components + c] = s;
+    }
+    basis.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace sisg

@@ -1,0 +1,22 @@
+#ifndef SISG_EVAL_PCA_H_
+#define SISG_EVAL_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sisg {
+
+/// Projects n x d row-major data onto its top `components` principal
+/// directions via power iteration with deflation. Returns n x components
+/// row-major. Used to initialize t-SNE and as a cheap 2-D fallback view.
+StatusOr<std::vector<double>> PcaProject(const std::vector<double>& data,
+                                         uint32_t n, uint32_t d,
+                                         uint32_t components,
+                                         uint32_t iterations = 64,
+                                         uint64_t seed = 5);
+
+}  // namespace sisg
+
+#endif  // SISG_EVAL_PCA_H_

@@ -1,0 +1,209 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "eval/pca.h"
+
+namespace sisg {
+namespace {
+
+/// Squared euclidean distances, n x n.
+std::vector<double> PairwiseSquaredDistances(const std::vector<double>& data,
+                                             uint32_t n, uint32_t d) {
+  std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (uint32_t k = 0; k < d; ++k) {
+        const double diff = data[i * d + k] - data[j * d + k];
+        s += diff * diff;
+      }
+      dist[static_cast<size_t>(i) * n + j] = s;
+      dist[static_cast<size_t>(j) * n + i] = s;
+    }
+  }
+  return dist;
+}
+
+/// Binary-searches the Gaussian bandwidth of row i so the conditional
+/// distribution hits the target perplexity; writes P(j|i) into `row`.
+void ComputeRow(const std::vector<double>& dist, uint32_t n, uint32_t i,
+                double perplexity, double* row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = -1e30, beta_max = 1e30;
+  const double* di = dist.data() + static_cast<size_t>(i) * n;
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0, wsum = 0.0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) {
+        row[j] = 0.0;
+        continue;
+      }
+      row[j] = std::exp(-beta * di[j]);
+      sum += row[j];
+      wsum += row[j] * di[j];
+    }
+    if (sum <= 0.0) sum = 1e-300;
+    const double entropy = std::log(sum) + beta * wsum / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_min = beta;
+      beta = beta_max > 1e29 ? beta * 2 : (beta + beta_max) / 2;
+    } else {
+      beta_max = beta;
+      beta = beta_min < -1e29 ? beta / 2 : (beta + beta_min) / 2;
+    }
+  }
+  double sum = 0.0;
+  for (uint32_t j = 0; j < n; ++j) sum += row[j];
+  if (sum <= 0.0) sum = 1e-300;
+  for (uint32_t j = 0; j < n; ++j) row[j] /= sum;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> TsneEmbed(const std::vector<double>& data,
+                                        uint32_t n, uint32_t d,
+                                        const TsneOptions& options) {
+  if (n < 3 || d == 0) return Status::InvalidArgument("tsne: need >= 3 points");
+  if (data.size() != static_cast<size_t>(n) * d) {
+    return Status::InvalidArgument("tsne: data size mismatch");
+  }
+  if (options.perplexity <= 1.0 || options.perplexity >= n) {
+    return Status::InvalidArgument("tsne: perplexity out of range");
+  }
+
+  // High-dimensional affinities P (symmetrized).
+  const auto dist = PairwiseSquaredDistances(data, n, d);
+  std::vector<double> P(static_cast<size_t>(n) * n, 0.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    ComputeRow(dist, n, i, options.perplexity, P.data() + static_cast<size_t>(i) * n);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const double p = (P[static_cast<size_t>(i) * n + j] +
+                        P[static_cast<size_t>(j) * n + i]) /
+                       (2.0 * n);
+      const double clipped = std::max(p, 1e-12);
+      P[static_cast<size_t>(i) * n + j] = clipped;
+      P[static_cast<size_t>(j) * n + i] = clipped;
+    }
+  }
+
+  // Init from PCA (stable across runs), small scale.
+  std::vector<double> Y;
+  auto pca = PcaProject(data, n, d, 2, 32, options.seed);
+  if (pca.ok()) {
+    Y = std::move(pca).value();
+    double maxabs = 1e-12;
+    for (double y : Y) maxabs = std::max(maxabs, std::abs(y));
+    for (double& y : Y) y = y / maxabs * 1e-2;
+  } else {
+    Rng rng(options.seed);
+    Y.resize(static_cast<size_t>(n) * 2);
+    for (double& y : Y) y = rng.Gaussian() * 1e-4;
+  }
+
+  std::vector<double> velocity(static_cast<size_t>(n) * 2, 0.0);
+  std::vector<double> gains(static_cast<size_t>(n) * 2, 1.0);
+  std::vector<double> Q(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> grad(static_cast<size_t>(n) * 2, 0.0);
+
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.initial_momentum
+                                : options.final_momentum;
+
+    // Low-dimensional affinities (student-t kernel).
+    double qsum = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        const double dy0 = Y[i * 2] - Y[j * 2];
+        const double dy1 = Y[i * 2 + 1] - Y[j * 2 + 1];
+        const double q = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        Q[static_cast<size_t>(i) * n + j] = q;
+        Q[static_cast<size_t>(j) * n + i] = q;
+        qsum += 2.0 * q;
+      }
+    }
+    if (qsum <= 0.0) qsum = 1e-300;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = Q[static_cast<size_t>(i) * n + j];
+        const double mult =
+            (exaggeration * P[static_cast<size_t>(i) * n + j] - q / qsum) * q;
+        grad[i * 2] += 4.0 * mult * (Y[i * 2] - Y[j * 2]);
+        grad[i * 2 + 1] += 4.0 * mult * (Y[i * 2 + 1] - Y[j * 2 + 1]);
+      }
+    }
+
+    for (size_t k = 0; k < Y.size(); ++k) {
+      // Delta-bar-delta gains as in the reference implementation.
+      const bool same_sign = (grad[k] > 0) == (velocity[k] > 0);
+      gains[k] = same_sign ? std::max(0.01, gains[k] * 0.8) : gains[k] + 0.2;
+      velocity[k] = momentum * velocity[k] -
+                    options.learning_rate * gains[k] * grad[k];
+      Y[k] += velocity[k];
+    }
+    // Re-center.
+    double m0 = 0.0, m1 = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      m0 += Y[i * 2];
+      m1 += Y[i * 2 + 1];
+    }
+    m0 /= n;
+    m1 /= n;
+    for (uint32_t i = 0; i < n; ++i) {
+      Y[i * 2] -= m0;
+      Y[i * 2 + 1] -= m1;
+    }
+  }
+  return Y;
+}
+
+double SilhouetteScore(const std::vector<double>& points, uint32_t n,
+                       uint32_t dims, const std::vector<int>& labels) {
+  if (n < 2 || labels.size() != n) return 0.0;
+  const auto dist2 = PairwiseSquaredDistances(points, n, dims);
+  auto dist = [&](uint32_t i, uint32_t j) {
+    return std::sqrt(dist2[static_cast<size_t>(i) * n + j]);
+  };
+  std::unordered_map<int, uint32_t> cluster_size;
+  for (int l : labels) ++cluster_size[l];
+  if (cluster_size.size() < 2) return 0.0;
+
+  double total = 0.0;
+  uint32_t counted = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (cluster_size[labels[i]] < 2) continue;
+    std::unordered_map<int, double> sums;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += dist(i, j);
+    }
+    const double a =
+        sums[labels[i]] / static_cast<double>(cluster_size[labels[i]] - 1);
+    double b = 1e300;
+    for (const auto& [label, sum] : sums) {
+      if (label == labels[i]) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_size[label]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+}  // namespace sisg

@@ -1,0 +1,38 @@
+#ifndef SISG_EVAL_TSNE_H_
+#define SISG_EVAL_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sisg {
+
+/// Exact (O(n^2)) t-SNE (van der Maaten & Hinton 2008) — the visualization
+/// of Figure 5. Suitable for a few thousand points (user types).
+struct TsneOptions {
+  double perplexity = 30.0;
+  uint32_t iterations = 350;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  uint32_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  uint32_t momentum_switch_iter = 120;
+  uint64_t seed = 3;
+};
+
+/// Embeds n x d row-major `data` into 2-D. Returns n x 2 row-major coords.
+StatusOr<std::vector<double>> TsneEmbed(const std::vector<double>& data,
+                                        uint32_t n, uint32_t d,
+                                        const TsneOptions& options = {});
+
+/// Mean silhouette coefficient of `points` (n x dims row-major) under the
+/// given integer labels — the quantitative check behind Figure 5's visual
+/// claim that user types cluster by gender/age.
+double SilhouetteScore(const std::vector<double>& points, uint32_t n,
+                       uint32_t dims, const std::vector<int>& labels);
+
+}  // namespace sisg
+
+#endif  // SISG_EVAL_TSNE_H_

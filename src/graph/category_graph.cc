@@ -1,0 +1,51 @@
+#include "graph/category_graph.h"
+
+#include <algorithm>
+
+namespace sisg {
+
+CategoryGraph CategoryGraph::FromItemGraph(const ItemGraph& graph,
+                                           const ItemCatalog& catalog) {
+  CategoryGraph cg;
+  const uint32_t num_cats = catalog.num_leaves();
+  cg.freq_.assign(num_cats, 0);
+  for (uint32_t item = 0; item < graph.num_nodes(); ++item) {
+    cg.freq_[catalog.meta(item).leaf_category] += graph.NodeFrequency(item);
+  }
+  cg.total_freq_ = 0;
+  for (uint64_t f : cg.freq_) cg.total_freq_ += f;
+
+  std::unordered_map<uint64_t, double> agg;
+  for (uint32_t item = 0; item < graph.num_nodes(); ++item) {
+    const uint32_t c1 = catalog.meta(item).leaf_category;
+    const auto nbrs = graph.OutNeighbors(item);
+    const auto ws = graph.OutWeights(item);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const uint32_t c2 = catalog.meta(nbrs[i]).leaf_category;
+      if (c1 == c2) continue;  // intra-category transitions never cross workers
+      agg[(static_cast<uint64_t>(c1) << 32) | c2] += ws[i];
+    }
+  }
+  cg.edges_.reserve(agg.size());
+  for (const auto& [key, w] : agg) {
+    WeightedEdge e;
+    e.src = static_cast<uint32_t>(key >> 32);
+    e.dst = static_cast<uint32_t>(key & 0xffffffffu);
+    e.weight = w;
+    cg.edges_.push_back(e);
+  }
+  std::sort(cg.edges_.begin(), cg.edges_.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  cg.weight_index_ = std::move(agg);
+  return cg;
+}
+
+double CategoryGraph::Weight(uint32_t c1, uint32_t c2) const {
+  const auto it = weight_index_.find((static_cast<uint64_t>(c1) << 32) | c2);
+  return it == weight_index_.end() ? 0.0 : it->second;
+}
+
+}  // namespace sisg

@@ -1,0 +1,52 @@
+#ifndef SISG_GRAPH_CATEGORY_GRAPH_H_
+#define SISG_GRAPH_CATEGORY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/catalog.h"
+#include "graph/item_graph.h"
+
+namespace sisg {
+
+/// The reduced graph of Section III-B step 2: nodes are leaf categories,
+/// the weight between two categories is the summed transition frequency of
+/// item edges connecting them, and |C| is the total occurrence count of the
+/// category's items in the training sequences.
+class CategoryGraph {
+ public:
+  CategoryGraph() = default;
+
+  static CategoryGraph FromItemGraph(const ItemGraph& graph,
+                                     const ItemCatalog& catalog);
+
+  uint32_t num_categories() const {
+    return static_cast<uint32_t>(freq_.size());
+  }
+
+  /// |C|: total frequency of items of this category.
+  uint64_t CategoryFrequency(uint32_t c) const { return freq_[c]; }
+  uint64_t total_frequency() const { return total_freq_; }
+
+  /// Directed inter-category weight (c1 -> c2); 0 if absent.
+  double Weight(uint32_t c1, uint32_t c2) const;
+
+  /// Undirected view: weight(c1,c2) + weight(c2,c1), for HBGP step 3a.
+  double BidirectionalWeight(uint32_t c1, uint32_t c2) const {
+    return Weight(c1, c2) + Weight(c2, c1);
+  }
+
+  /// All directed edges.
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<uint64_t> freq_;
+  uint64_t total_freq_ = 0;
+  std::vector<WeightedEdge> edges_;
+  std::unordered_map<uint64_t, double> weight_index_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_GRAPH_CATEGORY_GRAPH_H_

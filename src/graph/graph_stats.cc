@@ -1,0 +1,92 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+namespace sisg {
+
+std::vector<uint32_t> WeakComponents(const ItemGraph& graph) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : graph.OutNeighbors(u)) {
+      const uint32_t ru = find(u), rv = find(v);
+      if (ru != rv) parent[rv] = ru;
+    }
+  }
+  // Compact component labels.
+  std::unordered_map<uint32_t, uint32_t> label;
+  std::vector<uint32_t> out(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    const uint32_t root = find(u);
+    auto [it, inserted] =
+        label.try_emplace(root, static_cast<uint32_t>(label.size()));
+    out[u] = it->second;
+  }
+  return out;
+}
+
+GraphStats ComputeGraphStats(const ItemGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+
+  std::vector<bool> has_in(graph.num_nodes(), false);
+  uint64_t degree_sum = 0;
+  uint64_t reciprocal = 0;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const auto nbrs = graph.OutNeighbors(u);
+    degree_sum += nbrs.size();
+    s.max_out_degree =
+        std::max(s.max_out_degree, static_cast<uint32_t>(nbrs.size()));
+    for (uint32_t v : nbrs) {
+      has_in[v] = true;
+      if (graph.EdgeWeight(v, u) > 0.0) ++reciprocal;
+    }
+  }
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    if (graph.OutNeighbors(u).empty() && !has_in[u]) ++s.num_isolated;
+  }
+  const uint64_t active = s.num_nodes - s.num_isolated;
+  s.mean_out_degree =
+      active > 0 ? static_cast<double>(degree_sum) / static_cast<double>(active)
+                 : 0.0;
+  s.reciprocity =
+      s.num_edges > 0
+          ? static_cast<double>(reciprocal) / static_cast<double>(s.num_edges)
+          : 0.0;
+
+  const auto comp = WeakComponents(graph);
+  std::unordered_map<uint32_t, uint64_t> sizes;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    if (graph.OutNeighbors(u).empty() && !has_in[u]) continue;  // skip isolated
+    ++sizes[comp[u]];
+  }
+  s.num_weak_components = sizes.size();
+  for (const auto& [c, sz] : sizes) {
+    s.largest_component = std::max(s.largest_component, sz);
+  }
+  return s;
+}
+
+std::vector<uint64_t> OutDegreeHistogram(const ItemGraph& graph,
+                                         uint32_t max_degree) {
+  std::vector<uint64_t> hist(static_cast<size_t>(max_degree) + 1, 0);
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const uint32_t d = static_cast<uint32_t>(graph.OutNeighbors(u).size());
+    ++hist[std::min(d, max_degree)];
+  }
+  return hist;
+}
+
+}  // namespace sisg

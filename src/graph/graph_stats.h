@@ -1,0 +1,37 @@
+#ifndef SISG_GRAPH_GRAPH_STATS_H_
+#define SISG_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/item_graph.h"
+
+namespace sisg {
+
+/// Structural statistics of the item graph — the sanity checks a production
+/// pipeline runs before trusting a day's graph (EGES-era operational
+/// experience: information loss shows up here first, Section II-D).
+struct GraphStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_isolated = 0;       // no in or out edges
+  uint64_t num_edges = 0;
+  double mean_out_degree = 0.0;    // over non-isolated nodes
+  uint32_t max_out_degree = 0;
+  uint64_t num_weak_components = 0;
+  uint64_t largest_component = 0;  // nodes in the biggest weak component
+  double reciprocity = 0.0;        // fraction of edges with a reverse edge
+};
+
+GraphStats ComputeGraphStats(const ItemGraph& graph);
+
+/// Out-degree histogram: bucket[i] = #nodes with out-degree i (last bucket
+/// aggregates the tail).
+std::vector<uint64_t> OutDegreeHistogram(const ItemGraph& graph,
+                                         uint32_t max_degree = 32);
+
+/// Weakly connected component id per node (edges treated as undirected).
+std::vector<uint32_t> WeakComponents(const ItemGraph& graph);
+
+}  // namespace sisg
+
+#endif  // SISG_GRAPH_GRAPH_STATS_H_

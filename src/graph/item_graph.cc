@@ -1,0 +1,75 @@
+#include "graph/item_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sisg {
+
+Status ItemGraph::Build(const std::vector<Session>& sessions, uint32_t num_items) {
+  if (num_items == 0) {
+    return Status::InvalidArgument("item graph: num_items must be > 0");
+  }
+  num_nodes_ = num_items;
+  node_freq_.assign(num_items, 0);
+
+  std::unordered_map<uint64_t, double> edges;
+  for (const Session& s : sessions) {
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      const uint32_t a = s.items[i];
+      if (a >= num_items) {
+        return Status::OutOfRange("item graph: item id out of range");
+      }
+      ++node_freq_[a];
+      if (i + 1 < s.items.size()) {
+        const uint32_t b = s.items[i + 1];
+        if (b >= num_items) {
+          return Status::OutOfRange("item graph: item id out of range");
+        }
+        if (a != b) {
+          edges[(static_cast<uint64_t>(a) << 32) | b] += 1.0;
+        }
+      }
+    }
+  }
+
+  // Bucket into CSR.
+  offsets_.assign(static_cast<size_t>(num_items) + 1, 0);
+  for (const auto& [key, w] : edges) {
+    ++offsets_[(key >> 32) + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  dst_.resize(edges.size());
+  weight_.resize(edges.size());
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  total_weight_ = 0.0;
+  for (const auto& [key, w] : edges) {
+    const uint32_t src = static_cast<uint32_t>(key >> 32);
+    const size_t pos = cursor[src]++;
+    dst_[pos] = static_cast<uint32_t>(key & 0xffffffffu);
+    weight_[pos] = w;
+    total_weight_ += w;
+  }
+  // Sort each adjacency by dst for deterministic iteration and binary search.
+  for (uint32_t n = 0; n < num_items; ++n) {
+    const size_t lo = offsets_[n];
+    const size_t hi = offsets_[n + 1];
+    std::vector<std::pair<uint32_t, double>> adj;
+    adj.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) adj.push_back({dst_[i], weight_[i]});
+    std::sort(adj.begin(), adj.end());
+    for (size_t i = lo; i < hi; ++i) {
+      dst_[i] = adj[i - lo].first;
+      weight_[i] = adj[i - lo].second;
+    }
+  }
+  return Status::OK();
+}
+
+double ItemGraph::EdgeWeight(uint32_t src, uint32_t dst) const {
+  const auto nbrs = OutNeighbors(src);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), dst);
+  if (it == nbrs.end() || *it != dst) return 0.0;
+  return OutWeights(src)[static_cast<size_t>(it - nbrs.begin())];
+}
+
+}  // namespace sisg

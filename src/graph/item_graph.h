@@ -1,0 +1,62 @@
+#ifndef SISG_GRAPH_ITEM_GRAPH_H_
+#define SISG_GRAPH_ITEM_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/session_generator.h"
+
+namespace sisg {
+
+/// A directed weighted edge (transition frequency from `src` to `dst`).
+struct WeightedEdge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double weight = 0.0;
+};
+
+/// The directed weighted item graph of Section III-B step 1: nodes are
+/// items, the weight of edge (i, j) is the number of times j immediately
+/// follows i across all behavior sequences. CSR layout for iteration.
+/// Also the substrate of the EGES baseline (random walks).
+class ItemGraph {
+ public:
+  ItemGraph() = default;
+
+  /// Builds from sessions over a universe of `num_items` items. Transitions
+  /// are adjacent clicks (i -> next).
+  Status Build(const std::vector<Session>& sessions, uint32_t num_items);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return static_cast<uint64_t>(dst_.size()); }
+  double total_weight() const { return total_weight_; }
+
+  /// Out-neighbors of `node` as parallel spans (dst ids, weights).
+  std::span<const uint32_t> OutNeighbors(uint32_t node) const {
+    return {dst_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
+  }
+  std::span<const double> OutWeights(uint32_t node) const {
+    return {weight_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
+  }
+
+  /// Total occurrences of `node` in the sessions (node frequency, used as
+  /// |C| weights by HBGP).
+  uint64_t NodeFrequency(uint32_t node) const { return node_freq_[node]; }
+
+  /// Weight of edge (src, dst); 0 if absent. Linear in out-degree.
+  double EdgeWeight(uint32_t src, uint32_t dst) const;
+
+ private:
+  uint32_t num_nodes_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<size_t> offsets_;   // num_nodes_ + 1
+  std::vector<uint32_t> dst_;
+  std::vector<double> weight_;
+  std::vector<uint64_t> node_freq_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_GRAPH_ITEM_GRAPH_H_

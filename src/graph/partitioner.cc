@@ -1,0 +1,216 @@
+#include "graph/partitioner.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sisg {
+namespace {
+
+Status ValidateArgs(const CategoryGraph& graph, uint32_t num_workers) {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("partitioner: num_workers must be > 0");
+  }
+  if (graph.num_categories() == 0) {
+    return Status::InvalidArgument("partitioner: empty category graph");
+  }
+  if (num_workers > graph.num_categories()) {
+    return Status::InvalidArgument(
+        "partitioner: more workers than categories (" +
+        std::to_string(num_workers) + " > " +
+        std::to_string(graph.num_categories()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> HashPartitioner::PartitionCategories(
+    const CategoryGraph& graph, uint32_t num_workers) const {
+  SISG_RETURN_IF_ERROR(ValidateArgs(graph, num_workers));
+  std::vector<uint32_t> out(graph.num_categories());
+  for (uint32_t c = 0; c < out.size(); ++c) {
+    out[c] = static_cast<uint32_t>(Mix64(c) % num_workers);
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> RandomPartitioner::PartitionCategories(
+    const CategoryGraph& graph, uint32_t num_workers) const {
+  SISG_RETURN_IF_ERROR(ValidateArgs(graph, num_workers));
+  Rng rng(seed_);
+  std::vector<uint32_t> out(graph.num_categories());
+  for (auto& w : out) w = static_cast<uint32_t>(rng.UniformU64(num_workers));
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> GreedyFrequencyPartitioner::PartitionCategories(
+    const CategoryGraph& graph, uint32_t num_workers) const {
+  SISG_RETURN_IF_ERROR(ValidateArgs(graph, num_workers));
+  const uint32_t n = graph.num_categories();
+  std::vector<uint32_t> order(n);
+  for (uint32_t c = 0; c < n; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return graph.CategoryFrequency(a) > graph.CategoryFrequency(b);
+  });
+  // Min-heap of (load, worker).
+  using Entry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (uint32_t w = 0; w < num_workers; ++w) heap.push({0, w});
+  std::vector<uint32_t> out(n);
+  for (uint32_t c : order) {
+    auto [load, w] = heap.top();
+    heap.pop();
+    out[c] = w;
+    heap.push({load + graph.CategoryFrequency(c), w});
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> HbgpPartitioner::PartitionCategories(
+    const CategoryGraph& graph, uint32_t num_workers) const {
+  SISG_RETURN_IF_ERROR(ValidateArgs(graph, num_workers));
+  if (beta_ < 1.0) {
+    return Status::InvalidArgument("hbgp: beta must be >= 1");
+  }
+  const uint32_t n = graph.num_categories();
+
+  // Union-find over categories; group stats tracked at the roots.
+  std::vector<uint32_t> parent(n);
+  for (uint32_t c = 0; c < n; ++c) parent[c] = c;
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::vector<uint64_t> group_freq(n);
+  for (uint32_t c = 0; c < n; ++c) group_freq[c] = graph.CategoryFrequency(c);
+
+  // Bidirectional inter-group weights, keyed by canonical (min, max) roots.
+  auto key_of = [](uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  std::unordered_map<uint64_t, double> edge_w;
+  for (const WeightedEdge& e : graph.edges()) {
+    edge_w[key_of(e.src, e.dst)] += e.weight;
+  }
+
+  uint32_t num_groups = n;
+  double beta = beta_;
+  const double avg_cap_base =
+      static_cast<double>(graph.total_frequency()) / num_workers;
+
+  while (num_groups > num_workers) {
+    // Step 3a: edge with the largest bidirectional transition frequency
+    // whose merge keeps the balance constraint (step 3b).
+    const double cap = beta * avg_cap_base;
+    uint64_t best_key = 0;
+    double best_w = -1.0;
+    bool any_edge = false;
+    for (const auto& [key, w] : edge_w) {
+      const uint32_t a = static_cast<uint32_t>(key >> 32);
+      const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+      any_edge = true;
+      if (static_cast<double>(group_freq[a]) + static_cast<double>(group_freq[b]) >
+          cap) {
+        continue;
+      }
+      if (w > best_w) {
+        best_w = w;
+        best_key = key;
+      }
+    }
+
+    if (best_w < 0.0) {
+      if (any_edge) {
+        // Step 3e: no mergeable edge under the current beta — relax it.
+        beta *= beta_growth_;
+        continue;
+      }
+      // Disconnected remainder: merge the two lightest groups directly so we
+      // still reach exactly w partitions.
+      uint32_t g1 = UINT32_MAX, g2 = UINT32_MAX;
+      for (uint32_t c = 0; c < n; ++c) {
+        if (find(c) != c) continue;
+        if (g1 == UINT32_MAX || group_freq[c] < group_freq[g1]) {
+          g2 = g1;
+          g1 = c;
+        } else if (g2 == UINT32_MAX || group_freq[c] < group_freq[g2]) {
+          g2 = c;
+        }
+      }
+      SISG_CHECK_NE(g2, UINT32_MAX);
+      edge_w[key_of(g1, g2)] = 0.0;
+      best_key = key_of(g1, g2);
+    }
+
+    // Merge (step 3b) and recompute adjacent weights (step 3c).
+    const uint32_t a = static_cast<uint32_t>(best_key >> 32);
+    const uint32_t b = static_cast<uint32_t>(best_key & 0xffffffffu);
+    parent[b] = a;
+    group_freq[a] += group_freq[b];
+    --num_groups;
+
+    std::unordered_map<uint64_t, double> next;
+    next.reserve(edge_w.size());
+    for (const auto& [key, w] : edge_w) {
+      uint32_t x = find(static_cast<uint32_t>(key >> 32));
+      uint32_t y = find(static_cast<uint32_t>(key & 0xffffffffu));
+      if (x == y) continue;
+      next[key_of(x, y)] += w;
+    }
+    edge_w = std::move(next);
+  }
+
+  // Label surviving roots 0..w-1.
+  std::unordered_map<uint32_t, uint32_t> label;
+  std::vector<uint32_t> out(n);
+  for (uint32_t c = 0; c < n; ++c) {
+    const uint32_t root = find(c);
+    auto [it, inserted] = label.try_emplace(root, static_cast<uint32_t>(label.size()));
+    out[c] = it->second;
+  }
+  SISG_CHECK_EQ(label.size(), static_cast<size_t>(num_workers));
+  return out;
+}
+
+PartitionQuality EvaluatePartition(const CategoryGraph& graph,
+                                   const std::vector<uint32_t>& assignment,
+                                   uint32_t num_workers) {
+  PartitionQuality q;
+  q.loads.assign(num_workers, 0);
+  for (uint32_t c = 0; c < graph.num_categories(); ++c) {
+    q.loads[assignment[c]] += graph.CategoryFrequency(c);
+  }
+  const double avg =
+      static_cast<double>(graph.total_frequency()) / std::max(1u, num_workers);
+  uint64_t max_load = 0;
+  for (uint64_t l : q.loads) max_load = std::max(max_load, l);
+  q.imbalance = avg > 0 ? static_cast<double>(max_load) / avg : 0.0;
+
+  double cross = 0.0, total = 0.0;
+  for (const WeightedEdge& e : graph.edges()) {
+    total += e.weight;
+    if (assignment[e.src] != assignment[e.dst]) cross += e.weight;
+  }
+  q.cross_rate = total > 0 ? cross / total : 0.0;
+  return q;
+}
+
+std::vector<uint32_t> ItemAssignmentFromCategories(
+    const std::vector<uint32_t>& category_assignment, const ItemCatalog& catalog) {
+  std::vector<uint32_t> out(catalog.num_items());
+  for (uint32_t item = 0; item < catalog.num_items(); ++item) {
+    out[item] = category_assignment[catalog.meta(item).leaf_category];
+  }
+  return out;
+}
+
+}  // namespace sisg

@@ -1,0 +1,95 @@
+#ifndef SISG_GRAPH_PARTITIONER_H_
+#define SISG_GRAPH_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/catalog.h"
+#include "graph/category_graph.h"
+
+namespace sisg {
+
+/// Maps every leaf category to a worker id in [0, num_workers). Items then
+/// inherit the partition of their leaf category (Section III-B: "the above
+/// method only assigns items to partitions").
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns assignment[category] = worker.
+  virtual StatusOr<std::vector<uint32_t>> PartitionCategories(
+      const CategoryGraph& graph, uint32_t num_workers) const = 0;
+};
+
+/// category = hash(category) % workers. The naive baseline.
+class HashPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "hash"; }
+  StatusOr<std::vector<uint32_t>> PartitionCategories(
+      const CategoryGraph& graph, uint32_t num_workers) const override;
+};
+
+/// Uniform random assignment (what EGES-era pipelines effectively did after
+/// splitting subgraphs arbitrarily).
+class RandomPartitioner : public Partitioner {
+ public:
+  explicit RandomPartitioner(uint64_t seed = 99) : seed_(seed) {}
+  std::string name() const override { return "random"; }
+  StatusOr<std::vector<uint32_t>> PartitionCategories(
+      const CategoryGraph& graph, uint32_t num_workers) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Longest-processing-time bin packing on category frequency: balances load
+/// well but ignores transitions entirely.
+class GreedyFrequencyPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "greedy-freq"; }
+  StatusOr<std::vector<uint32_t>> PartitionCategories(
+      const CategoryGraph& graph, uint32_t num_workers) const override;
+};
+
+/// Heuristic Balanced Graph Partitioning (Section III-B): iteratively merge
+/// the category pair with the largest bidirectional transition frequency,
+/// subject to |C1| + |C2| <= beta * |V| / w; if no edge qualifies, relax
+/// beta; if the graph runs out of edges before reaching w groups, merge the
+/// smallest groups. beta defaults to the paper's production value 1.2.
+class HbgpPartitioner : public Partitioner {
+ public:
+  explicit HbgpPartitioner(double beta = 1.2, double beta_growth = 1.1)
+      : beta_(beta), beta_growth_(beta_growth) {}
+
+  std::string name() const override { return "hbgp"; }
+  StatusOr<std::vector<uint32_t>> PartitionCategories(
+      const CategoryGraph& graph, uint32_t num_workers) const override;
+
+ private:
+  double beta_;
+  double beta_growth_;
+};
+
+/// Quality of a partition against the category graph.
+struct PartitionQuality {
+  double imbalance = 0.0;   // max worker load / average load
+  double cross_rate = 0.0;  // cross-worker edge weight / total edge weight
+  std::vector<uint64_t> loads;
+};
+
+PartitionQuality EvaluatePartition(const CategoryGraph& graph,
+                                   const std::vector<uint32_t>& assignment,
+                                   uint32_t num_workers);
+
+/// Expands a category assignment to an item assignment via the catalog.
+std::vector<uint32_t> ItemAssignmentFromCategories(
+    const std::vector<uint32_t>& category_assignment, const ItemCatalog& catalog);
+
+}  // namespace sisg
+
+#endif  // SISG_GRAPH_PARTITIONER_H_

@@ -1,0 +1,49 @@
+#include "graph/random_walker.h"
+
+namespace sisg {
+
+Status RandomWalker::Build(const ItemGraph* graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("random walker: graph must not be null");
+  }
+  graph_ = graph;
+  samplers_.assign(graph->num_nodes(), AliasTable());
+  for (uint32_t n = 0; n < graph->num_nodes(); ++n) {
+    const auto ws = graph->OutWeights(n);
+    if (ws.empty()) continue;
+    std::vector<double> w(ws.begin(), ws.end());
+    SISG_RETURN_IF_ERROR(samplers_[n].Build(w));
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> RandomWalker::Walk(uint32_t start, uint32_t max_length,
+                                         Rng& rng) const {
+  std::vector<uint32_t> walk;
+  walk.reserve(max_length);
+  uint32_t cur = start;
+  walk.push_back(cur);
+  while (walk.size() < max_length) {
+    const AliasTable& table = samplers_[cur];
+    if (table.empty()) break;
+    cur = graph_->OutNeighbors(cur)[table.Sample(rng)];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<std::vector<uint32_t>> RandomWalker::GenerateWalks(
+    uint32_t walks_per_node, uint32_t max_length, uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> walks;
+  for (uint32_t n = 0; n < graph_->num_nodes(); ++n) {
+    if (graph_->NodeFrequency(n) == 0 && samplers_[n].empty()) continue;
+    for (uint32_t k = 0; k < walks_per_node; ++k) {
+      auto w = Walk(n, max_length, rng);
+      if (w.size() >= 2) walks.push_back(std::move(w));
+    }
+  }
+  return walks;
+}
+
+}  // namespace sisg

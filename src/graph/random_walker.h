@@ -1,0 +1,41 @@
+#ifndef SISG_GRAPH_RANDOM_WALKER_H_
+#define SISG_GRAPH_RANDOM_WALKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/item_graph.h"
+
+namespace sisg {
+
+/// DeepWalk-style weighted random walks over the item graph — the corpus
+/// generator of the EGES baseline (Section II-D: "item sequences are
+/// generated using a random walk on the constructed graph").
+class RandomWalker {
+ public:
+  RandomWalker() = default;
+
+  /// Precomputes per-node transition samplers. The graph must outlive the
+  /// walker.
+  Status Build(const ItemGraph* graph);
+
+  /// One walk from `start`; stops early at sink nodes. Result includes the
+  /// start node, length at most `max_length`.
+  std::vector<uint32_t> Walk(uint32_t start, uint32_t max_length, Rng& rng) const;
+
+  /// `walks_per_node` walks from every non-isolated node.
+  std::vector<std::vector<uint32_t>> GenerateWalks(uint32_t walks_per_node,
+                                                   uint32_t max_length,
+                                                   uint64_t seed) const;
+
+ private:
+  const ItemGraph* graph_ = nullptr;
+  std::vector<AliasTable> samplers_;  // empty table for sink nodes
+};
+
+}  // namespace sisg
+
+#endif  // SISG_GRAPH_RANDOM_WALKER_H_

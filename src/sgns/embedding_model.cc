@@ -1,0 +1,72 @@
+#include "sgns/embedding_model.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace sisg {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'I', 'S', 'G', 'E', 'M', 'B', '1'};
+
+}  // namespace
+
+Status EmbeddingModel::Init(uint32_t rows, uint32_t dim, uint64_t seed) {
+  if (rows == 0 || dim == 0) {
+    return Status::InvalidArgument("embedding model: rows and dim must be > 0");
+  }
+  rows_ = rows;
+  dim_ = dim;
+  const size_t n = static_cast<size_t>(rows) * dim;
+  input_.resize(n);
+  output_.assign(n, 0.0f);
+  Rng rng(seed);
+  const float scale = 0.5f / static_cast<float>(dim);
+  for (size_t i = 0; i < n; ++i) {
+    input_[i] = (rng.UniformFloat() * 2.0f - 1.0f) * scale;
+  }
+  return Status::OK();
+}
+
+Status EmbeddingModel::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  ok = ok && std::fwrite(&rows_, sizeof(rows_), 1, f) == 1;
+  ok = ok && std::fwrite(&dim_, sizeof(dim_), 1, f) == 1;
+  const size_t n = input_.size();
+  ok = ok && std::fwrite(input_.data(), sizeof(float), n, f) == n;
+  ok = ok && std::fwrite(output_.data(), sizeof(float), n, f) == n;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<EmbeddingModel> EmbeddingModel::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return Status::Corruption("embedding model: bad magic in " + path);
+  }
+  EmbeddingModel m;
+  if (std::fread(&m.rows_, sizeof(m.rows_), 1, f) != 1 ||
+      std::fread(&m.dim_, sizeof(m.dim_), 1, f) != 1 || m.rows_ == 0 ||
+      m.dim_ == 0 || static_cast<uint64_t>(m.rows_) * m.dim_ > (1ull << 33)) {
+    std::fclose(f);
+    return Status::Corruption("embedding model: bad header in " + path);
+  }
+  const size_t n = static_cast<size_t>(m.rows_) * m.dim_;
+  m.input_.resize(n);
+  m.output_.resize(n);
+  const bool ok = std::fread(m.input_.data(), sizeof(float), n, f) == n &&
+                  std::fread(m.output_.data(), sizeof(float), n, f) == n;
+  std::fclose(f);
+  if (!ok) return Status::Corruption("embedding model: truncated file " + path);
+  return m;
+}
+
+}  // namespace sisg

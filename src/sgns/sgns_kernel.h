@@ -1,0 +1,42 @@
+#ifndef SISG_SGNS_SGNS_KERNEL_H_
+#define SISG_SGNS_SGNS_KERNEL_H_
+
+#include <cstddef>
+
+#include "common/math_util.h"
+
+namespace sisg {
+
+/// The core SGNS gradient step for one positive pair plus its negatives
+/// (objective (3) of the paper). Shared by the local hogwild trainer, the
+/// EGES baseline and the distributed TNS engine — TNS runs exactly this on
+/// the remote worker and ships `grad_in` back (Algorithm 1).
+///
+/// Applies SGD updates to the positive/negative OUTPUT vectors in place and
+/// ACCUMULATES the gradient w.r.t. the input vector into `grad_in` (callers
+/// zero it and apply it themselves, which is what makes the remote variant
+/// possible).
+inline void SgnsUpdate(const float* in, float* grad_in, float* out_pos,
+                       float* const* out_negs, int num_negs, float lr,
+                       size_t dim, const SigmoidTable& sigmoid) {
+  // Positive: label 1.
+  {
+    const float f = Dot(in, out_pos, dim);
+    const float g = (1.0f - sigmoid.Sigmoid(f)) * lr;
+    Axpy(g, out_pos, grad_in, dim);
+    Axpy(g, in, out_pos, dim);
+  }
+  // Negatives: label 0.
+  for (int k = 0; k < num_negs; ++k) {
+    float* out_neg = out_negs[k];
+    if (out_neg == nullptr) continue;
+    const float f = Dot(in, out_neg, dim);
+    const float g = (0.0f - sigmoid.Sigmoid(f)) * lr;
+    Axpy(g, out_neg, grad_in, dim);
+    Axpy(g, in, out_neg, dim);
+  }
+}
+
+}  // namespace sisg
+
+#endif  // SISG_SGNS_SGNS_KERNEL_H_

@@ -1,0 +1,115 @@
+#include "sgns/trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "sgns/sgns_kernel.h"
+
+namespace sisg {
+
+Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
+                          TrainStats* stats) const {
+  if (model == nullptr) {
+    return Status::InvalidArgument("sgns: model must not be null");
+  }
+  if (options_.negatives == 0 || options_.epochs == 0) {
+    return Status::InvalidArgument("sgns: negatives and epochs must be > 0");
+  }
+  const Vocabulary& vocab = corpus.vocab();
+  if (options_.warm_start) {
+    if (model->rows() != vocab.size() || model->dim() != options_.dim) {
+      return Status::FailedPrecondition(
+          "sgns: warm start requires a model shaped for this corpus");
+    }
+  } else {
+    SISG_RETURN_IF_ERROR(model->Init(vocab.size(), options_.dim, options_.seed));
+  }
+
+  SISG_ASSIGN_OR_RETURN(AliasTable noise, vocab.BuildNoise(options_.noise_alpha));
+  Subsampler subsampler;
+  subsampler.Build(vocab, options_.subsample);
+  const SigmoidTable sigmoid;
+
+  const uint64_t planned_tokens =
+      static_cast<uint64_t>(options_.epochs) * corpus.num_tokens();
+  std::atomic<uint64_t> processed_tokens{0};
+  std::atomic<uint64_t> total_pairs{0};
+  std::atomic<uint64_t> total_kept{0};
+
+  const uint32_t num_threads = std::max<uint32_t>(1, options_.num_threads);
+  const auto& sequences = corpus.sequences();
+  const size_t dim = options_.dim;
+
+  Timer timer;
+  auto worker = [&](uint32_t tid) {
+    Rng rng(options_.seed + 0x51ed2701ULL * (tid + 1));
+    std::vector<uint32_t> kept;
+    std::vector<float> grad_in(dim);
+    std::vector<float*> neg_ptrs(options_.negatives);
+    uint64_t pairs = 0;
+    uint64_t kept_tokens = 0;
+    uint64_t local_tokens = 0;
+    float lr = options_.learning_rate;
+    const float min_lr = options_.learning_rate * options_.min_learning_rate_ratio;
+
+    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      // Static sharding of sequences across threads.
+      for (size_t s = tid; s < sequences.size(); s += num_threads) {
+        const auto& seq = sequences[s];
+        local_tokens += seq.size();
+        if (local_tokens >= 4096) {
+          const uint64_t done =
+              processed_tokens.fetch_add(local_tokens) + local_tokens;
+          local_tokens = 0;
+          lr = options_.learning_rate *
+               (1.0f - static_cast<float>(done) / static_cast<float>(planned_tokens));
+          if (lr < min_lr) lr = min_lr;
+        }
+        SubsampleSequence(seq, subsampler, rng, &kept);
+        kept_tokens += kept.size();
+        ForEachPair(kept, options_.window, rng, [&](uint32_t target,
+                                                    uint32_t context) {
+          for (uint32_t k = 0; k < options_.negatives; ++k) {
+            const uint32_t neg = noise.Sample(rng);
+            neg_ptrs[k] =
+                (neg == context || neg == target) ? nullptr : model->Output(neg);
+          }
+          Zero(grad_in.data(), dim);
+          SgnsUpdate(model->Input(target), grad_in.data(), model->Output(context),
+                     neg_ptrs.data(), static_cast<int>(options_.negatives), lr,
+                     dim, sigmoid);
+          Axpy(1.0f, grad_in.data(), model->Input(target), dim);
+          ++pairs;
+        });
+      }
+    }
+    processed_tokens.fetch_add(local_tokens);
+    total_pairs.fetch_add(pairs);
+    total_kept.fetch_add(kept_tokens);
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+
+  if (stats != nullptr) {
+    stats->pairs_trained = total_pairs.load();
+    stats->tokens_seen = processed_tokens.load();
+    stats->tokens_kept = total_kept.load();
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace sisg

@@ -1,0 +1,63 @@
+#ifndef SISG_SGNS_TRAINER_H_
+#define SISG_SGNS_TRAINER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "corpus/subsample.h"
+#include "sgns/embedding_model.h"
+#include "sgns/window.h"
+
+namespace sisg {
+
+/// Hyper-parameters of the single-machine SGNS engine. Paper defaults:
+/// 20 negatives, 2 epochs, d = 128 (we default to 64 for runtime; callers
+/// scale up via config).
+struct SgnsOptions {
+  uint32_t dim = 64;
+  WindowOptions window;
+  uint32_t negatives = 20;
+  uint32_t epochs = 2;
+  float learning_rate = 0.05f;
+  float min_learning_rate_ratio = 1e-3f;
+  double noise_alpha = 0.75;
+  SubsampleConfig subsample;
+  uint32_t num_threads = 1;
+  uint64_t seed = 17;
+
+  /// When true the trainer continues from the vectors already in `model`
+  /// (daily-retrain warm start via WarmStartFrom) instead of re-initializing;
+  /// the model must already have corpus-vocab rows of the right dim.
+  bool warm_start = false;
+};
+
+/// Statistics of one training run.
+struct TrainStats {
+  uint64_t pairs_trained = 0;
+  uint64_t tokens_seen = 0;      // pre-subsampling
+  uint64_t tokens_kept = 0;      // post-subsampling
+  double seconds = 0.0;
+};
+
+/// Classic hogwild SGNS over an enriched corpus. Threads own disjoint
+/// sequence ranges and update the shared model without locks (Hogwild!),
+/// which is exact on one thread and a benign race on several.
+class SgnsTrainer {
+ public:
+  explicit SgnsTrainer(const SgnsOptions& options) : options_(options) {}
+
+  const SgnsOptions& options() const { return options_; }
+
+  /// Initializes `model` (corpus.vocab().size() rows) and trains it.
+  /// On success fills `stats` (may be nullptr).
+  Status Train(const Corpus& corpus, EmbeddingModel* model,
+               TrainStats* stats = nullptr) const;
+
+ private:
+  SgnsOptions options_;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_SGNS_TRAINER_H_

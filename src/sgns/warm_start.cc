@@ -1,0 +1,35 @@
+#include "sgns/warm_start.h"
+
+#include <algorithm>
+
+namespace sisg {
+
+Status WarmStartFrom(const Vocabulary& old_vocab, const EmbeddingModel& old_model,
+                     const Vocabulary& new_vocab, EmbeddingModel* new_model) {
+  if (new_model == nullptr) {
+    return Status::InvalidArgument("warm start: new_model must not be null");
+  }
+  if (new_model->rows() != new_vocab.size()) {
+    return Status::FailedPrecondition(
+        "warm start: new_model rows do not match new_vocab");
+  }
+  if (old_model.rows() != old_vocab.size()) {
+    return Status::InvalidArgument(
+        "warm start: old_model rows do not match old_vocab");
+  }
+  if (old_model.dim() != new_model->dim()) {
+    return Status::InvalidArgument("warm start: dimension mismatch");
+  }
+  const uint32_t dim = new_model->dim();
+  for (uint32_t v = 0; v < new_vocab.size(); ++v) {
+    const int32_t old_v = old_vocab.ToVocab(new_vocab.ToToken(v));
+    if (old_v < 0) continue;
+    std::copy_n(old_model.Input(static_cast<uint32_t>(old_v)), dim,
+                new_model->Input(v));
+    std::copy_n(old_model.Output(static_cast<uint32_t>(old_v)), dim,
+                new_model->Output(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace sisg

@@ -1,0 +1,21 @@
+#ifndef SISG_SGNS_WARM_START_H_
+#define SISG_SGNS_WARM_START_H_
+
+#include "common/status.h"
+#include "corpus/vocabulary.h"
+#include "sgns/embedding_model.h"
+
+namespace sisg {
+
+/// Daily-retrain warm start (the paper computes all embeddings "on a daily
+/// basis"; re-initializing from yesterday's model makes the short daily run
+/// converge): copies input/output rows of every token present in both
+/// vocabularies from `old_model` into `new_model`. Rows for new tokens keep
+/// their fresh initialization. `new_model` must already be initialized with
+/// new_vocab.size() rows and the same dim as `old_model`.
+Status WarmStartFrom(const Vocabulary& old_vocab, const EmbeddingModel& old_model,
+                     const Vocabulary& new_vocab, EmbeddingModel* new_model);
+
+}  // namespace sisg
+
+#endif  // SISG_SGNS_WARM_START_H_

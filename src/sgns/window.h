@@ -1,0 +1,63 @@
+#ifndef SISG_SGNS_WINDOW_H_
+#define SISG_SGNS_WINDOW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/subsample.h"
+
+namespace sisg {
+
+/// Pair-sampling policy (Sections II-A and II-C). Symmetric is the classic
+/// word2vec window W_m; directional restricts to the RIGHT context window
+/// only, which is how SISG captures the asymmetry of user behavior: pairs
+/// (target, context) are only formed with the context occurring AFTER the
+/// target, and retrieval scores i->j as input(i) . output(j).
+struct WindowOptions {
+  uint32_t window = 4;        // max token distance
+  bool directional = false;   // right-context-only sampling
+  bool dynamic = true;        // word2vec-style b = 1 + rng % window
+};
+
+/// Applies frequent-token subsampling to a vocab-id sequence, keeping order.
+inline void SubsampleSequence(const std::vector<uint32_t>& seq,
+                              const Subsampler& subsampler, Rng& rng,
+                              std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(seq.size());
+  for (uint32_t v : seq) {
+    if (subsampler.empty() || rng.UniformFloat() < subsampler.Keep(v)) {
+      out->push_back(v);
+    }
+  }
+}
+
+/// Enumerates (target, context) positive pairs of a (possibly subsampled)
+/// sequence under the window policy. `fn(target, context)` is called once
+/// per pair; the context always occurs after the target when
+/// `options.directional` is set.
+template <typename Fn>
+inline void ForEachPair(const std::vector<uint32_t>& seq,
+                        const WindowOptions& options, Rng& rng, Fn&& fn) {
+  const size_t n = seq.size();
+  if (options.window == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t b =
+        options.dynamic
+            ? 1 + static_cast<uint32_t>(rng.UniformU64(options.window))
+            : options.window;
+    const size_t lo = options.directional ? i + 1 : (i >= b ? i - b : 0);
+    const size_t hi = std::min(n, i + 1 + b);
+    for (size_t j = lo; j < hi; ++j) {
+      if (j == i) continue;
+      if (seq[j] == seq[i]) continue;  // self-pairs carry no signal
+      fn(seq[i], seq[j]);
+    }
+  }
+}
+
+}  // namespace sisg
+
+#endif  // SISG_SGNS_WINDOW_H_

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/item_cf.h"
+#include "datagen/dataset.h"
+#include "eval/hitrate.h"
+
+namespace sisg {
+namespace {
+
+Session MakeSession(std::vector<uint32_t> items) {
+  Session s;
+  s.items = std::move(items);
+  return s;
+}
+
+TEST(ItemCfTest, RejectsBadInput) {
+  ItemCf cf;
+  ItemCfOptions o;
+  EXPECT_FALSE(cf.Build({}, 0, o).ok());
+  o.window = 0;
+  EXPECT_FALSE(cf.Build({MakeSession({0, 1})}, 2, o).ok());
+  o = ItemCfOptions{};
+  o.top_k = 0;
+  EXPECT_FALSE(cf.Build({MakeSession({0, 1})}, 2, o).ok());
+  o = ItemCfOptions{};
+  EXPECT_EQ(cf.Build({MakeSession({0, 9})}, 2, o).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ItemCfTest, DirectionalCountsOrderedPairsOnly) {
+  // 0 -> 1 occurs twice; 1 -> 0 never.
+  std::vector<Session> sessions = {MakeSession({0, 1}), MakeSession({0, 1})};
+  ItemCfOptions o;
+  o.window = 1;
+  o.directional = true;
+  ItemCf cf;
+  ASSERT_TRUE(cf.Build(sessions, 2, o).ok());
+  const auto fwd = cf.Query(0, 10);
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0].id, 1u);
+  // sim = c(0,1) / sqrt(c0 * c1) = 2 / sqrt(2*2) = 1.
+  EXPECT_NEAR(fwd[0].score, 1.0f, 1e-6);
+  EXPECT_TRUE(cf.Query(1, 10).empty());
+}
+
+TEST(ItemCfTest, SymmetricCountsBothDirections) {
+  std::vector<Session> sessions = {MakeSession({0, 1}), MakeSession({0, 1})};
+  ItemCfOptions o;
+  o.window = 1;
+  o.directional = false;
+  ItemCf cf;
+  ASSERT_TRUE(cf.Build(sessions, 2, o).ok());
+  EXPECT_EQ(cf.Query(1, 10).size(), 1u);
+  EXPECT_EQ(cf.Query(1, 10)[0].id, 0u);
+}
+
+TEST(ItemCfTest, WindowLimitsCoOccurrence) {
+  std::vector<Session> sessions = {MakeSession({0, 1, 2, 3, 4})};
+  ItemCfOptions o;
+  o.window = 2;
+  o.directional = true;
+  ItemCf cf;
+  ASSERT_TRUE(cf.Build(sessions, 5, o).ok());
+  const auto from0 = cf.Query(0, 10);
+  std::set<uint32_t> ids;
+  for (const auto& s : from0) ids.insert(s.id);
+  EXPECT_EQ(ids, (std::set<uint32_t>{1, 2}));
+}
+
+TEST(ItemCfTest, PopularityNormalization) {
+  // Item 9 is globally hot; normalization should not let it dominate item 0's
+  // list over the dedicated partner 1.
+  std::vector<Session> sessions;
+  sessions.push_back(MakeSession({0, 1}));
+  sessions.push_back(MakeSession({0, 1}));
+  sessions.push_back(MakeSession({0, 9}));
+  for (int i = 0; i < 50; ++i) sessions.push_back(MakeSession({5, 9}));
+  ItemCfOptions o;
+  o.window = 1;
+  o.directional = true;
+  ItemCf cf;
+  ASSERT_TRUE(cf.Build(sessions, 10, o).ok());
+  const auto from0 = cf.Query(0, 2);
+  ASSERT_EQ(from0.size(), 2u);
+  EXPECT_EQ(from0[0].id, 1u);  // strong dedicated partner outranks hot item
+}
+
+TEST(ItemCfTest, QueryBounds) {
+  ItemCf cf;
+  ItemCfOptions o;
+  o.top_k = 5;
+  ASSERT_TRUE(cf.Build({MakeSession({0, 1, 2})}, 3, o).ok());
+  EXPECT_TRUE(cf.Query(99, 10).empty());       // unknown item
+  EXPECT_LE(cf.Query(0, 3).size(), 3u);        // k smaller than table
+  EXPECT_LE(cf.Query(0, 100).size(), 5u);      // capped at top_k
+}
+
+TEST(ItemCfTest, SelfPairsIgnored) {
+  std::vector<Session> sessions = {MakeSession({3, 3, 3})};
+  ItemCf cf;
+  ASSERT_TRUE(cf.Build(sessions, 4, ItemCfOptions{}).ok());
+  EXPECT_TRUE(cf.Query(3, 10).empty());
+}
+
+TEST(ItemCfTest, EndToEndHitRateIsStrong) {
+  DatasetSpec spec;
+  spec.catalog.num_items = 800;
+  spec.catalog.num_leaf_categories = 8;
+  spec.users.num_user_types = 60;
+  spec.num_train_sessions = 4000;
+  spec.num_test_sessions = 500;
+  auto ds = SyntheticDataset::Generate(spec);
+  ASSERT_TRUE(ds.ok());
+  ItemCf cf;
+  ItemCfOptions o;
+  o.window = 2;
+  ASSERT_TRUE(cf.Build(ds->train_sessions(), ds->catalog().num_items(), o).ok());
+  const auto res = EvaluateHitRate(
+      ds->test_sessions(),
+      [&](uint32_t item, uint32_t k) { return cf.Query(item, k); }, {10});
+  // CF memorizes first-order transitions; on this dense corpus it is strong.
+  EXPECT_GT(res.hit_rate[0], 0.3);
+}
+
+}  // namespace
+}  // namespace sisg

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/env_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/top_k.h"
+
+namespace sisg {
+namespace {
+
+// --------------------------- Status ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  SISG_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseHalf(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------- Rng ---------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng rng(9);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.UniformU64(n), n);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Gaussian();
+  const MeanVar mv = ComputeMeanVar(xs);
+  EXPECT_NEAR(mv.mean, 0.0, 0.05);
+  EXPECT_NEAR(mv.var, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfHeadHeavier) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.Zipf(10, 1.5)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+// --------------------------- AliasTable ---------------------------
+
+TEST(AliasTableTest, RejectsBadInput) {
+  AliasTable t;
+  EXPECT_FALSE(t.Build({}).ok());
+  EXPECT_FALSE(t.Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(t.Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasTableTest, SingleElement) {
+  AliasTable t;
+  ASSERT_TRUE(t.Build({3.0}).ok());
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+struct AliasCase {
+  std::vector<double> weights;
+  uint64_t seed;
+};
+
+class AliasTableDistribution : public ::testing::TestWithParam<AliasCase> {};
+
+TEST_P(AliasTableDistribution, MatchesTargetWithinChiSquare) {
+  const AliasCase& c = GetParam();
+  AliasTable t;
+  ASSERT_TRUE(t.Build(c.weights).ok());
+  Rng rng(c.seed);
+  const int kSamples = 200000;
+  std::vector<int> counts(c.weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[t.Sample(rng)];
+
+  double total_w = 0.0;
+  for (double w : c.weights) total_w += w;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < c.weights.size(); ++i) {
+    const double expected = kSamples * c.weights[i] / total_w;
+    if (expected < 1.0) {
+      EXPECT_LE(counts[i], 10);
+      continue;
+    }
+    const double d = counts[i] - expected;
+    chi2 += d * d / expected;
+  }
+  // Very generous chi-square bound: ~5x dof.
+  EXPECT_LT(chi2, 5.0 * static_cast<double>(c.weights.size()));
+  // Normalized probabilities should be exact.
+  for (size_t i = 0; i < c.weights.size(); ++i) {
+    EXPECT_NEAR(t.Probability(static_cast<uint32_t>(i)),
+                c.weights[i] / total_w, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, AliasTableDistribution,
+    ::testing::Values(AliasCase{{1.0, 1.0, 1.0, 1.0}, 1},
+                      AliasCase{{10.0, 1.0, 0.1}, 2},
+                      AliasCase{{0.5, 0.0, 0.5}, 3},
+                      AliasCase{{1e-6, 1.0, 1e6}, 4},
+                      AliasCase{{5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.25}, 5}));
+
+TEST(AliasTableTest, LargeZipfBuild) {
+  std::vector<double> w(100000);
+  for (size_t i = 0; i < w.size(); ++i) w[i] = 1.0 / std::pow(i + 1.0, 0.75);
+  AliasTable t;
+  ASSERT_TRUE(t.Build(w).ok());
+  Rng rng(6);
+  uint64_t head = 0;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) head += t.Sample(rng) < 100;
+  EXPECT_GT(head, static_cast<uint64_t>(kSamples) / 20);  // head is hot
+}
+
+// --------------------------- ThreadPool ---------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+// --------------------------- TopKSelector ---------------------------
+
+TEST(TopKTest, KeepsHighestScores) {
+  TopKSelector sel(3);
+  sel.Push(1.0f, 1);
+  sel.Push(5.0f, 5);
+  sel.Push(3.0f, 3);
+  sel.Push(2.0f, 2);
+  sel.Push(4.0f, 4);
+  const auto out = sel.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 5u);
+  EXPECT_EQ(out[1].id, 4u);
+  EXPECT_EQ(out[2].id, 3u);
+}
+
+TEST(TopKTest, FewerThanK) {
+  TopKSelector sel(10);
+  sel.Push(2.0f, 7);
+  sel.Push(1.0f, 9);
+  const auto out = sel.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 7u);
+}
+
+TEST(TopKTest, ZeroK) {
+  TopKSelector sel(0);
+  sel.Push(1.0f, 1);
+  EXPECT_TRUE(sel.Take().empty());
+}
+
+TEST(TopKTest, TieBreaksById) {
+  TopKSelector sel(2);
+  sel.Push(1.0f, 9);
+  sel.Push(1.0f, 3);
+  sel.Push(1.0f, 6);
+  const auto out = sel.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+}
+
+class TopKProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKProperty, MatchesFullSort) {
+  const int k = GetParam();
+  Rng rng(100 + k);
+  std::vector<ScoredId> all;
+  TopKSelector sel(static_cast<size_t>(k));
+  for (uint32_t i = 0; i < 500; ++i) {
+    const float s = rng.UniformFloat();
+    all.push_back({s, i});
+    sel.Push(s, i);
+  }
+  std::sort(all.begin(), all.end(), [](const ScoredId& a, const ScoredId& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  const auto got = sel.Take();
+  ASSERT_EQ(got.size(), std::min<size_t>(k, all.size()));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty, ::testing::Values(1, 5, 17, 100, 499));
+
+// --------------------------- strings ---------------------------
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("leaf_category_12", "leaf_"));
+  EXPECT_FALSE(StartsWith("leaf", "leaf_"));
+  EXPECT_TRUE(EndsWith("model.emb", ".emb"));
+  EXPECT_FALSE(EndsWith("emb", ".emb"));
+}
+
+TEST(StringUtilTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(25549673), "25,549,673");
+}
+
+// --------------------------- math ---------------------------
+
+TEST(MathTest, DotAxpyScale) {
+  float a[4] = {1, 2, 3, 4};
+  float b[4] = {4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(Dot(a, b, 4), 20.0f);
+  Axpy(2.0f, a, b, 4);
+  EXPECT_FLOAT_EQ(b[0], 6.0f);
+  EXPECT_FLOAT_EQ(b[3], 9.0f);
+  Scale(0.5f, a, 4);
+  EXPECT_FLOAT_EQ(a[3], 2.0f);
+  Zero(a, 4);
+  EXPECT_FLOAT_EQ(L2Norm(a, 4), 0.0f);
+}
+
+TEST(MathTest, CosineSimilarity) {
+  float a[2] = {1, 0};
+  float b[2] = {0, 1};
+  float c[2] = {2, 0};
+  float z[2] = {0, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b, 2), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c, 2), 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, z, 2), 0.0f);
+}
+
+TEST(MathTest, SigmoidTableMatchesExact) {
+  SigmoidTable table;
+  for (double x = -5.9; x < 5.9; x += 0.37) {
+    EXPECT_NEAR(table.Sigmoid(static_cast<float>(x)), SigmoidExact(x), 0.01)
+        << "x=" << x;
+  }
+  EXPECT_FLOAT_EQ(table.Sigmoid(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(table.Sigmoid(-100.0f), 0.0f);
+}
+
+// --------------------------- flags ---------------------------
+
+TEST(FlagParserTest, ParsesAllForms) {
+  // Note the greedy rule: `--flag token` binds the token as the flag's
+  // value, so bare boolean flags must use `=` or come last.
+  const char* argv[] = {"prog",       "--alpha=0.5", "--count", "7",
+                        "positional", "pos2",        "--verbose"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(7, argv).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 0.5);
+  EXPECT_EQ(flags.GetInt64("count", 0), 7);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"positional", "pos2"}));
+}
+
+TEST(FlagParserTest, GreedyValueBinding) {
+  const char* argv[] = {"prog", "--verbose", "pos"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  // "pos" was consumed as the value of --verbose.
+  EXPECT_EQ(flags.GetString("verbose", ""), "pos");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsentOrMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetInt64("n", 11), 11);      // unparsable -> default
+  EXPECT_EQ(flags.GetInt64("missing", 3), 3);  // absent -> default
+  EXPECT_EQ(flags.GetString("n", ""), "abc");  // raw string still available
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagParserTest, KnownFlagSchemaRejectsUnknown) {
+  const char* argv[] = {"prog", "--good=1", "--typo=2"};
+  FlagParser flags;
+  EXPECT_FALSE(flags.Parse(3, argv, {"good"}).ok());
+  EXPECT_TRUE(flags.Parse(3, argv, {"good", "typo"}).ok());
+  EXPECT_TRUE(flags.Parse(3, argv).ok());  // empty schema accepts anything
+}
+
+TEST(FlagParserTest, BoolForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false",
+                        "--e"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(6, argv).ok());
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", false));  // bare flag
+}
+
+TEST(FlagParserTest, FlagFollowedByFlagIsBoolean) {
+  const char* argv[] = {"prog", "--x", "--y", "value"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_TRUE(flags.GetBool("x", false));
+  EXPECT_EQ(flags.GetString("y", ""), "value");
+}
+
+TEST(FlagParserTest, EmptyNameRejected) {
+  const char* argv[] = {"prog", "--=v"};
+  FlagParser flags;
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+// --------------------------- env ---------------------------
+
+TEST(EnvUtilTest, DefaultsAndParsing) {
+  ::unsetenv("SISG_TEST_KNOB");
+  EXPECT_EQ(GetEnvInt64("SISG_TEST_KNOB", 7), 7);
+  ::setenv("SISG_TEST_KNOB", "42", 1);
+  EXPECT_EQ(GetEnvInt64("SISG_TEST_KNOB", 7), 42);
+  ::setenv("SISG_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SISG_TEST_KNOB", 0.0), 2.5);
+  ::setenv("SISG_TEST_KNOB", "junk", 1);
+  EXPECT_EQ(GetEnvInt64("SISG_TEST_KNOB", 7), 7);
+  EXPECT_EQ(GetEnvString("SISG_TEST_KNOB", ""), "junk");
+  ::unsetenv("SISG_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace sisg

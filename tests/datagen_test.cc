@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/catalog.h"
+#include "datagen/dataset.h"
+#include "datagen/feature_schema.h"
+#include "datagen/session_generator.h"
+#include "datagen/user_universe.h"
+
+namespace sisg {
+namespace {
+
+CatalogConfig SmallCatalogConfig() {
+  CatalogConfig c;
+  c.num_items = 600;
+  c.num_leaf_categories = 12;
+  c.leaves_per_top = 4;
+  c.num_shops = 60;
+  c.num_brands = 40;
+  c.num_cities = 8;
+  c.num_styles = 6;
+  c.num_materials = 5;
+  c.seed = 99;
+  return c;
+}
+
+// --------------------------- schema ---------------------------
+
+TEST(FeatureSchemaTest, NamesAndTokens) {
+  EXPECT_STREQ(ItemFeatureName(ItemFeatureKind::kLeafCategory), "leaf_category");
+  EXPECT_EQ(ItemFeatureToken(ItemFeatureKind::kLeafCategory, 1234),
+            "leaf_category_1234");
+  EXPECT_EQ(AllItemFeatureKinds().size(), static_cast<size_t>(kNumItemFeatures));
+}
+
+TEST(FeatureSchemaTest, ItemMetaFeatureAccessor) {
+  ItemMeta m;
+  m.brand = 7;
+  m.city = 3;
+  m.leaf_category = 11;
+  EXPECT_EQ(m.Feature(ItemFeatureKind::kBrand), 7u);
+  EXPECT_EQ(m.Feature(ItemFeatureKind::kCity), 3u);
+  EXPECT_EQ(m.Feature(ItemFeatureKind::kLeafCategory), 11u);
+}
+
+TEST(FeatureSchemaTest, AgpRoundTrip) {
+  for (int g = 0; g < kNumGenders; ++g) {
+    for (int a = 0; a < kNumAgeBuckets; ++a) {
+      for (int p = 0; p < kNumPurchaseLevels; ++p) {
+        int g2, a2, p2;
+        ItemCatalog::DecodeAgp(ItemCatalog::EncodeAgp(g, a, p), &g2, &a2, &p2);
+        EXPECT_EQ(g, g2);
+        EXPECT_EQ(a, a2);
+        EXPECT_EQ(p, p2);
+      }
+    }
+  }
+}
+
+// --------------------------- catalog ---------------------------
+
+TEST(CatalogTest, RejectsBadConfigs) {
+  ItemCatalog cat;
+  CatalogConfig c = SmallCatalogConfig();
+  c.num_items = 0;
+  EXPECT_FALSE(cat.Build(c).ok());
+  c = SmallCatalogConfig();
+  c.num_leaf_categories = 400;  // < 4 items per leaf
+  EXPECT_FALSE(cat.Build(c).ok());
+  c = SmallCatalogConfig();
+  c.num_brands = 0;
+  EXPECT_FALSE(cat.Build(c).ok());
+}
+
+class CatalogInvariants : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CatalogInvariants, StructureConsistent) {
+  CatalogConfig c = SmallCatalogConfig();
+  c.num_items = GetParam();
+  ItemCatalog cat;
+  ASSERT_TRUE(cat.Build(c).ok());
+  EXPECT_EQ(cat.num_items(), c.num_items);
+  EXPECT_EQ(cat.num_leaves(), c.num_leaf_categories);
+  EXPECT_EQ(cat.num_tops(), (c.num_leaf_categories + c.leaves_per_top - 1) /
+                                c.leaves_per_top);
+
+  uint32_t total = 0;
+  for (uint32_t leaf = 0; leaf < cat.num_leaves(); ++leaf) {
+    const auto& items = cat.LeafItems(leaf);
+    ASSERT_GE(items.size(), 4u);
+    total += items.size();
+    for (uint32_t r = 0; r < items.size(); ++r) {
+      const uint32_t item = items[r];
+      EXPECT_EQ(cat.meta(item).leaf_category, leaf);
+      EXPECT_EQ(cat.RankInLeaf(item), r);
+      EXPECT_EQ(cat.meta(item).top_level_category, leaf / c.leaves_per_top);
+      EXPECT_LT(cat.meta(item).brand, c.num_brands);
+      EXPECT_LT(cat.meta(item).shop, c.num_shops);
+      EXPECT_LT(cat.meta(item).city, c.num_cities);
+      EXPECT_LT(cat.meta(item).style, c.num_styles);
+      EXPECT_LT(cat.meta(item).material, c.num_materials);
+      EXPECT_GE(cat.Level(item), 0.0);
+      EXPECT_LT(cat.Level(item), 1.0);
+      EXPECT_GT(cat.Popularity(item), 0.0);
+    }
+  }
+  EXPECT_EQ(total, c.num_items);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CatalogInvariants,
+                         ::testing::Values(48u, 600u, 3000u));
+
+TEST(CatalogTest, LeafBrandIndexMatchesMeta) {
+  ItemCatalog cat;
+  ASSERT_TRUE(cat.Build(SmallCatalogConfig()).ok());
+  for (uint32_t item = 0; item < cat.num_items(); ++item) {
+    const ItemMeta& m = cat.meta(item);
+    const auto& pool = cat.LeafBrandItems(m.leaf_category, m.brand);
+    EXPECT_NE(std::find(pool.begin(), pool.end(), item), pool.end());
+  }
+  // Unknown brand in a leaf yields the empty list.
+  EXPECT_TRUE(cat.LeafBrandItems(0, 999999).empty());
+}
+
+TEST(CatalogTest, StartItemsRespectPurchaseBand) {
+  ItemCatalog cat;
+  CatalogConfig c = SmallCatalogConfig();
+  c.num_items = 2000;
+  c.num_leaf_categories = 4;  // big leaves for a clear band signal
+  ASSERT_TRUE(cat.Build(c).ok());
+  Rng rng(5);
+  double low_level = 0.0, high_level = 0.0;
+  const int kSamples = 3000;
+  for (int i = 0; i < kSamples; ++i) {
+    low_level += cat.Level(cat.SampleStartItem(0, 0, rng));
+    high_level += cat.Level(cat.SampleStartItem(0, 2, rng));
+  }
+  EXPECT_LT(low_level / kSamples + 0.15, high_level / kSamples);
+}
+
+TEST(CatalogTest, DeterministicAcrossBuilds) {
+  ItemCatalog a, b;
+  ASSERT_TRUE(a.Build(SmallCatalogConfig()).ok());
+  ASSERT_TRUE(b.Build(SmallCatalogConfig()).ok());
+  for (uint32_t i = 0; i < a.num_items(); ++i) {
+    EXPECT_EQ(a.meta(i).brand, b.meta(i).brand);
+    EXPECT_EQ(a.meta(i).shop, b.meta(i).shop);
+    EXPECT_DOUBLE_EQ(a.Popularity(i), b.Popularity(i));
+  }
+}
+
+TEST(CatalogTest, PopularityIsZipf) {
+  ItemCatalog cat;
+  ASSERT_TRUE(cat.Build(SmallCatalogConfig()).ok());
+  std::vector<double> pops;
+  for (uint32_t i = 0; i < cat.num_items(); ++i) pops.push_back(cat.Popularity(i));
+  std::sort(pops.begin(), pops.end(), std::greater<>());
+  EXPECT_GT(pops[0] / pops[99], 50.0);  // 1/r^0.9: rank1 vs rank100 ~ 63x
+}
+
+// --------------------------- user universe ---------------------------
+
+TEST(UserUniverseTest, BuildAndAccessors) {
+  UserUniverse users;
+  UserUniverseConfig c;
+  c.num_user_types = 300;
+  ASSERT_TRUE(users.Build(c, 8).ok());
+  EXPECT_EQ(users.num_types(), 300u);
+  for (uint32_t ut = 0; ut < users.num_types(); ++ut) {
+    const UserType& t = users.type(ut);
+    EXPECT_LT(t.gender, kNumGenders);
+    EXPECT_LT(t.age_bucket, kNumAgeBuckets);
+    EXPECT_LT(t.purchase_level, kNumPurchaseLevels);
+    EXPECT_EQ(t.preferred_tops.size(), 3u);
+    std::set<uint32_t> distinct(t.preferred_tops.begin(), t.preferred_tops.end());
+    EXPECT_EQ(distinct.size(), t.preferred_tops.size());
+    for (uint32_t top : t.preferred_tops) EXPECT_LT(top, 8u);
+  }
+}
+
+TEST(UserUniverseTest, TypeTokenFormat) {
+  UserUniverse users;
+  UserUniverseConfig c;
+  c.num_user_types = 80;
+  ASSERT_TRUE(users.Build(c, 4).ok());
+  std::set<std::string> tokens;
+  for (uint32_t ut = 0; ut < users.num_types(); ++ut) {
+    const std::string tok = users.TypeToken(ut);
+    EXPECT_EQ(tok.rfind("usertype_", 0), 0u) << tok;
+    tokens.insert(tok);
+  }
+  // Tokens are not guaranteed globally unique (tag masks are random), but
+  // most should differ.
+  EXPECT_GT(tokens.size(), 50u);
+}
+
+TEST(UserUniverseTest, MatchTypesWildcard) {
+  UserUniverse users;
+  UserUniverseConfig c;
+  c.num_user_types = 200;
+  ASSERT_TRUE(users.Build(c, 4).ok());
+  const auto all = users.MatchTypes(-1, -1, -1);
+  EXPECT_EQ(all.size(), 200u);
+  const auto female = users.MatchTypes(0, -1, -1);
+  EXPECT_GT(female.size(), 0u);
+  EXPECT_LT(female.size(), all.size());
+  for (uint32_t ut : female) EXPECT_EQ(users.type(ut).gender, 0);
+  const auto narrow = users.MatchTypes(1, 2, 1);
+  for (uint32_t ut : narrow) {
+    EXPECT_EQ(users.type(ut).gender, 1);
+    EXPECT_EQ(users.type(ut).age_bucket, 2);
+    EXPECT_EQ(users.type(ut).purchase_level, 1);
+  }
+}
+
+TEST(UserUniverseTest, GenderShapesPreferences) {
+  UserUniverse users;
+  UserUniverseConfig c;
+  c.num_user_types = 400;
+  const uint32_t kTops = 12;
+  ASSERT_TRUE(users.Build(c, kTops).ok());
+  // Average first-preference histogram per gender should differ.
+  std::vector<std::vector<int>> hist(kNumGenders, std::vector<int>(kTops, 0));
+  for (uint32_t ut = 0; ut < users.num_types(); ++ut) {
+    ++hist[users.type(ut).gender][users.type(ut).preferred_tops[0]];
+  }
+  int diff = 0;
+  for (uint32_t t = 0; t < kTops; ++t) diff += std::abs(hist[0][t] - hist[1][t]);
+  EXPECT_GT(diff, 40);
+}
+
+// --------------------------- session generator ---------------------------
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.Build(SmallCatalogConfig()).ok());
+    UserUniverseConfig uc;
+    uc.num_user_types = 120;
+    ASSERT_TRUE(users_.Build(uc, catalog_.num_tops()).ok());
+  }
+  ItemCatalog catalog_;
+  UserUniverse users_;
+};
+
+TEST_F(SessionFixture, SessionsWellFormed) {
+  SessionModelConfig mc;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  const auto sessions = gen.GenerateSessions(500);
+  ASSERT_EQ(sessions.size(), 500u);
+  for (const Session& s : sessions) {
+    EXPECT_GE(s.items.size(), mc.min_len);
+    EXPECT_LE(s.items.size(), mc.max_len);
+    EXPECT_LT(s.user_type, users_.num_types());
+    for (uint32_t it : s.items) EXPECT_LT(it, catalog_.num_items());
+  }
+}
+
+TEST_F(SessionFixture, DeterministicBySeed) {
+  SessionModelConfig mc;
+  SessionGenerator g1(&catalog_, &users_, mc);
+  SessionGenerator g2(&catalog_, &users_, mc);
+  const auto a = g1.GenerateSessions(50);
+  const auto b = g2.GenerateSessions(50);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_type, b[i].user_type);
+    EXPECT_EQ(a[i].items, b[i].items);
+  }
+}
+
+TEST_F(SessionFixture, CoClickGraphSharedAcrossSessionSeeds) {
+  SessionModelConfig m1, m2;
+  m2.seed = m1.seed + 1234567;
+  SessionGenerator g1(&catalog_, &users_, m1);
+  SessionGenerator g2(&catalog_, &users_, m2);
+  for (uint32_t item = 0; item < catalog_.num_items(); item += 17) {
+    EXPECT_EQ(g1.Successors(item), g2.Successors(item));
+  }
+}
+
+TEST_F(SessionFixture, SuccessorsStayInLeaf) {
+  SessionModelConfig mc;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  for (uint32_t item = 0; item < catalog_.num_items(); ++item) {
+    const auto& succ = gen.Successors(item);
+    EXPECT_GE(succ.size(), 1u);
+    EXPECT_LE(succ.size(), mc.successors_per_item);
+    std::set<uint32_t> distinct(succ.begin(), succ.end());
+    EXPECT_EQ(distinct.size(), succ.size());
+    for (uint32_t s : succ) {
+      EXPECT_NE(s, item);
+      EXPECT_EQ(catalog_.meta(s).leaf_category, catalog_.meta(item).leaf_category);
+    }
+  }
+}
+
+TEST_F(SessionFixture, MostTransitionsFollowGroundTruthEdges) {
+  SessionModelConfig mc;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  const auto sessions = gen.GenerateSessions(800);
+  uint64_t on_edge = 0, total = 0;
+  for (const Session& s : sessions) {
+    for (size_t i = 0; i + 1 < s.items.size(); ++i) {
+      const auto& succ = gen.Successors(s.items[i]);
+      const auto& pred = gen.Predecessors(s.items[i]);
+      const uint32_t next = s.items[i + 1];
+      const bool edge =
+          std::find(succ.begin(), succ.end(), next) != succ.end() ||
+          std::find(pred.begin(), pred.end(), next) != pred.end();
+      on_edge += edge;
+      ++total;
+    }
+  }
+  // stay_in_leaf_prob of transitions should follow graph edges.
+  EXPECT_GT(static_cast<double>(on_edge) / total, 0.8);
+}
+
+TEST_F(SessionFixture, WithinLeafDistributionMatchesMonteCarlo) {
+  SessionModelConfig mc;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  const uint32_t cur = catalog_.LeafItems(3)[5];
+  const uint32_t ut = 17;
+  const auto dist = gen.WithinLeafNextDistribution(cur, ut);
+  ASSERT_FALSE(dist.empty());
+  double mass = 0.0;
+  for (const auto& [item, p] : dist) mass += p;
+  EXPECT_NEAR(mass, mc.stay_in_leaf_prob, 1e-9);
+
+  // Monte Carlo of SampleNext restricted to same-leaf outcomes.
+  Rng rng(42);
+  std::unordered_map<uint32_t, int> counts;
+  const int kSamples = 200000;
+  int in_leaf = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint32_t nxt = gen.SampleNext(cur, ut, rng);
+    if (catalog_.meta(nxt).leaf_category == catalog_.meta(cur).leaf_category) {
+      ++counts[nxt];
+      ++in_leaf;
+    }
+  }
+  // Note: leaf-switch restarts can land back in the same leaf, inflating
+  // in-leaf mass slightly above stay_in_leaf_prob; compare shapes on the
+  // top entries instead of exact mass.
+  for (size_t i = 0; i < std::min<size_t>(5, dist.size()); ++i) {
+    const double expected = dist[i].second * kSamples;
+    if (expected < 200) continue;
+    EXPECT_NEAR(counts[dist[i].first], expected, 0.25 * expected + 60)
+        << "item " << dist[i].first;
+  }
+  EXPECT_GE(in_leaf, static_cast<int>(kSamples * mc.stay_in_leaf_prob * 0.95));
+}
+
+TEST_F(SessionFixture, AsymmetryRateIsSubstantial) {
+  SessionModelConfig mc;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  const auto sessions = gen.GenerateSessions(4000);
+  const double rate = SessionGenerator::MeasureAsymmetryRate(sessions);
+  // The paper quotes ~20% of pairs significantly asymmetric; our directed
+  // co-click world is far above that floor.
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST_F(SessionFixture, DemographicsShiftSuccessorChoice) {
+  SessionModelConfig mc;
+  mc.demo_affinity = 3.0;
+  SessionGenerator gen(&catalog_, &users_, mc);
+  // Find two user types with different purchase levels and compare the
+  // ground-truth next distribution of the same item.
+  int ut_low = -1, ut_high = -1;
+  for (uint32_t ut = 0; ut < users_.num_types(); ++ut) {
+    if (users_.type(ut).purchase_level == 0 && ut_low < 0) ut_low = ut;
+    if (users_.type(ut).purchase_level == 2 && ut_high < 0) ut_high = ut;
+  }
+  ASSERT_GE(ut_low, 0);
+  ASSERT_GE(ut_high, 0);
+  int differing = 0;
+  for (uint32_t item = 0; item < catalog_.num_items(); item += 7) {
+    const auto a = gen.WithinLeafNextDistribution(item, ut_low);
+    const auto b = gen.WithinLeafNextDistribution(item, ut_high);
+    if (!a.empty() && !b.empty() && a[0].first != b[0].first) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+// --------------------------- dataset ---------------------------
+
+DatasetSpec SmallSpec() {
+  DatasetSpec spec;
+  spec.name = "UnitTest";
+  spec.catalog = SmallCatalogConfig();
+  spec.users.num_user_types = 120;
+  spec.num_train_sessions = 800;
+  spec.num_test_sessions = 100;
+  return spec;
+}
+
+TEST(DatasetTest, GenerateAndStats) {
+  auto ds = SyntheticDataset::Generate(SmallSpec());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->train_sessions().size(), 800u);
+  EXPECT_EQ(ds->test_sessions().size(), 100u);
+  // Train and test must come from different draws.
+  EXPECT_NE(ds->train_sessions()[0].items, ds->test_sessions()[0].items);
+
+  const DatasetStats stats = ComputeDatasetStats(*ds, 4, 20);
+  EXPECT_GT(stats.num_items, 100u);
+  EXPECT_LE(stats.num_items, 600u);
+  EXPECT_EQ(stats.num_si_kinds, 8u);
+  EXPECT_GT(stats.num_user_types, 10u);
+  // tokens = clicks * 9 + sessions.
+  uint64_t clicks = 0;
+  for (const auto& s : ds->train_sessions()) clicks += s.items.size();
+  EXPECT_EQ(stats.num_tokens, clicks * 9 + 800);
+  EXPECT_EQ(stats.num_training_pairs, stats.num_positive_pairs * 21);
+  EXPECT_GT(stats.asymmetry_rate, 0.1);
+}
+
+TEST(DatasetTest, SessionTextRoundTrip) {
+  auto ds = SyntheticDataset::Generate(SmallSpec());
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/sessions.txt";
+  ASSERT_TRUE(
+      WriteSessionsText(ds->train_sessions(), ds->users(), path).ok());
+  auto loaded = ReadSessionsText(ds->users(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), ds->train_sessions().size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].items, ds->train_sessions()[i].items);
+    // User types round-trip through tokens; types with identical tokens may
+    // alias, so compare tokens.
+    EXPECT_EQ(ds->users().TypeToken((*loaded)[i].user_type),
+              ds->users().TypeToken(ds->train_sessions()[i].user_type));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, ReadRejectsCorruptFiles) {
+  auto ds = SyntheticDataset::Generate(SmallSpec());
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/bad_sessions.txt";
+
+  {  // missing tab
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("no_tab_here 1 2 3\n", f);
+    std::fclose(f);
+    EXPECT_EQ(ReadSessionsText(ds->users(), path).status().code(),
+              StatusCode::kCorruption);
+  }
+  {  // unknown user type
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("usertype_X_unknown\t1 2 3\n", f);
+    std::fclose(f);
+    EXPECT_EQ(ReadSessionsText(ds->users(), path).status().code(),
+              StatusCode::kCorruption);
+  }
+  {  // bad item id
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string line = ds->users().TypeToken(0) + "\t1 2x 3\n";
+    std::fputs(line.c_str(), f);
+    std::fclose(f);
+    EXPECT_EQ(ReadSessionsText(ds->users(), path).status().code(),
+              StatusCode::kCorruption);
+  }
+  EXPECT_EQ(ReadSessionsText(ds->users(), "/nonexistent/file").status().code(),
+            StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sisg

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "core/matching_engine.h"
+#include "datagen/dataset.h"
+#include "eges/eges.h"
+#include "eval/hitrate.h"
+
+namespace sisg {
+namespace {
+
+class EgesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetSpec spec;
+    spec.catalog.num_items = 500;
+    spec.catalog.num_leaf_categories = 10;
+    spec.catalog.num_shops = 40;
+    spec.catalog.num_brands = 30;
+    spec.users.num_user_types = 60;
+    spec.num_train_sessions = 2500;
+    spec.num_test_sessions = 400;
+    auto ds = SyntheticDataset::Generate(spec);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<SyntheticDataset>(std::move(ds).value());
+  }
+
+  std::unique_ptr<SyntheticDataset> dataset_;
+};
+
+TEST_F(EgesFixture, ModelInitShapes) {
+  EgesModel m;
+  ASSERT_TRUE(m.Init(dataset_->catalog(), 16, 1).ok());
+  EXPECT_EQ(m.num_items(), 500u);
+  EXPECT_EQ(m.dim(), 16u);
+  EXPECT_FALSE(m.Init(dataset_->catalog(), 0, 1).ok());
+  // Attention warm start: item slot dominates but SI is present.
+  const float* a = m.Attention(0);
+  EXPECT_GT(a[0], a[1]);
+  for (int j = 1; j <= kNumItemFeatures; ++j) EXPECT_FLOAT_EQ(a[j], 0.0f);
+}
+
+TEST_F(EgesFixture, AggregatedEmbeddingIsConvexCombination) {
+  EgesModel m;
+  ASSERT_TRUE(m.Init(dataset_->catalog(), 8, 2).ok());
+  const uint32_t item = 42;
+  std::vector<float> h(8);
+  m.AggregatedEmbedding(item, dataset_->catalog(), h.data());
+
+  // Reconstruct by hand from the softmax weights.
+  const ItemMeta& meta = dataset_->catalog().meta(item);
+  const float* a = m.Attention(item);
+  double wsum = 0.0;
+  std::vector<double> w(1 + kNumItemFeatures);
+  for (int j = 0; j <= kNumItemFeatures; ++j) {
+    w[j] = std::exp(static_cast<double>(a[j]));
+    wsum += w[j];
+  }
+  for (uint32_t d = 0; d < 8; ++d) {
+    double expected = w[0] / wsum * m.ItemEmbedding(item)[d];
+    for (ItemFeatureKind kind : AllItemFeatureKinds()) {
+      const int j = static_cast<int>(kind) + 1;
+      expected += w[j] / wsum * m.SiEmbedding(kind, meta.Feature(kind))[d];
+    }
+    EXPECT_NEAR(h[d], expected, 1e-5);
+  }
+}
+
+TEST_F(EgesFixture, AllAggregatedEmbeddingsMatchSingle) {
+  EgesModel m;
+  ASSERT_TRUE(m.Init(dataset_->catalog(), 8, 3).ok());
+  const auto all = m.AllAggregatedEmbeddings(dataset_->catalog());
+  ASSERT_EQ(all.size(), 500u * 8);
+  std::vector<float> h(8);
+  for (uint32_t item : {0u, 123u, 499u}) {
+    m.AggregatedEmbedding(item, dataset_->catalog(), h.data());
+    for (uint32_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(all[item * 8 + d], h[d]);
+    }
+  }
+}
+
+TEST_F(EgesFixture, TrainRejectsBadInput) {
+  EgesTrainer trainer(EgesOptions{});
+  EgesModel m;
+  EXPECT_FALSE(trainer.Train({}, dataset_->catalog(), &m).ok());
+  EXPECT_FALSE(
+      trainer.Train(dataset_->train_sessions(), dataset_->catalog(), nullptr)
+          .ok());
+}
+
+TEST_F(EgesFixture, TrainingBeatsUntrainedAtRetrieval) {
+  EgesOptions opts;
+  opts.dim = 32;
+  opts.epochs = 4;
+  opts.negatives = 5;
+  opts.walks_per_node = 4;
+  EgesTrainer trainer(opts);
+  EgesModel trained, untrained;
+  ASSERT_TRUE(
+      trainer.Train(dataset_->train_sessions(), dataset_->catalog(), &trained)
+          .ok());
+  ASSERT_TRUE(untrained.Init(dataset_->catalog(), 32, opts.seed).ok());
+
+  auto hr20 = [&](const EgesModel& m) {
+    MatchingEngine engine;
+    EXPECT_TRUE(engine
+                    .Build(m.AllAggregatedEmbeddings(dataset_->catalog()), {},
+                           dataset_->catalog().num_items(), 32,
+                           SimilarityMode::kCosineInput)
+                    .ok());
+    auto res = EvaluateHitRate(
+        dataset_->test_sessions(),
+        [&](uint32_t item, uint32_t k) { return engine.Query(item, k); }, {20});
+    return res.hit_rate[0];
+  };
+  const double hr_trained = hr20(trained);
+  const double hr_untrained = hr20(untrained);
+  EXPECT_GT(hr_trained, 0.08);
+  EXPECT_GT(hr_trained, 4 * hr_untrained + 0.02);
+}
+
+TEST_F(EgesFixture, AttentionAdaptsDuringTraining) {
+  EgesOptions opts;
+  opts.dim = 16;
+  opts.epochs = 2;
+  opts.negatives = 5;
+  opts.walks_per_node = 2;
+  EgesTrainer trainer(opts);
+  EgesModel m;
+  ASSERT_TRUE(
+      trainer.Train(dataset_->train_sessions(), dataset_->catalog(), &m).ok());
+  // At least some items' attention logits moved away from the warm start.
+  int moved = 0;
+  for (uint32_t item = 0; item < m.num_items(); ++item) {
+    const float* a = m.Attention(item);
+    for (int j = 1; j <= kNumItemFeatures; ++j) {
+      if (std::abs(a[j]) > 1e-3) {
+        ++moved;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(moved, static_cast<int>(m.num_items() / 4));
+}
+
+}  // namespace
+}  // namespace sisg

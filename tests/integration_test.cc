@@ -1,0 +1,151 @@
+// End-to-end integration tests: the full matching pipeline on a small
+// synthetic Taobao, checking the paper's qualitative claims hold end to end
+// (Table III ordering on a reduced scale, cold start, distributed parity).
+
+#include <gtest/gtest.h>
+
+#include "cf/item_cf.h"
+#include "core/cold_start.h"
+#include "core/pipeline.h"
+#include "datagen/dataset.h"
+#include "eval/ctr_simulator.h"
+#include "eval/hitrate.h"
+
+namespace sisg {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec;
+    spec.name = "IntegrationSyn";
+    spec.catalog.num_items = 2000;
+    spec.catalog.num_leaf_categories = 10;
+    spec.catalog.leaves_per_top = 4;
+    spec.catalog.num_shops = 150;
+    spec.catalog.num_brands = 80;
+    spec.catalog.brands_per_leaf = 10;
+    spec.users.num_user_types = 120;
+    spec.num_train_sessions = 6000;
+    spec.num_test_sessions = 800;
+    auto ds = SyntheticDataset::Generate(spec);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = new SyntheticDataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static double Hr(SisgVariant variant, uint32_t k, uint32_t epochs,
+                   bool distributed = false) {
+    SisgConfig c;
+    c.variant = variant;
+    c.sgns.dim = 32;
+    c.sgns.epochs = epochs;
+    c.sgns.negatives = 5;
+    c.distributed = distributed;
+    c.dist.num_workers = 4;
+    SisgPipeline pipeline(c);
+    auto model = pipeline.Train(*dataset_);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    auto engine = model->BuildMatchingEngine();
+    EXPECT_TRUE(engine.ok());
+    const auto res = EvaluateHitRate(
+        dataset_->test_sessions(),
+        [&](uint32_t item, uint32_t kk) { return engine->Query(item, kk); }, {k});
+    return res.hit_rate[0];
+  }
+
+  static SyntheticDataset* dataset_;
+};
+
+SyntheticDataset* IntegrationFixture::dataset_ = nullptr;
+
+TEST_F(IntegrationFixture, SisgFudBeatsSisgFuBeatsSgns) {
+  // HR@5 is below the saturation regime on this small corpus, where the
+  // directional advantage is visible (Table III's ordering).
+  const double sgns = Hr(SisgVariant::kSgns, 5, 16);
+  const double fu = Hr(SisgVariant::kSisgFU, 5, 16);
+  const double fud = Hr(SisgVariant::kSisgFUD, 5, 16);
+  EXPECT_GT(sgns, 0.05);  // the baseline itself must work
+  // Table III ordering, reduced scale: SI+UT helps, directionality helps more.
+  EXPECT_GT(fu, sgns * 1.02) << "SI + user types should improve over SGNS";
+  EXPECT_GT(fud, fu * 1.05) << "directional training should improve further";
+}
+
+TEST_F(IntegrationFixture, DistributedMatchesLocalQuality) {
+  const double local = Hr(SisgVariant::kSisgFU, 20, 8, /*distributed=*/false);
+  const double dist = Hr(SisgVariant::kSisgFU, 20, 8, /*distributed=*/true);
+  EXPECT_GT(dist, 0.7 * local);
+}
+
+TEST_F(IntegrationFixture, SisgBeatsCfOnSimulatedCtr) {
+  // Figure 3's claim at reduced scale: SISG-F-U-D candidates earn a higher
+  // simulated CTR than tuned CF candidates under the same click model.
+  SisgConfig c;
+  c.variant = SisgVariant::kSisgFUD;
+  c.sgns.dim = 32;
+  c.sgns.epochs = 12;
+  c.sgns.negatives = 5;
+  SisgPipeline pipeline(c);
+  auto model = pipeline.Train(*dataset_);
+  ASSERT_TRUE(model.ok());
+  auto engine = model->BuildMatchingEngine();
+  ASSERT_TRUE(engine.ok());
+
+  ItemCf cf;
+  ItemCfOptions cfo;
+  ASSERT_TRUE(
+      cf.Build(dataset_->train_sessions(), dataset_->catalog().num_items(), cfo)
+          .ok());
+
+  CtrSimOptions opts;
+  opts.num_days = 4;
+  opts.impressions_per_day = 4000;
+  const CtrSeries sisg_ctr = SimulateCtr(
+      *dataset_,
+      [&](uint32_t item, uint32_t k) { return engine->Query(item, k); }, opts);
+  const CtrSeries cf_ctr = SimulateCtr(
+      *dataset_, [&](uint32_t item, uint32_t k) { return cf.Query(item, k); },
+      opts);
+  EXPECT_GT(sisg_ctr.mean_ctr, 0.05);
+  EXPECT_GT(cf_ctr.mean_ctr, 0.05);
+  // On this small DENSE corpus CF's memorization is near its ceiling, so we
+  // only require SISG to be competitive here; the paper's ~+10% win shows up
+  // in the sparse regime exercised by bench_fig3_online_ctr.
+  EXPECT_GT(sisg_ctr.mean_ctr, cf_ctr.mean_ctr * 0.7);
+}
+
+TEST_F(IntegrationFixture, ColdStartItemRecommendationsAreUsable) {
+  SisgConfig c;
+  c.variant = SisgVariant::kSisgFU;
+  c.sgns.dim = 32;
+  c.sgns.epochs = 8;
+  c.sgns.negatives = 5;
+  SisgPipeline pipeline(c);
+  auto model = pipeline.Train(*dataset_);
+  ASSERT_TRUE(model.ok());
+  auto engine = model->BuildMatchingEngine();
+  ASSERT_TRUE(engine.ok());
+
+  // Treat trained items as "cold" and check Eq. 6 retrieval stays on
+  // category far above the 10% chance rate.
+  int same_leaf = 0, total = 0;
+  for (uint32_t item = 0; item < 100; ++item) {
+    std::vector<float> v;
+    if (!InferColdItemVector(*model, dataset_->catalog().meta(item), &v).ok()) {
+      continue;
+    }
+    for (const auto& r : engine->QueryVector(v.data(), 20)) {
+      same_leaf += dataset_->catalog().meta(r.id).leaf_category ==
+                   dataset_->catalog().meta(item).leaf_category;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 500);
+  EXPECT_GT(static_cast<double>(same_leaf) / total, 0.6);
+}
+
+}  // namespace
+}  // namespace sisg

@@ -1,0 +1,115 @@
+// sisg_query — loads a model saved by sisg_train and serves top-K queries:
+// per-item lookups, a full candidate-table export, or cold-start inference.
+//
+//   sisg_query --model /tmp/model --variant sisg-f-u-d --k 10 42 99 7
+//   sisg_query --model /tmp/model --candidates /tmp/i2i.tsv --k 200
+//   sisg_query --model /tmp/model --cold_gender F --cold_age 2
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/candidate_table.h"
+#include "core/cold_start.h"
+#include "core/pipeline.h"
+#include "tools/tool_common.h"
+
+using namespace sisg;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  const auto known = tools::WithWorldFlags(
+      {"model", "variant", "k", "candidates", "threads", "cold_gender",
+       "cold_age", "cold_purchase", "help"});
+  if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("model")) {
+    std::cout << "usage: sisg_query --model PREFIX [--variant sisg-f-u-d] "
+                 "[--k 10] [item ids...]\n"
+                 "  --candidates FILE   export the full item->top-K table\n"
+                 "  --cold_gender F|M [--cold_age 0-6] [--cold_purchase 0-2]\n"
+                 "  [world flags matching sisg_train]\n";
+    return flags.Has("model") ? 0 : 2;
+  }
+
+  const DatasetSpec spec = tools::SpecFromFlags(flags);
+  ItemCatalog catalog;
+  UserUniverse users;
+  if (auto st = catalog.Build(spec.catalog); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (auto st = users.Build(spec.users, catalog.num_tops()); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  SisgConfig config;
+  config.variant = flags.GetString("variant", "sisg-f-u-d") == "sisg-f-u-d"
+                       ? SisgVariant::kSisgFUD
+                       : SisgVariant::kSisgFU;
+  TokenSpace ts = TokenSpace::Create(&catalog, &users);
+  auto model = SisgModel::Load(flags.GetString("model", ""), config, ts);
+  if (!model.ok()) {
+    std::cerr << "load failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
+  auto engine = model->BuildMatchingEngine();
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt64("k", 10));
+
+  if (flags.Has("candidates")) {
+    CandidateTable table;
+    if (auto st = table.Build(*engine, k,
+                              static_cast<uint32_t>(flags.GetInt64("threads", 1)));
+        !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    const std::string path = flags.GetString("candidates", "candidates.tsv");
+    if (auto st = table.SaveText(path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "exported top-" << k << " candidates for "
+              << table.num_items() << " items to " << path << "\n";
+    return 0;
+  }
+
+  if (flags.Has("cold_gender")) {
+    const std::string g = flags.GetString("cold_gender", "F");
+    const int gender = g == "F" ? 0 : (g == "M" ? 1 : 2);
+    std::vector<float> v;
+    if (auto st = InferColdUserVector(
+            *model, users, gender,
+            static_cast<int>(flags.GetInt64("cold_age", -1)),
+            static_cast<int>(flags.GetInt64("cold_purchase", -1)), &v);
+        !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "cold-user top-" << k << ":";
+    for (const auto& r : engine->QueryVector(v.data(), k)) {
+      std::cout << " item_" << r.id;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  for (const std::string& arg : flags.positional()) {
+    const uint32_t item = static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    std::cout << "item_" << item << " ->";
+    const auto res = engine->Query(item, k);
+    if (res.empty()) std::cout << " (untrained or unknown item)";
+    for (const auto& r : res) {
+      std::cout << " item_" << r.id << ":" << r.score;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

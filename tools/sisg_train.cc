@@ -1,0 +1,117 @@
+// sisg_train — trains a SISG model on a session file written by
+// sisg_datagen and saves it (binary model + optional word2vec text export).
+//
+//   sisg_train --input /tmp/sessions.txt --model /tmp/model \
+//              --variant sisg-f-u-d --dim 64 --epochs 20 [world flags]
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "tools/tool_common.h"
+
+using namespace sisg;
+
+namespace {
+
+StatusOr<SisgVariant> VariantFromName(const std::string& name) {
+  if (name == "sgns") return SisgVariant::kSgns;
+  if (name == "sisg-f") return SisgVariant::kSisgF;
+  if (name == "sisg-u") return SisgVariant::kSisgU;
+  if (name == "sisg-f-u") return SisgVariant::kSisgFU;
+  if (name == "sisg-f-u-d") return SisgVariant::kSisgFUD;
+  return Status::InvalidArgument("unknown variant: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  const auto known = tools::WithWorldFlags(
+      {"input", "model", "variant", "dim", "epochs", "negatives", "window",
+       "min_count", "threads", "distributed", "workers", "export_text",
+       "help"});
+  if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("input")) {
+    std::cout << "usage: sisg_train --input SESSIONS --model PREFIX\n"
+                 "  [--variant sgns|sisg-f|sisg-u|sisg-f-u|sisg-f-u-d]\n"
+                 "  [--dim 64] [--epochs 20] [--negatives 10] [--window 4]\n"
+                 "  [--min_count 1] [--threads 1]\n"
+                 "  [--distributed] [--workers 8] [--export_text FILE]\n"
+                 "  [world flags matching sisg_datagen]\n";
+    return flags.Has("input") ? 0 : 2;
+  }
+
+  // Rebuild the world and parse the sessions.
+  const DatasetSpec spec = tools::SpecFromFlags(flags);
+  ItemCatalog catalog;
+  if (auto st = catalog.Build(spec.catalog); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  UserUniverse users;
+  if (auto st = users.Build(spec.users, catalog.num_tops()); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  auto sessions = ReadSessionsText(users, flags.GetString("input", ""));
+  if (!sessions.ok()) {
+    std::cerr << sessions.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "read " << sessions->size() << " sessions\n";
+
+  auto variant = VariantFromName(flags.GetString("variant", "sisg-f-u-d"));
+  if (!variant.ok()) {
+    std::cerr << variant.status().ToString() << "\n";
+    return 2;
+  }
+  SisgConfig config;
+  config.variant = *variant;
+  config.sgns.dim = static_cast<uint32_t>(flags.GetInt64("dim", 64));
+  config.sgns.epochs = static_cast<uint32_t>(flags.GetInt64("epochs", 20));
+  config.sgns.negatives =
+      static_cast<uint32_t>(flags.GetInt64("negatives", 10));
+  config.sgns.window.window =
+      static_cast<uint32_t>(flags.GetInt64("window", 4));
+  config.sgns.num_threads =
+      static_cast<uint32_t>(flags.GetInt64("threads", 1));
+  config.min_count = static_cast<uint32_t>(flags.GetInt64("min_count", 1));
+  config.distributed = flags.GetBool("distributed", false);
+  config.dist.num_workers =
+      static_cast<uint32_t>(flags.GetInt64("workers", 8));
+
+  SisgPipeline pipeline(config);
+  PipelineReport report;
+  auto model = pipeline.Train(*sessions, catalog, users, &report);
+  if (!model.ok()) {
+    std::cerr << "training failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "trained " << report.vocab_size << " vectors, "
+            << report.train.pairs_trained << " pairs, "
+            << report.train.seconds << "s\n";
+  if (config.distributed) {
+    std::cout << "remote pair fraction " << report.comm.RemoteFraction()
+              << ", load imbalance " << report.comm.LoadImbalance() << "\n";
+  }
+
+  const std::string prefix = flags.GetString("model", "sisg_model");
+  if (auto st = model->Save(prefix); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "saved " << prefix << ".{vocab,emb}\n";
+  if (flags.Has("export_text")) {
+    const std::string path = flags.GetString("export_text", "vectors.txt");
+    if (auto st = model->ExportText(path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "exported word2vec text to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef SISG_TOOLS_TOOL_COMMON_H_
+#define SISG_TOOLS_TOOL_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "datagen/dataset.h"
+
+namespace sisg::tools {
+
+/// The world-spec flags shared by all tools. The catalog and user universe
+/// are deterministic functions of these, so sisg_datagen / sisg_train /
+/// sisg_query agree on the world as long as the flags match.
+inline const std::vector<std::string> kWorldFlags = {
+    "items", "leaves", "shops", "brands", "cities", "user_types", "world_seed"};
+
+inline DatasetSpec SpecFromFlags(const FlagParser& flags) {
+  DatasetSpec spec;
+  spec.catalog.num_items =
+      static_cast<uint32_t>(flags.GetInt64("items", 8000));
+  spec.catalog.num_leaf_categories =
+      static_cast<uint32_t>(flags.GetInt64("leaves", 32));
+  spec.catalog.num_shops = static_cast<uint32_t>(flags.GetInt64("shops", 600));
+  spec.catalog.num_brands =
+      static_cast<uint32_t>(flags.GetInt64("brands", 300));
+  spec.catalog.num_cities = static_cast<uint32_t>(flags.GetInt64("cities", 32));
+  spec.catalog.seed =
+      static_cast<uint64_t>(flags.GetInt64("world_seed", 42));
+  spec.users.num_user_types =
+      static_cast<uint32_t>(flags.GetInt64("user_types", 500));
+  return spec;
+}
+
+/// Appends the world flags to a tool's own known-flags list.
+inline std::vector<std::string> WithWorldFlags(std::vector<std::string> own) {
+  own.insert(own.end(), kWorldFlags.begin(), kWorldFlags.end());
+  return own;
+}
+
+}  // namespace sisg::tools
+
+#endif  // SISG_TOOLS_TOOL_COMMON_H_
