@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dist.dir/bench_ablation_dist.cc.o"
+  "CMakeFiles/bench_ablation_dist.dir/bench_ablation_dist.cc.o.d"
+  "bench_ablation_dist"
+  "bench_ablation_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cold_users.dir/bench_fig4_cold_users.cc.o"
+  "CMakeFiles/bench_fig4_cold_users.dir/bench_fig4_cold_users.cc.o.d"
+  "bench_fig4_cold_users"
+  "bench_fig4_cold_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cold_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

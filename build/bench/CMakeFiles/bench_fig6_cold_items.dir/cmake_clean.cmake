@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cold_items.dir/bench_fig6_cold_items.cc.o"
+  "CMakeFiles/bench_fig6_cold_items.dir/bench_fig6_cold_items.cc.o.d"
+  "bench_fig6_cold_items"
+  "bench_fig6_cold_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cold_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

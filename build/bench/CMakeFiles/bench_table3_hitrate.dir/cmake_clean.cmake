@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hitrate.dir/bench_table3_hitrate.cc.o"
+  "CMakeFiles/bench_table3_hitrate.dir/bench_table3_hitrate.cc.o.d"
+  "bench_table3_hitrate"
+  "bench_table3_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

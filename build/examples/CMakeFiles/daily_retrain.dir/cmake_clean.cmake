@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_retrain.dir/daily_retrain.cpp.o"
+  "CMakeFiles/daily_retrain.dir/daily_retrain.cpp.o.d"
+  "daily_retrain"
+  "daily_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

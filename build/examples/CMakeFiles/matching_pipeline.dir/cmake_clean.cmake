@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_pipeline.dir/matching_pipeline.cpp.o"
+  "CMakeFiles/matching_pipeline.dir/matching_pipeline.cpp.o.d"
+  "matching_pipeline"
+  "matching_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_cf.dir/item_cf.cc.o"
+  "CMakeFiles/sisg_cf.dir/item_cf.cc.o.d"
+  "libsisg_cf.a"
+  "libsisg_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

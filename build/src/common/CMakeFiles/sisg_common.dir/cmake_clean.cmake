@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_common.dir/alias_table.cc.o"
+  "CMakeFiles/sisg_common.dir/alias_table.cc.o.d"
+  "CMakeFiles/sisg_common.dir/env_util.cc.o"
+  "CMakeFiles/sisg_common.dir/env_util.cc.o.d"
+  "CMakeFiles/sisg_common.dir/flags.cc.o"
+  "CMakeFiles/sisg_common.dir/flags.cc.o.d"
+  "CMakeFiles/sisg_common.dir/logging.cc.o"
+  "CMakeFiles/sisg_common.dir/logging.cc.o.d"
+  "CMakeFiles/sisg_common.dir/math_util.cc.o"
+  "CMakeFiles/sisg_common.dir/math_util.cc.o.d"
+  "CMakeFiles/sisg_common.dir/rng.cc.o"
+  "CMakeFiles/sisg_common.dir/rng.cc.o.d"
+  "CMakeFiles/sisg_common.dir/status.cc.o"
+  "CMakeFiles/sisg_common.dir/status.cc.o.d"
+  "CMakeFiles/sisg_common.dir/string_util.cc.o"
+  "CMakeFiles/sisg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sisg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sisg_common.dir/thread_pool.cc.o.d"
+  "libsisg_common.a"
+  "libsisg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

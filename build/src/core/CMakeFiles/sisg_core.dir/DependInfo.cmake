@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_table.cc" "src/core/CMakeFiles/sisg_core.dir/candidate_table.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/candidate_table.cc.o.d"
+  "/root/repo/src/core/cold_start.cc" "src/core/CMakeFiles/sisg_core.dir/cold_start.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/cold_start.cc.o.d"
+  "/root/repo/src/core/hnsw_index.cc" "src/core/CMakeFiles/sisg_core.dir/hnsw_index.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/hnsw_index.cc.o.d"
+  "/root/repo/src/core/ivf_index.cc" "src/core/CMakeFiles/sisg_core.dir/ivf_index.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/ivf_index.cc.o.d"
+  "/root/repo/src/core/kmeans.cc" "src/core/CMakeFiles/sisg_core.dir/kmeans.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/kmeans.cc.o.d"
+  "/root/repo/src/core/matching_engine.cc" "src/core/CMakeFiles/sisg_core.dir/matching_engine.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/matching_engine.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/sisg_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/sisg_model.cc" "src/core/CMakeFiles/sisg_core.dir/sisg_model.cc.o" "gcc" "src/core/CMakeFiles/sisg_core.dir/sisg_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sisg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/sisg_sgns.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sisg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/sisg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_core.dir/candidate_table.cc.o"
+  "CMakeFiles/sisg_core.dir/candidate_table.cc.o.d"
+  "CMakeFiles/sisg_core.dir/cold_start.cc.o"
+  "CMakeFiles/sisg_core.dir/cold_start.cc.o.d"
+  "CMakeFiles/sisg_core.dir/hnsw_index.cc.o"
+  "CMakeFiles/sisg_core.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/sisg_core.dir/ivf_index.cc.o"
+  "CMakeFiles/sisg_core.dir/ivf_index.cc.o.d"
+  "CMakeFiles/sisg_core.dir/kmeans.cc.o"
+  "CMakeFiles/sisg_core.dir/kmeans.cc.o.d"
+  "CMakeFiles/sisg_core.dir/matching_engine.cc.o"
+  "CMakeFiles/sisg_core.dir/matching_engine.cc.o.d"
+  "CMakeFiles/sisg_core.dir/pipeline.cc.o"
+  "CMakeFiles/sisg_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sisg_core.dir/sisg_model.cc.o"
+  "CMakeFiles/sisg_core.dir/sisg_model.cc.o.d"
+  "libsisg_core.a"
+  "libsisg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

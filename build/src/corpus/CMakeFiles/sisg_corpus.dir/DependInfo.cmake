@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/sisg_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/sisg_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/enricher.cc" "src/corpus/CMakeFiles/sisg_corpus.dir/enricher.cc.o" "gcc" "src/corpus/CMakeFiles/sisg_corpus.dir/enricher.cc.o.d"
+  "/root/repo/src/corpus/token_space.cc" "src/corpus/CMakeFiles/sisg_corpus.dir/token_space.cc.o" "gcc" "src/corpus/CMakeFiles/sisg_corpus.dir/token_space.cc.o.d"
+  "/root/repo/src/corpus/vocabulary.cc" "src/corpus/CMakeFiles/sisg_corpus.dir/vocabulary.cc.o" "gcc" "src/corpus/CMakeFiles/sisg_corpus.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_corpus.dir/corpus.cc.o"
+  "CMakeFiles/sisg_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/sisg_corpus.dir/enricher.cc.o"
+  "CMakeFiles/sisg_corpus.dir/enricher.cc.o.d"
+  "CMakeFiles/sisg_corpus.dir/token_space.cc.o"
+  "CMakeFiles/sisg_corpus.dir/token_space.cc.o.d"
+  "CMakeFiles/sisg_corpus.dir/vocabulary.cc.o"
+  "CMakeFiles/sisg_corpus.dir/vocabulary.cc.o.d"
+  "libsisg_corpus.a"
+  "libsisg_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

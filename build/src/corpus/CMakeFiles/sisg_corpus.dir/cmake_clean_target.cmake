@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsisg_corpus.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/catalog.cc" "src/datagen/CMakeFiles/sisg_datagen.dir/catalog.cc.o" "gcc" "src/datagen/CMakeFiles/sisg_datagen.dir/catalog.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/sisg_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/sisg_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/feature_schema.cc" "src/datagen/CMakeFiles/sisg_datagen.dir/feature_schema.cc.o" "gcc" "src/datagen/CMakeFiles/sisg_datagen.dir/feature_schema.cc.o.d"
+  "/root/repo/src/datagen/session_generator.cc" "src/datagen/CMakeFiles/sisg_datagen.dir/session_generator.cc.o" "gcc" "src/datagen/CMakeFiles/sisg_datagen.dir/session_generator.cc.o.d"
+  "/root/repo/src/datagen/user_universe.cc" "src/datagen/CMakeFiles/sisg_datagen.dir/user_universe.cc.o" "gcc" "src/datagen/CMakeFiles/sisg_datagen.dir/user_universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_datagen.dir/catalog.cc.o"
+  "CMakeFiles/sisg_datagen.dir/catalog.cc.o.d"
+  "CMakeFiles/sisg_datagen.dir/dataset.cc.o"
+  "CMakeFiles/sisg_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/sisg_datagen.dir/feature_schema.cc.o"
+  "CMakeFiles/sisg_datagen.dir/feature_schema.cc.o.d"
+  "CMakeFiles/sisg_datagen.dir/session_generator.cc.o"
+  "CMakeFiles/sisg_datagen.dir/session_generator.cc.o.d"
+  "CMakeFiles/sisg_datagen.dir/user_universe.cc.o"
+  "CMakeFiles/sisg_datagen.dir/user_universe.cc.o.d"
+  "libsisg_datagen.a"
+  "libsisg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_dist.dir/cost_model.cc.o"
+  "CMakeFiles/sisg_dist.dir/cost_model.cc.o.d"
+  "CMakeFiles/sisg_dist.dir/distributed_trainer.cc.o"
+  "CMakeFiles/sisg_dist.dir/distributed_trainer.cc.o.d"
+  "libsisg_dist.a"
+  "libsisg_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eges/eges.cc" "src/eges/CMakeFiles/sisg_eges.dir/eges.cc.o" "gcc" "src/eges/CMakeFiles/sisg_eges.dir/eges.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sisg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sisg_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_eges.dir/eges.cc.o"
+  "CMakeFiles/sisg_eges.dir/eges.cc.o.d"
+  "libsisg_eges.a"
+  "libsisg_eges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_eges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ctr_simulator.cc" "src/eval/CMakeFiles/sisg_eval.dir/ctr_simulator.cc.o" "gcc" "src/eval/CMakeFiles/sisg_eval.dir/ctr_simulator.cc.o.d"
+  "/root/repo/src/eval/hitrate.cc" "src/eval/CMakeFiles/sisg_eval.dir/hitrate.cc.o" "gcc" "src/eval/CMakeFiles/sisg_eval.dir/hitrate.cc.o.d"
+  "/root/repo/src/eval/pca.cc" "src/eval/CMakeFiles/sisg_eval.dir/pca.cc.o" "gcc" "src/eval/CMakeFiles/sisg_eval.dir/pca.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/eval/CMakeFiles/sisg_eval.dir/table_printer.cc.o" "gcc" "src/eval/CMakeFiles/sisg_eval.dir/table_printer.cc.o.d"
+  "/root/repo/src/eval/tsne.cc" "src/eval/CMakeFiles/sisg_eval.dir/tsne.cc.o" "gcc" "src/eval/CMakeFiles/sisg_eval.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sisg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/sisg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/sisg_sgns.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sisg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sisg_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_eval.dir/ctr_simulator.cc.o"
+  "CMakeFiles/sisg_eval.dir/ctr_simulator.cc.o.d"
+  "CMakeFiles/sisg_eval.dir/hitrate.cc.o"
+  "CMakeFiles/sisg_eval.dir/hitrate.cc.o.d"
+  "CMakeFiles/sisg_eval.dir/pca.cc.o"
+  "CMakeFiles/sisg_eval.dir/pca.cc.o.d"
+  "CMakeFiles/sisg_eval.dir/table_printer.cc.o"
+  "CMakeFiles/sisg_eval.dir/table_printer.cc.o.d"
+  "CMakeFiles/sisg_eval.dir/tsne.cc.o"
+  "CMakeFiles/sisg_eval.dir/tsne.cc.o.d"
+  "libsisg_eval.a"
+  "libsisg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

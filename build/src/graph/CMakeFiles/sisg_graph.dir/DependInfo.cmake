@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/category_graph.cc" "src/graph/CMakeFiles/sisg_graph.dir/category_graph.cc.o" "gcc" "src/graph/CMakeFiles/sisg_graph.dir/category_graph.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/sisg_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/sisg_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/item_graph.cc" "src/graph/CMakeFiles/sisg_graph.dir/item_graph.cc.o" "gcc" "src/graph/CMakeFiles/sisg_graph.dir/item_graph.cc.o.d"
+  "/root/repo/src/graph/partitioner.cc" "src/graph/CMakeFiles/sisg_graph.dir/partitioner.cc.o" "gcc" "src/graph/CMakeFiles/sisg_graph.dir/partitioner.cc.o.d"
+  "/root/repo/src/graph/random_walker.cc" "src/graph/CMakeFiles/sisg_graph.dir/random_walker.cc.o" "gcc" "src/graph/CMakeFiles/sisg_graph.dir/random_walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_graph.dir/category_graph.cc.o"
+  "CMakeFiles/sisg_graph.dir/category_graph.cc.o.d"
+  "CMakeFiles/sisg_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/sisg_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/sisg_graph.dir/item_graph.cc.o"
+  "CMakeFiles/sisg_graph.dir/item_graph.cc.o.d"
+  "CMakeFiles/sisg_graph.dir/partitioner.cc.o"
+  "CMakeFiles/sisg_graph.dir/partitioner.cc.o.d"
+  "CMakeFiles/sisg_graph.dir/random_walker.cc.o"
+  "CMakeFiles/sisg_graph.dir/random_walker.cc.o.d"
+  "libsisg_graph.a"
+  "libsisg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgns/embedding_model.cc" "src/sgns/CMakeFiles/sisg_sgns.dir/embedding_model.cc.o" "gcc" "src/sgns/CMakeFiles/sisg_sgns.dir/embedding_model.cc.o.d"
+  "/root/repo/src/sgns/trainer.cc" "src/sgns/CMakeFiles/sisg_sgns.dir/trainer.cc.o" "gcc" "src/sgns/CMakeFiles/sisg_sgns.dir/trainer.cc.o.d"
+  "/root/repo/src/sgns/warm_start.cc" "src/sgns/CMakeFiles/sisg_sgns.dir/warm_start.cc.o" "gcc" "src/sgns/CMakeFiles/sisg_sgns.dir/warm_start.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sisg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisg_sgns.dir/embedding_model.cc.o"
+  "CMakeFiles/sisg_sgns.dir/embedding_model.cc.o.d"
+  "CMakeFiles/sisg_sgns.dir/trainer.cc.o"
+  "CMakeFiles/sisg_sgns.dir/trainer.cc.o.d"
+  "CMakeFiles/sisg_sgns.dir/warm_start.cc.o"
+  "CMakeFiles/sisg_sgns.dir/warm_start.cc.o.d"
+  "libsisg_sgns.a"
+  "libsisg_sgns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisg_sgns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

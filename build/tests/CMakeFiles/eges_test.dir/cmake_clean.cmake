@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eges_test.dir/eges_test.cc.o"
+  "CMakeFiles/eges_test.dir/eges_test.cc.o.d"
+  "eges_test"
+  "eges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgns_test.dir/sgns_test.cc.o"
+  "CMakeFiles/sgns_test.dir/sgns_test.cc.o.d"
+  "sgns_test"
+  "sgns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

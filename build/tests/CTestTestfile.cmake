@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(corpus_test "/root/repo/build/tests/corpus_test")
+set_tests_properties(corpus_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sgns_test "/root/repo/build/tests/sgns_test")
+set_tests_properties(sgns_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dist_test "/root/repo/build/tests/dist_test")
+set_tests_properties(dist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eges_test "/root/repo/build/tests/eges_test")
+set_tests_properties(eges_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cf_test "/root/repo/build/tests/cf_test")
+set_tests_properties(cf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(serving_test "/root/repo/build/tests/serving_test")
+set_tests_properties(serving_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ann_test "/root/repo/build/tests/ann_test")
+set_tests_properties(ann_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;sisg_add_test;/root/repo/tests/CMakeLists.txt;0;")

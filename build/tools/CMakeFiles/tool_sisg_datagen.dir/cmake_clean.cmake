@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sisg_datagen.dir/sisg_datagen.cc.o"
+  "CMakeFiles/tool_sisg_datagen.dir/sisg_datagen.cc.o.d"
+  "sisg_datagen"
+  "sisg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sisg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sisg_query.dir/sisg_query.cc.o"
+  "CMakeFiles/tool_sisg_query.dir/sisg_query.cc.o.d"
+  "sisg_query"
+  "sisg_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sisg_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

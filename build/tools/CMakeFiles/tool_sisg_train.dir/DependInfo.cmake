@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/sisg_train.cc" "tools/CMakeFiles/tool_sisg_train.dir/sisg_train.cc.o" "gcc" "tools/CMakeFiles/tool_sisg_train.dir/sisg_train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sisg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sisg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/eges/CMakeFiles/sisg_eges.dir/DependInfo.cmake"
+  "/root/repo/build/src/cf/CMakeFiles/sisg_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/sisg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sisg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgns/CMakeFiles/sisg_sgns.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sisg_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/sisg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sisg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

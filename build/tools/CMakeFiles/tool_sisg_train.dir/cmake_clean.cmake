@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sisg_train.dir/sisg_train.cc.o"
+  "CMakeFiles/tool_sisg_train.dir/sisg_train.cc.o.d"
+  "sisg_train"
+  "sisg_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sisg_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
