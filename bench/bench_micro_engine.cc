@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/top_k.h"
 #include "sgns/sgns_kernel.h"
 #include "sgns/window.h"
@@ -27,6 +28,18 @@ void BM_Dot(benchmark::State& state) {
 }
 BENCHMARK(BM_Dot)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_DotSimd(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const SimdOps& ops = GetSimdOps();
+  std::vector<float> a(dim, 0.5f), b(dim, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.dot(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+  state.SetLabel(SimdLevelName(ops.level));
+}
+BENCHMARK(BM_DotSimd)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_Axpy(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));
   std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
@@ -37,6 +50,19 @@ void BM_Axpy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * dim);
 }
 BENCHMARK(BM_Axpy)->Arg(64)->Arg(128);
+
+void BM_AxpySimd(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const SimdOps& ops = GetSimdOps();
+  std::vector<float> x(dim, 0.5f), y(dim, 0.25f);
+  for (auto _ : state) {
+    ops.axpy(0.01f, x.data(), y.data(), dim);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+  state.SetLabel(SimdLevelName(ops.level));
+}
+BENCHMARK(BM_AxpySimd)->Arg(64)->Arg(128);
 
 void BM_SigmoidTable(benchmark::State& state) {
   const SigmoidTable table;
@@ -63,36 +89,64 @@ void BM_AliasSample(benchmark::State& state) {
 }
 BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(100000)->Arg(1000000);
 
-void BM_SgnsPairUpdate(benchmark::State& state) {
+/// One full SGNS pair step over aligned rows. `Variant` selects the runtime
+/// dispatch (the production path) or the scalar reference (the seed code
+/// path, kept as the comparison baseline).
+enum class KernelVariant { kDispatched, kScalar };
+
+void SgnsPairUpdateBench(benchmark::State& state, KernelVariant variant) {
   const size_t dim = static_cast<size_t>(state.range(0));
   const int negatives = static_cast<int>(state.range(1));
   const uint32_t rows = 4096;
-  std::vector<float> in(rows * dim), out(rows * dim);
+  const size_t stride = AlignedRowStride(dim);
+  AlignedFloatVector in(rows * stride), out(rows * stride);
   Rng rng(3);
   for (auto& x : in) x = rng.UniformFloat() * 0.01f;
   for (auto& x : out) x = rng.UniformFloat() * 0.01f;
   std::vector<float> grad(dim);
   std::vector<float*> negs(static_cast<size_t>(negatives));
   const SigmoidTable sigmoid;
+  const SimdOps& ops = GetSimdOps();
   for (auto _ : state) {
     const uint32_t t = static_cast<uint32_t>(rng.UniformU64(rows));
     const uint32_t c = static_cast<uint32_t>(rng.UniformU64(rows));
     for (int k = 0; k < negatives; ++k) {
       negs[static_cast<size_t>(k)] =
-          out.data() + rng.UniformU64(rows) * dim;
+          out.data() + rng.UniformU64(rows) * stride;
     }
     Zero(grad.data(), dim);
-    SgnsUpdate(in.data() + t * dim, grad.data(), out.data() + c * dim,
-               negs.data(), negatives, 0.025f, dim, sigmoid);
-    Axpy(1.0f, grad.data(), in.data() + t * dim, dim);
+    if (variant == KernelVariant::kDispatched) {
+      ops.sgns_update_fused(in.data() + t * stride, grad.data(),
+                            out.data() + c * stride, negs.data(), negatives,
+                            0.025f, dim, sigmoid);
+      ops.axpy(1.0f, grad.data(), in.data() + t * stride, dim);
+    } else {
+      SgnsUpdateScalar(in.data() + t * stride, grad.data(),
+                       out.data() + c * stride, negs.data(), negatives, 0.025f,
+                       dim, sigmoid);
+      Axpy(1.0f, grad.data(), in.data() + t * stride, dim);
+    }
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["flops/pair"] = 6.0 * dim * (1 + negatives) + 2.0 * dim;
+  state.SetLabel(variant == KernelVariant::kDispatched
+                     ? SimdLevelName(ops.level)
+                     : "scalar-ref");
+}
+
+void BM_SgnsPairUpdate(benchmark::State& state) {
+  SgnsPairUpdateBench(state, KernelVariant::kDispatched);
 }
 BENCHMARK(BM_SgnsPairUpdate)
     ->Args({64, 10})
     ->Args({64, 20})
+    ->Args({128, 5})
     ->Args({128, 20});
+
+void BM_SgnsPairUpdateScalar(benchmark::State& state) {
+  SgnsPairUpdateBench(state, KernelVariant::kScalar);
+}
+BENCHMARK(BM_SgnsPairUpdateScalar)->Args({128, 5})->Args({128, 20});
 
 void BM_ForEachPair(benchmark::State& state) {
   WindowOptions opts;

@@ -1,4 +1,14 @@
 #!/bin/sh
+# Runs the full bench sweep. The micro-engine bench additionally emits
+# machine-readable BENCH_micro.json so the perf trajectory of the hot
+# kernels can be tracked across PRs (see EXPERIMENTS.md "Kernel microbench").
 cd /root/repo
-for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
-echo "SWEEP_COMPLETE" >> /root/repo/bench_output.txt
+: > bench_output.txt
+./build/bench/bench_micro_engine \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
+  2>&1 | tee -a bench_output.txt
+for b in build/bench/*; do
+  case "$b" in */bench_micro_engine) continue ;; esac
+  "$b"
+done 2>&1 | tee -a bench_output.txt
+echo "SWEEP_COMPLETE" >> bench_output.txt

@@ -51,8 +51,13 @@ class SigmoidTable {
   float Sigmoid(float x) const {
     if (x >= max_exp_) return 1.0f;
     if (x <= -max_exp_) return 0.0f;
-    const int idx =
-        static_cast<int>((x + max_exp_) * inv_step_);
+    // Clamp: for x just below max_exp_, (x + max_exp_) can round up to
+    // exactly 2*max_exp_ and inv_step_ carries its own rounding error, so
+    // the product may land one past the last bucket.
+    int idx = static_cast<int>((x + max_exp_) * inv_step_);
+    const int last = static_cast<int>(table_.size()) - 1;
+    if (idx > last) idx = last;
+    if (idx < 0) idx = 0;
     return table_[idx];
   }
 

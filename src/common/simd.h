@@ -1,0 +1,116 @@
+#ifndef SISG_COMMON_SIMD_H_
+#define SISG_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace sisg {
+
+/// Runtime-dispatched dense kernels for the SGNS hot path. The engine's
+/// per-pair cost is dominated by Dot/Axpy over dim 64-256 rows; these are
+/// provided both as a portable scalar reference and as AVX2+FMA versions,
+/// selected once at startup from CPUID (overridable via the SISG_SIMD env
+/// var: "scalar", "avx2" or "auto"). All kernels accept unaligned pointers;
+/// alignment (EmbeddingModel's 64-byte rows) is a performance property, not
+/// a correctness requirement.
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Dispatch table of the hot kernels. `sgns_update_fused` is the fused SGNS
+/// gradient step: it computes the positive and all negative dot products,
+/// maps them through the sigmoid LUT, then updates every output row in place
+/// and accumulates the input gradient into `grad_in` — the same contract as
+/// the scalar `SgnsUpdateScalar` in sgns/sgns_kernel.h (null negative
+/// pointers are skipped), with one fewer sweep per row.
+struct SimdOps {
+  float (*dot)(const float* a, const float* b, size_t dim);
+  void (*axpy)(float alpha, const float* x, float* y, size_t dim);
+  void (*sgns_update_fused)(const float* in, float* grad_in, float* out_pos,
+                            float* const* out_negs, int num_negs, float lr,
+                            size_t dim, const SigmoidTable& sigmoid);
+  SimdLevel level;
+};
+
+/// The active dispatch table. Resolved exactly once (thread-safe local
+/// static) from `SISG_SIMD` and CPU feature detection; every trainer hoists
+/// this reference out of its inner loop.
+const SimdOps& GetSimdOps();
+
+/// Pure resolution logic, exposed for tests: maps a preference string and a
+/// CPU capability bit to the level that would be dispatched.
+SimdLevel ResolveSimdLevel(const std::string& preference, bool cpu_has_avx2);
+
+/// True when the running CPU supports AVX2+FMA (false on non-x86 builds).
+bool CpuSupportsAvx2();
+
+namespace simd_scalar {
+/// Portable reference implementations (always compiled).
+float Dot(const float* a, const float* b, size_t dim);
+void Axpy(float alpha, const float* x, float* y, size_t dim);
+void SgnsUpdateFused(const float* in, float* grad_in, float* out_pos,
+                     float* const* out_negs, int num_negs, float lr,
+                     size_t dim, const SigmoidTable& sigmoid);
+}  // namespace simd_scalar
+
+namespace simd_avx2 {
+/// Returns the AVX2+FMA dispatch table, or nullptr when this binary was
+/// built without AVX2 support (non-x86 target or compiler without -mavx2).
+const SimdOps* Ops();
+}  // namespace simd_avx2
+
+/// Minimal aligned allocator so embedding matrices can guarantee 64-byte
+/// row starts (no AVX load ever splits a cache line).
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte aligned float buffer, the storage type of EmbeddingModel.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float, 64>>;
+
+/// Rounds `dim` up to a whole number of 64-byte cache lines worth of floats
+/// (the row stride of aligned embedding storage).
+inline size_t AlignedRowStride(size_t dim) {
+  constexpr size_t kFloatsPerLine = 64 / sizeof(float);
+  return (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_SIMD_H_

@@ -1,0 +1,128 @@
+// AVX2+FMA kernels. This translation unit is the only one compiled with
+// -mavx2 -mfma (see src/common/CMakeLists.txt); everything here is gated on
+// those macros so the file degrades to a stub on non-x86 targets or
+// compilers without AVX2 support, keeping the build portable.
+
+#include "common/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace sisg {
+namespace simd_avx2 {
+namespace {
+
+inline float Hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+float DotAvx2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= dim) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    i += 8;
+  }
+  float acc = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyAvx2(float alpha, const float* x, float* y, size_t dim) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < dim; ++i) y[i] += alpha * x[i];
+}
+
+/// Combined sweep of one output row: grad_in += g * out (pre-update value)
+/// and out += g * in, in a single pass while the row is in registers.
+void UpdateRowAvx2(const float* in, float* grad_in, float* out, float g,
+                   size_t dim) {
+  const __m256 gv = _mm256_set1_ps(g);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 o = _mm256_loadu_ps(out + i);
+    _mm256_storeu_ps(grad_in + i,
+                     _mm256_fmadd_ps(gv, o, _mm256_loadu_ps(grad_in + i)));
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(gv, _mm256_loadu_ps(in + i), o));
+  }
+  for (; i < dim; ++i) {
+    const float o = out[i];
+    grad_in[i] += g * o;
+    out[i] = o + g * in[i];
+  }
+}
+
+void SgnsUpdateFusedAvx2(const float* in, float* grad_in, float* out_pos,
+                         float* const* out_negs, int num_negs, float lr,
+                         size_t dim, const SigmoidTable& sigmoid) {
+  // Phase 1: all dot products (the input vector stays hot across rows),
+  // mapped through the sigmoid LUT into per-row gradient scales. Rows are
+  // chunked so the scratch stays on the stack for any negative count.
+  constexpr int kChunk = 64;
+  float* rows[kChunk];
+  float gains[kChunk];
+  int processed = -1;  // -1: positive row not yet emitted
+  while (processed < num_negs) {
+    int n = 0;
+    if (processed < 0) {
+      rows[n] = out_pos;
+      gains[n] = 1.0f;  // label
+      ++n;
+      processed = 0;
+    }
+    for (; processed < num_negs && n < kChunk; ++processed) {
+      float* out_neg = out_negs[processed];
+      if (out_neg == nullptr) continue;
+      rows[n] = out_neg;
+      gains[n] = 0.0f;  // label
+      ++n;
+    }
+    for (int r = 0; r < n; ++r) {
+      const float f = DotAvx2(in, rows[r], dim);
+      gains[r] = (gains[r] - sigmoid.Sigmoid(f)) * lr;
+    }
+    // Phase 2: one combined update sweep per row.
+    for (int r = 0; r < n; ++r) {
+      UpdateRowAvx2(in, grad_in, rows[r], gains[r], dim);
+    }
+  }
+}
+
+constexpr SimdOps kAvx2Ops = {DotAvx2, AxpyAvx2, SgnsUpdateFusedAvx2,
+                              SimdLevel::kAvx2};
+
+}  // namespace
+
+const SimdOps* Ops() { return &kAvx2Ops; }
+
+}  // namespace simd_avx2
+}  // namespace sisg
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace sisg {
+namespace simd_avx2 {
+
+const SimdOps* Ops() { return nullptr; }
+
+}  // namespace simd_avx2
+}  // namespace sisg
+
+#endif

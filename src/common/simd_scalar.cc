@@ -1,0 +1,40 @@
+#include "common/simd.h"
+
+namespace sisg {
+namespace simd_scalar {
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) y[i] += alpha * x[i];
+}
+
+void SgnsUpdateFused(const float* in, float* grad_in, float* out_pos,
+                     float* const* out_negs, int num_negs, float lr,
+                     size_t dim, const SigmoidTable& sigmoid) {
+  // Row-at-a-time: the dot and the combined update sweep run back to back
+  // while the row is hot in L1. grad_in must accumulate the PRE-update row,
+  // so the combined sweep reads out[i] before overwriting it.
+  auto row_step = [&](float* out, float label) {
+    const float f = Dot(in, out, dim);
+    const float g = (label - sigmoid.Sigmoid(f)) * lr;
+    for (size_t i = 0; i < dim; ++i) {
+      const float o = out[i];
+      grad_in[i] += g * o;
+      out[i] = o + g * in[i];
+    }
+  };
+  row_step(out_pos, 1.0f);
+  for (int k = 0; k < num_negs; ++k) {
+    float* out_neg = out_negs[k];
+    if (out_neg == nullptr) continue;
+    row_step(out_neg, 0.0f);
+  }
+}
+
+}  // namespace simd_scalar
+}  // namespace sisg

@@ -6,6 +6,7 @@
 #include "common/alias_table.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "sgns/sgns_kernel.h"
 #include "sgns/window.h"
@@ -16,6 +17,11 @@ namespace {
 // Per-pair wire overhead of one remote TNS call: message headers for the
 // request (token id, lr, flags) and the response.
 constexpr uint64_t kMessageHeaderBytes = 16;
+
+// Bounded retries when a sampled negative collides with the target or the
+// context; after the budget the negative is dropped (degenerate local noise
+// distributions, e.g. a one-token shard, can never escape the collision).
+constexpr int kMaxNegativeResamples = 8;
 
 }  // namespace
 
@@ -39,6 +45,7 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   const Vocabulary& vocab = corpus.vocab();
   const uint32_t V = vocab.size();
   const size_t dim = options_.sgns.dim;
+  const SimdOps& ops = GetSimdOps();
   Rng assign_rng(options_.seed);
 
   // --- Vocabulary sharding (Section III-C step 3) ---
@@ -133,7 +140,7 @@ Status DistributedTrainer::Train(const Corpus& corpus,
     if (replicas.empty()) return;
     std::vector<float> avg(2 * static_cast<size_t>(K) * dim, 0.0f);
     for (uint32_t w = 0; w < W; ++w) {
-      Axpy(1.0f, replicas[w].data(), avg.data(), avg.size());
+      ops.axpy(1.0f, replicas[w].data(), avg.data(), avg.size());
     }
     Scale(1.0f / static_cast<float>(W), avg.data(), avg.size());
     for (uint32_t w = 0; w < W; ++w) replicas[w] = avg;
@@ -210,16 +217,22 @@ Status DistributedTrainer::Train(const Corpus& corpus,
 
         if (!options_.dry_run) {
           for (uint32_t k = 0; k < so.negatives; ++k) {
-            const uint32_t neg = local_vocab[executor][noise[executor].Sample(rng)];
+            uint32_t neg = local_vocab[executor][noise[executor].Sample(rng)];
+            for (int r = 0;
+                 r < kMaxNegativeResamples && (neg == context || neg == target);
+                 ++r) {
+              neg = local_vocab[executor][noise[executor].Sample(rng)];
+            }
             neg_ptrs[k] = (neg == context || neg == target)
                               ? nullptr
                               : output_row(neg, executor);
           }
           Zero(grad_in.data(), dim);
-          SgnsUpdate(input_row(target, proc), grad_in.data(),
-                     output_row(context, executor), neg_ptrs.data(),
-                     static_cast<int>(so.negatives), lr, dim, sigmoid);
-          Axpy(1.0f, grad_in.data(), input_row(target, proc), dim);
+          ops.sgns_update_fused(input_row(target, proc), grad_in.data(),
+                                output_row(context, executor), neg_ptrs.data(),
+                                static_cast<int>(so.negatives), lr, dim,
+                                sigmoid);
+          ops.axpy(1.0f, grad_in.data(), input_row(target, proc), dim);
         }
 
         if (K > 0 && pair_counter % sync_interval == 0) {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "corpus/subsample.h"
 #include "graph/item_graph.h"
 #include "graph/random_walker.h"
@@ -134,6 +135,7 @@ Status EgesTrainer::Train(const std::vector<Session>& sessions,
 
   // 3. Weighted skip-gram with per-item attention over {item} U SI.
   const SigmoidTable sigmoid;
+  const SimdOps& ops = GetSimdOps();
   Rng rng(options_.seed + 2);
   const size_t dim = options_.dim;
   const int kSlots = 1 + kNumItemFeatures;
@@ -192,30 +194,35 @@ Status EgesTrainer::Train(const std::vector<Session>& sessions,
           // Positive + negatives against item output vectors only.
           auto update = [&](uint32_t out_item, float label) {
             float* z = model->Output(out_item);
-            const float f = Dot(hidden.data(), z, dim);
+            const float f = ops.dot(hidden.data(), z, dim);
             const float g = (label - sigmoid.Sigmoid(f)) * lr;
-            Axpy(g, z, grad_h.data(), dim);
-            Axpy(g, hidden.data(), z, dim);
+            ops.axpy(g, z, grad_h.data(), dim);
+            ops.axpy(g, hidden.data(), z, dim);
           };
           update(context, 1.0f);
           for (uint32_t k = 0; k < options_.negatives; ++k) {
-            const uint32_t neg = noise.Sample(rng);
+            uint32_t neg = noise.Sample(rng);
+            // Bounded resample on collision instead of silently dropping
+            // the negative (which shrank the effective negative count).
+            for (int r = 0; r < 8 && (neg == context || neg == target); ++r) {
+              neg = noise.Sample(rng);
+            }
             if (neg == context || neg == target) continue;
             update(neg, 0.0f);
           }
 
           // Propagate grad_h into the slots and the attention logits:
           // dH/dW_j = w_j * I; dH/da_j = w_j * (W_j - H).
+          const float gh_dot_h = ops.dot(grad_h.data(), hidden.data(), dim);
           for (int j = 0; j < kSlots; ++j) {
-            const float gh_dot_wj = Dot(grad_h.data(), slot_vec[j], dim);
-            const float gh_dot_h = Dot(grad_h.data(), hidden.data(), dim);
+            const float gh_dot_wj = ops.dot(grad_h.data(), slot_vec[j], dim);
             a[j] += w[j] * (gh_dot_wj - gh_dot_h);
           }
-          Axpy(w[0], grad_h.data(), model->ItemEmbedding(target), dim);
+          ops.axpy(w[0], grad_h.data(), model->ItemEmbedding(target), dim);
           for (ItemFeatureKind kind : AllItemFeatureKinds()) {
             const int j = static_cast<int>(kind) + 1;
-            Axpy(w[j], grad_h.data(),
-                 model->SiEmbedding(kind, tm.Feature(kind)), dim);
+            ops.axpy(w[j], grad_h.data(),
+                     model->SiEmbedding(kind, tm.Feature(kind)), dim);
           }
         }
       }

@@ -10,6 +10,30 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'I', 'S', 'G', 'E', 'M', 'B', '1'};
 
+/// Writes `rows` dense rows of `dim` floats out of a stride-padded matrix.
+bool WriteRows(std::FILE* f, const float* data, uint32_t rows, uint32_t dim,
+               size_t stride) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (std::fwrite(data + static_cast<size_t>(r) * stride, sizeof(float),
+                    dim, f) != dim) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reads `rows` dense rows of `dim` floats into a stride-padded matrix.
+bool ReadRows(std::FILE* f, float* data, uint32_t rows, uint32_t dim,
+              size_t stride) {
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (std::fread(data + static_cast<size_t>(r) * stride, sizeof(float), dim,
+                   f) != dim) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Status EmbeddingModel::Init(uint32_t rows, uint32_t dim, uint64_t seed) {
@@ -18,13 +42,17 @@ Status EmbeddingModel::Init(uint32_t rows, uint32_t dim, uint64_t seed) {
   }
   rows_ = rows;
   dim_ = dim;
-  const size_t n = static_cast<size_t>(rows) * dim;
-  input_.resize(n);
+  stride_ = AlignedRowStride(dim);
+  const size_t n = static_cast<size_t>(rows) * stride_;
+  input_.assign(n, 0.0f);  // padding floats stay zero
   output_.assign(n, 0.0f);
   Rng rng(seed);
   const float scale = 0.5f / static_cast<float>(dim);
-  for (size_t i = 0; i < n; ++i) {
-    input_[i] = (rng.UniformFloat() * 2.0f - 1.0f) * scale;
+  for (uint32_t r = 0; r < rows; ++r) {
+    float* row = Input(r);
+    for (uint32_t d = 0; d < dim; ++d) {
+      row[d] = (rng.UniformFloat() * 2.0f - 1.0f) * scale;
+    }
   }
   return Status::OK();
 }
@@ -35,9 +63,8 @@ Status EmbeddingModel::Save(const std::string& path) const {
   bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
   ok = ok && std::fwrite(&rows_, sizeof(rows_), 1, f) == 1;
   ok = ok && std::fwrite(&dim_, sizeof(dim_), 1, f) == 1;
-  const size_t n = input_.size();
-  ok = ok && std::fwrite(input_.data(), sizeof(float), n, f) == n;
-  ok = ok && std::fwrite(output_.data(), sizeof(float), n, f) == n;
+  ok = ok && WriteRows(f, input_.data(), rows_, dim_, stride_);
+  ok = ok && WriteRows(f, output_.data(), rows_, dim_, stride_);
   ok = std::fclose(f) == 0 && ok;
   if (!ok) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -59,11 +86,12 @@ StatusOr<EmbeddingModel> EmbeddingModel::Load(const std::string& path) {
     std::fclose(f);
     return Status::Corruption("embedding model: bad header in " + path);
   }
-  const size_t n = static_cast<size_t>(m.rows_) * m.dim_;
-  m.input_.resize(n);
-  m.output_.resize(n);
-  const bool ok = std::fread(m.input_.data(), sizeof(float), n, f) == n &&
-                  std::fread(m.output_.data(), sizeof(float), n, f) == n;
+  m.stride_ = AlignedRowStride(m.dim_);
+  const size_t n = static_cast<size_t>(m.rows_) * m.stride_;
+  m.input_.assign(n, 0.0f);
+  m.output_.assign(n, 0.0f);
+  const bool ok = ReadRows(f, m.input_.data(), m.rows_, m.dim_, m.stride_) &&
+                  ReadRows(f, m.output_.data(), m.rows_, m.dim_, m.stride_);
   std::fclose(f);
   if (!ok) return Status::Corruption("embedding model: truncated file " + path);
   return m;

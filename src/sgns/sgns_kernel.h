@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 
 namespace sisg {
 
@@ -15,26 +16,25 @@ namespace sisg {
 /// Applies SGD updates to the positive/negative OUTPUT vectors in place and
 /// ACCUMULATES the gradient w.r.t. the input vector into `grad_in` (callers
 /// zero it and apply it themselves, which is what makes the remote variant
-/// possible).
+/// possible). Null entries in `out_negs` are skipped.
+///
+/// This is the portable scalar reference; production callers go through the
+/// runtime-dispatched `SgnsUpdate` below (or hoist `GetSimdOps()` out of
+/// their loop and call `sgns_update_fused` directly).
+inline void SgnsUpdateScalar(const float* in, float* grad_in, float* out_pos,
+                             float* const* out_negs, int num_negs, float lr,
+                             size_t dim, const SigmoidTable& sigmoid) {
+  simd_scalar::SgnsUpdateFused(in, grad_in, out_pos, out_negs, num_negs, lr,
+                               dim, sigmoid);
+}
+
+/// Runtime-dispatched SGNS step (AVX2+FMA when the CPU has it, scalar
+/// otherwise; see common/simd.h). Same contract as SgnsUpdateScalar.
 inline void SgnsUpdate(const float* in, float* grad_in, float* out_pos,
                        float* const* out_negs, int num_negs, float lr,
                        size_t dim, const SigmoidTable& sigmoid) {
-  // Positive: label 1.
-  {
-    const float f = Dot(in, out_pos, dim);
-    const float g = (1.0f - sigmoid.Sigmoid(f)) * lr;
-    Axpy(g, out_pos, grad_in, dim);
-    Axpy(g, in, out_pos, dim);
-  }
-  // Negatives: label 0.
-  for (int k = 0; k < num_negs; ++k) {
-    float* out_neg = out_negs[k];
-    if (out_neg == nullptr) continue;
-    const float f = Dot(in, out_neg, dim);
-    const float g = (0.0f - sigmoid.Sigmoid(f)) * lr;
-    Axpy(g, out_neg, grad_in, dim);
-    Axpy(g, in, out_neg, dim);
-  }
+  GetSimdOps().sgns_update_fused(in, grad_in, out_pos, out_negs, num_negs, lr,
+                                 dim, sigmoid);
 }
 
 }  // namespace sisg

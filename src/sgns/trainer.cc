@@ -8,10 +8,20 @@
 #include "common/alias_table.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "sgns/sgns_kernel.h"
 
 namespace sisg {
+namespace {
+
+/// Bounded retries when a sampled negative collides with the target or the
+/// current context. On a degenerate noise distribution (e.g. a one-token
+/// vocabulary) retries cannot succeed, so after the budget the negative is
+/// dropped (nullptr) exactly like the seed behavior.
+constexpr int kMaxNegativeResamples = 8;
+
+}  // namespace
 
 Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
                           TrainStats* stats) const {
@@ -35,6 +45,7 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
   Subsampler subsampler;
   subsampler.Build(vocab, options_.subsample);
   const SigmoidTable sigmoid;
+  const SimdOps& ops = GetSimdOps();
 
   const uint64_t planned_tokens =
       static_cast<uint64_t>(options_.epochs) * corpus.num_tokens();
@@ -46,11 +57,23 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
   const auto& sequences = corpus.sequences();
   const size_t dim = options_.dim;
 
+  // Dynamic work queue over epoch-major sequence slots. Static `s = tid;
+  // s += num_threads` sharding leaves threads idle behind whichever one drew
+  // the longest sessions; a chunked atomic counter lets fast threads steal
+  // the remainder. Chunks are large enough that the fetch_add is invisible
+  // next to the per-sequence work, small enough to balance skewed tails.
+  const uint64_t num_seqs = sequences.size();
+  const uint64_t total_work = static_cast<uint64_t>(options_.epochs) * num_seqs;
+  const uint64_t chunk_size = std::max<uint64_t>(
+      1, std::min<uint64_t>(256, num_seqs / (8ull * num_threads) + 1));
+  std::atomic<uint64_t> next_work{0};
+
   Timer timer;
   auto worker = [&](uint32_t tid) {
     Rng rng(options_.seed + 0x51ed2701ULL * (tid + 1));
     std::vector<uint32_t> kept;
     std::vector<float> grad_in(dim);
+    std::vector<uint32_t> neg_ids(options_.negatives);
     std::vector<float*> neg_ptrs(options_.negatives);
     uint64_t pairs = 0;
     uint64_t kept_tokens = 0;
@@ -58,10 +81,13 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     float lr = options_.learning_rate;
     const float min_lr = options_.learning_rate * options_.min_learning_rate_ratio;
 
-    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
-      // Static sharding of sequences across threads.
-      for (size_t s = tid; s < sequences.size(); s += num_threads) {
-        const auto& seq = sequences[s];
+    for (;;) {
+      const uint64_t begin =
+          next_work.fetch_add(chunk_size, std::memory_order_relaxed);
+      if (begin >= total_work) break;
+      const uint64_t end = std::min(begin + chunk_size, total_work);
+      for (uint64_t slot = begin; slot < end; ++slot) {
+        const auto& seq = sequences[slot % num_seqs];
         local_tokens += seq.size();
         if (local_tokens >= 4096) {
           const uint64_t done =
@@ -73,19 +99,61 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
         }
         SubsampleSequence(seq, subsampler, rng, &kept);
         kept_tokens += kept.size();
-        ForEachPair(kept, options_.window, rng, [&](uint32_t target,
-                                                    uint32_t context) {
-          for (uint32_t k = 0; k < options_.negatives; ++k) {
-            const uint32_t neg = noise.Sample(rng);
-            neg_ptrs[k] =
-                (neg == context || neg == target) ? nullptr : model->Output(neg);
+        ForEachWindow(kept, options_.window, rng, [&](size_t i, size_t lo,
+                                                      size_t hi) {
+          const uint32_t target = kept[i];
+          // Batch the negatives once per window (sampled avoiding the
+          // target), then refresh one rotating slot per subsequent pair:
+          // amortized ~1 alias draw per pair instead of `negatives`, while
+          // keeping enough draw diversity across the window that quality
+          // matches per-pair sampling (full reuse measurably hurts HR/CTR).
+          bool sampled = false;
+          uint32_t refresh_slot = 0;
+          for (size_t j = lo; j < hi; ++j) {
+            if (j == i) continue;
+            const uint32_t context = kept[j];
+            if (context == target) continue;  // self-pairs carry no signal
+            if (!sampled) {
+              sampled = true;
+              for (uint32_t k = 0; k < options_.negatives; ++k) {
+                uint32_t neg = noise.Sample(rng);
+                for (int r = 0; r < kMaxNegativeResamples && neg == target;
+                     ++r) {
+                  neg = noise.Sample(rng);
+                }
+                neg_ids[k] = neg;
+              }
+            } else {
+              uint32_t neg = noise.Sample(rng);
+              for (int r = 0; r < kMaxNegativeResamples && neg == target; ++r) {
+                neg = noise.Sample(rng);
+              }
+              neg_ids[refresh_slot] = neg;
+              refresh_slot = (refresh_slot + 1) % options_.negatives;
+            }
+            for (uint32_t k = 0; k < options_.negatives; ++k) {
+              uint32_t neg = neg_ids[k];
+              // Context collision: resample (bounded) instead of silently
+              // dropping the negative; patch the batch so later contexts
+              // keep a valid draw.
+              for (int r = 0;
+                   r < kMaxNegativeResamples && (neg == context || neg == target);
+                   ++r) {
+                neg = noise.Sample(rng);
+              }
+              neg_ids[k] = neg;
+              neg_ptrs[k] = (neg == context || neg == target)
+                                ? nullptr
+                                : model->Output(neg);
+            }
+            Zero(grad_in.data(), dim);
+            ops.sgns_update_fused(model->Input(target), grad_in.data(),
+                                  model->Output(context), neg_ptrs.data(),
+                                  static_cast<int>(options_.negatives), lr, dim,
+                                  sigmoid);
+            ops.axpy(1.0f, grad_in.data(), model->Input(target), dim);
+            ++pairs;
           }
-          Zero(grad_in.data(), dim);
-          SgnsUpdate(model->Input(target), grad_in.data(), model->Output(context),
-                     neg_ptrs.data(), static_cast<int>(options_.negatives), lr,
-                     dim, sigmoid);
-          Axpy(1.0f, grad_in.data(), model->Input(target), dim);
-          ++pairs;
         });
       }
     }

@@ -34,13 +34,15 @@ inline void SubsampleSequence(const std::vector<uint32_t>& seq,
   }
 }
 
-/// Enumerates (target, context) positive pairs of a (possibly subsampled)
-/// sequence under the window policy. `fn(target, context)` is called once
-/// per pair; the context always occurs after the target when
-/// `options.directional` is set.
+/// Enumerates the context window of every target position: `fn(i, lo, hi)`
+/// is called with the target index and its context range [lo, hi) (which
+/// still contains `i` in symmetric mode — context iteration must skip it,
+/// plus any position holding the target's own token). Exposing the window
+/// instead of flat pairs lets trainers batch per-window work — negatives
+/// are sampled once per target window and reused across its contexts.
 template <typename Fn>
-inline void ForEachPair(const std::vector<uint32_t>& seq,
-                        const WindowOptions& options, Rng& rng, Fn&& fn) {
+inline void ForEachWindow(const std::vector<uint32_t>& seq,
+                          const WindowOptions& options, Rng& rng, Fn&& fn) {
   const size_t n = seq.size();
   if (options.window == 0) return;
   for (size_t i = 0; i < n; ++i) {
@@ -50,12 +52,25 @@ inline void ForEachPair(const std::vector<uint32_t>& seq,
             : options.window;
     const size_t lo = options.directional ? i + 1 : (i >= b ? i - b : 0);
     const size_t hi = std::min(n, i + 1 + b);
+    if (lo < hi) fn(i, lo, hi);
+  }
+}
+
+/// Enumerates (target, context) positive pairs of a (possibly subsampled)
+/// sequence under the window policy. `fn(target, context)` is called once
+/// per pair; the context always occurs after the target when
+/// `options.directional` is set. Draws the same RNG stream as
+/// ForEachWindow for identical window bounds.
+template <typename Fn>
+inline void ForEachPair(const std::vector<uint32_t>& seq,
+                        const WindowOptions& options, Rng& rng, Fn&& fn) {
+  ForEachWindow(seq, options, rng, [&](size_t i, size_t lo, size_t hi) {
     for (size_t j = lo; j < hi; ++j) {
       if (j == i) continue;
       if (seq[j] == seq[i]) continue;  // self-pairs carry no signal
       fn(seq[i], seq[j]);
     }
-  }
+  });
 }
 
 }  // namespace sisg

@@ -391,6 +391,24 @@ TEST(MathTest, SigmoidTableMatchesExact) {
   EXPECT_FLOAT_EQ(table.Sigmoid(-100.0f), 0.0f);
 }
 
+// Regression: for x just below max_exp, (x + max_exp) * inv_step can round
+// past the last bucket — the index must clamp instead of reading (or
+// crashing) out of bounds. Exercised across table granularities.
+TEST(MathTest, SigmoidTableBoundaryIndexClamped) {
+  for (int size : {1024, 1 << 16}) {
+    const SigmoidTable table(size);
+    const float boundaries[] = {
+        std::nextafter(6.0f, 0.0f), std::nextafter(-6.0f, 0.0f),
+        5.9999995f, -5.9999995f, 6.0f, -6.0f};
+    for (float x : boundaries) {
+      const float y = table.Sigmoid(x);
+      EXPECT_GE(y, 0.0f) << "size=" << size << " x=" << x;
+      EXPECT_LE(y, 1.0f) << "size=" << size << " x=" << x;
+      EXPECT_NEAR(y, SigmoidExact(x), 0.01) << "size=" << size << " x=" << x;
+    }
+  }
+}
+
 // --------------------------- flags ---------------------------
 
 TEST(FlagParserTest, ParsesAllForms) {

@@ -383,5 +383,20 @@ TEST_F(TrainerFixture, MultiThreadedTrainingWorks) {
   EXPECT_GT(stats.pairs_trained, 0u);
 }
 
+// The dynamic work queue must hand every epoch x sequence slot to exactly
+// one thread, including when there are (many) more threads than work chunks.
+TEST_F(TrainerFixture, WorkQueueCoversAllSlotsWithExcessThreads) {
+  SgnsOptions opts;
+  opts.dim = 8;
+  opts.epochs = 3;
+  opts.negatives = 2;
+  opts.num_threads = 16;
+  EmbeddingModel m;
+  TrainStats stats;
+  ASSERT_TRUE(SgnsTrainer(opts).Train(corpus_, &m, &stats).ok());
+  EXPECT_EQ(stats.tokens_seen, 3 * corpus_.num_tokens());
+  EXPECT_GT(stats.pairs_trained, 0u);
+}
+
 }  // namespace
 }  // namespace sisg

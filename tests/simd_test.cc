@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "sgns/embedding_model.h"
+#include "sgns/sgns_kernel.h"
+
+namespace sisg {
+namespace {
+
+// Odd dims exercise the vector tail loop; 64/128/256 the main lanes.
+const size_t kDims[] = {1, 7, 64, 100, 128, 256};
+
+std::vector<float> RandomVec(Rng& rng, size_t dim, float scale = 0.1f) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = (rng.UniformFloat() * 2.0f - 1.0f) * scale;
+  return v;
+}
+
+// --------------------------- dispatch ---------------------------
+
+TEST(SimdDispatchTest, ResolveRespectsPreferenceAndCpu) {
+  EXPECT_EQ(ResolveSimdLevel("scalar", true), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("scalar", false), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("auto", false), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("avx2", false), SimdLevel::kScalar);
+  if (simd_avx2::Ops() != nullptr) {
+    EXPECT_EQ(ResolveSimdLevel("auto", true), SimdLevel::kAvx2);
+    EXPECT_EQ(ResolveSimdLevel("avx2", true), SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(ResolveSimdLevel("auto", true), SimdLevel::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, ActiveOpsAreRunnable) {
+  const SimdOps& ops = GetSimdOps();
+  ASSERT_NE(ops.dot, nullptr);
+  ASSERT_NE(ops.axpy, nullptr);
+  ASSERT_NE(ops.sgns_update_fused, nullptr);
+  const float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float b[4] = {1.0f, 1.0f, 1.0f, 1.0f};
+  EXPECT_NEAR(ops.dot(a, b, 4), 10.0f, 1e-6f);
+}
+
+// --------------------------- parity ---------------------------
+
+TEST(SimdParityTest, DotMatchesScalar) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(11);
+  for (size_t dim : kDims) {
+    const auto a = RandomVec(rng, dim);
+    const auto b = RandomVec(rng, dim);
+    const float ref = simd_scalar::Dot(a.data(), b.data(), dim);
+    EXPECT_NEAR(ops.dot(a.data(), b.data(), dim), ref, 1e-5f)
+        << "dim=" << dim;
+  }
+}
+
+TEST(SimdParityTest, AxpyMatchesScalar) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(12);
+  for (size_t dim : kDims) {
+    const auto x = RandomVec(rng, dim);
+    auto y_ref = RandomVec(rng, dim);
+    auto y_simd = y_ref;
+    simd_scalar::Axpy(0.37f, x.data(), y_ref.data(), dim);
+    ops.axpy(0.37f, x.data(), y_simd.data(), dim);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(y_simd[i], y_ref[i], 1e-5f) << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdParityTest, SgnsUpdateFusedMatchesScalar) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(13);
+  const int num_negs = 5;
+  const SigmoidTable sigmoid;
+  for (size_t dim : kDims) {
+    const auto in = RandomVec(rng, dim, 0.5f);
+    auto pos_ref = RandomVec(rng, dim, 0.5f);
+    auto pos_simd = pos_ref;
+    std::vector<std::vector<float>> negs_ref, negs_simd;
+    std::vector<float*> neg_ptrs_ref, neg_ptrs_simd;
+    for (int k = 0; k < num_negs; ++k) {
+      negs_ref.push_back(RandomVec(rng, dim, 0.5f));
+      negs_simd.push_back(negs_ref.back());
+    }
+    for (int k = 0; k < num_negs; ++k) {
+      // A null in the middle checks the skip path on both sides.
+      neg_ptrs_ref.push_back(k == 2 ? nullptr : negs_ref[k].data());
+      neg_ptrs_simd.push_back(k == 2 ? nullptr : negs_simd[k].data());
+    }
+    std::vector<float> grad_ref(dim, 0.0f), grad_simd(dim, 0.0f);
+    SgnsUpdateScalar(in.data(), grad_ref.data(), pos_ref.data(),
+                     neg_ptrs_ref.data(), num_negs, 0.1f, dim, sigmoid);
+    ops.sgns_update_fused(in.data(), grad_simd.data(), pos_simd.data(),
+                          neg_ptrs_simd.data(), num_negs, 0.1f, dim, sigmoid);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(grad_simd[i], grad_ref[i], 1e-5f) << "dim=" << dim;
+      EXPECT_NEAR(pos_simd[i], pos_ref[i], 1e-5f) << "dim=" << dim;
+      for (int k = 0; k < num_negs; ++k) {
+        EXPECT_NEAR(negs_simd[k][i], negs_ref[k][i], 1e-5f)
+            << "dim=" << dim << " neg=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, FusedHandlesManyNegativesAcrossChunks) {
+  // More negatives than the AVX2 kernel's stack chunk (64) in one call.
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(14);
+  const size_t dim = 64;
+  const int num_negs = 150;
+  const SigmoidTable sigmoid;
+  const auto in = RandomVec(rng, dim, 0.5f);
+  auto pos_ref = RandomVec(rng, dim, 0.5f);
+  auto pos_simd = pos_ref;
+  std::vector<std::vector<float>> negs_ref(num_negs), negs_simd(num_negs);
+  std::vector<float*> ptrs_ref(num_negs), ptrs_simd(num_negs);
+  for (int k = 0; k < num_negs; ++k) {
+    negs_ref[k] = RandomVec(rng, dim, 0.5f);
+    negs_simd[k] = negs_ref[k];
+    ptrs_ref[k] = negs_ref[k].data();
+    ptrs_simd[k] = negs_simd[k].data();
+  }
+  std::vector<float> grad_ref(dim, 0.0f), grad_simd(dim, 0.0f);
+  SgnsUpdateScalar(in.data(), grad_ref.data(), pos_ref.data(), ptrs_ref.data(),
+                   num_negs, 0.05f, dim, sigmoid);
+  ops.sgns_update_fused(in.data(), grad_simd.data(), pos_simd.data(),
+                        ptrs_simd.data(), num_negs, 0.05f, dim, sigmoid);
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(grad_simd[i], grad_ref[i], 1e-4f);
+    EXPECT_NEAR(pos_simd[i], pos_ref[i], 1e-5f);
+  }
+}
+
+// --------------------------- aligned storage ---------------------------
+
+TEST(AlignedStorageTest, RowStrideRoundsUpToCacheLine) {
+  EXPECT_EQ(AlignedRowStride(1), 16u);
+  EXPECT_EQ(AlignedRowStride(16), 16u);
+  EXPECT_EQ(AlignedRowStride(17), 32u);
+  EXPECT_EQ(AlignedRowStride(64), 64u);
+  EXPECT_EQ(AlignedRowStride(100), 112u);
+  EXPECT_EQ(AlignedRowStride(128), 128u);
+}
+
+TEST(AlignedStorageTest, EmbeddingRowsAre64ByteAligned) {
+  for (uint32_t dim : {7u, 12u, 64u, 100u}) {
+    EmbeddingModel m;
+    ASSERT_TRUE(m.Init(17, dim, 5).ok());
+    EXPECT_GE(m.row_stride(), dim);
+    EXPECT_EQ(m.row_stride() % 16, 0u);
+    for (uint32_t r = 0; r < m.rows(); ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Input(r)) % 64, 0u)
+          << "dim=" << dim << " row=" << r;
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Output(r)) % 64, 0u)
+          << "dim=" << dim << " row=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sisg
