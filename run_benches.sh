@@ -1,14 +1,22 @@
 #!/bin/sh
-# Runs the full bench sweep. The micro-engine bench additionally emits
-# machine-readable BENCH_micro.json so the perf trajectory of the hot
-# kernels can be tracked across PRs (see EXPERIMENTS.md "Kernel microbench").
+# Runs the full bench sweep. The micro benches additionally emit
+# machine-readable JSON so the perf trajectory of the hot kernels can be
+# tracked across PRs: BENCH_micro.json for the training kernels (see
+# EXPERIMENTS.md "Kernel microbench") and BENCH_retrieval.json for the
+# serving path (ns/query for brute-force, IVF and HNSW at d=128; see
+# EXPERIMENTS.md "Retrieval microbench").
 cd /root/repo
 : > bench_output.txt
 ./build/bench/bench_micro_engine \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
   2>&1 | tee -a bench_output.txt
+./build/bench/bench_micro_retrieval \
+  --benchmark_out=BENCH_retrieval.json --benchmark_out_format=json \
+  2>&1 | tee -a bench_output.txt
 for b in build/bench/*; do
-  case "$b" in */bench_micro_engine) continue ;; esac
+  case "$b" in
+    */bench_micro_engine|*/bench_micro_retrieval) continue ;;
+  esac
   "$b"
 done 2>&1 | tee -a bench_output.txt
 echo "SWEEP_COMPLETE" >> bench_output.txt

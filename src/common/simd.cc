@@ -38,8 +38,9 @@ SimdLevel ResolveSimdLevel(const std::string& preference, bool cpu_has_avx2) {
 
 namespace {
 
-const SimdOps kScalarOps = {simd_scalar::Dot, simd_scalar::Axpy,
-                            simd_scalar::SgnsUpdateFused, SimdLevel::kScalar};
+const SimdOps kScalarOps = {
+    simd_scalar::Dot,      simd_scalar::Axpy,     simd_scalar::SgnsUpdateFused,
+    simd_scalar::DotBatch, simd_scalar::TopKScan, SimdLevel::kScalar};
 
 }  // namespace
 

@@ -8,16 +8,19 @@
 #include <vector>
 
 #include "common/math_util.h"
+#include "common/top_k.h"
 
 namespace sisg {
 
-/// Runtime-dispatched dense kernels for the SGNS hot path. The engine's
-/// per-pair cost is dominated by Dot/Axpy over dim 64-256 rows; these are
-/// provided both as a portable scalar reference and as AVX2+FMA versions,
-/// selected once at startup from CPUID (overridable via the SISG_SIMD env
-/// var: "scalar", "avx2" or "auto"). All kernels accept unaligned pointers;
-/// alignment (EmbeddingModel's 64-byte rows) is a performance property, not
-/// a correctness requirement.
+/// Runtime-dispatched dense kernels for the SGNS hot path and the retrieval
+/// (serving) hot path. The engine's per-pair cost is dominated by Dot/Axpy
+/// over dim 64-256 rows, and a top-K query is dominated by one-query-vs-many
+/// candidate scans; these are provided both as portable scalar references
+/// and as AVX2+FMA versions, selected once at startup from CPUID
+/// (overridable via the SISG_SIMD env var: "scalar", "avx2" or "auto"). All
+/// kernels accept unaligned pointers; alignment (EmbeddingModel's and the
+/// indexes' 64-byte rows) is a performance property, not a correctness
+/// requirement.
 
 enum class SimdLevel : int {
   kScalar = 0,
@@ -38,6 +41,20 @@ struct SimdOps {
   void (*sgns_update_fused)(const float* in, float* grad_in, float* out_pos,
                             float* const* out_negs, int num_negs, float lr,
                             size_t dim, const SigmoidTable& sigmoid);
+  /// Retrieval scan: scores[i] = query . rows[i] for a contiguous block of
+  /// `n` candidate rows spaced `stride` floats apart (stride >= dim; the
+  /// padding tail is ignored). The AVX2 version tiles 4 rows per pass so the
+  /// query stays in registers and prefetches ahead of the stream.
+  void (*dot_batch)(const float* query, const float* rows, size_t stride,
+                    uint32_t n, size_t dim, float* scores);
+  /// Fused retrieval scan + top-K selection over one contiguous block:
+  /// computes the dot products chunk-wise and folds them straight into
+  /// `sel`, pruning against sel->Threshold() so heap traffic only happens
+  /// for improving candidates. `ids` maps block row -> external id (nullptr:
+  /// the row index is the id); rows whose id equals `exclude` are skipped.
+  void (*top_k_scan)(const float* query, const float* rows, size_t stride,
+                     uint32_t n, size_t dim, const uint32_t* ids,
+                     uint32_t exclude, TopKSelector* sel);
   SimdLevel level;
 };
 
@@ -60,6 +77,11 @@ void Axpy(float alpha, const float* x, float* y, size_t dim);
 void SgnsUpdateFused(const float* in, float* grad_in, float* out_pos,
                      float* const* out_negs, int num_negs, float lr,
                      size_t dim, const SigmoidTable& sigmoid);
+void DotBatch(const float* query, const float* rows, size_t stride, uint32_t n,
+              size_t dim, float* scores);
+void TopKScan(const float* query, const float* rows, size_t stride, uint32_t n,
+              size_t dim, const uint32_t* ids, uint32_t exclude,
+              TopKSelector* sel);
 }  // namespace simd_scalar
 
 namespace simd_avx2 {
@@ -67,6 +89,17 @@ namespace simd_avx2 {
 /// built without AVX2 support (non-x86 target or compiler without -mavx2).
 const SimdOps* Ops();
 }  // namespace simd_avx2
+
+/// Software-prefetch hint for an upcoming embedding row (read-only, all
+/// cache levels). Compiles to nothing on toolchains without the builtin, so
+/// beam-search loops can call it unconditionally.
+inline void PrefetchRow(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
 
 /// Minimal aligned allocator so embedding matrices can guarantee 64-byte
 /// row starts (no AVX load ever splits a cache line).

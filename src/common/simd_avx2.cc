@@ -105,8 +105,88 @@ void SgnsUpdateFusedAvx2(const float* in, float* grad_in, float* out_pos,
   }
 }
 
-constexpr SimdOps kAvx2Ops = {DotAvx2, AxpyAvx2, SgnsUpdateFusedAvx2,
-                              SimdLevel::kAvx2};
+/// Sums the 8 lanes of each of 4 accumulators into one __m128
+/// (lane r = hsum(acc_r)), so a 4-row tile stores its scores with one blend.
+inline __m128 Hsum4x256(__m256 a0, __m256 a1, __m256 a2, __m256 a3) {
+  const __m256 h01 = _mm256_hadd_ps(a0, a1);
+  const __m256 h23 = _mm256_hadd_ps(a2, a3);
+  const __m256 h = _mm256_hadd_ps(h01, h23);
+  return _mm_add_ps(_mm256_castps256_ps128(h), _mm256_extractf128_ps(h, 1));
+}
+
+void DotBatchAvx2(const float* query, const float* rows, size_t stride,
+                  uint32_t n, size_t dim, float* scores) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = rows + static_cast<size_t>(i) * stride;
+    const float* r1 = r0 + stride;
+    const float* r2 = r1 + stride;
+    const float* r3 = r2 + stride;
+    if (i + 8 <= n) {
+      // Pull the next tile into cache while this one computes; rows are at
+      // most a few cache lines (dim <= 256), so the row starts suffice to
+      // trigger the hardware streamer.
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 2 * stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 3 * stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 4 * stride), _MM_HINT_T0);
+    }
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      const __m256 qv = _mm256_loadu_ps(query + d);
+      acc0 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r0 + d), acc0);
+      acc1 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r1 + d), acc1);
+      acc2 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r2 + d), acc2);
+      acc3 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r3 + d), acc3);
+    }
+    __m128 sums = Hsum4x256(acc0, acc1, acc2, acc3);
+    if (d < dim) {
+      float t0 = 0.0f, t1 = 0.0f, t2 = 0.0f, t3 = 0.0f;
+      for (; d < dim; ++d) {
+        const float q = query[d];
+        t0 += q * r0[d];
+        t1 += q * r1[d];
+        t2 += q * r2[d];
+        t3 += q * r3[d];
+      }
+      sums = _mm_add_ps(sums, _mm_setr_ps(t0, t1, t2, t3));
+    }
+    _mm_storeu_ps(scores + i, sums);
+  }
+  for (; i < n; ++i) {
+    scores[i] = DotAvx2(query, rows + static_cast<size_t>(i) * stride, dim);
+  }
+}
+
+void TopKScanAvx2(const float* query, const float* rows, size_t stride,
+                  uint32_t n, size_t dim, const uint32_t* ids, uint32_t exclude,
+                  TopKSelector* sel) {
+  // Chunked: one batched-dot pass fills a stack buffer, then a cheap scalar
+  // pass folds it into the selector. Pruning against the running threshold
+  // keeps the heap out of the way once it warms up.
+  constexpr uint32_t kChunk = 256;
+  float scores[kChunk];
+  for (uint32_t base = 0; base < n; base += kChunk) {
+    const uint32_t len = n - base < kChunk ? n - base : kChunk;
+    DotBatchAvx2(query, rows + static_cast<size_t>(base) * stride, stride, len,
+                 dim, scores);
+    float thr = sel->Threshold();
+    for (uint32_t j = 0; j < len; ++j) {
+      if (scores[j] <= thr) continue;
+      const uint32_t id = ids != nullptr ? ids[base + j] : base + j;
+      if (id == exclude) continue;
+      sel->Push(scores[j], id);
+      thr = sel->Threshold();
+    }
+  }
+}
+
+constexpr SimdOps kAvx2Ops = {DotAvx2,      AxpyAvx2, SgnsUpdateFusedAvx2,
+                              DotBatchAvx2, TopKScanAvx2, SimdLevel::kAvx2};
 
 }  // namespace
 

@@ -36,5 +36,25 @@ void SgnsUpdateFused(const float* in, float* grad_in, float* out_pos,
   }
 }
 
+void DotBatch(const float* query, const float* rows, size_t stride, uint32_t n,
+              size_t dim, float* scores) {
+  for (uint32_t i = 0; i < n; ++i) {
+    scores[i] = Dot(query, rows + static_cast<size_t>(i) * stride, dim);
+  }
+}
+
+void TopKScan(const float* query, const float* rows, size_t stride, uint32_t n,
+              size_t dim, const uint32_t* ids, uint32_t exclude,
+              TopKSelector* sel) {
+  // Same accumulation order as the pre-SIMD per-candidate loop, so scores
+  // are bit-identical to the scalar brute-force reference.
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t id = ids != nullptr ? ids[i] : i;
+    if (id == exclude) continue;
+    const float s = Dot(query, rows + static_cast<size_t>(i) * stride, dim);
+    if (s > sel->Threshold()) sel->Push(s, id);
+  }
+}
+
 }  // namespace simd_scalar
 }  // namespace sisg

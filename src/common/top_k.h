@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace sisg {
@@ -38,9 +39,17 @@ class TopKSelector {
     std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp);
   }
 
-  /// Current worst kept score, or -inf semantics when not yet full.
   bool Full() const { return heap_.size() >= k_; }
-  float Threshold() const { return heap_.empty() ? 0.0f : heap_.front().score; }
+  /// Pruning threshold for scan kernels: a candidate scoring <= Threshold()
+  /// can never enter the kept set. While the heap is not yet full every
+  /// score must be admitted, so the threshold is -inf (NOT 0: a 0 here
+  /// would drop negative-scored candidates before k results exist). With
+  /// k == 0 nothing is ever kept and the threshold is +inf.
+  float Threshold() const {
+    if (!Full()) return -std::numeric_limits<float>::infinity();
+    if (heap_.empty()) return std::numeric_limits<float>::infinity();
+    return heap_.front().score;
+  }
   size_t size() const { return heap_.size(); }
 
   /// Extracts results sorted best-first. The selector is emptied.

@@ -1,8 +1,7 @@
 #include "core/candidate_table.h"
 
 #include <cstdio>
-
-#include "common/thread_pool.h"
+#include <numeric>
 
 namespace sisg {
 
@@ -13,25 +12,11 @@ Status CandidateTable::Build(const MatchingEngine& engine, uint32_t k,
     return Status::FailedPrecondition("candidate table: engine not built");
   }
   k_ = k;
-  table_.assign(engine.num_items(), {});
-  if (num_threads <= 1) {
-    for (uint32_t item = 0; item < engine.num_items(); ++item) {
-      table_[item] = engine.Query(item, k);
-    }
-    return Status::OK();
-  }
-  ThreadPool pool(num_threads);
-  const uint32_t shard = (engine.num_items() + num_threads - 1) / num_threads;
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    const uint32_t begin = t * shard;
-    const uint32_t end = std::min(engine.num_items(), begin + shard);
-    pool.Submit([this, &engine, k, begin, end] {
-      for (uint32_t item = begin; item < end; ++item) {
-        table_[item] = engine.Query(item, k);
-      }
-    });
-  }
-  pool.Wait();
+  // One batched multi-query call: every item against the engine's blocked
+  // scan path, fanned out over the engine's thread pool.
+  std::vector<uint32_t> items(engine.num_items());
+  std::iota(items.begin(), items.end(), 0u);
+  table_ = engine.QueryBatch(items, k, num_threads);
   return Status::OK();
 }
 

@@ -7,11 +7,13 @@
 
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace sisg {
 
 float HnswIndex::Score(const float* q, uint32_t node) const {
-  return Dot(q, vectors_.data() + static_cast<size_t>(node) * dim_, dim_);
+  return GetSimdOps().dot(
+      q, vectors_.data() + static_cast<size_t>(node) * stride_, dim_);
 }
 
 std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
@@ -21,6 +23,7 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
   std::priority_queue<Entry> candidates;                       // best first
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> best;  // worst on top
   std::unordered_set<uint32_t> visited;
+  const SimdOps& ops = GetSimdOps();
 
   const float entry_score = Score(q, entry);
   candidates.push({entry_score, entry});
@@ -31,9 +34,19 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
     const auto [score, node] = candidates.top();
     candidates.pop();
     if (best.size() >= ef && score < best.top().first) break;
-    for (uint32_t nbr : links_[static_cast<size_t>(layer)][node]) {
+    const auto& nbrs = links_[static_cast<size_t>(layer)][node];
+    // Beam expansion touches neighbor rows in graph (random) order, so the
+    // hardware streamer cannot help; prefetch the next row while scoring the
+    // current one to hide the miss.
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      if (j + 1 < nbrs.size()) {
+        PrefetchRow(vectors_.data() +
+                    static_cast<size_t>(nbrs[j + 1]) * stride_);
+      }
+      const uint32_t nbr = nbrs[j];
       if (!visited.insert(nbr).second) continue;
-      const float s = Score(q, nbr);
+      const float s =
+          ops.dot(q, vectors_.data() + static_cast<size_t>(nbr) * stride_, dim_);
       if (best.size() < ef || s > best.top().first) {
         candidates.push({s, nbr});
         best.push({s, nbr});
@@ -62,6 +75,7 @@ Status HnswIndex::Build(const float* data, uint32_t rows, uint32_t dim,
   }
   options_ = options;
   dim_ = dim;
+  stride_ = AlignedRowStride(dim);
   level_mult_ = 1.0 / std::log(static_cast<double>(options.M));
   ids_.clear();
   vectors_.clear();
@@ -75,7 +89,9 @@ Status HnswIndex::Build(const float* data, uint32_t rows, uint32_t dim,
     if (L2Norm(row, dim) == 0.0f) continue;
     const uint32_t node = static_cast<uint32_t>(ids_.size());
     ids_.push_back(r);
-    vectors_.insert(vectors_.end(), row, row + dim);
+    vectors_.resize(vectors_.size() + stride_, 0.0f);
+    std::copy_n(row, dim,
+                vectors_.data() + static_cast<size_t>(node) * stride_);
 
     // Exponentially distributed level.
     double u = rng.UniformDouble();
@@ -124,7 +140,7 @@ Status HnswIndex::Build(const float* data, uint32_t rows, uint32_t dim,
         back.push_back(node);
         if (back.size() > max_links) {
           const float* nbr_vec =
-              vectors_.data() + static_cast<size_t>(cand.id) * dim_;
+              vectors_.data() + static_cast<size_t>(cand.id) * stride_;
           std::sort(back.begin(), back.end(), [&](uint32_t a, uint32_t b) {
             return Score(nbr_vec, a) > Score(nbr_vec, b);
           });
@@ -169,6 +185,36 @@ std::vector<ScoredId> HnswIndex::Query(const float* query, uint32_t k,
     if (out.size() >= k) break;
   }
   return out;
+}
+
+Status HnswIndex::QueryBatch(const float* queries, uint32_t num_queries,
+                             uint32_t query_dim, uint32_t k,
+                             uint32_t num_threads,
+                             std::vector<std::vector<ScoredId>>* out,
+                             const uint32_t* excludes) const {
+  if (out == nullptr) return Status::InvalidArgument("hnsw: null output");
+  if (ids_.empty()) return Status::FailedPrecondition("hnsw: index not built");
+  if (queries == nullptr || num_queries == 0) {
+    return Status::InvalidArgument("hnsw: empty query batch");
+  }
+  if (k == 0) return Status::InvalidArgument("hnsw: k must be > 0");
+  if (query_dim != dim_) {
+    return Status::InvalidArgument("hnsw: query dim " +
+                                   std::to_string(query_dim) +
+                                   " != index dim " + std::to_string(dim_));
+  }
+  out->assign(num_queries, {});
+  auto run_one = [&](size_t i) {
+    (*out)[i] = Query(queries + i * query_dim, k,
+                      excludes != nullptr ? excludes[i] : UINT32_MAX);
+  };
+  if (num_threads <= 1 || num_queries == 1) {
+    for (uint32_t i = 0; i < num_queries; ++i) run_one(i);
+    return Status::OK();
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(num_queries, run_one);
+  return Status::OK();
 }
 
 }  // namespace sisg

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/top_k.h"
 
@@ -39,6 +40,15 @@ class HnswIndex {
   std::vector<ScoredId> Query(const float* query, uint32_t k,
                               uint32_t exclude = UINT32_MAX) const;
 
+  /// Multi-query serving: `queries` is num_queries x dim() row-major;
+  /// results align with queries. `excludes` is optional (one id per query).
+  /// Fanned out over a ThreadPool when num_threads > 1 (queries are
+  /// read-only, so concurrent beam searches need no locking).
+  Status QueryBatch(const float* queries, uint32_t num_queries,
+                    uint32_t query_dim, uint32_t k, uint32_t num_threads,
+                    std::vector<std::vector<ScoredId>>* out,
+                    const uint32_t* excludes = nullptr) const;
+
  private:
   float Score(const float* q, uint32_t node) const;
   /// Beam search on one layer from `entry`; returns up to `ef` best nodes
@@ -48,9 +58,10 @@ class HnswIndex {
 
   HnswOptions options_;
   uint32_t dim_ = 0;
+  size_t stride_ = 0;              // AlignedRowStride(dim_)
   double level_mult_ = 0.0;
   std::vector<uint32_t> ids_;      // internal id -> original row id
-  std::vector<float> vectors_;     // packed copies, internal order
+  AlignedFloatVector vectors_;     // packed padded copies, internal order
   // links_[layer][node] = neighbor list (internal ids). Layer 0 exists for
   // all nodes; higher layers only for nodes whose level reaches them.
   std::vector<std::vector<std::vector<uint32_t>>> links_;

@@ -1,45 +1,121 @@
 #include "core/ivf_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace sisg {
 
 Status IvfIndex::Build(const float* data, uint32_t rows, uint32_t dim,
                        const IvfOptions& options) {
+  if (data == nullptr || rows == 0 || dim == 0) {
+    return Status::InvalidArgument("ivf: empty input");
+  }
   if (options.nprobe == 0) {
     return Status::InvalidArgument("ivf: nprobe must be > 0");
   }
   SISG_RETURN_IF_ERROR(quantizer_.Fit(data, rows, dim, options.kmeans));
   options_ = options;
   dim_ = dim;
+  stride_ = AlignedRowStride(dim);
   num_indexed_ = 0;
-  list_ids_.assign(quantizer_.num_clusters(), {});
-  list_vecs_.assign(quantizer_.num_clusters(), {});
+
+  // Pass 1: assign live rows to clusters and count list sizes, so every
+  // posting list lands contiguous in one aligned block (pass 2 fills it).
+  const uint32_t num_clusters = quantizer_.num_clusters();
+  std::vector<uint32_t> assignment(rows, UINT32_MAX);
+  std::vector<uint32_t> list_size(num_clusters, 0);
   for (uint32_t r = 0; r < rows; ++r) {
     const float* row = data + static_cast<size_t>(r) * dim;
     if (L2Norm(row, dim) == 0.0f) continue;
     const uint32_t c = quantizer_.Assign(row);
-    list_ids_[c].push_back(r);
-    list_vecs_[c].insert(list_vecs_[c].end(), row, row + dim);
+    assignment[r] = c;
+    ++list_size[c];
     ++num_indexed_;
   }
+  list_begin_.assign(num_clusters + 1, 0);
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    list_begin_[c + 1] = list_begin_[c] + list_size[c];
+  }
+  list_data_.assign(static_cast<size_t>(num_indexed_) * stride_, 0.0f);
+  flat_ids_.assign(num_indexed_, 0);
+  std::vector<uint32_t> cursor(list_begin_.begin(), list_begin_.end() - 1);
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (assignment[r] == UINT32_MAX) continue;
+    const uint32_t slot = cursor[assignment[r]]++;
+    flat_ids_[slot] = r;
+    std::memcpy(list_data_.data() + static_cast<size_t>(slot) * stride_,
+                data + static_cast<size_t>(r) * dim, dim * sizeof(float));
+  }
+
+  // Clamp nprobe to the lists that can contribute anything; probing an
+  // empty list is a wasted centroid distance, and asking for more lists
+  // than exist would silently repeat work.
+  uint32_t non_empty = 0;
+  for (uint32_t c = 0; c < num_clusters; ++c) non_empty += list_size[c] > 0;
+  nprobe_ = std::min(options.nprobe, std::max(non_empty, 1u));
   return Status::OK();
 }
 
 std::vector<ScoredId> IvfIndex::Query(const float* query, uint32_t k,
                                       uint32_t exclude) const {
+  if (num_indexed_ == 0 || k == 0) return {};
+  const SimdOps& ops = GetSimdOps();
   TopKSelector sel(k);
-  for (uint32_t c : quantizer_.AssignTopN(query, options_.nprobe)) {
-    const auto& ids = list_ids_[c];
-    const float* vecs = list_vecs_[c].data();
-    for (size_t i = 0; i < ids.size(); ++i) {
-      if (ids[i] == exclude) continue;
-      sel.Push(Dot(query, vecs + i * dim_, dim_), ids[i]);
-    }
+  for (uint32_t c : quantizer_.AssignTopN(query, nprobe_)) {
+    const uint32_t begin = list_begin_[c];
+    const uint32_t len = list_begin_[c + 1] - begin;
+    if (len == 0) continue;
+    ops.top_k_scan(query, list_data_.data() + static_cast<size_t>(begin) * stride_,
+                   stride_, len, dim_, flat_ids_.data() + begin, exclude, &sel);
   }
   return sel.Take();
+}
+
+Status IvfIndex::QueryChecked(const float* query, uint32_t query_dim,
+                              uint32_t k, uint32_t exclude,
+                              std::vector<ScoredId>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("ivf: null output");
+  if (num_indexed_ == 0) return Status::FailedPrecondition("ivf: index not built");
+  if (query == nullptr) return Status::InvalidArgument("ivf: null query");
+  if (k == 0) return Status::InvalidArgument("ivf: k must be > 0");
+  if (query_dim != dim_) {
+    return Status::InvalidArgument("ivf: query dim " + std::to_string(query_dim) +
+                                   " != index dim " + std::to_string(dim_));
+  }
+  *out = Query(query, k, exclude);
+  return Status::OK();
+}
+
+Status IvfIndex::QueryBatch(const float* queries, uint32_t num_queries,
+                            uint32_t query_dim, uint32_t k,
+                            uint32_t num_threads,
+                            std::vector<std::vector<ScoredId>>* out,
+                            const uint32_t* excludes) const {
+  if (out == nullptr) return Status::InvalidArgument("ivf: null output");
+  if (num_indexed_ == 0) return Status::FailedPrecondition("ivf: index not built");
+  if (queries == nullptr || num_queries == 0) {
+    return Status::InvalidArgument("ivf: empty query batch");
+  }
+  if (k == 0) return Status::InvalidArgument("ivf: k must be > 0");
+  if (query_dim != dim_) {
+    return Status::InvalidArgument("ivf: query dim " + std::to_string(query_dim) +
+                                   " != index dim " + std::to_string(dim_));
+  }
+  out->assign(num_queries, {});
+  auto run_one = [&](size_t i) {
+    (*out)[i] = Query(queries + i * query_dim, k,
+                      excludes != nullptr ? excludes[i] : UINT32_MAX);
+  };
+  if (num_threads <= 1 || num_queries == 1) {
+    for (uint32_t i = 0; i < num_queries; ++i) run_one(i);
+    return Status::OK();
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(num_queries, run_one);
+  return Status::OK();
 }
 
 double IvfIndex::ExpectedScanFraction() const {
@@ -48,7 +124,7 @@ double IvfIndex::ExpectedScanFraction() const {
   // real deployment measures per-query scan counts.
   const double avg_list =
       static_cast<double>(num_indexed_) / quantizer_.num_clusters();
-  return std::min(1.0, avg_list * options_.nprobe / num_indexed_);
+  return std::min(1.0, avg_list * nprobe_ / num_indexed_);
 }
 
 }  // namespace sisg

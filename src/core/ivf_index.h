@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/top_k.h"
 #include "core/kmeans.h"
@@ -17,7 +18,8 @@ namespace sisg {
 /// modes of the MatchingEngine (rows pre-normalized for cosine).
 struct IvfOptions {
   KMeansOptions kmeans;
-  uint32_t nprobe = 8;  // clusters scanned per query
+  uint32_t nprobe = 8;  // clusters scanned per query (clamped at Build to
+                        // the number of non-empty lists)
 };
 
 class IvfIndex {
@@ -25,18 +27,38 @@ class IvfIndex {
   IvfIndex() = default;
 
   /// Indexes `rows` x `dim` row-major candidate vectors; zero rows
-  /// (untrained items) are excluded. The data is copied.
+  /// (untrained items) are excluded. The data is copied into one contiguous
+  /// 64-byte-aligned padded-stride block per posting list, so each probed
+  /// list is a single blocked TopKScan through the dispatched SIMD kernels.
   Status Build(const float* data, uint32_t rows, uint32_t dim,
                const IvfOptions& options);
 
   uint32_t num_vectors() const { return num_indexed_; }
   uint32_t dim() const { return dim_; }
   const IvfOptions& options() const { return options_; }
+  /// nprobe actually used per query: options().nprobe clamped to the number
+  /// of non-empty posting lists.
+  uint32_t effective_nprobe() const { return nprobe_; }
 
   /// Top-k rows by inner product with `query`, scanning the nprobe nearest
-  /// lists. `exclude` (e.g. the query item itself) is skipped.
+  /// lists. `exclude` (e.g. the query item itself) is skipped. Returns empty
+  /// when the index is unbuilt or k == 0 (use QueryChecked for a Status).
   std::vector<ScoredId> Query(const float* query, uint32_t k,
                               uint32_t exclude = UINT32_MAX) const;
+
+  /// Query with argument validation: rejects an unbuilt index, k == 0 and a
+  /// query dimensionality that does not match the index instead of silently
+  /// scanning nothing.
+  Status QueryChecked(const float* query, uint32_t query_dim, uint32_t k,
+                      uint32_t exclude, std::vector<ScoredId>* out) const;
+
+  /// Multi-query serving: `queries` is num_queries x query_dim row-major;
+  /// results align with queries. `excludes` is optional (one id per query).
+  /// Fanned out over a ThreadPool when num_threads > 1.
+  Status QueryBatch(const float* queries, uint32_t num_queries,
+                    uint32_t query_dim, uint32_t k, uint32_t num_threads,
+                    std::vector<std::vector<ScoredId>>* out,
+                    const uint32_t* excludes = nullptr) const;
 
   /// Fraction of indexed vectors scanned by one query (the speedup proxy:
   /// brute force scans 1.0).
@@ -46,9 +68,15 @@ class IvfIndex {
   IvfOptions options_;
   uint32_t dim_ = 0;
   uint32_t num_indexed_ = 0;
+  uint32_t nprobe_ = 0;     // clamped to non-empty lists at Build
+  size_t stride_ = 0;       // AlignedRowStride(dim_)
   KMeans quantizer_;
-  std::vector<std::vector<uint32_t>> list_ids_;  // per cluster: row ids
-  std::vector<std::vector<float>> list_vecs_;    // per cluster: packed rows
+  // All posting lists packed back to back: list c occupies block rows
+  // [list_begin_[c], list_begin_[c + 1]) of list_data_, each row `stride_`
+  // floats (zero-padded past dim_); flat_ids_ maps block row -> original id.
+  AlignedFloatVector list_data_;
+  std::vector<uint32_t> flat_ids_;
+  std::vector<uint32_t> list_begin_;
 };
 
 }  // namespace sisg

@@ -1,8 +1,10 @@
 #include "core/matching_engine.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace sisg {
 
@@ -47,18 +49,41 @@ Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
       if (norm > 0.0f) Scale(1.0f / norm, row, dim);
     }
   }
+
+  // Pack the trained candidate rows into the aligned serving block. Liveness
+  // is has_item_ (non-zero IN row), the same gate the per-candidate loop
+  // used; in directional mode an item seen only as input keeps its zero OUT
+  // row in the block and scores 0, as before.
+  const std::vector<float>& cand = candidate_matrix();
+  block_stride_ = AlignedRowStride(dim);
+  cand_ids_.clear();
+  cand_ids_.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (has_item_[i] == 0) continue;
+    cand_ids_.push_back(i);
+  }
+  cand_block_.assign(cand_ids_.size() * block_stride_, 0.0f);
+  for (size_t r = 0; r < cand_ids_.size(); ++r) {
+    std::memcpy(cand_block_.data() + r * block_stride_,
+                cand.data() + static_cast<size_t>(cand_ids_[r]) * dim,
+                dim * sizeof(float));
+  }
   return Status::OK();
+}
+
+std::vector<ScoredId> MatchingEngine::ScanBlock(const float* query, uint32_t k,
+                                                uint32_t exclude) const {
+  TopKSelector sel(k);
+  GetSimdOps().top_k_scan(query, cand_block_.data(), block_stride_,
+                          static_cast<uint32_t>(cand_ids_.size()), dim_,
+                          cand_ids_.data(), exclude, &sel);
+  return sel.Take();
 }
 
 std::vector<ScoredId> MatchingEngine::Query(uint32_t item, uint32_t k) const {
   if (!HasItem(item)) return {};
   const float* q = in_.data() + static_cast<size_t>(item) * dim_;
-  TopKSelector sel(k);
-  for (uint32_t c = 0; c < num_items_; ++c) {
-    if (c == item || has_item_[c] == 0) continue;
-    sel.Push(Dot(q, CandidateRow(c), dim_), c);
-  }
-  return sel.Take();
+  return ScanBlock(q, k, item);
 }
 
 std::vector<ScoredId> MatchingEngine::QueryVector(const float* query,
@@ -68,12 +93,21 @@ std::vector<ScoredId> MatchingEngine::QueryVector(const float* query,
     const float norm = L2Norm(q.data(), dim_);
     if (norm > 0.0f) Scale(1.0f / norm, q.data(), dim_);
   }
-  TopKSelector sel(k);
-  for (uint32_t c = 0; c < num_items_; ++c) {
-    if (has_item_[c] == 0) continue;
-    sel.Push(Dot(q.data(), CandidateRow(c), dim_), c);
+  return ScanBlock(q.data(), k, UINT32_MAX);
+}
+
+std::vector<std::vector<ScoredId>> MatchingEngine::QueryBatch(
+    const std::vector<uint32_t>& items, uint32_t k,
+    uint32_t num_threads) const {
+  std::vector<std::vector<ScoredId>> results(items.size());
+  if (num_threads <= 1 || items.size() <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) results[i] = Query(items[i], k);
+    return results;
   }
-  return sel.Take();
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(items.size(),
+                   [&](size_t i) { results[i] = Query(items[i], k); });
+  return results;
 }
 
 float MatchingEngine::Score(uint32_t query_item, uint32_t candidate) const {

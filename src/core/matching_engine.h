@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/top_k.h"
 
@@ -21,6 +22,12 @@ enum class SimilarityMode {
 /// Brute-force top-K retrieval over per-item embedding matrices — the
 /// matching-stage candidate generator. Rows for items absent from training
 /// should be zero; they are skipped as candidates.
+///
+/// Serving path: Build() compacts the trained candidate rows into one
+/// 64-byte-aligned padded-stride block (untrained rows dropped, ids kept in
+/// a side array), and every query is a single blocked TopKScan through the
+/// runtime-dispatched SIMD kernels — no per-candidate function calls, no
+/// branch on untrained rows in the hot loop.
 class MatchingEngine {
  public:
   MatchingEngine() = default;
@@ -47,12 +54,19 @@ class MatchingEngine {
   /// via Eq. 6, or cold-user vectors). The vector must have dim() floats.
   std::vector<ScoredId> QueryVector(const float* query, uint32_t k) const;
 
+  /// Multi-query serving: Query() for each item in `items`, fanned out over
+  /// a ThreadPool when num_threads > 1. Results align with `items`.
+  std::vector<std::vector<ScoredId>> QueryBatch(
+      const std::vector<uint32_t>& items, uint32_t k,
+      uint32_t num_threads = 1) const;
+
   /// Pairwise score between two items under the engine's mode.
   float Score(uint32_t query_item, uint32_t candidate) const;
 
   /// The matrix candidates are scored against (normalized input rows in
   /// cosine mode, normalized output rows in directional mode) — what an ANN
-  /// index (IvfIndex) should be built over. num_items() x dim() row-major.
+  /// index (IvfIndex, HnswIndex) should be built over. num_items() x dim()
+  /// row-major.
   const std::vector<float>& candidate_matrix() const {
     return mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
   }
@@ -69,12 +83,22 @@ class MatchingEngine {
     return m.data() + static_cast<size_t>(item) * dim_;
   }
 
+  /// Blocked scan of the compact candidate block for one prepared query.
+  std::vector<ScoredId> ScanBlock(const float* query, uint32_t k,
+                                  uint32_t exclude) const;
+
   uint32_t num_items_ = 0;
   uint32_t dim_ = 0;
   SimilarityMode mode_ = SimilarityMode::kCosineInput;
   std::vector<float> in_;   // normalized rows in cosine mode
   std::vector<float> out_;
   std::vector<uint8_t> has_item_;
+
+  // Compact serving block: only trained candidate rows, 64-byte-aligned
+  // padded stride, plus the row -> item-id map the scan kernel consumes.
+  size_t block_stride_ = 0;
+  AlignedFloatVector cand_block_;
+  std::vector<uint32_t> cand_ids_;
 };
 
 }  // namespace sisg

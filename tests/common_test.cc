@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <string>
@@ -296,6 +297,43 @@ TEST(TopKTest, TieBreaksById) {
   const auto out = sel.Take();
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].id, 3u);
+}
+
+TEST(TopKTest, ThresholdIsMinusInfinityUntilFull) {
+  // Regression: Threshold() used to return 0.0 while the heap was filling,
+  // which let scan kernels prune negative-scored candidates before k results
+  // existed. All-negative corpora must still fill the selector.
+  TopKSelector sel(3);
+  EXPECT_EQ(sel.Threshold(), -std::numeric_limits<float>::infinity());
+  sel.Push(-5.0f, 1);
+  sel.Push(-2.0f, 2);
+  EXPECT_EQ(sel.Threshold(), -std::numeric_limits<float>::infinity());
+  sel.Push(-9.0f, 3);
+  EXPECT_EQ(sel.Threshold(), -9.0f);  // full: worst kept score
+  sel.Push(-1.0f, 4);
+  EXPECT_EQ(sel.Threshold(), -5.0f);
+}
+
+TEST(TopKTest, AllNegativeScoresKeptViaThresholdPruning) {
+  // The pruning pattern every scan kernel uses: push only when the score
+  // beats Threshold(). With the -inf semantics this must keep the k best
+  // even when every score is negative.
+  TopKSelector sel(4);
+  const float scores[] = {-3.5f, -0.5f, -7.0f, -1.0f, -2.0f, -6.0f};
+  for (uint32_t i = 0; i < 6; ++i) {
+    if (scores[i] > sel.Threshold()) sel.Push(scores[i], i);
+  }
+  const auto out = sel.Take();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].id, 1u);  // -0.5
+  EXPECT_EQ(out[1].id, 3u);  // -1.0
+  EXPECT_EQ(out[2].id, 4u);  // -2.0
+  EXPECT_EQ(out[3].id, 0u);  // -3.5
+}
+
+TEST(TopKTest, ZeroKThresholdRejectsEverything) {
+  TopKSelector sel(0);
+  EXPECT_EQ(sel.Threshold(), std::numeric_limits<float>::infinity());
 }
 
 class TopKProperty : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,347 @@
+// Parity and regression tests of the SIMD-blocked retrieval path: the
+// blocked MatchingEngine scan against a pinned scalar brute-force reference
+// (both similarity modes, dims 1..256), the batched multi-query serving
+// APIs, and the IVF clamping/validation behavior. The CMake suite runs this
+// binary twice: once with the default dispatch and once pinned to
+// SISG_SIMD=scalar, where every comparison must be bit-exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/top_k.h"
+#include "core/hnsw_index.h"
+#include "core/ivf_index.h"
+#include "core/matching_engine.h"
+
+namespace sisg {
+namespace {
+
+// Dims straddling the 8-lane and 4-row tile boundaries of the AVX2 kernels.
+const uint32_t kParityDims[] = {1, 3, 7, 8, 9, 16, 31, 64, 100, 128, 256};
+
+std::vector<float> RandomMatrix(Rng& rng, uint32_t rows, uint32_t dim,
+                                const std::set<uint32_t>& zero_rows) {
+  std::vector<float> m(static_cast<size_t>(rows) * dim);
+  for (auto& x : m) x = rng.UniformFloat() * 2.0f - 1.0f;
+  for (uint32_t r : zero_rows) {
+    for (uint32_t d = 0; d < dim; ++d) m[static_cast<size_t>(r) * dim + d] = 0.0f;
+  }
+  return m;
+}
+
+/// The pre-change retrieval loop, pinned: per-candidate scalar dot in
+/// declaration order, one TopKSelector push per trained candidate.
+std::vector<ScoredId> BruteForceRef(const MatchingEngine& engine,
+                                    const float* query, uint32_t k,
+                                    uint32_t exclude) {
+  TopKSelector sel(k);
+  const std::vector<float>& cand = engine.candidate_matrix();
+  const uint32_t dim = engine.dim();
+  for (uint32_t c = 0; c < engine.num_items(); ++c) {
+    if (c == exclude || !engine.HasItem(c)) continue;
+    const float* row = cand.data() + static_cast<size_t>(c) * dim;
+    float acc = 0.0f;
+    for (uint32_t d = 0; d < dim; ++d) acc += query[d] * row[d];
+    sel.Push(acc, c);
+  }
+  return sel.Take();
+}
+
+/// Exact under scalar dispatch; under a vector dispatch the ids may permute
+/// only among candidates whose reference scores agree to float-reassociation
+/// error, and every returned score must match that id's reference score.
+void ExpectResultsMatch(const MatchingEngine& engine,
+                        const std::vector<ScoredId>& blocked,
+                        const std::vector<ScoredId>& ref, const float* query,
+                        const char* what) {
+  ASSERT_EQ(blocked.size(), ref.size()) << what;
+  if (GetSimdOps().level == SimdLevel::kScalar) {
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(blocked[i].id, ref[i].id) << what << " rank " << i;
+      EXPECT_EQ(blocked[i].score, ref[i].score) << what << " rank " << i;
+    }
+    return;
+  }
+  const std::vector<float>& cand = engine.candidate_matrix();
+  const uint32_t dim = engine.dim();
+  constexpr float kTol = 2e-5f;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    // Rank-wise scores agree even if near-ties swapped ids.
+    EXPECT_NEAR(blocked[i].score, ref[i].score, kTol) << what << " rank " << i;
+    // Each returned score is the true (scalar) score of its id.
+    const float* row = cand.data() + static_cast<size_t>(blocked[i].id) * dim;
+    float acc = 0.0f;
+    for (uint32_t d = 0; d < dim; ++d) acc += query[d] * row[d];
+    EXPECT_NEAR(blocked[i].score, acc, kTol) << what << " id " << blocked[i].id;
+  }
+}
+
+// --------------------------- blocked engine scan ---------------------------
+
+class EngineParity : public ::testing::TestWithParam<SimilarityMode> {};
+
+TEST_P(EngineParity, BlockedQueryMatchesScalarReferenceAcrossDims) {
+  const SimilarityMode mode = GetParam();
+  Rng rng(101);
+  const uint32_t n = 220, k = 10;
+  for (uint32_t dim : kParityDims) {
+    // A few untrained (zero) rows exercise the compaction path.
+    const std::set<uint32_t> zeros = {0, 5, n - 1};
+    auto in = RandomMatrix(rng, n, dim, zeros);
+    auto out = RandomMatrix(rng, n, dim, zeros);
+    MatchingEngine engine;
+    ASSERT_TRUE(engine.Build(in, out, n, dim, mode).ok()) << "dim=" << dim;
+    for (uint32_t item : {1u, 7u, 100u}) {
+      const auto blocked = engine.Query(item, k);
+      const auto ref = BruteForceRef(engine, engine.QueryRow(item), k, item);
+      ExpectResultsMatch(engine, blocked, ref, engine.QueryRow(item), "Query");
+      // The query item itself must never be retrieved.
+      for (const auto& r : blocked) EXPECT_NE(r.id, item) << "dim=" << dim;
+    }
+    // Untrained items return nothing.
+    EXPECT_TRUE(engine.Query(0, k).empty()) << "dim=" << dim;
+    EXPECT_TRUE(engine.Query(n + 3, k).empty()) << "dim=" << dim;
+  }
+}
+
+TEST_P(EngineParity, BlockedQueryVectorMatchesScalarReference) {
+  const SimilarityMode mode = GetParam();
+  Rng rng(102);
+  const uint32_t n = 150, k = 7;
+  for (uint32_t dim : {1u, 9u, 100u, 128u}) {
+    auto in = RandomMatrix(rng, n, dim, {2});
+    auto out = RandomMatrix(rng, n, dim, {2});
+    MatchingEngine engine;
+    ASSERT_TRUE(engine.Build(in, out, n, dim, mode).ok());
+    std::vector<float> q(dim);
+    for (auto& x : q) x = rng.UniformFloat() * 2.0f - 1.0f;
+    // QueryVector normalizes in cosine mode; reproduce that for the ref.
+    std::vector<float> prepared = q;
+    if (mode == SimilarityMode::kCosineInput) {
+      float norm = 0.0f;
+      for (float x : prepared) norm += x * x;
+      norm = std::sqrt(norm);
+      // Reciprocal-multiply, matching QueryVector's Scale() bit-for-bit.
+      const float inv = 1.0f / norm;
+      for (auto& x : prepared) x *= inv;
+    }
+    const auto blocked = engine.QueryVector(q.data(), k);
+    const auto ref = BruteForceRef(engine, prepared.data(), k, UINT32_MAX);
+    ExpectResultsMatch(engine, blocked, ref, prepared.data(), "QueryVector");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EngineParity,
+                         ::testing::Values(SimilarityMode::kCosineInput,
+                                           SimilarityMode::kDirectionalInOut));
+
+TEST(EngineParityTest, AllNegativeScoresStillReturnK) {
+  // Regression companion to the TopKSelector::Threshold fix: an anti-aligned
+  // corpus scores every candidate negative, and the blocked scan must still
+  // collect k of them rather than prune everything against a 0 threshold.
+  const uint32_t n = 40, dim = 8, k = 5;
+  std::vector<float> in(static_cast<size_t>(n) * dim, 0.0f);
+  for (uint32_t r = 0; r < n; ++r) {
+    // Query row 0 is +e0; every other row is -e0 scaled.
+    in[static_cast<size_t>(r) * dim] = r == 0 ? 1.0f : -(1.0f + r * 0.01f);
+  }
+  MatchingEngine engine;
+  ASSERT_TRUE(engine.Build(in, {}, n, dim, SimilarityMode::kCosineInput).ok());
+  const auto res = engine.Query(0, k);
+  ASSERT_EQ(res.size(), k);
+  for (const auto& r : res) EXPECT_LT(r.score, 0.0f);
+}
+
+// --------------------------- batched serving ---------------------------
+
+TEST(QueryBatchTest, EngineBatchMatchesSerialQueries) {
+  Rng rng(103);
+  const uint32_t n = 300, dim = 24, k = 8;
+  auto in = RandomMatrix(rng, n, dim, {11});
+  MatchingEngine engine;
+  ASSERT_TRUE(engine.Build(in, {}, n, dim, SimilarityMode::kCosineInput).ok());
+  std::vector<uint32_t> items;
+  for (uint32_t i = 0; i < n; i += 3) items.push_back(i);
+  const auto serial = engine.QueryBatch(items, k, 1);
+  const auto parallel = engine.QueryBatch(items, k, 4);
+  ASSERT_EQ(serial.size(), items.size());
+  ASSERT_EQ(parallel.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const auto direct = engine.Query(items[i], k);
+    ASSERT_EQ(serial[i].size(), direct.size());
+    ASSERT_EQ(parallel[i].size(), direct.size());
+    for (size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(serial[i][j], direct[j]);
+      EXPECT_EQ(parallel[i][j], direct[j]);
+    }
+  }
+}
+
+TEST(QueryBatchTest, IvfBatchMatchesSerialQueries) {
+  Rng rng(104);
+  const uint32_t n = 500, dim = 12, k = 6;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 8;
+  opts.nprobe = 4;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, opts).ok());
+  const uint32_t num_queries = 20;
+  std::vector<uint32_t> excludes(num_queries);
+  for (uint32_t i = 0; i < num_queries; ++i) excludes[i] = i;
+  std::vector<std::vector<ScoredId>> serial, parallel;
+  ASSERT_TRUE(index
+                  .QueryBatch(data.data(), num_queries, dim, k, 1, &serial,
+                              excludes.data())
+                  .ok());
+  ASSERT_TRUE(index
+                  .QueryBatch(data.data(), num_queries, dim, k, 4, &parallel,
+                              excludes.data())
+                  .ok());
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    const auto direct =
+        index.Query(data.data() + static_cast<size_t>(i) * dim, k, i);
+    ASSERT_EQ(serial[i].size(), direct.size());
+    for (size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(serial[i][j], direct[j]);
+      EXPECT_EQ(parallel[i][j], direct[j]);
+    }
+  }
+}
+
+TEST(QueryBatchTest, HnswBatchMatchesSerialQueries) {
+  Rng rng(105);
+  const uint32_t n = 400, dim = 16, k = 5;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, HnswOptions{}).ok());
+  const uint32_t num_queries = 15;
+  std::vector<std::vector<ScoredId>> serial, parallel;
+  ASSERT_TRUE(
+      index.QueryBatch(data.data(), num_queries, dim, k, 1, &serial).ok());
+  ASSERT_TRUE(
+      index.QueryBatch(data.data(), num_queries, dim, k, 4, &parallel).ok());
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    const auto direct =
+        index.Query(data.data() + static_cast<size_t>(i) * dim, k);
+    ASSERT_EQ(serial[i].size(), direct.size());
+    for (size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(serial[i][j], direct[j]);
+      EXPECT_EQ(parallel[i][j], direct[j]);
+    }
+  }
+}
+
+TEST(QueryBatchTest, RejectsDegenerateInputs) {
+  Rng rng(106);
+  const uint32_t n = 100, dim = 8;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex ivf;
+  IvfOptions iopts;
+  iopts.kmeans.num_clusters = 4;
+  ASSERT_TRUE(ivf.Build(data.data(), n, dim, iopts).ok());
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Build(data.data(), n, dim, HnswOptions{}).ok());
+  std::vector<std::vector<ScoredId>> out;
+
+  EXPECT_EQ(ivf.QueryBatch(data.data(), 10, dim, 0, 1, &out).code(),
+            StatusCode::kInvalidArgument);  // k == 0
+  EXPECT_EQ(ivf.QueryBatch(data.data(), 10, dim + 1, 5, 1, &out).code(),
+            StatusCode::kInvalidArgument);  // dim mismatch
+  EXPECT_EQ(ivf.QueryBatch(nullptr, 10, dim, 5, 1, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(hnsw.QueryBatch(data.data(), 10, dim, 0, 1, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(hnsw.QueryBatch(data.data(), 10, dim - 3, 5, 1, &out).code(),
+            StatusCode::kInvalidArgument);
+  IvfIndex unbuilt;
+  EXPECT_EQ(unbuilt.QueryBatch(data.data(), 10, dim, 5, 1, &out).code(),
+            StatusCode::kFailedPrecondition);
+
+  std::vector<ScoredId> one;
+  EXPECT_EQ(ivf.QueryChecked(data.data(), dim, 0, UINT32_MAX, &one).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ivf.QueryChecked(data.data(), dim + 2, 5, UINT32_MAX, &one).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ivf.QueryChecked(data.data(), dim, 5, UINT32_MAX, &one).ok());
+  EXPECT_EQ(one.size(), 5u);
+}
+
+// --------------------------- IVF clamping & recall ---------------------------
+
+TEST(IvfClampTest, NprobeClampedToNonEmptyLists) {
+  Rng rng(107);
+  const uint32_t n = 60, dim = 6;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 8;
+  opts.nprobe = 1000;  // far more than there are lists
+  ASSERT_TRUE(index.Build(data.data(), n, dim, opts).ok());
+  EXPECT_LE(index.effective_nprobe(), 8u);
+  EXPECT_GE(index.effective_nprobe(), 1u);
+  // Probing "everything" is now exact: matches brute force.
+  TopKSelector exact(5);
+  for (uint32_t c = 1; c < n; ++c) {
+    const float* row = data.data() + static_cast<size_t>(c) * dim;
+    float acc = 0.0f;
+    for (uint32_t d = 0; d < dim; ++d) acc += data[d] * row[d];
+    exact.Push(acc, c);
+  }
+  const auto truth = exact.Take();
+  const auto res = index.Query(data.data(), 5, 0);
+  ASSERT_EQ(res.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) EXPECT_EQ(res[i].id, truth[i].id);
+}
+
+TEST(IvfRecallRegression, Recall10AtLeastPreChangeImplementation) {
+  // Fixed-seed recall@10 of the contiguous-list implementation. The
+  // pre-change per-vector implementation measured 0.800 on this exact
+  // setup (seed 7, n=2000, dim=16, 16 clusters, nprobe=4); the blocked
+  // rewrite probes the same lists, so recall must not drop below it.
+  Rng rng(7);
+  const uint32_t n = 2000, dim = 16, k = 10;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 16;
+  opts.nprobe = 4;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, opts).ok());
+  double recall = 0.0;
+  const uint32_t queries = 50;
+  for (uint32_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    TopKSelector exact(k);
+    for (uint32_t c = 0; c < n; ++c) {
+      if (c == q) continue;
+      const float* row = data.data() + static_cast<size_t>(c) * dim;
+      float acc = 0.0f;
+      for (uint32_t d = 0; d < dim; ++d) acc += qv[d] * row[d];
+      exact.Push(acc, c);
+    }
+    const auto truth = exact.Take();
+    const auto approx = index.Query(qv, k, q);
+    int common = 0;
+    for (const auto& a : truth) {
+      for (const auto& b : approx) common += a.id == b.id;
+    }
+    recall += static_cast<double>(common) / k;
+  }
+  recall /= queries;
+  // Tiny slack: the recall average itself accumulates in floating point.
+  EXPECT_GE(recall, 0.800 - 1e-9)
+      << "recall@10 dropped below the pre-change baseline";
+}
+
+}  // namespace
+}  // namespace sisg

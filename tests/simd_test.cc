@@ -41,6 +41,8 @@ TEST(SimdDispatchTest, ActiveOpsAreRunnable) {
   ASSERT_NE(ops.dot, nullptr);
   ASSERT_NE(ops.axpy, nullptr);
   ASSERT_NE(ops.sgns_update_fused, nullptr);
+  ASSERT_NE(ops.dot_batch, nullptr);
+  ASSERT_NE(ops.top_k_scan, nullptr);
   const float a[4] = {1.0f, 2.0f, 3.0f, 4.0f};
   const float b[4] = {1.0f, 1.0f, 1.0f, 1.0f};
   EXPECT_NEAR(ops.dot(a, b, 4), 10.0f, 1e-6f);
@@ -137,6 +139,90 @@ TEST(SimdParityTest, FusedHandlesManyNegativesAcrossChunks) {
   for (size_t i = 0; i < dim; ++i) {
     EXPECT_NEAR(grad_simd[i], grad_ref[i], 1e-4f);
     EXPECT_NEAR(pos_simd[i], pos_ref[i], 1e-5f);
+  }
+}
+
+// --------------------------- retrieval kernels ---------------------------
+
+TEST(SimdParityTest, DotBatchMatchesScalar) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(15);
+  // Block sizes straddling the 4-row tile; strided (padded) and tight rows.
+  for (size_t dim : kDims) {
+    for (uint32_t n : {1u, 3u, 4u, 5u, 17u}) {
+      const size_t stride = AlignedRowStride(dim);
+      AlignedFloatVector rows(n * stride, 0.0f);
+      for (uint32_t r = 0; r < n; ++r) {
+        for (size_t d = 0; d < dim; ++d) {
+          rows[r * stride + d] = rng.UniformFloat() * 2.0f - 1.0f;
+        }
+      }
+      const auto q = RandomVec(rng, dim, 1.0f);
+      std::vector<float> ref(n), got(n);
+      simd_scalar::DotBatch(q.data(), rows.data(), stride, n, dim, ref.data());
+      ops.dot_batch(q.data(), rows.data(), stride, n, dim, got.data());
+      for (uint32_t r = 0; r < n; ++r) {
+        EXPECT_NEAR(got[r], ref[r], 1e-4f) << "dim=" << dim << " row=" << r;
+        // The strided batch must agree with the plain per-row dot.
+        EXPECT_NEAR(got[r], simd_scalar::Dot(q.data(), rows.data() + r * stride, dim),
+                    1e-4f);
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, TopKScanMatchesScalarSelector) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(16);
+  for (size_t dim : {1ul, 7ul, 64ul, 128ul}) {
+    // Spans several of the AVX2 kernel's 256-row chunks.
+    const uint32_t n = 700;
+    const size_t stride = AlignedRowStride(dim);
+    AlignedFloatVector rows(n * stride, 0.0f);
+    for (uint32_t r = 0; r < n; ++r) {
+      for (size_t d = 0; d < dim; ++d) {
+        rows[r * stride + d] = rng.UniformFloat() * 2.0f - 1.0f;
+      }
+    }
+    const auto q = RandomVec(rng, dim, 1.0f);
+    std::vector<uint32_t> ids(n);
+    for (uint32_t r = 0; r < n; ++r) ids[r] = r * 2;  // non-identity id map
+    TopKSelector ref_sel(10), got_sel(10);
+    simd_scalar::TopKScan(q.data(), rows.data(), stride, n, dim, ids.data(),
+                          /*exclude=*/6, &ref_sel);
+    ops.top_k_scan(q.data(), rows.data(), stride, n, dim, ids.data(),
+                   /*exclude=*/6, &got_sel);
+    const auto ref = ref_sel.Take();
+    const auto got = got_sel.Take();
+    ASSERT_EQ(ref.size(), got.size()) << "dim=" << dim;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].id, ref[i].id) << "dim=" << dim << " rank=" << i;
+      EXPECT_NEAR(got[i].score, ref[i].score, 1e-4f) << "dim=" << dim;
+      EXPECT_NE(got[i].id, 6u);  // excluded id never surfaces
+    }
+  }
+}
+
+TEST(SimdParityTest, TopKScanNullIdsUsesRowIndex) {
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(17);
+  const size_t dim = 16, stride = AlignedRowStride(dim);
+  const uint32_t n = 50;
+  AlignedFloatVector rows(n * stride, 0.0f);
+  for (uint32_t r = 0; r < n; ++r) {
+    for (size_t d = 0; d < dim; ++d) {
+      rows[r * stride + d] = rng.UniformFloat() - 0.5f;
+    }
+  }
+  const auto q = RandomVec(rng, dim, 1.0f);
+  TopKSelector sel(n);
+  ops.top_k_scan(q.data(), rows.data(), stride, n, dim, nullptr,
+                 /*exclude=*/3, &sel);
+  const auto res = sel.Take();
+  EXPECT_EQ(res.size(), n - 1);  // row 3 excluded by index
+  for (const auto& r : res) {
+    EXPECT_LT(r.id, n);
+    EXPECT_NE(r.id, 3u);
   }
 }
 

@@ -101,12 +101,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Ad-hoc lookups go through the batched serving API so --threads applies
+  // here too, not only to the candidate-table export.
+  std::vector<uint32_t> items;
+  items.reserve(flags.positional().size());
   for (const std::string& arg : flags.positional()) {
-    const uint32_t item = static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10));
-    std::cout << "item_" << item << " ->";
-    const auto res = engine->Query(item, k);
-    if (res.empty()) std::cout << " (untrained or unknown item)";
-    for (const auto& r : res) {
+    items.push_back(
+        static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10)));
+  }
+  const auto results = engine->QueryBatch(
+      items, k, static_cast<uint32_t>(flags.GetInt64("threads", 1)));
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::cout << "item_" << items[i] << " ->";
+    if (results[i].empty()) std::cout << " (untrained or unknown item)";
+    for (const auto& r : results[i]) {
       std::cout << " item_" << r.id << ":" << r.score;
     }
     std::cout << "\n";
