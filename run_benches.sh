@@ -6,6 +6,11 @@
 # serving path (ns/query for brute-force, IVF and HNSW at d=128; see
 # EXPERIMENTS.md "Retrieval microbench").
 cd /root/repo
+if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
+  echo "error: bench binaries not found under build/bench." >&2
+  echo "Build them first:  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
 : > bench_output.txt
 ./build/bench/bench_micro_engine \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json \

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs the fault-injection ("chaos") test suite under ThreadSanitizer: the
+# checkpoint/resume rendezvous barrier, the fault-injected distributed
+# engine (worker kill + recovery, dropped/duplicated remote calls, injected
+# crashes) and the ANN degradation paths. A dedicated TSan build dir keeps
+# the instrumented objects out of the regular build.
+set -e
+cd /root/repo
+cmake -B build-tsan -S . -DSISG_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j
+cd build-tsan
+# tsan.supp masks only the documented Hogwild! weight-update race; the
+# checkpoint barrier and fault-injection machinery run unsuppressed.
+TSAN_OPTIONS="suppressions=/root/repo/tsan.supp history_size=7" \
+  ctest -L chaos --output-on-failure "$@"
+echo "CHAOS_COMPLETE"

@@ -1,0 +1,286 @@
+#include "common/io_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+
+namespace sisg {
+namespace {
+
+constexpr char kArtifactMagic[8] = {'S', 'I', 'S', 'G', 'A', 'R', 'T', '1'};
+
+/// CRC-32 lookup table (polynomial 0xEDB88320), built once.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Status::IOError(ErrnoMessage("fsync", path));
+  return Status::OK();
+}
+
+/// fsync the directory containing `path` so a completed rename survives a
+/// crash. Best-effort: some filesystems refuse to open directories.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Fixed-size artifact header, written verbatim at offset 0.
+struct ArtifactHeader {
+  char magic[8];
+  char kind[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t payload_bytes;
+  uint32_t crc;
+} __attribute__((packed));
+static_assert(sizeof(ArtifactHeader) == kArtifactHeaderBytes);
+
+void FillKind(const std::string& kind, char out[8]) {
+  std::memset(out, ' ', 8);
+  std::memcpy(out, kind.data(), std::min<size_t>(kind.size(), 8));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t crc) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+StatusOr<AtomicFile> AtomicFile::Create(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("atomic file: empty path");
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open for write", tmp));
+  }
+  return AtomicFile(path, std::move(tmp), f);
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Abandon(); }
+
+Status AtomicFile::Commit() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("atomic file: already closed");
+  }
+  std::FILE* f = file_;
+  file_ = nullptr;
+  bool ok = std::fflush(f) == 0;
+  Status sync_status;
+  if (ok) sync_status = FsyncFd(::fileno(f), tmp_path_);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || !sync_status.ok()) {
+    std::remove(tmp_path_.c_str());
+    return !sync_status.ok() ? sync_status
+                             : Status::IOError("write failed: " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::IOError(ErrnoMessage("rename", path_));
+  }
+  FsyncParentDir(path_);
+  return Status::OK();
+}
+
+void AtomicFile::Abandon() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+  std::remove(tmp_path_.c_str());
+}
+
+StatusOr<ArtifactWriter> ArtifactWriter::Open(const std::string& path,
+                                              const std::string& kind,
+                                              uint32_t version) {
+  if (kind.empty() || kind.size() > 8) {
+    return Status::InvalidArgument("artifact: kind must be 1-8 chars, got '" +
+                                   kind + "'");
+  }
+  SISG_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  ArtifactHeader header{};
+  std::memcpy(header.magic, kArtifactMagic, 8);
+  FillKind(kind, header.kind);
+  header.version = version;
+  // payload_bytes/crc patched at Commit.
+  if (std::fwrite(&header, sizeof(header), 1, file.stream()) != 1) {
+    return Status::IOError("artifact: cannot write header: " + path);
+  }
+  return ArtifactWriter(std::move(file));
+}
+
+Status ArtifactWriter::Write(const void* data, size_t len) {
+  if (len == 0) return Status::OK();
+  if (std::fwrite(data, 1, len, file_.stream()) != len) {
+    return Status::IOError("artifact: short write: " + file_.path());
+  }
+  crc_ = Crc32(data, len, crc_);
+  payload_bytes_ += len;
+  return Status::OK();
+}
+
+Status ArtifactWriter::Commit() {
+  std::FILE* f = file_.stream();
+  if (f == nullptr) {
+    return Status::FailedPrecondition("artifact: already committed");
+  }
+  if (std::fseek(f, offsetof(ArtifactHeader, payload_bytes), SEEK_SET) != 0 ||
+      std::fwrite(&payload_bytes_, sizeof(payload_bytes_), 1, f) != 1 ||
+      std::fwrite(&crc_, sizeof(crc_), 1, f) != 1) {
+    return Status::IOError("artifact: cannot patch header: " + file_.path());
+  }
+  return file_.Commit();
+}
+
+StatusOr<ArtifactReader> ArtifactReader::Open(const std::string& path,
+                                              const std::string& kind) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open for read", path));
+  }
+  ArtifactHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f) != 1 ||
+      std::memcmp(header.magic, kArtifactMagic, 8) != 0) {
+    std::fclose(f);
+    return Status::DataLoss("artifact: bad magic in " + path);
+  }
+  char want_kind[8];
+  FillKind(kind, want_kind);
+  if (std::memcmp(header.kind, want_kind, 8) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "artifact: kind mismatch in " + path + " (want '" + kind + "', got '" +
+        std::string(header.kind, 8) + "')");
+  }
+  // Declared payload size must match the bytes actually on disk; a shorter
+  // file is a truncated write, a longer one trailing garbage.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("artifact: cannot seek: " + path);
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 ||
+      static_cast<uint64_t>(file_size) !=
+          kArtifactHeaderBytes + header.payload_bytes) {
+    std::fclose(f);
+    return Status::DataLoss(
+        "artifact: truncated file " + path + " (header declares " +
+        std::to_string(header.payload_bytes) + " payload bytes, file has " +
+        std::to_string(file_size < 0 ? 0 : file_size - (long)kArtifactHeaderBytes) +
+        ")");
+  }
+  // Stream the payload once to verify the checksum before any byte is
+  // handed to a parser.
+  if (std::fseek(f, kArtifactHeaderBytes, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("artifact: cannot seek: " + path);
+  }
+  char buf[1 << 16];
+  uint32_t crc = 0;
+  uint64_t left = header.payload_bytes;
+  while (left > 0) {
+    const size_t n = static_cast<size_t>(std::min<uint64_t>(left, sizeof(buf)));
+    if (std::fread(buf, 1, n, f) != n) {
+      std::fclose(f);
+      return Status::DataLoss("artifact: short read while checksumming " + path);
+    }
+    crc = Crc32(buf, n, crc);
+    left -= n;
+  }
+  if (crc != header.crc) {
+    std::fclose(f);
+    return Status::DataLoss("artifact: checksum mismatch in " + path);
+  }
+  if (std::fseek(f, kArtifactHeaderBytes, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("artifact: cannot seek: " + path);
+  }
+  return ArtifactReader(path, f, header.version, header.payload_bytes);
+}
+
+ArtifactReader::ArtifactReader(ArtifactReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      version_(other.version_),
+      payload_bytes_(other.payload_bytes_),
+      consumed_(other.consumed_) {
+  other.file_ = nullptr;
+}
+
+ArtifactReader& ArtifactReader::operator=(ArtifactReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    version_ = other.version_;
+    payload_bytes_ = other.payload_bytes_;
+    consumed_ = other.consumed_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+ArtifactReader::~ArtifactReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ArtifactReader::Read(void* data, size_t len) {
+  if (len > remaining()) {
+    return Status::DataLoss("artifact: read past payload in " + path_);
+  }
+  if (len > 0 && std::fread(data, 1, len, file_) != len) {
+    return Status::DataLoss("artifact: short read in " + path_);
+  }
+  consumed_ += len;
+  return Status::OK();
+}
+
+}  // namespace sisg

@@ -1,6 +1,7 @@
 #ifndef SISG_COMMON_RNG_H_
 #define SISG_COMMON_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -32,6 +33,13 @@ class Rng {
   void Seed(uint64_t seed) {
     uint64_t sm = seed;
     for (auto& si : s_) si = SplitMix64(sm);
+  }
+
+  /// Full generator state, for checkpointing a stream mid-run. Restoring a
+  /// saved state continues the exact draw sequence.
+  std::array<uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
   /// Uniform 64-bit value.

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kCorruption:
       return "CORRUPTION";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kAborted:
+      return "ABORTED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kCorruption,
+  kDataLoss,
+  kAborted,
   kUnimplemented,
   kInternal,
 };
@@ -52,6 +54,19 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Unrecoverable loss of persisted data: truncated file, checksum
+  /// mismatch, flipped bytes. Distinct from kCorruption (malformed in-memory
+  /// structures / unparseable interchange text) so callers can decide to
+  /// fall back to an older checkpoint or rebuild the artifact.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// The operation was deliberately stopped before completion (e.g. an
+  /// injected crash from a fault plan); progress up to the last checkpoint
+  /// is durable and the job is resumable.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

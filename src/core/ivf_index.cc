@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/io_util.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 
 namespace sisg {
+namespace {
+
+constexpr char kIvfKind[] = "IVFINDEX";
+constexpr uint32_t kIvfVersion = 1;
+
+}  // namespace
 
 Status IvfIndex::Build(const float* data, uint32_t rows, uint32_t dim,
                        const IvfOptions& options) {
@@ -116,6 +123,94 @@ Status IvfIndex::QueryBatch(const float* queries, uint32_t num_queries,
   ThreadPool pool(num_threads);
   pool.ParallelFor(num_queries, run_one);
   return Status::OK();
+}
+
+Status IvfIndex::Save(const std::string& path) const {
+  if (num_indexed_ == 0) {
+    return Status::FailedPrecondition("ivf: cannot save an unbuilt index");
+  }
+  SISG_ASSIGN_OR_RETURN(ArtifactWriter w,
+                        ArtifactWriter::Open(path, kIvfKind, kIvfVersion));
+  const uint32_t num_clusters = quantizer_.num_clusters();
+  SISG_RETURN_IF_ERROR(w.WriteScalar(dim_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(num_indexed_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(options_.nprobe));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(nprobe_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(options_.kmeans.num_clusters));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(options_.kmeans.iterations));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(options_.kmeans.seed));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(num_clusters));
+  SISG_RETURN_IF_ERROR(w.Write(quantizer_.centroids().data(),
+                               quantizer_.centroids().size() * sizeof(float)));
+  SISG_RETURN_IF_ERROR(w.Write(list_begin_.data(),
+                               list_begin_.size() * sizeof(uint32_t)));
+  SISG_RETURN_IF_ERROR(
+      w.Write(flat_ids_.data(), flat_ids_.size() * sizeof(uint32_t)));
+  // Rows are stored dense (dim floats each); the aligned stride padding is
+  // rebuilt at load, so the artifact stays portable across SIMD widths.
+  for (uint32_t r = 0; r < num_indexed_; ++r) {
+    SISG_RETURN_IF_ERROR(
+        w.Write(list_data_.data() + static_cast<size_t>(r) * stride_,
+                dim_ * sizeof(float)));
+  }
+  return w.Commit();
+}
+
+StatusOr<IvfIndex> IvfIndex::Load(const std::string& path) {
+  SISG_ASSIGN_OR_RETURN(ArtifactReader r, ArtifactReader::Open(path, kIvfKind));
+  if (r.version() != kIvfVersion) {
+    return Status::InvalidArgument("ivf: unsupported artifact version " +
+                                   std::to_string(r.version()) + " in " + path);
+  }
+  IvfIndex index;
+  uint32_t num_clusters = 0;
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.dim_));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.num_indexed_));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.options_.nprobe));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.nprobe_));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.options_.kmeans.num_clusters));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.options_.kmeans.iterations));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&index.options_.kmeans.seed));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&num_clusters));
+  if (index.dim_ == 0 || index.num_indexed_ == 0 || num_clusters == 0) {
+    return Status::DataLoss("ivf: empty shape in " + path);
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(num_clusters) * index.dim_ * sizeof(float) +
+      (static_cast<uint64_t>(num_clusters) + 1) * sizeof(uint32_t) +
+      static_cast<uint64_t>(index.num_indexed_) * sizeof(uint32_t) +
+      static_cast<uint64_t>(index.num_indexed_) * index.dim_ * sizeof(float);
+  if (r.remaining() != expected) {
+    return Status::DataLoss("ivf: artifact payload is " +
+                            std::to_string(r.remaining()) +
+                            " bytes where the declared shape needs " +
+                            std::to_string(expected) + ": " + path);
+  }
+  std::vector<float> centroids(static_cast<size_t>(num_clusters) * index.dim_);
+  SISG_RETURN_IF_ERROR(
+      r.Read(centroids.data(), centroids.size() * sizeof(float)));
+  SISG_RETURN_IF_ERROR(
+      index.quantizer_.Restore(std::move(centroids), num_clusters, index.dim_));
+  index.list_begin_.assign(num_clusters + 1, 0);
+  SISG_RETURN_IF_ERROR(r.Read(index.list_begin_.data(),
+                              index.list_begin_.size() * sizeof(uint32_t)));
+  if (index.list_begin_.front() != 0 ||
+      index.list_begin_.back() != index.num_indexed_ ||
+      !std::is_sorted(index.list_begin_.begin(), index.list_begin_.end())) {
+    return Status::DataLoss("ivf: inconsistent posting-list offsets in " + path);
+  }
+  index.flat_ids_.assign(index.num_indexed_, 0);
+  SISG_RETURN_IF_ERROR(r.Read(index.flat_ids_.data(),
+                              index.flat_ids_.size() * sizeof(uint32_t)));
+  index.stride_ = AlignedRowStride(index.dim_);
+  index.list_data_.assign(
+      static_cast<size_t>(index.num_indexed_) * index.stride_, 0.0f);
+  for (uint32_t row = 0; row < index.num_indexed_; ++row) {
+    SISG_RETURN_IF_ERROR(
+        r.Read(index.list_data_.data() + static_cast<size_t>(row) * index.stride_,
+               index.dim_ * sizeof(float)));
+  }
+  return index;
 }
 
 double IvfIndex::ExpectedScanFraction() const {

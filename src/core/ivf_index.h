@@ -2,6 +2,7 @@
 #define SISG_CORE_IVF_INDEX_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/simd.h"
@@ -63,6 +64,15 @@ class IvfIndex {
   /// Fraction of indexed vectors scanned by one query (the speedup proxy:
   /// brute force scans 1.0).
   double ExpectedScanFraction() const;
+
+  /// Serializes the built index (quantizer centroids, posting-list layout
+  /// and packed rows) as an atomically published, checksummed artifact.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index saved by Save(). A truncated or bit-flipped file fails
+  /// the artifact checksum (or the structural validation behind it) and
+  /// yields Status::DataLoss — never a partially loaded index.
+  static StatusOr<IvfIndex> Load(const std::string& path);
 
  private:
   IvfOptions options_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 
@@ -73,11 +74,93 @@ Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
 
 std::vector<ScoredId> MatchingEngine::ScanBlock(const float* query, uint32_t k,
                                                 uint32_t exclude) const {
+  // ANN fast path; the brute-force block below stays intact as the serving
+  // fallback, so a failed or missing index only costs latency, not queries.
+  if (backend_ == AnnBackend::kIvf && ivf_ != nullptr) {
+    return ivf_->Query(query, k, exclude);
+  }
+  if (backend_ == AnnBackend::kHnsw && hnsw_ != nullptr) {
+    return hnsw_->Query(query, k, exclude);
+  }
   TopKSelector sel(k);
   GetSimdOps().top_k_scan(query, cand_block_.data(), block_stride_,
                           static_cast<uint32_t>(cand_ids_.size()), dim_,
                           cand_ids_.data(), exclude, &sel);
   return sel.Take();
+}
+
+Status MatchingEngine::EnableIvf(const IvfOptions& options) {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  auto index = std::make_unique<IvfIndex>();
+  const Status built =
+      index->Build(candidate_matrix().data(), num_items_, dim_, options);
+  if (!built.ok()) {
+    degraded_ = true;
+    backend_ = AnnBackend::kBruteForce;
+    LOG_WARN << "matching engine: IVF build failed (" << built.message()
+             << "); serving degrades to brute-force scan";
+    return built;
+  }
+  ivf_ = std::move(index);
+  backend_ = AnnBackend::kIvf;
+  degraded_ = false;
+  return Status::OK();
+}
+
+Status MatchingEngine::EnableHnsw(const HnswOptions& options) {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  auto index = std::make_unique<HnswIndex>();
+  const Status built =
+      index->Build(candidate_matrix().data(), num_items_, dim_, options);
+  if (!built.ok()) {
+    degraded_ = true;
+    backend_ = AnnBackend::kBruteForce;
+    LOG_WARN << "matching engine: HNSW build failed (" << built.message()
+             << "); serving degrades to brute-force scan";
+    return built;
+  }
+  hnsw_ = std::move(index);
+  backend_ = AnnBackend::kHnsw;
+  degraded_ = false;
+  return Status::OK();
+}
+
+Status MatchingEngine::EnableIvfFromFile(const std::string& path) {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  auto degrade = [&](const Status& why) {
+    degraded_ = true;
+    backend_ = AnnBackend::kBruteForce;
+    LOG_WARN << "matching engine: IVF load from " << path << " failed ("
+             << why.message() << "); serving degrades to brute-force scan";
+    return why;
+  };
+  StatusOr<IvfIndex> loaded = IvfIndex::Load(path);
+  if (!loaded.ok()) return degrade(loaded.status());
+  if (loaded->dim() != dim_ || loaded->num_vectors() > num_items_) {
+    return degrade(Status::FailedPrecondition(
+        "ivf artifact indexes " + std::to_string(loaded->num_vectors()) +
+        " vectors of dim " + std::to_string(loaded->dim()) +
+        " but this engine serves " + std::to_string(num_items_) +
+        " items of dim " + std::to_string(dim_)));
+  }
+  ivf_ = std::make_unique<IvfIndex>(std::move(loaded).value());
+  backend_ = AnnBackend::kIvf;
+  degraded_ = false;
+  return Status::OK();
+}
+
+Status MatchingEngine::SaveIvf(const std::string& path) const {
+  if (backend_ != AnnBackend::kIvf || ivf_ == nullptr) {
+    return Status::FailedPrecondition(
+        "matching engine: no IVF index installed");
+  }
+  return ivf_->Save(path);
 }
 
 std::vector<ScoredId> MatchingEngine::Query(uint32_t item, uint32_t k) const {

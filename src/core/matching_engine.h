@@ -2,13 +2,22 @@
 #define SISG_CORE_MATCHING_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/simd.h"
 #include "common/status.h"
 #include "common/top_k.h"
+#include "core/hnsw_index.h"
+#include "core/ivf_index.h"
 
 namespace sisg {
+
+/// Which retrieval structure serves queries. Brute force is both the
+/// baseline and the graceful-degradation fallback: an ANN index that fails
+/// to build or to load never takes the query path down with it.
+enum class AnnBackend { kBruteForce, kIvf, kHnsw };
 
 /// How a query item is scored against candidates (Section II-C).
 enum class SimilarityMode {
@@ -63,6 +72,25 @@ class MatchingEngine {
   /// Pairwise score between two items under the engine's mode.
   float Score(uint32_t query_item, uint32_t candidate) const;
 
+  /// --- ANN acceleration with graceful degradation. Each Enable* attempts
+  /// to install the index over candidate_matrix(); on failure the engine
+  /// LOGs the degradation, keeps serving through the brute-force block scan
+  /// (queries never error), marks degraded() and returns the underlying
+  /// failure so callers can surface it.
+  Status EnableIvf(const IvfOptions& options);
+  Status EnableHnsw(const HnswOptions& options);
+  /// Installs a pre-built IVF index from a checksummed artifact; a corrupt
+  /// file yields Status::DataLoss (and brute-force fallback), an index built
+  /// for a different engine shape yields FailedPrecondition.
+  Status EnableIvfFromFile(const std::string& path);
+  /// Persists the currently installed IVF index (FailedPrecondition when the
+  /// active backend is not IVF).
+  Status SaveIvf(const std::string& path) const;
+
+  AnnBackend ann_backend() const { return backend_; }
+  /// True when an ANN enable failed and the engine fell back to brute force.
+  bool degraded() const { return degraded_; }
+
   /// The matrix candidates are scored against (normalized input rows in
   /// cosine mode, normalized output rows in directional mode) — what an ANN
   /// index (IvfIndex, HnswIndex) should be built over. num_items() x dim()
@@ -99,6 +127,13 @@ class MatchingEngine {
   size_t block_stride_ = 0;
   AlignedFloatVector cand_block_;
   std::vector<uint32_t> cand_ids_;
+
+  // Optional ANN acceleration; brute force remains the fallback whenever
+  // these are absent (never built, failed to build, failed to load).
+  AnnBackend backend_ = AnnBackend::kBruteForce;
+  bool degraded_ = false;
+  std::unique_ptr<IvfIndex> ivf_;
+  std::unique_ptr<HnswIndex> hnsw_;
 };
 
 }  // namespace sisg

@@ -1,11 +1,15 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/logging.h"
 #include "corpus/corpus.h"
 #include "dist/distributed_trainer.h"
 #include "graph/category_graph.h"
 #include "graph/item_graph.h"
 #include "graph/partitioner.h"
+#include "sgns/checkpoint.h"
 #include "sgns/trainer.h"
 
 namespace sisg {
@@ -35,6 +39,40 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
 
   EmbeddingModel emb;
   PipelineReport local_report;
+
+  // Fault tolerance: periodic checkpointing and (optionally) resume from
+  // the newest snapshot in checkpoint_dir.
+  std::optional<Checkpointer> checkpointer;
+  CheckpointConfig ckpt;
+  TrainProgress resume_point;
+  const CheckpointConfig* ckpt_ptr = nullptr;
+  if (!config_.checkpoint_dir.empty()) {
+    Checkpointer::Options copts;
+    copts.dir = config_.checkpoint_dir;
+    SISG_ASSIGN_OR_RETURN(Checkpointer created, Checkpointer::Create(copts));
+    checkpointer.emplace(std::move(created));
+    ckpt.checkpointer = &*checkpointer;
+    if (config_.distributed) {
+      ckpt.interval_pairs = config_.checkpoint_interval;  // 0 = sync interval
+    } else {
+      // Default cadence: ~8 snapshots over the planned work queue.
+      const uint64_t total_slots =
+          static_cast<uint64_t>(sgns.epochs) * corpus.sequences().size();
+      ckpt.interval_slots = config_.checkpoint_interval > 0
+                                ? config_.checkpoint_interval
+                                : std::max<uint64_t>(1, total_slots / 8);
+    }
+    if (config_.resume) {
+      SISG_RETURN_IF_ERROR(
+          checkpointer->LoadLatest(&emb, &resume_point));
+      ckpt.resume = &resume_point;
+      LOG_INFO << "resuming from checkpoint " << checkpointer->latest_seq()
+               << " in " << config_.checkpoint_dir << " ("
+               << resume_point.processed_tokens << " tokens processed)";
+    }
+    ckpt_ptr = &ckpt;
+  }
+
   if (config_.distributed) {
     // Item partitioning via HBGP over the leaf-category graph (Section
     // III-B); SI and user types are assigned randomly inside the engine.
@@ -52,13 +90,14 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
     dopts.sgns = sgns;
     DistributedTrainer trainer(dopts);
     DistTrainResult result;
-    SISG_RETURN_IF_ERROR(
-        trainer.Train(corpus, token_space, item_worker, &emb, &result));
+    SISG_RETURN_IF_ERROR(trainer.Train(corpus, token_space, item_worker, &emb,
+                                       &result, ckpt_ptr));
     local_report.train = result.train;
     local_report.comm = result.comm;
   } else {
     SgnsTrainer trainer(sgns);
-    SISG_RETURN_IF_ERROR(trainer.Train(corpus, &emb, &local_report.train));
+    SISG_RETURN_IF_ERROR(
+        trainer.Train(corpus, &emb, &local_report.train, ckpt_ptr));
   }
   local_report.vocab_size = corpus.vocab().size();
   if (report != nullptr) *report = local_report;

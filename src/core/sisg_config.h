@@ -31,6 +31,16 @@ struct SisgConfig {
   bool distributed = false;
   DistOptions dist;
 
+  /// Fault tolerance: when `checkpoint_dir` is set the pipeline snapshots
+  /// model + trainer progress there every `checkpoint_interval` units (work
+  /// queue slots for the local trainer, pairs for the distributed engine;
+  /// 0 = an automatic cadence) and, with `resume`, continues training from
+  /// the newest checkpoint instead of starting over. Fault injection for the
+  /// distributed engine is configured via `dist.fault`.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_interval = 0;
+  bool resume = false;
+
   /// Whether the variant injects item SI tokens.
   bool UseItemSi() const {
     return variant == SisgVariant::kSisgF || variant == SisgVariant::kSisgFU ||

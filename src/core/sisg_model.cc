@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/io_util.h"
+
 namespace sisg {
 
 const char* SisgVariantName(SisgVariant v) {
@@ -61,8 +63,8 @@ StatusOr<MatchingEngine> SisgModel::BuildMatchingEngine() const {
 
 Status SisgModel::ExportText(const std::string& path,
                              bool input_vectors) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  SISG_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  std::FILE* f = file.stream();
   bool ok = std::fprintf(f, "%u %u\n", vocab_.size(), dim()) > 0;
   for (uint32_t v = 0; v < vocab_.size() && ok; ++v) {
     const std::string token = token_space_.TokenString(vocab_.ToToken(v));
@@ -74,9 +76,8 @@ Status SisgModel::ExportText(const std::string& path,
     }
     ok = ok && std::fputc('\n', f) != EOF;
   }
-  ok = std::fclose(f) == 0 && ok;
   if (!ok) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return file.Commit();
 }
 
 Status SisgModel::Save(const std::string& prefix) const {
@@ -91,7 +92,9 @@ StatusOr<SisgModel> SisgModel::Load(const std::string& prefix,
   SISG_ASSIGN_OR_RETURN(EmbeddingModel emb,
                         EmbeddingModel::Load(prefix + ".emb"));
   if (emb.rows() != vocab.size()) {
-    return Status::Corruption("model: vocab/embedding size mismatch");
+    return Status::DataLoss("model: vocab/embedding size mismatch (" +
+                            std::to_string(vocab.size()) + " vocab entries vs " +
+                            std::to_string(emb.rows()) + " embedding rows)");
   }
   return SisgModel(config, std::move(token_space), std::move(vocab),
                    std::move(emb));

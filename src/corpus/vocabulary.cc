@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstring>
 #include <numeric>
 
+#include "common/io_util.h"
 #include "common/logging.h"
 
 namespace sisg {
@@ -71,53 +70,60 @@ StatusOr<AliasTable> Vocabulary::BuildNoise(double alpha) const {
 }
 
 namespace {
-constexpr char kVocabMagic[8] = {'S', 'I', 'S', 'G', 'V', 'O', 'C', '1'};
+// Artifact kind/version of the serialized dictionary. Version 2 is the
+// atomic + checksummed layout; version 1 was the seed's bare-magic format.
+constexpr char kVocabKind[] = "VOCABDIC";
+constexpr uint32_t kVocabVersion = 2;
 }  // namespace
 
 Status Vocabulary::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  SISG_ASSIGN_OR_RETURN(ArtifactWriter w,
+                        ArtifactWriter::Open(path, kVocabKind, kVocabVersion));
   const uint32_t num_global = static_cast<uint32_t>(vocab_of_.size());
   const uint32_t n = size();
-  bool ok = std::fwrite(kVocabMagic, 1, 8, f) == 8;
-  ok = ok && std::fwrite(&num_global, sizeof(num_global), 1, f) == 1;
-  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
-  ok = ok && std::fwrite(token_of_.data(), sizeof(uint32_t), n, f) == n;
-  ok = ok && std::fwrite(freq_.data(), sizeof(uint64_t), n, f) == n;
-  ok = ok && std::fwrite(class_.data(), sizeof(TokenClass), n, f) == n;
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  SISG_RETURN_IF_ERROR(w.WriteScalar(num_global));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(n));
+  SISG_RETURN_IF_ERROR(w.Write(token_of_.data(), n * sizeof(uint32_t)));
+  SISG_RETURN_IF_ERROR(w.Write(freq_.data(), n * sizeof(uint64_t)));
+  SISG_RETURN_IF_ERROR(w.Write(class_.data(), n * sizeof(TokenClass)));
+  return w.Commit();
 }
 
 StatusOr<Vocabulary> Vocabulary::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
+  SISG_ASSIGN_OR_RETURN(ArtifactReader r,
+                        ArtifactReader::Open(path, kVocabKind));
+  if (r.version() != kVocabVersion) {
+    return Status::InvalidArgument("vocabulary: unsupported format version " +
+                                   std::to_string(r.version()) + " in " + path);
+  }
   uint32_t num_global = 0, n = 0;
-  if (std::fread(magic, 1, 8, f) != 8 ||
-      std::memcmp(magic, kVocabMagic, 8) != 0 ||
-      std::fread(&num_global, sizeof(num_global), 1, f) != 1 ||
-      std::fread(&n, sizeof(n), 1, f) != 1 || n == 0 || n > num_global) {
-    std::fclose(f);
-    return Status::Corruption("vocabulary: bad header in " + path);
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&num_global));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&n));
+  if (n == 0 || n > num_global) {
+    return Status::InvalidArgument("vocabulary: bad header (entries=" +
+                                   std::to_string(n) + ", tokens=" +
+                                   std::to_string(num_global) + ") in " + path);
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(n) *
+      (sizeof(uint32_t) + sizeof(uint64_t) + sizeof(TokenClass));
+  if (r.remaining() != expected) {
+    return Status::DataLoss("vocabulary: payload size mismatch in " + path);
   }
   Vocabulary v;
   v.token_of_.resize(n);
   v.freq_.resize(n);
   v.class_.resize(n);
-  const bool ok =
-      std::fread(v.token_of_.data(), sizeof(uint32_t), n, f) == n &&
-      std::fread(v.freq_.data(), sizeof(uint64_t), n, f) == n &&
-      std::fread(v.class_.data(), sizeof(TokenClass), n, f) == n;
-  std::fclose(f);
-  if (!ok) return Status::Corruption("vocabulary: truncated file " + path);
+  SISG_RETURN_IF_ERROR(r.Read(v.token_of_.data(), n * sizeof(uint32_t)));
+  SISG_RETURN_IF_ERROR(r.Read(v.freq_.data(), n * sizeof(uint64_t)));
+  SISG_RETURN_IF_ERROR(r.Read(v.class_.data(), n * sizeof(TokenClass)));
   v.vocab_of_.assign(num_global, -1);
   v.total_count_ = 0;
   v.class_counts_[0] = v.class_counts_[1] = v.class_counts_[2] = 0;
   for (uint32_t i = 0; i < n; ++i) {
-    if (v.token_of_[i] >= num_global) {
-      return Status::Corruption("vocabulary: token id out of range in " + path);
+    if (v.token_of_[i] >= num_global ||
+        static_cast<uint32_t>(v.class_[i]) > 2) {
+      return Status::DataLoss("vocabulary: field out of range in " + path);
     }
     v.vocab_of_[v.token_of_[i]] = static_cast<int32_t>(i);
     v.total_count_ += v.freq_[i];

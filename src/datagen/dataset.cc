@@ -1,11 +1,13 @@
 #include "datagen/dataset.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/io_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -83,18 +85,23 @@ DatasetStats ComputeDatasetStats(const SyntheticDataset& dataset, int window,
 
 Status WriteSessionsText(const std::vector<Session>& sessions,
                          const UserUniverse& users, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  // Atomic publication: the file appears under its final name only after
+  // every line is written, flushed and fsynced, so a crash mid-write can
+  // never leave a truncated sessions file behind.
+  SISG_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  std::FILE* f = file.stream();
+  bool ok = true;
   for (const Session& s : sessions) {
-    out << users.TypeToken(s.user_type) << '\t';
-    for (size_t i = 0; i < s.items.size(); ++i) {
-      if (i > 0) out << ' ';
-      out << s.items[i];
+    ok = ok && std::fputs(users.TypeToken(s.user_type).c_str(), f) != EOF &&
+         std::fputc('\t', f) != EOF;
+    for (size_t i = 0; i < s.items.size() && ok; ++i) {
+      if (i > 0) ok = std::fputc(' ', f) != EOF;
+      ok = ok && std::fprintf(f, "%u", s.items[i]) > 0;
     }
-    out << '\n';
+    ok = ok && std::fputc('\n', f) != EOF;
+    if (!ok) return Status::IOError("write failed: " + path);
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return file.Commit();
 }
 
 StatusOr<std::vector<Session>> ReadSessionsText(const UserUniverse& users,
@@ -140,6 +147,13 @@ StatusOr<std::vector<Session>> ReadSessionsText(const UserUniverse& users,
                                 std::to_string(lineno));
     }
     sessions.push_back(std::move(s));
+  }
+  // getline() ends the loop on both clean EOF and stream failure; only the
+  // former means the whole file was read. A mid-file I/O error without this
+  // check would silently truncate the dataset.
+  if (in.bad()) {
+    return Status::IOError("read failed after line " + std::to_string(lineno) +
+                           ": " + path);
   }
   return sessions;
 }

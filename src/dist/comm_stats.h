@@ -16,6 +16,20 @@ struct CommStats {
   uint64_t sync_rounds = 0;   // ATNS replica-averaging rounds
   uint64_t sync_bytes = 0;
 
+  // --- Fault-injection / recovery counters. All zero on a fault-free run;
+  // the core invariants above (pair and byte sums) hold regardless: lost
+  // pairs still count in remote_pairs, retransmissions add bytes on both
+  // endpoints, and remote_calls_per_worker counts first attempts only.
+  uint64_t remote_retries = 0;     // retransmissions after a dropped call
+  uint64_t remote_drops = 0;       // call attempts lost in flight
+  uint64_t remote_duplicates = 0;  // duplicate deliveries suppressed by dedup
+  uint64_t pairs_lost = 0;         // pairs abandoned after the retry budget
+  uint64_t worker_failures = 0;    // workers killed by the fault plan
+  uint64_t worker_recoveries = 0;  // shard redistributions completed
+  uint64_t sync_delays = 0;        // replica sync rounds hit by a delay
+  double backoff_seconds = 0.0;    // modeled exponential-backoff time
+  double delay_seconds = 0.0;      // modeled sync-delay time
+
   std::vector<uint64_t> pairs_per_worker;        // processing load
   std::vector<uint64_t> remote_calls_per_worker; // calls *initiated* by worker
   std::vector<uint64_t> bytes_per_worker;        // bytes sent by worker

@@ -29,7 +29,8 @@ Status DistributedTrainer::Train(const Corpus& corpus,
                                  const TokenSpace& token_space,
                                  const std::vector<uint32_t>& item_worker,
                                  EmbeddingModel* model,
-                                 DistTrainResult* result) const {
+                                 DistTrainResult* result,
+                                 const CheckpointConfig* checkpoint) const {
   const uint32_t W = options_.num_workers;
   if (W == 0) return Status::InvalidArgument("dist: num_workers must be > 0");
   if (!options_.dry_run && model == nullptr) {
@@ -41,12 +42,41 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   for (uint32_t w : item_worker) {
     if (w >= W) return Status::OutOfRange("dist: item_worker value out of range");
   }
+  const FaultPlan& plan = options_.fault;
+  if (plan.kill_worker >= 0) {
+    if (static_cast<uint32_t>(plan.kill_worker) >= W) {
+      return Status::InvalidArgument("dist: fault plan kills worker " +
+                                     std::to_string(plan.kill_worker) +
+                                     " but only " + std::to_string(W) +
+                                     " workers exist");
+    }
+    if (W < 2) {
+      return Status::InvalidArgument(
+          "dist: cannot redistribute a killed worker's shard with < 2 workers");
+    }
+  }
+
+  const TrainProgress* resume =
+      checkpoint != nullptr ? checkpoint->resume : nullptr;
+  const bool ckpt_active =
+      checkpoint != nullptr && checkpoint->checkpointer != nullptr;
+  if (resume != nullptr && resume->rng_states.size() != 2) {
+    return Status::FailedPrecondition(
+        "dist: resume snapshot must carry 2 rng streams (train, fault), got " +
+        std::to_string(resume->rng_states.size()));
+  }
 
   const Vocabulary& vocab = corpus.vocab();
   const uint32_t V = vocab.size();
   const size_t dim = options_.sgns.dim;
   const SimdOps& ops = GetSimdOps();
   Rng assign_rng(options_.seed);
+
+  if (resume != nullptr && !options_.dry_run &&
+      (model->rows() != V || model->dim() != options_.sgns.dim)) {
+    return Status::FailedPrecondition(
+        "dist: resume requires the checkpointed model for this corpus");
+  }
 
   // --- Vocabulary sharding (Section III-C step 3) ---
   std::vector<uint32_t> owner(V);
@@ -73,31 +103,71 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   std::vector<int32_t> hot_index(V, -1);
   for (uint32_t v = 0; v < K; ++v) hot_index[v] = static_cast<int32_t>(v);
 
-  // --- Per-worker local noise distributions over P_j U Q ---
-  std::vector<std::vector<uint32_t>> local_vocab(W);
-  for (uint32_t v = 0; v < V; ++v) {
-    if (hot_index[v] >= 0) continue;  // hot ids added to every worker below
-    local_vocab[owner[v]].push_back(v);
-  }
-  for (uint32_t w = 0; w < W; ++w) {
-    for (uint32_t v = 0; v < K; ++v) local_vocab[w].push_back(v);
-    if (local_vocab[w].empty()) {
-      // A worker that owns nothing still participates; give it the full
-      // vocabulary as noise so sampling stays well-defined.
-      for (uint32_t v = 0; v < V; ++v) local_vocab[w].push_back(v);
+  // --- Worker liveness. A kill redistributes the dead worker's shard
+  // deterministically over the survivors; on resume the recorded kills are
+  // re-applied so the ownership map matches the checkpointed run.
+  std::vector<bool> alive(W, true);
+  std::vector<uint32_t> live_ids(W);
+  for (uint32_t w = 0; w < W; ++w) live_ids[w] = w;
+  std::vector<uint32_t> dead_workers;
+  auto apply_kill = [&](uint32_t dead) -> Status {
+    if (dead >= W || !alive[dead]) {
+      return Status::InvalidArgument("dist: invalid kill of worker " +
+                                     std::to_string(dead));
     }
-  }
-  std::vector<AliasTable> noise(W);
-  if (!options_.dry_run) {
+    alive[dead] = false;
+    live_ids.clear();
     for (uint32_t w = 0; w < W; ++w) {
-      SISG_ASSIGN_OR_RETURN(noise[w],
-                            vocab.BuildNoiseOver(local_vocab[w],
-                                                 options_.sgns.noise_alpha));
+      if (alive[w]) live_ids.push_back(w);
+    }
+    if (live_ids.empty()) {
+      return Status::FailedPrecondition("dist: no live workers remain");
+    }
+    for (uint32_t v = 0; v < V; ++v) {
+      if (owner[v] == dead) owner[v] = live_ids[v % live_ids.size()];
+    }
+    dead_workers.push_back(dead);
+    return Status::OK();
+  };
+  if (resume != nullptr) {
+    for (uint32_t dead : resume->dead_workers) {
+      SISG_RETURN_IF_ERROR(apply_kill(dead));
     }
   }
 
+  // --- Per-worker local noise distributions over P_j U Q --- (rebuilt after
+  // a kill, since the survivors absorb the dead worker's shard)
+  std::vector<std::vector<uint32_t>> local_vocab(W);
+  std::vector<AliasTable> noise(W);
+  auto build_noise = [&]() -> Status {
+    for (uint32_t w = 0; w < W; ++w) local_vocab[w].clear();
+    for (uint32_t v = 0; v < V; ++v) {
+      if (hot_index[v] >= 0) continue;  // hot ids added to every worker below
+      local_vocab[owner[v]].push_back(v);
+    }
+    for (uint32_t w = 0; w < W; ++w) {
+      if (!alive[w]) continue;
+      for (uint32_t v = 0; v < K; ++v) local_vocab[w].push_back(v);
+      if (local_vocab[w].empty()) {
+        // A worker that owns nothing still participates; give it the full
+        // vocabulary as noise so sampling stays well-defined.
+        for (uint32_t v = 0; v < V; ++v) local_vocab[w].push_back(v);
+      }
+    }
+    if (!options_.dry_run) {
+      for (uint32_t w = 0; w < W; ++w) {
+        if (!alive[w]) continue;
+        SISG_ASSIGN_OR_RETURN(noise[w],
+                              vocab.BuildNoiseOver(local_vocab[w],
+                                                   options_.sgns.noise_alpha));
+      }
+    }
+    return Status::OK();
+  };
+  SISG_RETURN_IF_ERROR(build_noise());
+
   // --- Model + hot replicas ---
-  if (!options_.dry_run) {
+  if (!options_.dry_run && resume == nullptr) {
     SISG_RETURN_IF_ERROR(model->Init(V, options_.sgns.dim, options_.sgns.seed));
   }
   // replicas[w] holds K input rows then K output rows.
@@ -125,25 +195,52 @@ Status DistributedTrainer::Train(const Corpus& corpus,
                : model->Output(v);
   };
 
+  // --- Recovery store: plain copy of every row, refreshed at each
+  // checkpoint. A killed worker's rows roll back to this snapshot (the
+  // updates it absorbed since are lost, exactly like a real parameter-shard
+  // failure restored from its last checkpoint).
+  std::vector<float> snap_in, snap_out;
+  auto refresh_snapshot = [&]() {
+    if (options_.dry_run) return;
+    snap_in.resize(static_cast<size_t>(V) * dim);
+    snap_out.resize(static_cast<size_t>(V) * dim);
+    for (uint32_t v = 0; v < V; ++v) {
+      std::copy_n(model->Input(v), dim,
+                  snap_in.begin() + static_cast<size_t>(v) * dim);
+      std::copy_n(model->Output(v), dim,
+                  snap_out.begin() + static_cast<size_t>(v) * dim);
+    }
+  };
+  refresh_snapshot();
+
   // --- Counters ---
   CommStats comm;
   comm.pairs_per_worker.assign(W, 0);
   comm.remote_calls_per_worker.assign(W, 0);
   comm.bytes_per_worker.assign(W, 0);
+  comm.worker_failures = static_cast<uint64_t>(dead_workers.size());
+  comm.worker_recoveries = comm.worker_failures;
 
   auto sync_replicas = [&]() {
     if (K == 0) return;
     ++comm.sync_rounds;
-    // Every worker ships its K replicas (in + out) and receives the average.
+    if (plan.sync_delay_every > 0 &&
+        comm.sync_rounds % plan.sync_delay_every == 0) {
+      ++comm.sync_delays;
+      comm.delay_seconds += plan.sync_delay_s;
+    }
+    const uint64_t live = live_ids.size();
+    // Every live worker ships its K replicas (in + out) and receives the
+    // average.
     comm.sync_bytes +=
-        2ull * W * K * dim * sizeof(float) * 2;  // send + receive
+        2ull * live * K * dim * sizeof(float) * 2;  // send + receive
     if (replicas.empty()) return;
     std::vector<float> avg(2 * static_cast<size_t>(K) * dim, 0.0f);
-    for (uint32_t w = 0; w < W; ++w) {
+    for (uint32_t w : live_ids) {
       ops.axpy(1.0f, replicas[w].data(), avg.data(), avg.size());
     }
-    Scale(1.0f / static_cast<float>(W), avg.data(), avg.size());
-    for (uint32_t w = 0; w < W; ++w) replicas[w] = avg;
+    Scale(1.0f / static_cast<float>(live), avg.data(), avg.size());
+    for (uint32_t w : live_ids) replicas[w] = avg;
     for (uint32_t v = 0; v < K; ++v) {
       std::copy_n(avg.data() + static_cast<size_t>(v) * dim, dim, model->Input(v));
       std::copy_n(avg.data() + (static_cast<size_t>(K) + v) * dim, dim,
@@ -157,6 +254,11 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   subsampler.Build(vocab, so.subsample);
   const SigmoidTable sigmoid;
   Rng rng(options_.seed + 1);
+  Rng fault_rng(plan.seed);
+  if (resume != nullptr) {
+    rng.SetState(resume->rng_states[0]);
+    fault_rng.SetState(resume->rng_states[1]);
+  }
   std::vector<uint32_t> kept;
   std::vector<float> grad_in(dim);
   std::vector<float*> neg_ptrs(so.negatives);
@@ -170,34 +272,62 @@ Status DistributedTrainer::Train(const Corpus& corpus,
       options_.sync_interval_pairs > 0
           ? options_.sync_interval_pairs
           : std::max<uint64_t>(8192, planned_tokens / 8);
-  uint64_t processed_tokens = 0;
-  uint64_t pair_counter = 0;
-  uint64_t kept_tokens = 0;
-  float lr = so.learning_rate;
-  const float min_lr = so.learning_rate * so.min_learning_rate_ratio;
+  uint64_t processed_tokens = resume != nullptr ? resume->processed_tokens : 0;
+  uint64_t pair_counter = resume != nullptr ? resume->pairs_trained : 0;
+  uint64_t kept_tokens = resume != nullptr ? resume->tokens_kept : 0;
+  const float lr0 = so.learning_rate;
+  const float min_lr = lr0 * so.min_learning_rate_ratio;
+  auto lr_at = [&](uint64_t tokens) {
+    float lr = lr0 * (1.0f - static_cast<float>(tokens) /
+                                 static_cast<float>(planned_tokens));
+    return lr < min_lr ? min_lr : lr;
+  };
+  const float lr_start = lr_at(processed_tokens);
+  float lr = lr_start;
   Timer timer;
 
+  const uint64_t ckpt_interval =
+      ckpt_active && checkpoint->interval_pairs > 0 ? checkpoint->interval_pairs
+                                                    : sync_interval;
+  uint64_t next_ckpt =
+      ckpt_active ? (pair_counter / ckpt_interval + 1) * ckpt_interval : 0;
+  uint64_t checkpoints_saved = 0;
+
+  // The pair the fault plan kills at may already be behind a resume point,
+  // and the kill must fire exactly once across the whole (possibly resumed)
+  // run: skip it if the worker is already recorded dead.
+  bool kill_pending =
+      plan.kill_worker >= 0 &&
+      alive[static_cast<uint32_t>(plan.kill_worker)] &&
+      pair_counter < plan.kill_at_pair;
+  bool stopped = false;
+  Status stop_status;
+
   const auto& sequences = corpus.sequences();
-  for (uint32_t epoch = 0; epoch < so.epochs; ++epoch) {
-    for (size_t s = 0; s < sequences.size(); ++s) {
+  const uint32_t start_epoch = resume != nullptr ? resume->epoch : 0;
+  const uint64_t start_seq = resume != nullptr ? resume->sequence_index : 0;
+  for (uint32_t epoch = start_epoch; epoch < so.epochs && !stopped; ++epoch) {
+    const size_t s_begin =
+        epoch == start_epoch ? static_cast<size_t>(start_seq) : 0;
+    for (size_t s = s_begin; s < sequences.size() && !stopped; ++s) {
       const auto& seq = sequences[s];
       processed_tokens += seq.size();
-      lr = so.learning_rate *
-           (1.0f - static_cast<float>(processed_tokens) /
-                       static_cast<float>(planned_tokens));
-      if (lr < min_lr) lr = min_lr;
+      lr = lr_at(processed_tokens);
       // In the real engine every worker scans the shared input and keeps the
       // pairs whose target it owns; a hot target is processed wherever it is
-      // sampled. Model that sampling worker as round-robin over sequences.
-      const uint32_t sampling_worker = static_cast<uint32_t>(s % W);
+      // sampled. Model that sampling worker as round-robin over sequences
+      // (over the live workers once the fault plan has killed one).
+      const uint32_t sampling_worker = live_ids[s % live_ids.size()];
 
       SubsampleSequence(seq, subsampler, rng, &kept);
       kept_tokens += kept.size();
       ForEachPair(kept, so.window, rng, [&](uint32_t target, uint32_t context) {
+        if (stopped) return;  // crash fired mid-sequence
         const bool target_hot = hot_index[target] >= 0;
         const bool context_hot = hot_index[context] >= 0;
         const uint32_t proc = target_hot ? sampling_worker : owner[target];
         uint32_t executor = proc;  // worker running the TNS function
+        bool lost = false;
         if (context_hot) {
           ++comm.hot_pairs;
         } else if (owner[context] == proc) {
@@ -208,14 +338,53 @@ Status DistributedTrainer::Train(const Corpus& corpus,
           ++comm.remote_calls_per_worker[proc];
           // Request: target input vector; response: the input gradient.
           const uint64_t payload = dim * sizeof(float) + kMessageHeaderBytes;
-          comm.bytes_per_worker[proc] += payload;
-          comm.bytes_per_worker[executor] += payload;
-          comm.bytes_sent += 2 * payload;
+          auto account_transfer = [&]() {
+            comm.bytes_per_worker[proc] += payload;
+            comm.bytes_per_worker[executor] += payload;
+            comm.bytes_sent += 2 * payload;
+          };
+          account_transfer();
+          if (plan.remote_drop_rate > 0.0) {
+            // Each attempt is lost independently; retry with exponential
+            // backoff until the call succeeds or the budget (retries or the
+            // per-call timeout) runs out, in which case the pair is lost.
+            double call_time = 0.0;
+            uint32_t attempt = 0;
+            while (fault_rng.Bernoulli(plan.remote_drop_rate)) {
+              ++comm.remote_drops;
+              if (attempt >= options_.retry.max_retries) {
+                lost = true;
+                break;
+              }
+              const double backoff =
+                  std::min(options_.retry.base_backoff_s *
+                               static_cast<double>(1ull << attempt),
+                           options_.retry.max_backoff_s);
+              call_time += backoff;
+              comm.backoff_seconds += backoff;
+              if (call_time > options_.retry.call_timeout_s) {
+                lost = true;
+                break;
+              }
+              ++comm.remote_retries;
+              ++attempt;
+              account_transfer();  // retransmission
+            }
+            if (lost) ++comm.pairs_lost;
+          }
+          if (!lost && plan.remote_dup_rate > 0.0 &&
+              fault_rng.Bernoulli(plan.remote_dup_rate)) {
+            // The response arrives twice; dedup suppresses the second
+            // delivery, so only the wasted response bytes are accounted.
+            ++comm.remote_duplicates;
+            comm.bytes_per_worker[executor] += payload;
+            comm.bytes_sent += payload;
+          }
         }
         ++comm.pairs_per_worker[executor];
         ++pair_counter;
 
-        if (!options_.dry_run) {
+        if (!options_.dry_run && !lost) {
           for (uint32_t k = 0; k < so.negatives; ++k) {
             uint32_t neg = local_vocab[executor][noise[executor].Sample(rng)];
             for (int r = 0;
@@ -235,13 +404,88 @@ Status DistributedTrainer::Train(const Corpus& corpus,
           ops.axpy(1.0f, grad_in.data(), input_row(target, proc), dim);
         }
 
+        if (kill_pending && pair_counter >= plan.kill_at_pair) {
+          kill_pending = false;
+          const uint32_t dead = static_cast<uint32_t>(plan.kill_worker);
+          LOG_WARN << "dist: fault plan killed worker " << dead << " at pair "
+                   << pair_counter;
+          ++comm.worker_failures;
+          // The dead shard's rows roll back to the last checkpoint snapshot;
+          // its vocabulary redistributes over the survivors and their noise
+          // tables are rebuilt.
+          if (!options_.dry_run) {
+            for (uint32_t v = 0; v < V; ++v) {
+              if (owner[v] != dead || hot_index[v] >= 0) continue;
+              std::copy_n(snap_in.begin() + static_cast<size_t>(v) * dim, dim,
+                          model->Input(v));
+              std::copy_n(snap_out.begin() + static_cast<size_t>(v) * dim, dim,
+                          model->Output(v));
+            }
+          }
+          stop_status = apply_kill(dead);
+          if (!stop_status.ok()) {
+            stopped = true;
+            return;
+          }
+          stop_status = build_noise();
+          if (!stop_status.ok()) {
+            stopped = true;
+            return;
+          }
+          ++comm.worker_recoveries;
+          LOG_INFO << "dist: worker " << dead
+                   << " shard redistributed over " << live_ids.size()
+                   << " survivors";
+        }
+
+        if (plan.crash_at_pair > 0 && pair_counter >= plan.crash_at_pair) {
+          stop_status = Status::Aborted("dist: injected crash at pair " +
+                                        std::to_string(pair_counter));
+          stopped = true;
+          return;
+        }
+
         if (K > 0 && pair_counter % sync_interval == 0) {
           sync_replicas();
         }
       });
+
+      // Checkpoint at sequence boundaries: force a replica sync so the model
+      // holds the current hot rows, then snapshot model + progress.
+      if (!stopped && ckpt_active && pair_counter >= next_ckpt) {
+        sync_replicas();
+        TrainProgress p;
+        p.processed_tokens = processed_tokens;
+        p.pairs_trained = pair_counter;
+        p.tokens_kept = kept_tokens;
+        p.epoch = epoch;
+        p.sequence_index = s + 1;
+        if (p.sequence_index == sequences.size()) {
+          p.sequence_index = 0;
+          ++p.epoch;
+        }
+        p.rng_states = {rng.State(), fault_rng.State()};
+        p.dead_workers = dead_workers;
+        const Status saved = checkpoint->checkpointer->Save(*model, p);
+        if (!saved.ok()) {
+          stop_status = saved;
+          stopped = true;
+          break;
+        }
+        refresh_snapshot();
+        next_ckpt = (pair_counter / ckpt_interval + 1) * ckpt_interval;
+        ++checkpoints_saved;
+        if (checkpoint->crash_after_saves != 0 &&
+            checkpoints_saved >= checkpoint->crash_after_saves) {
+          stop_status = Status::Aborted(
+              "dist: injected crash after " +
+              std::to_string(checkpoints_saved) + " checkpoint(s)");
+          stopped = true;
+        }
+      }
     }
   }
-  if (K > 0) sync_replicas();  // publish final hot vectors into the model
+  if (!stopped && K > 0) sync_replicas();  // publish final hot vectors
 
   if (result != nullptr) {
     result->comm = comm;
@@ -249,7 +493,11 @@ Status DistributedTrainer::Train(const Corpus& corpus,
     result->train.tokens_seen = processed_tokens;
     result->train.tokens_kept = kept_tokens;
     result->train.seconds = timer.ElapsedSeconds();
+    result->train.lr_start = lr_start;
+    result->train.lr_end = lr_at(processed_tokens);
+    result->train.checkpoints_saved = checkpoints_saved;
   }
+  if (stopped && !stop_status.ok()) return stop_status;
   return Status::OK();
 }
 

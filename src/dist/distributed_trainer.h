@@ -8,6 +8,8 @@
 #include "corpus/corpus.h"
 #include "corpus/token_space.h"
 #include "dist/comm_stats.h"
+#include "dist/fault_plan.h"
+#include "sgns/checkpoint.h"
 #include "sgns/embedding_model.h"
 #include "sgns/trainer.h"
 
@@ -39,6 +41,13 @@ struct DistOptions {
   bool dry_run = false;
 
   uint64_t seed = 23;
+
+  /// Deterministic fault injection (worker kill, dropped/duplicated remote
+  /// calls, delayed syncs, whole-job crash) and the retry/backoff policy
+  /// remote calls run under. Default plan is inactive: fault-free behavior
+  /// is bit-identical to the seed engine.
+  FaultPlan fault;
+  RetryPolicy retry;
 };
 
 struct DistTrainResult {
@@ -64,9 +73,20 @@ class DistributedTrainer {
 
   /// `item_worker[item]` = worker owning that item's vectors (values in
   /// [0, num_workers)). `model` may be nullptr only in dry-run mode.
+  ///
+  /// `checkpoint` (optional): with a Checkpointer set, the engine snapshots
+  /// model + progress every `interval_pairs` pairs (0 = the replica sync
+  /// interval) at sequence boundaries, forcing a replica sync first so the
+  /// snapshot is consistent. With `checkpoint->resume` set, `model` must
+  /// hold the checkpointed weights and training continues from the saved
+  /// epoch/sequence position, RNG streams ([0] training, [1] fault) and
+  /// dead-worker list. A worker killed by the fault plan has its shard
+  /// redistributed to the survivors and its rows rolled back to the last
+  /// snapshot. Returns Status::Aborted on an injected crash.
   Status Train(const Corpus& corpus, const TokenSpace& token_space,
                const std::vector<uint32_t>& item_worker, EmbeddingModel* model,
-               DistTrainResult* result) const;
+               DistTrainResult* result,
+               const CheckpointConfig* checkpoint = nullptr) const;
 
  private:
   DistOptions options_;

@@ -1,0 +1,120 @@
+#include "dist/fault_plan.h"
+
+#include <cstdlib>
+
+namespace sisg {
+namespace {
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan: entry without '=': " + entry);
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string val = entry.substr(eq + 1);
+    uint64_t u = 0;
+    double d = 0.0;
+    if (key == "kill_worker") {
+      if (!ParseU64(val, &u)) {
+        return Status::InvalidArgument("fault plan: bad kill_worker: " + val);
+      }
+      plan.kill_worker = static_cast<int32_t>(u);
+    } else if (key == "kill_at_pair") {
+      if (!ParseU64(val, &u)) {
+        return Status::InvalidArgument("fault plan: bad kill_at_pair: " + val);
+      }
+      plan.kill_at_pair = u;
+    } else if (key == "drop") {
+      if (!ParseF64(val, &d) || d < 0.0 || d > 1.0) {
+        return Status::InvalidArgument("fault plan: drop must be in [0,1]: " +
+                                       val);
+      }
+      plan.remote_drop_rate = d;
+    } else if (key == "dup") {
+      if (!ParseF64(val, &d) || d < 0.0 || d > 1.0) {
+        return Status::InvalidArgument("fault plan: dup must be in [0,1]: " +
+                                       val);
+      }
+      plan.remote_dup_rate = d;
+    } else if (key == "sync_delay_every") {
+      if (!ParseU64(val, &u)) {
+        return Status::InvalidArgument("fault plan: bad sync_delay_every: " +
+                                       val);
+      }
+      plan.sync_delay_every = u;
+    } else if (key == "sync_delay_s") {
+      if (!ParseF64(val, &d) || d < 0.0) {
+        return Status::InvalidArgument("fault plan: bad sync_delay_s: " + val);
+      }
+      plan.sync_delay_s = d;
+    } else if (key == "crash_at_pair") {
+      if (!ParseU64(val, &u)) {
+        return Status::InvalidArgument("fault plan: bad crash_at_pair: " + val);
+      }
+      plan.crash_at_pair = u;
+    } else if (key == "seed") {
+      if (!ParseU64(val, &u)) {
+        return Status::InvalidArgument("fault plan: bad seed: " + val);
+      }
+      plan.seed = u;
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key: " + key);
+    }
+  }
+  if (plan.kill_worker >= 0 && plan.kill_at_pair == 0) {
+    return Status::InvalidArgument(
+        "fault plan: kill_worker requires kill_at_pair > 0");
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  auto append = [&](const std::string& entry) {
+    if (!out.empty()) out += ',';
+    out += entry;
+  };
+  if (kill_worker >= 0) {
+    append("kill_worker=" + std::to_string(kill_worker));
+    append("kill_at_pair=" + std::to_string(kill_at_pair));
+  }
+  if (remote_drop_rate > 0.0) append("drop=" + std::to_string(remote_drop_rate));
+  if (remote_dup_rate > 0.0) append("dup=" + std::to_string(remote_dup_rate));
+  if (sync_delay_every > 0) {
+    append("sync_delay_every=" + std::to_string(sync_delay_every));
+    append("sync_delay_s=" + std::to_string(sync_delay_s));
+  }
+  if (crash_at_pair > 0) append("crash_at_pair=" + std::to_string(crash_at_pair));
+  append("seed=" + std::to_string(seed));
+  return out;
+}
+
+}  // namespace sisg

@@ -1,37 +1,42 @@
 #include "sgns/embedding_model.h"
 
-#include <cstdio>
 #include <cstring>
 
+#include "common/io_util.h"
 #include "common/rng.h"
 
 namespace sisg {
 namespace {
 
-constexpr char kMagic[8] = {'S', 'I', 'S', 'G', 'E', 'M', 'B', '1'};
+// Artifact kind/version of the serialized model. Version 2 is the
+// atomic + checksummed layout (shared ArtifactWriter header followed by
+// rows, dim and both dense matrices); version 1 was the bare-magic format
+// of the seed, which offered no corruption detection and is gone.
+constexpr char kEmbKind[] = "EMBMODEL";
+constexpr uint32_t kEmbVersion = 2;
+
+// Largest rows * dim we ever allocate: the same 8G-float guard the seed
+// used, which also keeps rows * stride far from size_t overflow.
+constexpr uint64_t kMaxCells = 1ull << 33;
 
 /// Writes `rows` dense rows of `dim` floats out of a stride-padded matrix.
-bool WriteRows(std::FILE* f, const float* data, uint32_t rows, uint32_t dim,
-               size_t stride) {
+Status WriteRows(ArtifactWriter& w, const float* data, uint32_t rows,
+                 uint32_t dim, size_t stride) {
   for (uint32_t r = 0; r < rows; ++r) {
-    if (std::fwrite(data + static_cast<size_t>(r) * stride, sizeof(float),
-                    dim, f) != dim) {
-      return false;
-    }
+    SISG_RETURN_IF_ERROR(
+        w.Write(data + static_cast<size_t>(r) * stride, dim * sizeof(float)));
   }
-  return true;
+  return Status::OK();
 }
 
 /// Reads `rows` dense rows of `dim` floats into a stride-padded matrix.
-bool ReadRows(std::FILE* f, float* data, uint32_t rows, uint32_t dim,
-              size_t stride) {
-  for (uint32_t r = 0; r < rows; ++r) {
-    if (std::fread(data + static_cast<size_t>(r) * stride, sizeof(float), dim,
-                   f) != dim) {
-      return false;
-    }
+Status ReadRows(ArtifactReader& r, float* data, uint32_t rows, uint32_t dim,
+                size_t stride) {
+  for (uint32_t row = 0; row < rows; ++row) {
+    SISG_RETURN_IF_ERROR(
+        r.Read(data + static_cast<size_t>(row) * stride, dim * sizeof(float)));
   }
-  return true;
+  return Status::OK();
 }
 
 }  // namespace
@@ -58,42 +63,44 @@ Status EmbeddingModel::Init(uint32_t rows, uint32_t dim, uint64_t seed) {
 }
 
 Status EmbeddingModel::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
-  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
-  ok = ok && std::fwrite(&rows_, sizeof(rows_), 1, f) == 1;
-  ok = ok && std::fwrite(&dim_, sizeof(dim_), 1, f) == 1;
-  ok = ok && WriteRows(f, input_.data(), rows_, dim_, stride_);
-  ok = ok && WriteRows(f, output_.data(), rows_, dim_, stride_);
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  SISG_ASSIGN_OR_RETURN(ArtifactWriter w,
+                        ArtifactWriter::Open(path, kEmbKind, kEmbVersion));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(rows_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(dim_));
+  SISG_RETURN_IF_ERROR(WriteRows(w, input_.data(), rows_, dim_, stride_));
+  SISG_RETURN_IF_ERROR(WriteRows(w, output_.data(), rows_, dim_, stride_));
+  return w.Commit();
 }
 
 StatusOr<EmbeddingModel> EmbeddingModel::Load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    std::fclose(f);
-    return Status::Corruption("embedding model: bad magic in " + path);
+  SISG_ASSIGN_OR_RETURN(ArtifactReader r, ArtifactReader::Open(path, kEmbKind));
+  if (r.version() != kEmbVersion) {
+    return Status::InvalidArgument(
+        "embedding model: unsupported format version " +
+        std::to_string(r.version()) + " in " + path);
   }
   EmbeddingModel m;
-  if (std::fread(&m.rows_, sizeof(m.rows_), 1, f) != 1 ||
-      std::fread(&m.dim_, sizeof(m.dim_), 1, f) != 1 || m.rows_ == 0 ||
-      m.dim_ == 0 || static_cast<uint64_t>(m.rows_) * m.dim_ > (1ull << 33)) {
-    std::fclose(f);
-    return Status::Corruption("embedding model: bad header in " + path);
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&m.rows_));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&m.dim_));
+  if (m.rows_ == 0 || m.dim_ == 0 ||
+      static_cast<uint64_t>(m.rows_) * m.dim_ > kMaxCells) {
+    return Status::InvalidArgument("embedding model: bad header (rows=" +
+                                   std::to_string(m.rows_) + ", dim=" +
+                                   std::to_string(m.dim_) + ") in " + path);
+  }
+  // The payload must hold exactly both dense matrices; anything else means
+  // the header and the data disagree (a partial or doctored write).
+  const uint64_t expected =
+      2ull * m.rows_ * m.dim_ * sizeof(float);
+  if (r.remaining() != expected) {
+    return Status::DataLoss("embedding model: payload size mismatch in " + path);
   }
   m.stride_ = AlignedRowStride(m.dim_);
   const size_t n = static_cast<size_t>(m.rows_) * m.stride_;
   m.input_.assign(n, 0.0f);
   m.output_.assign(n, 0.0f);
-  const bool ok = ReadRows(f, m.input_.data(), m.rows_, m.dim_, m.stride_) &&
-                  ReadRows(f, m.output_.data(), m.rows_, m.dim_, m.stride_);
-  std::fclose(f);
-  if (!ok) return Status::Corruption("embedding model: truncated file " + path);
+  SISG_RETURN_IF_ERROR(ReadRows(r, m.input_.data(), m.rows_, m.dim_, m.stride_));
+  SISG_RETURN_IF_ERROR(ReadRows(r, m.output_.data(), m.rows_, m.dim_, m.stride_));
   return m;
 }
 

@@ -24,7 +24,8 @@ constexpr int kMaxNegativeResamples = 8;
 }  // namespace
 
 Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
-                          TrainStats* stats) const {
+                          TrainStats* stats,
+                          const CheckpointConfig* checkpoint) const {
   if (model == nullptr) {
     return Status::InvalidArgument("sgns: model must not be null");
   }
@@ -32,7 +33,33 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     return Status::InvalidArgument("sgns: negatives and epochs must be > 0");
   }
   const Vocabulary& vocab = corpus.vocab();
-  if (options_.warm_start) {
+  const uint32_t num_threads = std::max<uint32_t>(1, options_.num_threads);
+
+  const TrainProgress* resume =
+      checkpoint != nullptr ? checkpoint->resume : nullptr;
+  const bool ckpt_active = checkpoint != nullptr &&
+                           checkpoint->checkpointer != nullptr &&
+                           checkpoint->interval_slots > 0;
+
+  const uint64_t num_seqs = corpus.sequences().size();
+  const uint64_t total_work = static_cast<uint64_t>(options_.epochs) * num_seqs;
+
+  if (resume != nullptr) {
+    if (model->rows() != vocab.size() || model->dim() != options_.dim) {
+      return Status::FailedPrecondition(
+          "sgns: resume requires the checkpointed model for this corpus");
+    }
+    if (resume->rng_states.size() != num_threads) {
+      return Status::FailedPrecondition(
+          "sgns: resume needs num_threads == checkpointed thread count (" +
+          std::to_string(resume->rng_states.size()) + "), got " +
+          std::to_string(num_threads));
+    }
+    if (resume->next_work > total_work) {
+      return Status::InvalidArgument(
+          "sgns: resume point beyond this corpus/epoch plan");
+    }
+  } else if (options_.warm_start) {
     if (model->rows() != vocab.size() || model->dim() != options_.dim) {
       return Status::FailedPrecondition(
           "sgns: warm start requires a model shaped for this corpus");
@@ -49,11 +76,13 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
 
   const uint64_t planned_tokens =
       static_cast<uint64_t>(options_.epochs) * corpus.num_tokens();
-  std::atomic<uint64_t> processed_tokens{0};
-  std::atomic<uint64_t> total_pairs{0};
-  std::atomic<uint64_t> total_kept{0};
+  const uint64_t initial_tokens =
+      resume != nullptr ? resume->processed_tokens : 0;
+  std::atomic<uint64_t> processed_tokens{initial_tokens};
+  std::atomic<uint64_t> total_pairs{resume != nullptr ? resume->pairs_trained
+                                                      : 0};
+  std::atomic<uint64_t> total_kept{resume != nullptr ? resume->tokens_kept : 0};
 
-  const uint32_t num_threads = std::max<uint32_t>(1, options_.num_threads);
   const auto& sequences = corpus.sequences();
   const size_t dim = options_.dim;
 
@@ -62,15 +91,62 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
   // the longest sessions; a chunked atomic counter lets fast threads steal
   // the remainder. Chunks are large enough that the fetch_add is invisible
   // next to the per-sequence work, small enough to balance skewed tails.
-  const uint64_t num_seqs = sequences.size();
-  const uint64_t total_work = static_cast<uint64_t>(options_.epochs) * num_seqs;
   const uint64_t chunk_size = std::max<uint64_t>(
       1, std::min<uint64_t>(256, num_seqs / (8ull * num_threads) + 1));
-  std::atomic<uint64_t> next_work{0};
+  std::atomic<uint64_t> next_work{resume != nullptr ? resume->next_work : 0};
+
+  const float lr0 = options_.learning_rate;
+  const float min_lr = lr0 * options_.min_learning_rate_ratio;
+  auto lr_at = [&](uint64_t tokens) {
+    float lr = lr0 * (1.0f - static_cast<float>(tokens) /
+                                 static_cast<float>(planned_tokens));
+    return lr < min_lr ? min_lr : lr;
+  };
+
+  // Checkpoint machinery: threads rendezvous at chunk boundaries every
+  // `interval_slots` dispatched slots; the elected leader snapshots the
+  // quiesced model while the others are parked.
+  const uint64_t interval = ckpt_active ? checkpoint->interval_slots : 0;
+  std::atomic<uint64_t> next_ckpt{
+      ckpt_active
+          ? (next_work.load(std::memory_order_relaxed) / interval + 1) * interval
+          : 0};
+  CheckpointBarrier barrier(num_threads);
+  std::vector<std::array<uint64_t, 4>> rng_snapshot(num_threads);
+  std::atomic<bool> abort{false};
+  Status abort_status;  // written by at most one leader before abort is set
+  uint64_t checkpoints_saved = 0;
+
+  // Leader-only (serialized by the barrier): write model + progress. On an
+  // injected crash or a save failure, stop every worker.
+  auto leader_checkpoint = [&]() {
+    TrainProgress p;
+    p.next_work =
+        std::min(next_work.load(std::memory_order_relaxed), total_work);
+    p.processed_tokens = processed_tokens.load(std::memory_order_relaxed);
+    p.pairs_trained = total_pairs.load(std::memory_order_relaxed);
+    p.tokens_kept = total_kept.load(std::memory_order_relaxed);
+    p.rng_states = rng_snapshot;
+    Status s = checkpoint->checkpointer->Save(*model, p);
+    if (s.ok()) {
+      ++checkpoints_saved;
+      if (checkpoint->crash_after_saves != 0 &&
+          checkpoints_saved >= checkpoint->crash_after_saves) {
+        abort_status = Status::Aborted(
+            "sgns: injected crash after " +
+            std::to_string(checkpoints_saved) + " checkpoint(s)");
+        abort.store(true, std::memory_order_release);
+      }
+    } else {
+      abort_status = s;
+      abort.store(true, std::memory_order_release);
+    }
+  };
 
   Timer timer;
   auto worker = [&](uint32_t tid) {
     Rng rng(options_.seed + 0x51ed2701ULL * (tid + 1));
+    if (resume != nullptr) rng.SetState(resume->rng_states[tid]);
     std::vector<uint32_t> kept;
     std::vector<float> grad_in(dim);
     std::vector<uint32_t> neg_ids(options_.negatives);
@@ -78,10 +154,33 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     uint64_t pairs = 0;
     uint64_t kept_tokens = 0;
     uint64_t local_tokens = 0;
-    float lr = options_.learning_rate;
-    const float min_lr = options_.learning_rate * options_.min_learning_rate_ratio;
+    float lr = lr_at(initial_tokens);
+
+    // Flush thread-local counters into the shared atomics so a snapshot (or
+    // the final stats) is exact, and refresh the LR from the global token
+    // count. Also runs at every checkpoint rendezvous, so the LR trajectory
+    // of a resumed run matches the uninterrupted checkpointing run.
+    auto flush = [&]() {
+      const uint64_t done =
+          processed_tokens.fetch_add(local_tokens) + local_tokens;
+      local_tokens = 0;
+      lr = lr_at(done);
+      total_pairs.fetch_add(pairs);
+      pairs = 0;
+      total_kept.fetch_add(kept_tokens);
+      kept_tokens = 0;
+    };
 
     for (;;) {
+      if (ckpt_active && barrier.pending()) {
+        flush();
+        rng_snapshot[tid] = rng.State();
+        if (barrier.Arrive() == CheckpointBarrier::Role::kLeader) {
+          leader_checkpoint();
+          barrier.Release();
+        }
+      }
+      if (abort.load(std::memory_order_acquire)) break;
       const uint64_t begin =
           next_work.fetch_add(chunk_size, std::memory_order_relaxed);
       if (begin >= total_work) break;
@@ -93,9 +192,7 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
           const uint64_t done =
               processed_tokens.fetch_add(local_tokens) + local_tokens;
           local_tokens = 0;
-          lr = options_.learning_rate *
-               (1.0f - static_cast<float>(done) / static_cast<float>(planned_tokens));
-          if (lr < min_lr) lr = min_lr;
+          lr = lr_at(done);
         }
         SubsampleSequence(seq, subsampler, rng, &kept);
         kept_tokens += kept.size();
@@ -156,10 +253,20 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
           }
         });
       }
+      if (ckpt_active) {
+        uint64_t expected = next_ckpt.load(std::memory_order_relaxed);
+        while (end >= expected) {
+          if (next_ckpt.compare_exchange_weak(expected, expected + interval,
+                                              std::memory_order_relaxed)) {
+            barrier.Request();
+            break;
+          }
+        }
+      }
     }
-    processed_tokens.fetch_add(local_tokens);
-    total_pairs.fetch_add(pairs);
-    total_kept.fetch_add(kept_tokens);
+    flush();
+    rng_snapshot[tid] = rng.State();
+    if (ckpt_active) barrier.Leave();
   };
 
   if (num_threads == 1) {
@@ -176,7 +283,11 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     stats->tokens_seen = processed_tokens.load();
     stats->tokens_kept = total_kept.load();
     stats->seconds = timer.ElapsedSeconds();
+    stats->lr_start = lr_at(initial_tokens);
+    stats->lr_end = lr_at(processed_tokens.load());
+    stats->checkpoints_saved = checkpoints_saved;
   }
+  if (abort.load(std::memory_order_acquire)) return abort_status;
   return Status::OK();
 }
 

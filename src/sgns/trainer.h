@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "corpus/corpus.h"
 #include "corpus/subsample.h"
+#include "sgns/checkpoint.h"
 #include "sgns/embedding_model.h"
 #include "sgns/window.h"
 
@@ -38,6 +39,12 @@ struct TrainStats {
   uint64_t tokens_seen = 0;      // pre-subsampling
   uint64_t tokens_kept = 0;      // post-subsampling
   double seconds = 0.0;
+  /// Learning rate at the first and last processed token of THIS run. A
+  /// resumed run starts where the checkpointed schedule left off, so
+  /// lr_start < learning_rate pins schedule continuation in tests.
+  float lr_start = 0.0f;
+  float lr_end = 0.0f;
+  uint64_t checkpoints_saved = 0;
 };
 
 /// Classic hogwild SGNS over an enriched corpus. Threads own disjoint
@@ -51,8 +58,19 @@ class SgnsTrainer {
 
   /// Initializes `model` (corpus.vocab().size() rows) and trains it.
   /// On success fills `stats` (may be nullptr).
+  ///
+  /// `checkpoint` (optional) enables fault tolerance: with a Checkpointer
+  /// and interval_slots set, all threads rendezvous every interval_slots
+  /// dispatched work slots and snapshot model + progress atomically. With
+  /// `checkpoint->resume` set, `model` must already hold the checkpointed
+  /// weights (Checkpointer::LoadLatest) and training continues the LR
+  /// schedule, the work queue, and every per-thread RNG stream from the
+  /// snapshot; num_threads must match the checkpointed run. A single-thread
+  /// resumed run is bit-identical to the uninterrupted checkpointing run.
+  /// Returns Status::Aborted when an injected crash stops the run.
   Status Train(const Corpus& corpus, EmbeddingModel* model,
-               TrainStats* stats = nullptr) const;
+               TrainStats* stats = nullptr,
+               const CheckpointConfig* checkpoint = nullptr) const;
 
  private:
   SgnsOptions options_;

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "common/io_util.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "core/hnsw_index.h"
@@ -335,6 +337,207 @@ TEST(IvfIndexTest, ServesSisgMatchingEngine) {
   ASSERT_GT(queries, 50u);
   EXPECT_GT(recall / queries, 0.5);
   EXPECT_LT(index.ExpectedScanFraction(), 0.5);
+}
+
+// --------------------------- IVF persistence ---------------------------
+
+void FlipIndexByte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+}
+
+TEST(IvfIndexTest, SaveLoadRoundTripServesIdentically) {
+  Rng rng(11);
+  const uint32_t n = 500, dim = 12;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 12;
+  opts.nprobe = 4;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, opts).ok());
+
+  const std::string path = ::testing::TempDir() + "/ivf_roundtrip.idx";
+  std::remove(path.c_str());
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = IvfIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->num_vectors(), index.num_vectors());
+  EXPECT_EQ(loaded->dim(), index.dim());
+  EXPECT_EQ(loaded->effective_nprobe(), index.effective_nprobe());
+  EXPECT_DOUBLE_EQ(loaded->ExpectedScanFraction(), index.ExpectedScanFraction());
+  // Every query routes to the same lists and scores the same rows.
+  for (uint32_t q = 0; q < 40; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    const auto before = index.Query(qv, 10, q);
+    const auto after = loaded->Query(qv, 10, q);
+    ASSERT_EQ(before.size(), after.size()) << "query " << q;
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].id, after[i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(before[i].score, after[i].score) << "query " << q;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IvfIndexTest, CorruptedArtifactIsDataLoss) {
+  Rng rng(13);
+  const uint32_t n = 100, dim = 8;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 4;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, opts).ok());
+
+  const std::string path = ::testing::TempDir() + "/ivf_corrupt.idx";
+  std::remove(path.c_str());
+  ASSERT_TRUE(index.Save(path).ok());
+  FlipIndexByte(path, static_cast<long>(kArtifactHeaderBytes) + 200);
+  EXPECT_EQ(IvfIndex::Load(path).status().code(), StatusCode::kDataLoss);
+
+  // An unbuilt index refuses to save rather than writing an empty artifact.
+  IvfIndex empty;
+  EXPECT_EQ(empty.Save(path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// --------------------------- engine ANN degradation ---------------------------
+
+class MatchingEngineAnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    const uint32_t n = 400, dim = 8;
+    std::vector<float> in(static_cast<size_t>(n) * dim);
+    for (auto& x : in) x = rng.UniformFloat() + 0.1f;  // no zero rows
+    ASSERT_TRUE(engine_
+                    .Build(std::move(in), {}, n, dim,
+                           SimilarityMode::kCosineInput)
+                    .ok());
+  }
+
+  IvfOptions FullProbe() const {
+    IvfOptions opts;
+    opts.kmeans.num_clusters = 8;
+    opts.nprobe = 8;  // scan everything: ANN results == brute force
+    return opts;
+  }
+
+  MatchingEngine engine_;
+};
+
+TEST_F(MatchingEngineAnnTest, EnableIvfServesIdenticalResultsAtFullProbe) {
+  const auto brute = engine_.Query(3, 10);
+  ASSERT_TRUE(engine_.EnableIvf(FullProbe()).ok());
+  EXPECT_EQ(engine_.ann_backend(), AnnBackend::kIvf);
+  EXPECT_FALSE(engine_.degraded());
+  const auto ann = engine_.Query(3, 10);
+  ASSERT_EQ(ann.size(), brute.size());
+  for (size_t i = 0; i < ann.size(); ++i) EXPECT_EQ(ann[i].id, brute[i].id);
+}
+
+TEST_F(MatchingEngineAnnTest, FailedEnableDegradesToBruteForce) {
+  const auto before = engine_.Query(5, 10);
+  IvfOptions bad = FullProbe();
+  bad.nprobe = 0;  // rejected by IvfIndex::Build
+  EXPECT_FALSE(engine_.EnableIvf(bad).ok());
+  EXPECT_TRUE(engine_.degraded());
+  EXPECT_EQ(engine_.ann_backend(), AnnBackend::kBruteForce);
+  // The query path never goes down with the index.
+  const auto after = engine_.Query(5, 10);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) EXPECT_EQ(after[i].id, before[i].id);
+
+  HnswOptions bad_hnsw;
+  bad_hnsw.M = 1;  // rejected by HnswIndex::Build
+  EXPECT_FALSE(engine_.EnableHnsw(bad_hnsw).ok());
+  EXPECT_EQ(engine_.ann_backend(), AnnBackend::kBruteForce);
+  EXPECT_FALSE(engine_.Query(5, 10).empty());
+}
+
+TEST_F(MatchingEngineAnnTest, SaveAndReloadIvfRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/engine_ivf.idx";
+  std::remove(path.c_str());
+  // Saving before any IVF index exists is an error, not a crash.
+  EXPECT_EQ(engine_.SaveIvf(path).code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(engine_.EnableIvf(FullProbe()).ok());
+  ASSERT_TRUE(engine_.SaveIvf(path).ok());
+  const auto built = engine_.Query(7, 10);
+
+  // A second engine over the same candidates serves from the saved index.
+  Rng rng(21);
+  const uint32_t n = 400, dim = 8;
+  std::vector<float> in(static_cast<size_t>(n) * dim);
+  for (auto& x : in) x = rng.UniformFloat() + 0.1f;
+  MatchingEngine other;
+  ASSERT_TRUE(
+      other.Build(std::move(in), {}, n, dim, SimilarityMode::kCosineInput)
+          .ok());
+  ASSERT_TRUE(other.EnableIvfFromFile(path).ok());
+  EXPECT_EQ(other.ann_backend(), AnnBackend::kIvf);
+  EXPECT_FALSE(other.degraded());
+  const auto reloaded = other.Query(7, 10);
+  ASSERT_EQ(reloaded.size(), built.size());
+  for (size_t i = 0; i < reloaded.size(); ++i) {
+    EXPECT_EQ(reloaded[i].id, built[i].id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(MatchingEngineAnnTest, CorruptIvfFileFallsBackToBruteForce) {
+  const std::string path = ::testing::TempDir() + "/engine_ivf_bad.idx";
+  std::remove(path.c_str());
+  ASSERT_TRUE(engine_.EnableIvf(FullProbe()).ok());
+  ASSERT_TRUE(engine_.SaveIvf(path).ok());
+  FlipIndexByte(path, static_cast<long>(kArtifactHeaderBytes) + 48);
+
+  Rng rng(21);
+  const uint32_t n = 400, dim = 8;
+  std::vector<float> in(static_cast<size_t>(n) * dim);
+  for (auto& x : in) x = rng.UniformFloat() + 0.1f;
+  MatchingEngine other;
+  ASSERT_TRUE(
+      other.Build(std::move(in), {}, n, dim, SimilarityMode::kCosineInput)
+          .ok());
+  const auto brute = other.Query(9, 10);
+  EXPECT_EQ(other.EnableIvfFromFile(path).code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(other.degraded());
+  EXPECT_EQ(other.ann_backend(), AnnBackend::kBruteForce);
+  const auto after = other.Query(9, 10);
+  ASSERT_EQ(after.size(), brute.size());
+  for (size_t i = 0; i < after.size(); ++i) EXPECT_EQ(after[i].id, brute[i].id);
+  std::remove(path.c_str());
+}
+
+TEST_F(MatchingEngineAnnTest, MismatchedIvfFileIsFailedPrecondition) {
+  // Index built for a different engine shape (dim 4, not 8).
+  Rng rng(33);
+  const uint32_t n = 50, dim = 4;
+  std::vector<float> small(static_cast<size_t>(n) * dim);
+  for (auto& x : small) x = rng.UniformFloat() + 0.1f;
+  IvfIndex index;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 2;
+  ASSERT_TRUE(index.Build(small.data(), n, dim, opts).ok());
+  const std::string path = ::testing::TempDir() + "/engine_ivf_shape.idx";
+  std::remove(path.c_str());
+  ASSERT_TRUE(index.Save(path).ok());
+
+  EXPECT_EQ(engine_.EnableIvfFromFile(path).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(engine_.degraded());
+  EXPECT_EQ(engine_.ann_backend(), AnnBackend::kBruteForce);
+  EXPECT_FALSE(engine_.Query(2, 5).empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

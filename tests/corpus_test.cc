@@ -211,7 +211,7 @@ TEST_F(CorpusFixture, VocabularyLoadRejectsCorruption) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("not a vocab file at all", f);
   std::fclose(f);
-  EXPECT_EQ(Vocabulary::Load(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(Vocabulary::Load(path).status().code(), StatusCode::kDataLoss);
   EXPECT_EQ(Vocabulary::Load("/nonexistent/vocab").status().code(),
             StatusCode::kIOError);
   std::remove(path.c_str());

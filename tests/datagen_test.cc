@@ -471,5 +471,19 @@ TEST(DatasetTest, ReadRejectsCorruptFiles) {
   std::remove(path.c_str());
 }
 
+TEST(DatasetTest, WriteFailureLeavesNoPartialFile) {
+  auto ds = SyntheticDataset::Generate(SmallSpec());
+  ASSERT_TRUE(ds.ok());
+  // An unwritable destination is a typed I/O error, and nothing appears
+  // under the target name (the atomic temp-then-rename never commits).
+  const std::string path = "/nonexistent_dir/sessions.txt";
+  EXPECT_EQ(
+      WriteSessionsText(ds->train_sessions(), ds->users(), path).code(),
+      StatusCode::kIOError);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
 }  // namespace
 }  // namespace sisg

@@ -67,7 +67,7 @@ TEST(EmbeddingModelTest, LoadRejectsGarbage) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("garbage", f);
   std::fclose(f);
-  EXPECT_EQ(EmbeddingModel::Load(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(EmbeddingModel::Load(path).status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
   EXPECT_EQ(EmbeddingModel::Load("/nonexistent").status().code(),
             StatusCode::kIOError);
@@ -85,7 +85,7 @@ TEST(EmbeddingModelTest, LoadRejectsTruncated) {
   const long size = std::ftell(f);
   std::fclose(f);
   ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
-  EXPECT_EQ(EmbeddingModel::Load(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(EmbeddingModel::Load(path).status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

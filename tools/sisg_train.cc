@@ -8,6 +8,7 @@
 
 #include "common/flags.h"
 #include "core/pipeline.h"
+#include "dist/fault_plan.h"
 #include "tools/tool_common.h"
 
 using namespace sisg;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   const auto known = tools::WithWorldFlags(
       {"input", "model", "variant", "dim", "epochs", "negatives", "window",
        "min_count", "threads", "distributed", "workers", "export_text",
+       "checkpoint_dir", "checkpoint_interval", "resume", "fault_plan",
        "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
@@ -41,7 +43,12 @@ int main(int argc, char** argv) {
                  "  [--dim 64] [--epochs 20] [--negatives 10] [--window 4]\n"
                  "  [--min_count 1] [--threads 1]\n"
                  "  [--distributed] [--workers 8] [--export_text FILE]\n"
-                 "  [world flags matching sisg_datagen]\n";
+                 "  [--checkpoint_dir DIR] [--checkpoint_interval N]\n"
+                 "  [--resume] [--fault_plan SPEC]\n"
+                 "  [world flags matching sisg_datagen]\n"
+                 "fault plan SPEC: comma-separated key=value —\n"
+                 "  kill_worker, kill_at_pair, drop, dup, sync_delay_every,\n"
+                 "  sync_delay_s, crash_at_pair, seed\n";
     return flags.Has("input") ? 0 : 2;
   }
 
@@ -83,6 +90,23 @@ int main(int argc, char** argv) {
   config.distributed = flags.GetBool("distributed", false);
   config.dist.num_workers =
       static_cast<uint32_t>(flags.GetInt64("workers", 8));
+  config.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  config.checkpoint_interval =
+      static_cast<uint64_t>(flags.GetInt64("checkpoint_interval", 0));
+  config.resume = flags.GetBool("resume", false);
+  if (flags.Has("fault_plan")) {
+    auto plan = FaultPlan::Parse(flags.GetString("fault_plan", ""));
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 2;
+    }
+    config.dist.fault = *plan;
+    if (plan->Active() && !config.distributed) {
+      std::cerr << "fault plan: --fault_plan injects faults into the "
+                   "distributed engine; pass --distributed\n";
+      return 2;
+    }
+  }
 
   SisgPipeline pipeline(config);
   PipelineReport report;
