@@ -1,0 +1,200 @@
+// Micro-benchmarks (google-benchmark) of the ingestion pipeline: streamed
+// session parsing, serial vs multi-threaded corpus construction, packed vs
+// nested corpus traversal, and the end-to-end SGNS epoch on the packed
+// arena. Emits BENCH_corpus.json from run_benches.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "corpus/corpus.h"
+#include "datagen/session_stream.h"
+#include "sgns/trainer.h"
+
+namespace sisg {
+namespace {
+
+const SyntheticDataset& Dataset() {
+  static const SyntheticDataset ds = [] {
+    auto d = SyntheticDataset::Generate(bench::DefaultSpec("SynCorpus"));
+    SISG_CHECK(d.ok());
+    return std::move(d).value();
+  }();
+  return ds;
+}
+
+CorpusOptions BenchCorpusOptions(uint32_t threads) {
+  CorpusOptions opts;
+  opts.min_count = 2;
+  opts.num_threads = threads;
+  return opts;
+}
+
+const Corpus& BenchCorpus() {
+  static const Corpus corpus = [] {
+    const auto& ds = Dataset();
+    static const TokenSpace ts =
+        TokenSpace::Create(&ds.catalog(), &ds.users());
+    Corpus c;
+    SISG_CHECK(c.Build(ds.train_sessions(), ts, ds.catalog(),
+                       BenchCorpusOptions(1))
+                   .ok());
+    return c;
+  }();
+  return corpus;
+}
+
+/// The pre-arena ingest algorithm, kept as the speedup reference: enrich
+/// every session into its own heap vector, count per enriched token, encode
+/// each sequence into another nested vector. This is what Corpus::Build did
+/// before the packed-arena rewrite.
+void BM_CorpusBuildBaseline(benchmark::State& state) {
+  const auto& ds = Dataset();
+  const TokenSpace ts = TokenSpace::Create(&ds.catalog(), &ds.users());
+  const SequenceEnricher enricher(&ts, &ds.catalog(), EnrichOptions{});
+  for (auto _ : state) {
+    std::vector<std::vector<uint32_t>> token_seqs;
+    token_seqs.reserve(ds.train_sessions().size());
+    std::vector<uint32_t> buf;
+    for (const Session& s : ds.train_sessions()) {
+      enricher.Enrich(s, &buf);
+      token_seqs.push_back(buf);
+    }
+    std::vector<uint64_t> counts(ts.num_tokens(), 0);
+    for (const auto& seq : token_seqs) {
+      for (uint32_t tok : seq) ++counts[tok];
+    }
+    Vocabulary vocab;
+    SISG_CHECK(vocab.BuildFromCounts(counts, /*min_count=*/2, ts).ok());
+    std::vector<std::vector<uint32_t>> sequences;
+    sequences.reserve(token_seqs.size());
+    uint64_t num_tokens = 0;
+    for (const auto& seq : token_seqs) {
+      std::vector<uint32_t> enc;
+      enc.reserve(seq.size());
+      for (uint32_t tok : seq) {
+        const int32_t v = vocab.ToVocab(tok);
+        if (v >= 0) enc.push_back(static_cast<uint32_t>(v));
+      }
+      if (enc.size() >= 2) {
+        num_tokens += enc.size();
+        sequences.push_back(std::move(enc));
+      }
+    }
+    benchmark::DoNotOptimize(num_tokens);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.train_sessions().size());
+}
+BENCHMARK(BM_CorpusBuildBaseline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Serial vs parallel count + encode into the packed arena. The output is
+/// byte-identical at every thread count, so this is a pure speedup curve;
+/// compare against BM_CorpusBuildBaseline for the ingest rewrite payoff.
+void BM_CorpusBuild(benchmark::State& state) {
+  const auto& ds = Dataset();
+  const TokenSpace ts = TokenSpace::Create(&ds.catalog(), &ds.users());
+  const CorpusOptions opts =
+      BenchCorpusOptions(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Corpus c;
+    SISG_CHECK(c.Build(ds.train_sessions(), ts, ds.catalog(), opts).ok());
+    benchmark::DoNotOptimize(c.num_tokens());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.train_sessions().size());
+}
+BENCHMARK(BM_CorpusBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Chunked text parse of a sessions file (the sisg_train ingest path).
+void BM_SessionStreamRead(benchmark::State& state) {
+  const auto& ds = Dataset();
+  static const std::string path = [] {
+    const std::string p = "/tmp/bench_corpus_sessions.txt";
+    SISG_CHECK(WriteSessionsText(Dataset().train_sessions(), Dataset().users(),
+                                 p)
+                   .ok());
+    return p;
+  }();
+  uint64_t sessions = 0;
+  for (auto _ : state) {
+    auto stream = SessionStream::Open(ds.users(), path);
+    SISG_CHECK(stream.ok());
+    std::vector<Session> chunk;
+    sessions = 0;
+    for (;;) {
+      SISG_CHECK(stream->NextChunk(&chunk).ok());
+      if (chunk.empty()) break;
+      sessions += chunk.size();
+    }
+    benchmark::DoNotOptimize(sessions);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+}
+BENCHMARK(BM_SessionStreamRead)->Unit(benchmark::kMillisecond);
+
+/// Full-corpus scan on the packed CSR arena: one sequential stream.
+void BM_PackedTraversal(benchmark::State& state) {
+  const PackedCorpus& packed = BenchCorpus().packed();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint64_t s = 0; s < packed.size(); ++s) {
+      for (uint32_t v : packed.seq(s)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * packed.num_tokens());
+}
+BENCHMARK(BM_PackedTraversal)->Unit(benchmark::kMillisecond);
+
+/// The same scan on the pre-arena layout (vector<vector>): one heap
+/// allocation per sequence, a pointer chase per access.
+void BM_NestedTraversal(benchmark::State& state) {
+  static const std::vector<std::vector<uint32_t>> nested = [] {
+    const PackedCorpus& packed = BenchCorpus().packed();
+    std::vector<std::vector<uint32_t>> out;
+    out.reserve(packed.size());
+    for (uint64_t s = 0; s < packed.size(); ++s) {
+      const auto seq = packed.seq(s);
+      out.emplace_back(seq.begin(), seq.end());
+    }
+    return out;
+  }();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const auto& seq : nested) {
+      for (uint32_t v : seq) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * BenchCorpus().num_tokens());
+}
+BENCHMARK(BM_NestedTraversal)->Unit(benchmark::kMillisecond);
+
+/// One deterministic single-thread SGNS epoch over the packed corpus — the
+/// trainer-side payoff of the arena layout.
+void BM_SgnsEpochPacked(benchmark::State& state) {
+  const Corpus& corpus = BenchCorpus();
+  SgnsOptions opts;
+  opts.dim = 64;
+  opts.epochs = 1;
+  opts.negatives = 10;
+  opts.window.window = 8;
+  opts.num_threads = 1;
+  const SgnsTrainer trainer(opts);
+  for (auto _ : state) {
+    EmbeddingModel model;
+    TrainStats stats;
+    SISG_CHECK(trainer.Train(corpus, &model, &stats, nullptr).ok());
+    benchmark::DoNotOptimize(stats.pairs_trained);
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.num_tokens());
+}
+BENCHMARK(BM_SgnsEpochPacked)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sisg
+
+BENCHMARK_MAIN();

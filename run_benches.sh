@@ -4,7 +4,10 @@
 # tracked across PRs: BENCH_micro.json for the training kernels (see
 # EXPERIMENTS.md "Kernel microbench") and BENCH_retrieval.json for the
 # serving path (ns/query for brute-force, IVF and HNSW at d=128; see
-# EXPERIMENTS.md "Retrieval microbench").
+# EXPERIMENTS.md "Retrieval microbench"), and BENCH_corpus.json for the
+# ingestion pipeline (serial vs N-thread corpus build, packed vs nested
+# traversal, SGNS epoch on the packed arena; see EXPERIMENTS.md
+# "Ingestion microbench").
 cd /root/repo
 if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
   echo "error: bench binaries not found under build/bench." >&2
@@ -18,10 +21,14 @@ fi
 ./build/bench/bench_micro_retrieval \
   --benchmark_out=BENCH_retrieval.json --benchmark_out_format=json \
   2>&1 | tee -a bench_output.txt
+./build/bench/bench_micro_corpus \
+  --benchmark_out=BENCH_corpus.json --benchmark_out_format=json \
+  2>&1 | tee -a bench_output.txt
 for b in build/bench/*; do
   case "$b" in
-    */bench_micro_engine|*/bench_micro_retrieval) continue ;;
+    */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus) continue ;;
   esac
+  [ -f "$b" ] && [ -x "$b" ] || continue  # skip cmake build artifacts
   "$b"
 done 2>&1 | tee -a bench_output.txt
 echo "SWEEP_COMPLETE" >> bench_output.txt

@@ -3,12 +3,17 @@
 #include "common/logging.h"
 
 namespace sisg {
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SISG_CHECK_GE(num_threads, 1u);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
   }
 }
 
@@ -42,7 +47,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {

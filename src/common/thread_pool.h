@@ -33,8 +33,14 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Index of the calling pool worker within its pool ([0, num_threads)), or
+  /// -1 when called from a thread that is not a pool worker. Lets tasks keep
+  /// contention-free thread-local state (e.g. per-worker count maps) without
+  /// threading an id through every task closure.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;

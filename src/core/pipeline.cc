@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "corpus/corpus.h"
 #include "dist/distributed_trainer.h"
 #include "graph/category_graph.h"
@@ -13,20 +15,20 @@
 #include "sgns/trainer.h"
 
 namespace sisg {
+namespace {
 
-StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
-                                        const ItemCatalog& catalog,
-                                        const UserUniverse& users,
-                                        PipelineReport* report) const {
-  TokenSpace token_space = TokenSpace::Create(&catalog, &users);
-
+CorpusOptions MakeCorpusOptions(const SisgConfig& config) {
   CorpusOptions copts;
-  copts.enrich.include_item_si = config_.UseItemSi();
-  copts.enrich.include_user_type = config_.UseUserTypes();
-  copts.min_count = config_.min_count;
-  Corpus corpus;
-  SISG_RETURN_IF_ERROR(corpus.Build(sessions, token_space, catalog, copts));
+  copts.enrich.include_item_si = config.UseItemSi();
+  copts.enrich.include_user_type = config.UseUserTypes();
+  copts.min_count = config.min_count;
+  copts.num_threads = config.ingest_threads;
+  return copts;
+}
 
+}  // namespace
+
+SgnsOptions SisgPipeline::EffectiveSgnsOptions() const {
   SgnsOptions sgns = config_.sgns;
   sgns.window.directional = config_.Directional();
   if (config_.UseItemSi()) {
@@ -36,9 +38,60 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
     // the fixed maximal sequence length for the same reason).
     sgns.window.window *= 2;
   }
+  return sgns;
+}
+
+Status SisgPipeline::PrepareCorpus(const std::vector<Session>* sessions,
+                                   SessionSource* source,
+                                   const TokenSpace& token_space,
+                                   const ItemCatalog& catalog, Corpus* corpus,
+                                   PipelineReport* report) const {
+  const CorpusOptions copts = MakeCorpusOptions(config_);
+  Timer timer;
+  if (!config_.corpus_cache.empty()) {
+    auto cached = Corpus::Load(config_.corpus_cache, copts, token_space);
+    if (cached.ok()) {
+      *corpus = std::move(cached).value();
+      report->corpus_cache_hit = true;
+      report->corpus_build_seconds = timer.ElapsedSeconds();
+      report->corpus_sequences = corpus->num_sequences();
+      report->corpus_tokens = corpus->num_tokens();
+      LOG_INFO << "corpus cache hit: " << config_.corpus_cache << " ("
+               << corpus->num_sequences() << " sequences)";
+      return Status::OK();
+    }
+    LOG_INFO << "corpus cache unusable (" << cached.status().ToString()
+             << "); rebuilding";
+  }
+  if (sessions != nullptr) {
+    SISG_RETURN_IF_ERROR(corpus->Build(*sessions, token_space, catalog, copts));
+  } else {
+    SISG_RETURN_IF_ERROR(
+        corpus->BuildFromSource(source, token_space, catalog, copts));
+    if (source->ingest_stats() != nullptr) {
+      report->ingest = *source->ingest_stats();
+      if (report->ingest.lines_skipped > 0) {
+        LOG_WARN << "ingest skipped " << report->ingest.lines_skipped
+                 << " malformed line(s); first: " << report->ingest.first_error;
+      }
+    }
+  }
+  report->corpus_build_seconds = timer.ElapsedSeconds();
+  report->corpus_sequences = corpus->num_sequences();
+  report->corpus_tokens = corpus->num_tokens();
+  if (!config_.corpus_cache.empty()) {
+    SISG_RETURN_IF_ERROR(corpus->Save(config_.corpus_cache));
+  }
+  return Status::OK();
+}
+
+StatusOr<SisgModel> SisgPipeline::TrainOnCorpus(
+    const std::vector<Session>* sessions, const ItemCatalog& catalog,
+    TokenSpace token_space, const Corpus& corpus, PipelineReport* report,
+    PipelineReport* local_report) const {
+  const SgnsOptions sgns = EffectiveSgnsOptions();
 
   EmbeddingModel emb;
-  PipelineReport local_report;
 
   // Fault tolerance: periodic checkpointing and (optionally) resume from
   // the newest snapshot in checkpoint_dir.
@@ -57,7 +110,7 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
     } else {
       // Default cadence: ~8 snapshots over the planned work queue.
       const uint64_t total_slots =
-          static_cast<uint64_t>(sgns.epochs) * corpus.sequences().size();
+          static_cast<uint64_t>(sgns.epochs) * corpus.num_sequences();
       ckpt.interval_slots = config_.checkpoint_interval > 0
                                 ? config_.checkpoint_interval
                                 : std::max<uint64_t>(1, total_slots / 8);
@@ -74,10 +127,15 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
   }
 
   if (config_.distributed) {
+    if (sessions == nullptr) {
+      return Status::FailedPrecondition(
+          "pipeline: the distributed engine needs materialized sessions for "
+          "graph partitioning");
+    }
     // Item partitioning via HBGP over the leaf-category graph (Section
     // III-B); SI and user types are assigned randomly inside the engine.
     ItemGraph graph;
-    SISG_RETURN_IF_ERROR(graph.Build(sessions, catalog.num_items()));
+    SISG_RETURN_IF_ERROR(graph.Build(*sessions, catalog.num_items()));
     const CategoryGraph cg = CategoryGraph::FromItemGraph(graph, catalog);
     HbgpPartitioner hbgp;
     SISG_ASSIGN_OR_RETURN(
@@ -92,18 +150,64 @@ StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
     DistTrainResult result;
     SISG_RETURN_IF_ERROR(trainer.Train(corpus, token_space, item_worker, &emb,
                                        &result, ckpt_ptr));
-    local_report.train = result.train;
-    local_report.comm = result.comm;
+    local_report->train = result.train;
+    local_report->comm = result.comm;
   } else {
     SgnsTrainer trainer(sgns);
     SISG_RETURN_IF_ERROR(
-        trainer.Train(corpus, &emb, &local_report.train, ckpt_ptr));
+        trainer.Train(corpus, &emb, &local_report->train, ckpt_ptr));
   }
-  local_report.vocab_size = corpus.vocab().size();
-  if (report != nullptr) *report = local_report;
+  local_report->vocab_size = corpus.vocab().size();
+  if (report != nullptr) *report = *local_report;
 
   return SisgModel(config_, std::move(token_space), corpus.vocab(),
                    std::move(emb));
+}
+
+StatusOr<SisgModel> SisgPipeline::Train(const std::vector<Session>& sessions,
+                                        const ItemCatalog& catalog,
+                                        const UserUniverse& users,
+                                        PipelineReport* report) const {
+  TokenSpace token_space = TokenSpace::Create(&catalog, &users);
+  PipelineReport local_report;
+  Corpus corpus;
+  SISG_RETURN_IF_ERROR(PrepareCorpus(&sessions, nullptr, token_space, catalog,
+                                     &corpus, &local_report));
+  return TrainOnCorpus(&sessions, catalog, std::move(token_space), corpus,
+                       report, &local_report);
+}
+
+StatusOr<SisgModel> SisgPipeline::TrainStream(SessionSource* source,
+                                              const ItemCatalog& catalog,
+                                              const UserUniverse& users,
+                                              PipelineReport* report) const {
+  if (source == nullptr) {
+    return Status::InvalidArgument("pipeline: null session source");
+  }
+  if (config_.distributed) {
+    // Graph partitioning walks raw sessions, so the stream must land in
+    // memory anyway; drain it and take the materialized path.
+    std::vector<Session> sessions;
+    std::vector<Session> chunk;
+    for (;;) {
+      SISG_RETURN_IF_ERROR(source->NextChunk(&chunk));
+      if (chunk.empty()) break;
+      sessions.insert(sessions.end(), std::make_move_iterator(chunk.begin()),
+                      std::make_move_iterator(chunk.end()));
+    }
+    auto model = Train(sessions, catalog, users, report);
+    if (model.ok() && report != nullptr && source->ingest_stats() != nullptr) {
+      report->ingest = *source->ingest_stats();
+    }
+    return model;
+  }
+  TokenSpace token_space = TokenSpace::Create(&catalog, &users);
+  PipelineReport local_report;
+  Corpus corpus;
+  SISG_RETURN_IF_ERROR(PrepareCorpus(nullptr, source, token_space, catalog,
+                                     &corpus, &local_report));
+  return TrainOnCorpus(nullptr, catalog, std::move(token_space), corpus, report,
+                       &local_report);
 }
 
 StatusOr<SisgModel> SisgPipeline::Train(const SyntheticDataset& dataset,

@@ -6,15 +6,28 @@
 #include "common/status.h"
 #include "core/sisg_model.h"
 #include "datagen/dataset.h"
+#include "datagen/session_stream.h"
 #include "dist/comm_stats.h"
 
 namespace sisg {
+
+class Corpus;
 
 /// Everything a training run reports besides the model itself.
 struct PipelineReport {
   TrainStats train;
   CommStats comm;  // only populated for distributed runs
   uint32_t vocab_size = 0;
+
+  /// Corpus construction: wall time, shape, whether the corpus cache
+  /// satisfied the run, and — for streamed loads — the ingest counters
+  /// (notably lines_skipped under a max_errors budget, so tolerated bad
+  /// lines are never silent).
+  double corpus_build_seconds = 0.0;
+  uint64_t corpus_sequences = 0;
+  uint64_t corpus_tokens = 0;
+  bool corpus_cache_hit = false;
+  IngestStats ingest;
 };
 
 /// The end-to-end SISG training pipeline (Section III-C): enrich sessions
@@ -27,11 +40,27 @@ class SisgPipeline {
 
   const SisgConfig& config() const { return config_; }
 
+  /// The SGNS options the trainer actually runs with: the variant's
+  /// directionality applied, and the token window doubled when item SI is
+  /// injected (SI tokens interleave between items, so the *item* span of
+  /// the window would otherwise halve).
+  SgnsOptions EffectiveSgnsOptions() const;
+
   /// Trains on arbitrary sessions. `catalog` and `users` must outlive the
   /// returned model (its TokenSpace references them).
   StatusOr<SisgModel> Train(const std::vector<Session>& sessions,
                             const ItemCatalog& catalog, const UserUniverse& users,
                             PipelineReport* report = nullptr) const;
+
+  /// Streaming variant: sessions are pulled chunk-wise from `source` (e.g.
+  /// a SessionStream over a sessions file) straight into the parallel
+  /// corpus builder, so the raw session list is never materialized. The
+  /// distributed engine needs the sessions for graph partitioning, so with
+  /// config.distributed the stream is materialized internally instead.
+  StatusOr<SisgModel> TrainStream(SessionSource* source,
+                                  const ItemCatalog& catalog,
+                                  const UserUniverse& users,
+                                  PipelineReport* report = nullptr) const;
 
   /// Convenience overload for a generated dataset (trains on its training
   /// split).
@@ -39,6 +68,22 @@ class SisgPipeline {
                             PipelineReport* report = nullptr) const;
 
  private:
+  /// Builds the corpus (from `sessions` or, when null, from `source`), or
+  /// loads it from config.corpus_cache when a valid compatible cache
+  /// exists; fills the corpus-related report fields.
+  Status PrepareCorpus(const std::vector<Session>* sessions,
+                       SessionSource* source, const TokenSpace& token_space,
+                       const ItemCatalog& catalog, Corpus* corpus,
+                       PipelineReport* report) const;
+
+  /// The train-and-package tail shared by Train and TrainStream.
+  /// `sessions` is only required for the distributed engine.
+  StatusOr<SisgModel> TrainOnCorpus(const std::vector<Session>* sessions,
+                                    const ItemCatalog& catalog,
+                                    TokenSpace token_space, const Corpus& corpus,
+                                    PipelineReport* report,
+                                    PipelineReport* local_report) const;
+
   SisgConfig config_;
 };
 

@@ -26,6 +26,15 @@ struct SisgConfig {
   SgnsOptions sgns;
   uint32_t min_count = 1;
 
+  /// Threads for corpus construction (enrich + count + encode). 0 = hardware
+  /// concurrency. The corpus is byte-identical for every value.
+  uint32_t ingest_threads = 1;
+
+  /// When non-empty, the built corpus + vocabulary are cached as
+  /// `<prefix>.corpus` / `<prefix>.vocab`; a later run with the same enrich
+  /// options and min_count loads them (checksummed) instead of rebuilding.
+  std::string corpus_cache;
+
   /// When true the pipeline trains on the simulated distributed engine
   /// (HBGP item partitioning + ATNS) instead of the local hogwild trainer.
   bool distributed = false;

@@ -1,46 +1,551 @@
 #include "corpus/corpus.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <thread>
+
+#include "common/io_util.h"
+#include "common/thread_pool.h"
+#include "corpus/count_map.h"
+
 namespace sisg {
+namespace {
+
+constexpr char kCacheKind[] = "CORPCACH";
+constexpr uint32_t kCacheVersion = 1;
+
+/// Chunk size for the zero-copy vector path. Fixed — never derived from the
+/// thread count — because chunking must not influence the output. (It in
+/// fact cannot: counting is commutative and encoded chunks are concatenated
+/// in input order, so any chunking of the same session order yields the
+/// same bytes. A fixed size just keeps the work units uniform.)
+constexpr size_t kChunkSessions = 1024;
+
+/// One ingest work unit: a contiguous run of sessions. The flat fast path
+/// only ever stores per-session encoded lengths in `lens` (tokens stays
+/// empty — sequences are written straight into the arena); the fallback
+/// path materializes enriched tokens in `tokens` and rewrites them in place
+/// during encode.
+struct ChunkState {
+  std::vector<Session> owned;  // streaming path only
+  const Session* sessions = nullptr;
+  size_t num_sessions = 0;
+  std::vector<uint32_t> tokens;
+  std::vector<uint32_t> lens;
+  uint64_t token_total = 0;  // flat path: encoded tokens in this chunk
+  uint64_t seq_total = 0;    // flat path: surviving sequences in this chunk
+  Status status;
+};
+
+/// Per-worker click counters for the flat path: one add per item click and
+/// one per session, instead of one per enriched token. Token counts are
+/// recovered afterwards by expanding item clicks through the per-item token
+/// block (every click of item i contributes exactly its block of tokens).
+struct ClickCounts {
+  std::vector<uint64_t> items;
+  std::vector<uint64_t> user_types;
+};
+
+/// Phase-timing probe for perf work: SISG_CORPUS_PROF=1 prints per-phase
+/// wall times to stderr.
+class PhaseProf {
+ public:
+  PhaseProf()
+      : on_(std::getenv("SISG_CORPUS_PROF") != nullptr),
+        t_(std::chrono::steady_clock::now()) {}
+  void Mark(const char* what) {
+    if (!on_) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "  [corpus] %-10s %.3f ms\n", what,
+                 std::chrono::duration<double, std::milli>(now - t_).count());
+    t_ = now;
+  }
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point t_;
+};
+
+/// Validates one session against the token space. The flat path fuses the
+/// same checks (byte-identical messages) into its counting loop.
+Status ValidateSession(const Session& s, const TokenSpace& ts) {
+  if (s.user_type >= ts.num_user_types()) {
+    return Status::OutOfRange(
+        "corpus: user type " + std::to_string(s.user_type) +
+        " outside the universe of " + std::to_string(ts.num_user_types()));
+  }
+  for (uint32_t item : s.items) {
+    if (item >= ts.num_items()) {
+      return Status::OutOfRange("corpus: item " + std::to_string(item) +
+                                " outside the catalog of " +
+                                std::to_string(ts.num_items()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status Corpus::Build(const std::vector<Session>& sessions,
                      const TokenSpace& token_space, const ItemCatalog& catalog,
                      const CorpusOptions& options) {
-  if (sessions.empty()) {
-    return Status::InvalidArgument("corpus: no sessions");
+  return BuildImpl(&sessions, nullptr, token_space, catalog, options);
+}
+
+Status Corpus::BuildFromSource(SessionSource* source,
+                               const TokenSpace& token_space,
+                               const ItemCatalog& catalog,
+                               const CorpusOptions& options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("corpus: null session source");
   }
+  return BuildImpl(nullptr, source, token_space, catalog, options);
+}
+
+Status Corpus::BuildImpl(const std::vector<Session>* sessions,
+                         SessionSource* source, const TokenSpace& token_space,
+                         const ItemCatalog& catalog,
+                         const CorpusOptions& options) {
   options_ = options;
+  vocab_ = Vocabulary();
+  packed_.Clear();
+  PhaseProf prof;
 
-  SequenceEnricher enricher(&token_space, &catalog, options.enrich);
-  std::vector<std::vector<uint32_t>> token_seqs;
-  token_seqs.reserve(sessions.size());
-  std::vector<uint32_t> buf;
-  for (const Session& s : sessions) {
-    enricher.Enrich(s, &buf);
-    token_seqs.push_back(buf);
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
+
+  const bool flat = token_space.num_tokens() <= options.flat_count_threshold;
+  const SequenceEnricher enricher(&token_space, &catalog, options.enrich);
+  const uint32_t block = enricher.TokensPerItem();
+  const bool has_ut = options.enrich.include_user_type;
+
+  // Flat path: the enriched form of a click is a pure function of the item,
+  // so the catalog/feature lookups are paid once per *item* here instead of
+  // once per click during ingest. Block layout matches
+  // SequenceEnricher::Enrich exactly: item token, then the SI tokens in
+  // AllItemFeatureKinds order (the streamed-vs-materialized and
+  // flat-vs-map parity tests pin this equivalence).
+  std::vector<uint32_t> item_blocks;
+  if (flat) {
+    item_blocks.resize(static_cast<size_t>(token_space.num_items()) * block);
+    uint32_t* out = item_blocks.data();
+    for (uint32_t item = 0; item < token_space.num_items(); ++item) {
+      *out++ = token_space.ItemToken(item);
+      if (options.enrich.include_item_si) {
+        const ItemMeta& m = catalog.meta(item);
+        for (ItemFeatureKind kind : AllItemFeatureKinds()) {
+          *out++ = token_space.SiToken(kind, m.Feature(kind));
+        }
+      }
+    }
+  }
+  prof.Mark("table");
+
+  // Phase 1: count. Chunks are processed independently; each worker counts
+  // into its own slot (no locks, no sharing). The main thread (index -1)
+  // uses slot 0, which is safe because it only runs chunks itself when
+  // there is no pool.
+  std::vector<ClickCounts> clicks(flat ? std::max<size_t>(num_threads, 1) : 0);
+  std::vector<TokenCountMap> maps(flat ? 0 : std::max<size_t>(num_threads, 1));
+  if (!flat) {
+    const size_t hint =
+        options.vocab_size_hint != 0
+            ? options.vocab_size_hint
+            : static_cast<size_t>(token_space.num_tokens()) / 4 + 1024;
+    for (TokenCountMap& m : maps) m.Reserve(hint);
   }
 
-  SISG_RETURN_IF_ERROR(vocab_.Build(token_seqs, token_space.num_tokens(),
-                                    options.min_count, token_space));
-
-  sequences_.clear();
-  sequences_.reserve(token_seqs.size());
-  num_tokens_ = 0;
-  for (const auto& seq : token_seqs) {
-    std::vector<uint32_t> enc;
-    enc.reserve(seq.size());
-    for (uint32_t tok : seq) {
-      const int32_t v = vocab_.ToVocab(tok);
-      if (v >= 0) enc.push_back(static_cast<uint32_t>(v));
+  // Flat: tally item clicks and user types; sessions are kept for encode.
+  auto count_chunk = [&](ChunkState* cs) {
+    const int widx = ThreadPool::CurrentWorkerIndex();
+    ClickCounts& local = clicks[widx < 0 ? 0 : static_cast<size_t>(widx)];
+    if (local.items.empty()) {
+      local.items.resize(token_space.num_items(), 0);
+      local.user_types.resize(token_space.num_user_types(), 0);
     }
-    if (enc.size() >= 2) {
-      num_tokens_ += enc.size();
-      sequences_.push_back(std::move(enc));
+    const uint32_t num_items = token_space.num_items();
+    for (size_t i = 0; i < cs->num_sessions; ++i) {
+      const Session& s = cs->sessions[i];
+      if (s.user_type >= token_space.num_user_types()) {
+        cs->status = Status::OutOfRange(
+            "corpus: user type " + std::to_string(s.user_type) +
+            " outside the universe of " +
+            std::to_string(token_space.num_user_types()));
+        return;
+      }
+      for (uint32_t item : s.items) {
+        if (item >= num_items) {
+          cs->status = Status::OutOfRange(
+              "corpus: item " + std::to_string(item) +
+              " outside the catalog of " + std::to_string(num_items));
+          return;
+        }
+        ++local.items[item];
+      }
+      if (has_ut) ++local.user_types[s.user_type];
+    }
+  };
+
+  // Fallback: enrich into materialized token runs and count each token into
+  // the worker's open-addressing map; raw sessions are dead weight after.
+  auto enrich_chunk = [&](ChunkState* cs) {
+    const int widx = ThreadPool::CurrentWorkerIndex();
+    TokenCountMap& local = maps[widx < 0 ? 0 : static_cast<size_t>(widx)];
+    size_t expect = 0;
+    for (size_t i = 0; i < cs->num_sessions; ++i) {
+      expect += cs->sessions[i].items.size() * block + 1;
+    }
+    cs->tokens.reserve(expect);
+    cs->lens.reserve(cs->num_sessions);
+    std::vector<uint32_t> buf;
+    for (size_t i = 0; i < cs->num_sessions; ++i) {
+      const Session& s = cs->sessions[i];
+      cs->status = ValidateSession(s, token_space);
+      if (!cs->status.ok()) return;
+      enricher.Enrich(s, &buf);
+      cs->tokens.insert(cs->tokens.end(), buf.begin(), buf.end());
+      cs->lens.push_back(static_cast<uint32_t>(buf.size()));
+      for (uint32_t tok : buf) local.Add(tok);
+    }
+    cs->owned.clear();
+    cs->owned.shrink_to_fit();
+  };
+
+  const std::function<void(ChunkState*)> process =
+      flat ? std::function<void(ChunkState*)>(count_chunk)
+           : std::function<void(ChunkState*)>(enrich_chunk);
+
+  std::deque<ChunkState> chunks;  // deque: stable addresses across growth
+  Status ingest_status;
+  if (sessions != nullptr) {
+    if (sessions->empty()) return Status::InvalidArgument("corpus: no sessions");
+    for (size_t start = 0; start < sessions->size(); start += kChunkSessions) {
+      ChunkState& cs = chunks.emplace_back();
+      cs.sessions = sessions->data() + start;
+      cs.num_sessions = std::min(kChunkSessions, sessions->size() - start);
+      if (pool) {
+        pool->Submit([&process, cs_ptr = &cs] { process(cs_ptr); });
+      } else {
+        process(&cs);
+      }
+    }
+  } else {
+    // Streaming: pull chunks on this thread, process them on the pool. The
+    // reader and the workers overlap, so ingest is bounded by the slower of
+    // parse and ingest work — not their sum.
+    std::vector<Session> chunk;
+    for (;;) {
+      ingest_status = source->NextChunk(&chunk);
+      if (!ingest_status.ok() || chunk.empty()) break;
+      ChunkState& cs = chunks.emplace_back();
+      cs.owned = std::move(chunk);
+      cs.sessions = cs.owned.data();
+      cs.num_sessions = cs.owned.size();
+      chunk.clear();
+      if (pool) {
+        pool->Submit([&process, cs_ptr = &cs] { process(cs_ptr); });
+      } else {
+        process(&cs);
+      }
     }
   }
-  if (sequences_.empty()) {
+  if (pool) pool->Wait();  // workers hold pointers into chunks/counters
+  prof.Mark("count");
+  SISG_RETURN_IF_ERROR(ingest_status);
+  if (chunks.empty()) return Status::InvalidArgument("corpus: no sessions");
+  for (const ChunkState& cs : chunks) {
+    // First failed chunk in input order wins, so the reported error does
+    // not depend on worker scheduling.
+    SISG_RETURN_IF_ERROR(cs.status);
+  }
+
+  // Phase 2: deterministic merge + vocabulary. Addition is commutative, so
+  // the merge order across worker counters cannot affect any count; vocab
+  // id assignment sorts by (count desc, token asc) — a total order.
+  if (flat) {
+    ClickCounts& merged = clicks[0];
+    if (merged.items.empty()) {
+      merged.items.resize(token_space.num_items(), 0);
+      merged.user_types.resize(token_space.num_user_types(), 0);
+    }
+    for (size_t w = 1; w < clicks.size(); ++w) {
+      if (clicks[w].items.empty()) continue;
+      for (size_t i = 0; i < merged.items.size(); ++i) {
+        merged.items[i] += clicks[w].items[i];
+      }
+      for (size_t u = 0; u < merged.user_types.size(); ++u) {
+        merged.user_types[u] += clicks[w].user_types[u];
+      }
+    }
+    // Expand clicks to token counts through the per-item blocks: a click of
+    // item i contributes exactly one occurrence of each token in block i.
+    std::vector<uint64_t> token_counts(token_space.num_tokens(), 0);
+    for (size_t item = 0; item < merged.items.size(); ++item) {
+      const uint64_t c = merged.items[item];
+      if (c == 0) continue;
+      const uint32_t* b = item_blocks.data() + item * block;
+      for (uint32_t k = 0; k < block; ++k) token_counts[b[k]] += c;
+    }
+    if (has_ut) {
+      for (size_t ut = 0; ut < merged.user_types.size(); ++ut) {
+        token_counts[token_space.UserTypeToken(static_cast<uint32_t>(ut))] +=
+            merged.user_types[ut];
+      }
+    }
+    clicks.clear();
+    SISG_RETURN_IF_ERROR(vocab_.BuildFromCounts(token_counts,
+                                                options.min_count, token_space));
+  } else {
+    TokenCountMap merged = std::move(maps[0]);
+    for (size_t i = 1; i < maps.size(); ++i) merged.MergeFrom(maps[i]);
+    maps.clear();
+    SISG_RETURN_IF_ERROR(vocab_.BuildFromCounts(
+        merged, token_space.num_tokens(), options.min_count, token_space));
+  }
+  prof.Mark("vocab");
+
+  if (flat) {
+    // Phase 3 (flat): re-encode the per-item blocks into vocab-id space
+    // once (dropping sub-min_count tokens), size every chunk exactly, then
+    // write each sequence straight into its final arena slot. No
+    // intermediate token buffers, no stitch copy.
+    const uint32_t num_items = token_space.num_items();
+    std::vector<uint32_t> enc_off(static_cast<size_t>(num_items) + 1, 0);
+    std::vector<uint32_t> enc_tokens;
+    enc_tokens.reserve(item_blocks.size());
+    for (uint32_t item = 0; item < num_items; ++item) {
+      const uint32_t* b = item_blocks.data() + size_t{item} * block;
+      for (uint32_t k = 0; k < block; ++k) {
+        const int32_t v = vocab_.ToVocab(b[k]);
+        if (v >= 0) enc_tokens.push_back(static_cast<uint32_t>(v));
+      }
+      enc_off[item + 1] = static_cast<uint32_t>(enc_tokens.size());
+    }
+    std::vector<int32_t> ut_enc;
+    if (has_ut) {
+      ut_enc.resize(token_space.num_user_types());
+      for (uint32_t ut = 0; ut < ut_enc.size(); ++ut) {
+        ut_enc[ut] = vocab_.ToVocab(token_space.UserTypeToken(ut));
+      }
+    }
+
+    // 3a: exact per-session encoded lengths (0 = dropped), chunk totals.
+    auto size_chunk = [&](ChunkState* cs) {
+      cs->lens.resize(cs->num_sessions);
+      cs->token_total = 0;
+      cs->seq_total = 0;
+      for (size_t i = 0; i < cs->num_sessions; ++i) {
+        const Session& s = cs->sessions[i];
+        uint64_t n = 0;
+        for (uint32_t item : s.items) n += enc_off[item + 1] - enc_off[item];
+        if (has_ut && ut_enc[s.user_type] >= 0) ++n;
+        if (n < 2) n = 0;  // dropped: fewer than 2 surviving tokens
+        cs->lens[i] = static_cast<uint32_t>(n);
+        cs->token_total += n;
+        cs->seq_total += n != 0;
+      }
+    };
+    if (pool) {
+      for (ChunkState& cs : chunks) {
+        pool->Submit([&size_chunk, cs_ptr = &cs] { size_chunk(cs_ptr); });
+      }
+      pool->Wait();
+    } else {
+      for (ChunkState& cs : chunks) size_chunk(&cs);
+    }
+
+    // 3b: prefix sums fix every chunk's destination range up front.
+    std::vector<uint64_t> tok_off(chunks.size()), seq_off(chunks.size());
+    uint64_t total_tokens = 0, total_seqs = 0;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      tok_off[i] = total_tokens;
+      seq_off[i] = total_seqs;
+      total_tokens += chunks[i].token_total;
+      total_seqs += chunks[i].seq_total;
+    }
+    if (total_seqs == 0) {
+      return Status::InvalidArgument(
+          "corpus: all sequences empty after filtering");
+    }
+    packed_.Resize(total_seqs, total_tokens);
+    prof.Mark("size");
+
+    // 3c: the writes target disjoint ranges, so chunks encode concurrently;
+    // output order == input order, independent of threads.
+    auto encode_chunk = [&, this](size_t ci) {
+      ChunkState& cs = chunks[ci];
+      uint32_t* out = packed_.mutable_tokens() + tok_off[ci];
+      uint64_t* offsets = packed_.mutable_offsets();
+      uint64_t off = tok_off[ci];
+      uint64_t seq = seq_off[ci];
+      for (size_t i = 0; i < cs.num_sessions; ++i) {
+        const uint32_t n = cs.lens[i];
+        if (n == 0) continue;
+        offsets[seq++] = off;
+        off += n;
+        for (uint32_t item : cs.sessions[i].items) {
+          const uint32_t len = enc_off[item + 1] - enc_off[item];
+          std::memcpy(out, enc_tokens.data() + enc_off[item],
+                      len * sizeof(uint32_t));
+          out += len;
+        }
+        if (has_ut) {
+          const int32_t v = ut_enc[cs.sessions[i].user_type];
+          if (v >= 0) *out++ = static_cast<uint32_t>(v);
+        }
+      }
+      cs.owned.clear();
+      cs.owned.shrink_to_fit();
+    };
+    if (pool) {
+      pool->ParallelFor(chunks.size(), encode_chunk);
+    } else {
+      for (size_t i = 0; i < chunks.size(); ++i) encode_chunk(i);
+    }
+    prof.Mark("encode");
+    return Status::OK();
+  }
+
+  // Phase 3 (fallback): encode each chunk in place (vocab ids are never
+  // longer than the enriched tokens they replace, so the write cursor can
+  // never pass the read cursor). Sequences with < 2 surviving tokens are
+  // dropped.
+  auto encode_chunk = [this](ChunkState* cs) {
+    size_t r = 0, w = 0, out_seq = 0;
+    for (size_t i = 0; i < cs->lens.size(); ++i) {
+      const size_t len = cs->lens[i];
+      const size_t seq_start = w;
+      for (size_t j = 0; j < len; ++j) {
+        const int32_t v = vocab_.ToVocab(cs->tokens[r + j]);
+        if (v >= 0) cs->tokens[w++] = static_cast<uint32_t>(v);
+      }
+      r += len;
+      if (w - seq_start >= 2) {
+        cs->lens[out_seq++] = static_cast<uint32_t>(w - seq_start);
+      } else {
+        w = seq_start;
+      }
+    }
+    cs->tokens.resize(w);
+    cs->lens.resize(out_seq);
+  };
+  if (pool) {
+    for (ChunkState& cs : chunks) {
+      pool->Submit([&encode_chunk, cs_ptr = &cs] { encode_chunk(cs_ptr); });
+    }
+    pool->Wait();
+  } else {
+    for (ChunkState& cs : chunks) encode_chunk(&cs);
+  }
+  prof.Mark("encode");
+
+  // Phase 4 (fallback): stitch into the packed arena. Prefix sums fix every
+  // chunk's destination range up front; the copies write disjoint ranges
+  // and can run concurrently. Output order == input order, independent of
+  // threads.
+  std::vector<uint64_t> tok_off(chunks.size()), seq_off(chunks.size());
+  uint64_t total_tokens = 0, total_seqs = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    tok_off[i] = total_tokens;
+    seq_off[i] = total_seqs;
+    total_tokens += chunks[i].tokens.size();
+    total_seqs += chunks[i].lens.size();
+  }
+  if (total_seqs == 0) {
     return Status::InvalidArgument("corpus: all sequences empty after filtering");
   }
+  packed_.Resize(total_seqs, total_tokens);
+  auto stitch_chunk = [this, &chunks, &tok_off, &seq_off](size_t ci) {
+    const ChunkState& cs = chunks[ci];
+    std::copy(cs.tokens.begin(), cs.tokens.end(),
+              packed_.mutable_tokens() + tok_off[ci]);
+    uint64_t* offsets = packed_.mutable_offsets();
+    uint64_t off = tok_off[ci];
+    uint64_t s = seq_off[ci];
+    for (uint32_t len : cs.lens) {
+      offsets[s++] = off;
+      off += len;
+    }
+  };
+  if (pool) {
+    pool->ParallelFor(chunks.size(), stitch_chunk);
+  } else {
+    for (size_t i = 0; i < chunks.size(); ++i) stitch_chunk(i);
+  }
+  prof.Mark("stitch");
   return Status::OK();
+}
+
+Status Corpus::Save(const std::string& prefix) const {
+  SISG_RETURN_IF_ERROR(vocab_.Save(prefix + ".vocab"));
+  SISG_ASSIGN_OR_RETURN(ArtifactWriter w, ArtifactWriter::Open(prefix + ".corpus",
+                                                               kCacheKind,
+                                                               kCacheVersion));
+  const uint8_t si = options_.enrich.include_item_si ? 1 : 0;
+  const uint8_t ut = options_.enrich.include_user_type ? 1 : 0;
+  SISG_RETURN_IF_ERROR(w.WriteScalar(si));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(ut));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(options_.min_count));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(vocab_.size()));
+  SISG_RETURN_IF_ERROR(packed_.AppendTo(&w));
+  return w.Commit();
+}
+
+StatusOr<Corpus> Corpus::Load(const std::string& prefix,
+                              const CorpusOptions& expected,
+                              const TokenSpace& token_space) {
+  Corpus c;
+  c.options_ = expected;
+  SISG_ASSIGN_OR_RETURN(c.vocab_, Vocabulary::Load(prefix + ".vocab"));
+
+  SISG_ASSIGN_OR_RETURN(ArtifactReader r,
+                        ArtifactReader::Open(prefix + ".corpus", kCacheKind));
+  if (r.version() != kCacheVersion) {
+    return Status::InvalidArgument("corpus cache: unsupported version " +
+                                   std::to_string(r.version()));
+  }
+  uint8_t si = 0, ut = 0;
+  uint32_t min_count = 0, vocab_size = 0;
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&si));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&ut));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&min_count));
+  SISG_RETURN_IF_ERROR(r.ReadScalar(&vocab_size));
+  if (si != (expected.enrich.include_item_si ? 1 : 0) ||
+      ut != (expected.enrich.include_user_type ? 1 : 0) ||
+      min_count != expected.min_count) {
+    return Status::FailedPrecondition(
+        "corpus cache: built with different options (si=" + std::to_string(si) +
+        " ut=" + std::to_string(ut) + " min_count=" + std::to_string(min_count) +
+        "); rebuild required");
+  }
+  if (vocab_size != c.vocab_.size()) {
+    return Status::DataLoss("corpus cache: vocabulary size " +
+                            std::to_string(c.vocab_.size()) +
+                            " does not match cached corpus (" +
+                            std::to_string(vocab_size) + ")");
+  }
+  // Every cached token must decode against the loaded vocabulary, and the
+  // vocabulary itself must come from the same token space.
+  for (uint32_t v = 0; v < c.vocab_.size(); ++v) {
+    if (c.vocab_.ToToken(v) >= token_space.num_tokens()) {
+      return Status::FailedPrecondition(
+          "corpus cache: vocabulary tokens outside the current token space");
+    }
+  }
+  SISG_ASSIGN_OR_RETURN(c.packed_,
+                        PackedCorpus::ReadFrom(&r, c.vocab_.size()));
+  return c;
 }
 
 }  // namespace sisg

@@ -2,43 +2,98 @@
 #define SISG_CORPUS_CORPUS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "corpus/enricher.h"
+#include "corpus/packed_corpus.h"
 #include "corpus/token_space.h"
 #include "corpus/vocabulary.h"
 #include "datagen/dataset.h"
+#include "datagen/session_stream.h"
 
 namespace sisg {
 
 struct CorpusOptions {
   EnrichOptions enrich;
   uint32_t min_count = 1;
+
+  /// Ingest parallelism: sessions are split into fixed-size chunks,
+  /// enriched + counted on this many workers (thread-local count maps,
+  /// merged deterministically), then encoded into the packed arena in
+  /// parallel. 0 = hardware concurrency, 1 = serial. The built corpus and
+  /// vocabulary are byte-identical for every thread count: chunk boundaries
+  /// are thread-independent, counting is commutative, id assignment is a
+  /// total order, and sequences are emitted in input order.
+  uint32_t num_threads = 1;
+
+  /// Expected number of distinct enriched tokens; pre-sizes the per-worker
+  /// counting maps so the hot Add() path never rehashes. 0 = heuristic.
+  /// Only used by the open-addressing fallback path (see below).
+  size_t vocab_size_hint = 0;
+
+  /// Token spaces up to this size use the flat fast path: enrichment is a
+  /// pure function of the item, so per-item token blocks are precomputed
+  /// once, workers count item *clicks* into flat per-worker arrays (one add
+  /// per click instead of one per enriched token), and sequences are encoded
+  /// straight into the packed arena through a per-item block table of vocab
+  /// ids. Larger token spaces fall back to per-worker open-addressing count
+  /// maps over materialized enriched tokens, which bound memory by distinct
+  /// tokens instead of the universe. Both paths are byte-identical; tests
+  /// set 0 to force the fallback. Default 4M tokens (~32 MB of counters per
+  /// worker).
+  uint32_t flat_count_threshold = 1u << 22;
 };
 
 /// The training corpus: enriched sessions re-encoded in vocab-id space
-/// (tokens below min_count dropped). This is what trainers consume.
+/// (tokens below min_count dropped, sequences shorter than 2 dropped),
+/// stored as one flat PackedCorpus arena. This is what trainers consume.
 class Corpus {
  public:
   Corpus() = default;
 
-  /// Enriches `sessions` and builds the vocabulary in one pass.
+  /// Enriches `sessions` and builds the vocabulary + packed arena
+  /// (zero-copy sharding over the vector).
   Status Build(const std::vector<Session>& sessions, const TokenSpace& token_space,
                const ItemCatalog& catalog, const CorpusOptions& options);
 
+  /// Streaming variant: pulls session chunks from `source` (e.g. a
+  /// SessionStream over a sessions file) and counts/enriches them as they
+  /// arrive, overlapping parse with ingest work. On the flat fast path the
+  /// enriched token sequences are never materialized at all — raw sessions
+  /// are held until they are encoded straight into the arena; the fallback
+  /// path releases each raw chunk as soon as it is enriched.
+  Status BuildFromSource(SessionSource* source, const TokenSpace& token_space,
+                         const ItemCatalog& catalog, const CorpusOptions& options);
+
   const Vocabulary& vocab() const { return vocab_; }
-  const std::vector<std::vector<uint32_t>>& sequences() const { return sequences_; }
+  const PackedCorpus& packed() const { return packed_; }
   const CorpusOptions& options() const { return options_; }
 
   /// Total tokens across sequences (after min_count filtering).
-  uint64_t num_tokens() const { return num_tokens_; }
+  uint64_t num_tokens() const { return packed_.num_tokens(); }
+  uint64_t num_sequences() const { return packed_.size(); }
+
+  /// Corpus cache: Save publishes `prefix`.vocab + `prefix`.corpus (both
+  /// checksummed SISGART1 artifacts), so repeated training runs on the same
+  /// dataset can skip the rebuild. Load validates the checksums, that the
+  /// cache was built with `expected` enrich/min_count options
+  /// (FailedPrecondition otherwise — callers rebuild), and that every token
+  /// is inside the loaded vocabulary (DataLoss otherwise).
+  Status Save(const std::string& prefix) const;
+  static StatusOr<Corpus> Load(const std::string& prefix,
+                               const CorpusOptions& expected,
+                               const TokenSpace& token_space);
 
  private:
+  Status BuildImpl(const std::vector<Session>* sessions, SessionSource* source,
+                   const TokenSpace& token_space, const ItemCatalog& catalog,
+                   const CorpusOptions& options);
+
   CorpusOptions options_;
   Vocabulary vocab_;
-  std::vector<std::vector<uint32_t>> sequences_;
-  uint64_t num_tokens_ = 0;
+  PackedCorpus packed_;
 };
 
 }  // namespace sisg

@@ -12,34 +12,103 @@ namespace sisg {
 Status Vocabulary::Build(
     const std::vector<std::vector<uint32_t>>& token_sequences,
     uint32_t num_global_tokens, uint32_t min_count,
-    const TokenSpace& token_space) {
-  if (min_count == 0) {
-    return Status::InvalidArgument("vocabulary: min_count must be >= 1");
-  }
-  std::vector<uint64_t> counts(num_global_tokens, 0);
+    const TokenSpace& token_space, size_t distinct_size_hint) {
+  TokenCountMap counts;
+  counts.Reserve(distinct_size_hint);
   for (const auto& seq : token_sequences) {
     for (uint32_t tok : seq) {
       if (tok >= num_global_tokens) {
         return Status::OutOfRange("vocabulary: token id " + std::to_string(tok) +
                                   " outside the token space");
       }
-      ++counts[tok];
+      counts.Add(tok);
     }
   }
+  return BuildFromCounts(counts, num_global_tokens, min_count, token_space);
+}
 
-  std::vector<uint32_t> kept;
+Status Vocabulary::BuildFromCounts(const TokenCountMap& counts,
+                                   uint32_t num_global_tokens,
+                                   uint32_t min_count,
+                                   const TokenSpace& token_space) {
+  if (min_count == 0) {
+    return Status::InvalidArgument("vocabulary: min_count must be >= 1");
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> kept;
+  kept.reserve(counts.size());
+  Status bad = Status::OK();
+  counts.ForEach([&](uint32_t tok, uint64_t c) {
+    if (tok >= num_global_tokens && bad.ok()) {
+      bad = Status::OutOfRange("vocabulary: token id " + std::to_string(tok) +
+                               " outside the token space");
+    }
+    if (c >= min_count) kept.emplace_back(tok, c);
+  });
+  SISG_RETURN_IF_ERROR(bad);
+  // Map iteration order is unspecified; AssignIds relies on token-ascending
+  // input for its tie-break, so restore that order first.
+  std::sort(kept.begin(), kept.end(),
+            [](const std::pair<uint32_t, uint64_t>& a,
+               const std::pair<uint32_t, uint64_t>& b) {
+              return a.first < b.first;
+            });
+  return AssignIds(std::move(kept), num_global_tokens, token_space);
+}
+
+Status Vocabulary::BuildFromCounts(std::span<const uint64_t> counts,
+                                   uint32_t min_count,
+                                   const TokenSpace& token_space) {
+  if (min_count == 0) {
+    return Status::InvalidArgument("vocabulary: min_count must be >= 1");
+  }
+  const uint32_t num_global_tokens = static_cast<uint32_t>(counts.size());
+  std::vector<std::pair<uint32_t, uint64_t>> kept;
   kept.reserve(num_global_tokens);
   for (uint32_t t = 0; t < num_global_tokens; ++t) {
-    if (counts[t] >= min_count) kept.push_back(t);
+    if (counts[t] >= min_count) kept.emplace_back(t, counts[t]);
   }
+  return AssignIds(std::move(kept), num_global_tokens, token_space);
+}
+
+Status Vocabulary::AssignIds(std::vector<std::pair<uint32_t, uint64_t>> kept,
+                             uint32_t num_global_tokens,
+                             const TokenSpace& token_space) {
   if (kept.empty()) {
     return Status::InvalidArgument("vocabulary: no token reaches min_count");
   }
-  // Descending frequency; ties by token id for determinism.
-  std::sort(kept.begin(), kept.end(), [&](uint32_t a, uint32_t b) {
-    if (counts[a] != counts[b]) return counts[a] > counts[b];
-    return a < b;
-  });
+  // Descending frequency; ties by token id. A total order over the entries,
+  // so id assignment is insertion-order- and thread-count-independent.
+  //
+  // Both BuildFromCounts overloads produce `kept` in ascending token order,
+  // so a *stable* ascending sort on (max_count - count) realizes exactly
+  // that order: counts descend, and ties keep their token-ascending input
+  // position. Stable LSD radix is ~5x cheaper here than comparison sorting
+  // (the dictionary sort sits on the serial critical path of every ingest).
+  uint64_t max_count = 0;
+  for (const auto& [tok, c] : kept) max_count = std::max(max_count, c);
+  {
+    constexpr int kRadixBits = 11;
+    constexpr size_t kBuckets = size_t{1} << kRadixBits;
+    std::vector<std::pair<uint32_t, uint64_t>> tmp(kept.size());
+    std::vector<size_t> hist(kBuckets);
+    for (int shift = 0; shift == 0 || (max_count >> shift) != 0;
+         shift += kRadixBits) {
+      std::fill(hist.begin(), hist.end(), 0);
+      for (const auto& e : kept) {
+        ++hist[((max_count - e.second) >> shift) & (kBuckets - 1)];
+      }
+      size_t pos = 0;
+      for (size_t b = 0; b < kBuckets; ++b) {
+        const size_t n = hist[b];
+        hist[b] = pos;
+        pos += n;
+      }
+      for (const auto& e : kept) {
+        tmp[hist[((max_count - e.second) >> shift) & (kBuckets - 1)]++] = e;
+      }
+      kept.swap(tmp);
+    }
+  }
 
   vocab_of_.assign(num_global_tokens, -1);
   token_of_.resize(kept.size());
@@ -48,13 +117,13 @@ Status Vocabulary::Build(
   class_counts_[0] = class_counts_[1] = class_counts_[2] = 0;
   total_count_ = 0;
   for (uint32_t v = 0; v < kept.size(); ++v) {
-    const uint32_t tok = kept[v];
+    const auto [tok, count] = kept[v];
     vocab_of_[tok] = static_cast<int32_t>(v);
     token_of_[v] = tok;
-    freq_[v] = counts[tok];
+    freq_[v] = count;
     class_[v] = token_space.ClassOf(tok);
     ++class_counts_[static_cast<int>(class_[v])];
-    total_count_ += counts[tok];
+    total_count_ += count;
   }
   return Status::OK();
 }

@@ -2,10 +2,12 @@
 #define SISG_CORPUS_VOCABULARY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/alias_table.h"
 #include "common/status.h"
+#include "corpus/count_map.h"
 #include "corpus/token_space.h"
 
 namespace sisg {
@@ -18,10 +20,26 @@ class Vocabulary {
   Vocabulary() = default;
 
   /// Counts tokens over enriched sequences. `num_global_tokens` is
-  /// TokenSpace::num_tokens().
+  /// TokenSpace::num_tokens(). `distinct_size_hint` (optional) pre-sizes the
+  /// counting hash map for the expected number of distinct tokens.
   Status Build(const std::vector<std::vector<uint32_t>>& token_sequences,
                uint32_t num_global_tokens, uint32_t min_count,
-               const TokenSpace& token_space);
+               const TokenSpace& token_space, size_t distinct_size_hint = 0);
+
+  /// Builds from already-merged counts (the parallel ingest path: per-shard
+  /// open-addressing maps merged into one). Vocab id assignment is a total
+  /// order — count descending, token id ascending — so the result is
+  /// identical for any map iteration order and any ingest thread count.
+  Status BuildFromCounts(const TokenCountMap& counts,
+                         uint32_t num_global_tokens, uint32_t min_count,
+                         const TokenSpace& token_space);
+
+  /// Builds from a flat per-token count array (counts[t] = occurrences of
+  /// global token t, size = TokenSpace::num_tokens()) — the dense-token-space
+  /// ingest fast path. Id assignment is the same total order as the map
+  /// overload, so both produce identical dictionaries.
+  Status BuildFromCounts(std::span<const uint64_t> counts, uint32_t min_count,
+                         const TokenSpace& token_space);
 
   uint32_t size() const { return static_cast<uint32_t>(token_of_.size()); }
 
@@ -53,6 +71,12 @@ class Vocabulary {
   static StatusOr<Vocabulary> Load(const std::string& path);
 
  private:
+  /// Shared tail of the BuildFromCounts overloads: sorts (count desc, token
+  /// asc) and assigns dense ids. Precondition: `kept` is in ascending token
+  /// order — the stable count sort turns that into the tie-break.
+  Status AssignIds(std::vector<std::pair<uint32_t, uint64_t>> kept,
+                   uint32_t num_global_tokens, const TokenSpace& token_space);
+
   std::vector<int32_t> vocab_of_;   // global token -> vocab id (or -1)
   std::vector<uint32_t> token_of_;  // vocab id -> global token
   std::vector<uint64_t> freq_;      // vocab id -> count

@@ -10,6 +10,7 @@
 #include "common/io_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "datagen/session_stream.h"
 
 namespace sisg {
 
@@ -104,58 +105,26 @@ Status WriteSessionsText(const std::vector<Session>& sessions,
   return file.Commit();
 }
 
+StatusOr<std::vector<Session>> ReadSessionsText(
+    const UserUniverse& users, const std::string& path,
+    const SessionStreamOptions& options, IngestStats* stats) {
+  SISG_ASSIGN_OR_RETURN(SessionStream stream,
+                        SessionStream::Open(users, path, options));
+  std::vector<Session> sessions;
+  std::vector<Session> chunk;
+  for (;;) {
+    SISG_RETURN_IF_ERROR(stream.NextChunk(&chunk));
+    if (chunk.empty()) break;
+    sessions.insert(sessions.end(), std::make_move_iterator(chunk.begin()),
+                    std::make_move_iterator(chunk.end()));
+  }
+  if (stats != nullptr) *stats = stream.stats();
+  return sessions;
+}
+
 StatusOr<std::vector<Session>> ReadSessionsText(const UserUniverse& users,
                                                 const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-
-  std::unordered_map<std::string, uint32_t> type_index;
-  for (uint32_t ut = 0; ut < users.num_types(); ++ut) {
-    type_index[users.TypeToken(ut)] = ut;
-  }
-
-  std::vector<Session> sessions;
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    const size_t tab = line.find('\t');
-    if (tab == std::string::npos) {
-      return Status::Corruption("sessions file: missing tab at line " +
-                                std::to_string(lineno));
-    }
-    const std::string type_token = line.substr(0, tab);
-    const auto it = type_index.find(type_token);
-    if (it == type_index.end()) {
-      return Status::Corruption("sessions file: unknown user type '" +
-                                type_token + "' at line " + std::to_string(lineno));
-    }
-    Session s;
-    s.user_type = it->second;
-    for (const std::string& tok : SplitWhitespace(line.substr(tab + 1))) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
-      if (end == tok.c_str() || *end != '\0') {
-        return Status::Corruption("sessions file: bad item id '" + tok +
-                                  "' at line " + std::to_string(lineno));
-      }
-      s.items.push_back(static_cast<uint32_t>(v));
-    }
-    if (s.items.empty()) {
-      return Status::Corruption("sessions file: empty session at line " +
-                                std::to_string(lineno));
-    }
-    sessions.push_back(std::move(s));
-  }
-  // getline() ends the loop on both clean EOF and stream failure; only the
-  // former means the whole file was read. A mid-file I/O error without this
-  // check would silently truncate the dataset.
-  if (in.bad()) {
-    return Status::IOError("read failed after line " + std::to_string(lineno) +
-                           ": " + path);
-  }
-  return sessions;
+  return ReadSessionsText(users, path, SessionStreamOptions{}, nullptr);
 }
 
 }  // namespace sisg

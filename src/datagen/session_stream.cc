@@ -1,0 +1,97 @@
+#include "datagen/session_stream.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sisg {
+
+StatusOr<SessionStream> SessionStream::Open(const UserUniverse& users,
+                                            const std::string& path,
+                                            const SessionStreamOptions& options) {
+  if (options.chunk_sessions == 0) {
+    return Status::InvalidArgument("session stream: chunk_sessions must be > 0");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  SessionStream stream(path, std::move(in), options);
+  for (uint32_t ut = 0; ut < users.num_types(); ++ut) {
+    stream.type_index_[users.TypeToken(ut)] = ut;
+  }
+  return stream;
+}
+
+Status SessionStream::ParseLine(const std::string& line, Session* s) const {
+  const std::string lineno = std::to_string(stats_.lines_read);
+  const size_t tab = line.find('\t');
+  if (tab == std::string::npos) {
+    return Status::Corruption("sessions file: missing tab at line " + lineno);
+  }
+  const auto it = type_index_.find(line.substr(0, tab));
+  if (it == type_index_.end()) {
+    return Status::Corruption("sessions file: unknown user type '" +
+                              line.substr(0, tab) + "' at line " + lineno);
+  }
+  s->user_type = it->second;
+  s->items.clear();
+  for (const std::string& tok : SplitWhitespace(line.substr(tab + 1))) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      return Status::Corruption("sessions file: bad item id '" + tok +
+                                "' at line " + lineno);
+    }
+    if (options_.max_item_id > 0 && v >= options_.max_item_id) {
+      return Status::Corruption("sessions file: item id " + tok +
+                                " outside the catalog (" +
+                                std::to_string(options_.max_item_id) +
+                                " items) at line " + lineno);
+    }
+    s->items.push_back(static_cast<uint32_t>(v));
+  }
+  if (s->items.empty()) {
+    return Status::Corruption("sessions file: empty session at line " + lineno);
+  }
+  return Status::OK();
+}
+
+Status SessionStream::NextChunk(std::vector<Session>* out) {
+  out->clear();
+  if (eof_) return Status::OK();
+  std::string line;
+  Session s;
+  while (out->size() < options_.chunk_sessions) {
+    if (!std::getline(in_, line)) {
+      // getline fails on both clean EOF and stream failure; only the former
+      // means the whole file was read.
+      if (in_.bad()) {
+        return Status::IOError("read failed after line " +
+                               std::to_string(stats_.lines_read) + ": " + path_);
+      }
+      eof_ = true;
+      break;
+    }
+    ++stats_.lines_read;
+    if (line.empty()) continue;
+    const Status st = ParseLine(line, &s);
+    if (!st.ok()) {
+      if (stats_.lines_skipped < options_.max_errors) {
+        ++stats_.lines_skipped;
+        if (stats_.first_error.empty()) stats_.first_error = st.message();
+        if (stats_.lines_skipped <= 3) {
+          LOG_WARN << "session stream: skipping bad line ("
+                   << stats_.lines_skipped << "/" << options_.max_errors
+                   << " tolerated): " << st.message();
+        }
+        continue;
+      }
+      return st;
+    }
+    out->push_back(std::move(s));
+  }
+  stats_.sessions += out->size();
+  return Status::OK();
+}
+
+}  // namespace sisg

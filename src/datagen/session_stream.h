@@ -1,0 +1,109 @@
+#ifndef SISG_DATAGEN_SESSION_STREAM_H_
+#define SISG_DATAGEN_SESSION_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/session_generator.h"
+#include "datagen/user_universe.h"
+
+namespace sisg {
+
+struct SessionStreamOptions {
+  /// Sessions handed out per NextChunk call — the unit of ingest
+  /// parallelism downstream.
+  size_t chunk_sessions = 1024;
+  /// Malformed lines tolerated before the stream fails: each bad line is
+  /// skipped and counted (first few logged) instead of aborting the whole
+  /// load. 0 = strict, the first bad line is an error.
+  uint64_t max_errors = 0;
+  /// When > 0, item ids must be < max_item_id (the catalog size); a line
+  /// referencing an unknown item is malformed. 0 disables the check.
+  uint32_t max_item_id = 0;
+};
+
+/// Counters of one streamed ingest, surfaced through PipelineReport so
+/// silently-skipped lines are always visible to the caller.
+struct IngestStats {
+  uint64_t lines_read = 0;
+  uint64_t sessions = 0;
+  uint64_t lines_skipped = 0;
+  std::string first_error;  // parse error of the first skipped line
+};
+
+/// Abstract chunked session source: the corpus builder pulls chunks and
+/// fans them out to ingest workers, so a corpus can be built without ever
+/// materializing the full session list.
+class SessionSource {
+ public:
+  virtual ~SessionSource() = default;
+  /// Fills `out` (cleared first) with the next chunk of sessions, in input
+  /// order. An empty chunk signals end-of-stream.
+  virtual Status NextChunk(std::vector<Session>* out) = 0;
+  /// Ingest counters when the source tracks them (file streams), else null.
+  virtual const IngestStats* ingest_stats() const { return nullptr; }
+};
+
+/// Streaming reader over a sessions text file (the WriteSessionsText
+/// format: "<usertype_token>\t<item> <item> ...", one session per line).
+/// Replaces whole-file materialization: memory is one chunk, not the file.
+class SessionStream final : public SessionSource {
+ public:
+  static StatusOr<SessionStream> Open(const UserUniverse& users,
+                                      const std::string& path,
+                                      const SessionStreamOptions& options = {});
+
+  SessionStream(SessionStream&&) = default;
+  SessionStream& operator=(SessionStream&&) = default;
+
+  Status NextChunk(std::vector<Session>* out) override;
+
+  const IngestStats* ingest_stats() const override { return &stats_; }
+  const IngestStats& stats() const { return stats_; }
+  const SessionStreamOptions& options() const { return options_; }
+
+ private:
+  SessionStream(std::string path, std::ifstream in,
+                const SessionStreamOptions& options)
+      : path_(std::move(path)), in_(std::move(in)), options_(options) {}
+
+  /// Parses one line; Corruption (with the line number) on malformed input.
+  Status ParseLine(const std::string& line, Session* s) const;
+
+  std::string path_;
+  std::ifstream in_;
+  std::unordered_map<std::string, uint32_t> type_index_;
+  SessionStreamOptions options_;
+  IngestStats stats_;
+  bool eof_ = false;
+};
+
+/// In-memory adapter: serves an existing session vector chunk-wise (copies
+/// each chunk; the zero-copy path for vectors is Corpus::Build itself).
+class VectorSessionSource final : public SessionSource {
+ public:
+  VectorSessionSource(const std::vector<Session>* sessions,
+                      size_t chunk_sessions = 1024)
+      : sessions_(sessions), chunk_(chunk_sessions) {}
+
+  Status NextChunk(std::vector<Session>* out) override {
+    out->clear();
+    const size_t end = std::min(sessions_->size(), pos_ + chunk_);
+    out->assign(sessions_->begin() + pos_, sessions_->begin() + end);
+    pos_ = end;
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<Session>* sessions_;
+  size_t chunk_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_DATAGEN_SESSION_STREAM_H_

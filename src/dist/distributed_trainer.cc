@@ -1,6 +1,7 @@
 #include "dist/distributed_trainer.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/alias_table.h"
@@ -303,14 +304,14 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   bool stopped = false;
   Status stop_status;
 
-  const auto& sequences = corpus.sequences();
+  const PackedCorpus& packed = corpus.packed();
   const uint32_t start_epoch = resume != nullptr ? resume->epoch : 0;
   const uint64_t start_seq = resume != nullptr ? resume->sequence_index : 0;
   for (uint32_t epoch = start_epoch; epoch < so.epochs && !stopped; ++epoch) {
     const size_t s_begin =
         epoch == start_epoch ? static_cast<size_t>(start_seq) : 0;
-    for (size_t s = s_begin; s < sequences.size() && !stopped; ++s) {
-      const auto& seq = sequences[s];
+    for (size_t s = s_begin; s < packed.size() && !stopped; ++s) {
+      const std::span<const uint32_t> seq = packed.seq(s);
       processed_tokens += seq.size();
       lr = lr_at(processed_tokens);
       // In the real engine every worker scans the shared input and keeps the
@@ -460,7 +461,7 @@ Status DistributedTrainer::Train(const Corpus& corpus,
         p.tokens_kept = kept_tokens;
         p.epoch = epoch;
         p.sequence_index = s + 1;
-        if (p.sequence_index == sequences.size()) {
+        if (p.sequence_index == packed.size()) {
           p.sequence_index = 0;
           ++p.epoch;
         }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/alias_table.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "corpus/packed_corpus.h"
 #include "corpus/subsample.h"
 #include "graph/item_graph.h"
 #include "graph/random_walker.h"
@@ -106,19 +108,22 @@ Status EgesTrainer::Train(const std::vector<Session>& sessions,
   SISG_RETURN_IF_ERROR(graph.Build(sessions, catalog.num_items()));
   RandomWalker walker;
   SISG_RETURN_IF_ERROR(walker.Build(&graph));
-  const auto walks = walker.GenerateWalks(options_.walks_per_node,
-                                          options_.walk_length, options_.seed + 1);
-  if (walks.empty()) return Status::Internal("eges: random walks are empty");
-
-  // Item frequencies over the walk corpus drive noise + subsampling.
+  // Walks stream straight into a packed arena (one token stream + CSR
+  // offsets), and item frequencies — which drive noise + subsampling — are
+  // tallied in the same pass, so the walk corpus is never held as a
+  // vector-of-vectors.
+  PackedCorpus walks;
   std::vector<uint64_t> freq(catalog.num_items(), 0);
   uint64_t total = 0;
-  for (const auto& w : walks) {
-    for (uint32_t it : w) {
-      ++freq[it];
-      ++total;
-    }
-  }
+  walker.ForEachWalk(options_.walks_per_node, options_.walk_length,
+                     options_.seed + 1, [&](std::span<const uint32_t> w) {
+                       walks.AppendSequence(w);
+                       for (uint32_t it : w) {
+                         ++freq[it];
+                         ++total;
+                       }
+                     });
+  if (walks.empty()) return Status::Internal("eges: random walks are empty");
   std::vector<double> noise_w(catalog.num_items());
   for (uint32_t i = 0; i < catalog.num_items(); ++i) {
     noise_w[i] = std::pow(static_cast<double>(freq[i]), options_.noise_alpha);
@@ -149,7 +154,8 @@ Status EgesTrainer::Train(const std::vector<Session>& sessions,
   const float min_lr = options_.learning_rate * options_.min_learning_rate_ratio;
 
   for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (const auto& walk : walks) {
+    for (uint64_t s = 0; s < walks.size(); ++s) {
+      const std::span<const uint32_t> walk = walks.seq(s);
       processed += walk.size();
       lr = options_.learning_rate *
            (1.0f - static_cast<float>(processed) / static_cast<float>(planned));

@@ -17,32 +17,34 @@ Status RandomWalker::Build(const ItemGraph* graph) {
   return Status::OK();
 }
 
-std::vector<uint32_t> RandomWalker::Walk(uint32_t start, uint32_t max_length,
-                                         Rng& rng) const {
-  std::vector<uint32_t> walk;
-  walk.reserve(max_length);
+void RandomWalker::WalkInto(uint32_t start, uint32_t max_length, Rng& rng,
+                            std::vector<uint32_t>* out) const {
+  out->clear();
+  out->reserve(max_length);
   uint32_t cur = start;
-  walk.push_back(cur);
-  while (walk.size() < max_length) {
+  out->push_back(cur);
+  while (out->size() < max_length) {
     const AliasTable& table = samplers_[cur];
     if (table.empty()) break;
     cur = graph_->OutNeighbors(cur)[table.Sample(rng)];
-    walk.push_back(cur);
+    out->push_back(cur);
   }
+}
+
+std::vector<uint32_t> RandomWalker::Walk(uint32_t start, uint32_t max_length,
+                                         Rng& rng) const {
+  std::vector<uint32_t> walk;
+  WalkInto(start, max_length, rng, &walk);
   return walk;
 }
 
 std::vector<std::vector<uint32_t>> RandomWalker::GenerateWalks(
     uint32_t walks_per_node, uint32_t max_length, uint64_t seed) const {
-  Rng rng(seed);
   std::vector<std::vector<uint32_t>> walks;
-  for (uint32_t n = 0; n < graph_->num_nodes(); ++n) {
-    if (graph_->NodeFrequency(n) == 0 && samplers_[n].empty()) continue;
-    for (uint32_t k = 0; k < walks_per_node; ++k) {
-      auto w = Walk(n, max_length, rng);
-      if (w.size() >= 2) walks.push_back(std::move(w));
-    }
-  }
+  ForEachWalk(walks_per_node, max_length, seed,
+              [&](std::span<const uint32_t> w) {
+                walks.emplace_back(w.begin(), w.end());
+              });
   return walks;
 }
 

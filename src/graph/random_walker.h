@@ -2,6 +2,7 @@
 #define SISG_GRAPH_RANDOM_WALKER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/alias_table.h"
@@ -31,7 +32,30 @@ class RandomWalker {
                                                    uint32_t max_length,
                                                    uint64_t seed) const;
 
+  /// Streams the walks GenerateWalks would produce — same order, same RNG
+  /// stream, walks shorter than 2 dropped — to `fn(walk)` one at a time,
+  /// so callers can pack them into their own corpus layout without this
+  /// layer materializing a vector<vector>. The span is valid only for the
+  /// duration of the call.
+  template <typename Fn>
+  void ForEachWalk(uint32_t walks_per_node, uint32_t max_length, uint64_t seed,
+                   Fn&& fn) const {
+    Rng rng(seed);
+    std::vector<uint32_t> walk;
+    for (uint32_t n = 0; n < graph_->num_nodes(); ++n) {
+      if (graph_->NodeFrequency(n) == 0 && samplers_[n].empty()) continue;
+      for (uint32_t k = 0; k < walks_per_node; ++k) {
+        WalkInto(n, max_length, rng, &walk);
+        if (walk.size() >= 2) fn(std::span<const uint32_t>(walk));
+      }
+    }
+  }
+
  private:
+  /// Walk(), but into a reused buffer (cleared first).
+  void WalkInto(uint32_t start, uint32_t max_length, Rng& rng,
+                std::vector<uint32_t>* out) const;
+
   const ItemGraph* graph_ = nullptr;
   std::vector<AliasTable> samplers_;  // empty table for sink nodes
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -41,7 +42,7 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
                            checkpoint->checkpointer != nullptr &&
                            checkpoint->interval_slots > 0;
 
-  const uint64_t num_seqs = corpus.sequences().size();
+  const uint64_t num_seqs = corpus.num_sequences();
   const uint64_t total_work = static_cast<uint64_t>(options_.epochs) * num_seqs;
 
   if (resume != nullptr) {
@@ -83,7 +84,10 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
                                                       : 0};
   std::atomic<uint64_t> total_kept{resume != nullptr ? resume->tokens_kept : 0};
 
-  const auto& sequences = corpus.sequences();
+  // The packed arena: one contiguous token stream, sequence i is the span
+  // [offsets[i], offsets[i+1]). Epoch iteration walks it front to back, so
+  // the prefetcher sees one sequential read instead of a pointer chase.
+  const PackedCorpus& packed = corpus.packed();
   const size_t dim = options_.dim;
 
   // Dynamic work queue over epoch-major sequence slots. Static `s = tid;
@@ -186,7 +190,7 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
       if (begin >= total_work) break;
       const uint64_t end = std::min(begin + chunk_size, total_work);
       for (uint64_t slot = begin; slot < end; ++slot) {
-        const auto& seq = sequences[slot % num_seqs];
+        const std::span<const uint32_t> seq = packed.seq(slot % num_seqs);
         local_tokens += seq.size();
         if (local_tokens >= 4096) {
           const uint64_t done =

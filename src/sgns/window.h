@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -22,7 +23,9 @@ struct WindowOptions {
 };
 
 /// Applies frequent-token subsampling to a vocab-id sequence, keeping order.
-inline void SubsampleSequence(const std::vector<uint32_t>& seq,
+/// Takes a span so both owned vectors and PackedCorpus arena views feed the
+/// same code (and the same RNG draw sequence for identical contents).
+inline void SubsampleSequence(std::span<const uint32_t> seq,
                               const Subsampler& subsampler, Rng& rng,
                               std::vector<uint32_t>* out) {
   out->clear();
@@ -41,7 +44,7 @@ inline void SubsampleSequence(const std::vector<uint32_t>& seq,
 /// instead of flat pairs lets trainers batch per-window work — negatives
 /// are sampled once per target window and reused across its contexts.
 template <typename Fn>
-inline void ForEachWindow(const std::vector<uint32_t>& seq,
+inline void ForEachWindow(std::span<const uint32_t> seq,
                           const WindowOptions& options, Rng& rng, Fn&& fn) {
   const size_t n = seq.size();
   if (options.window == 0) return;
@@ -62,7 +65,7 @@ inline void ForEachWindow(const std::vector<uint32_t>& seq,
 /// `options.directional` is set. Draws the same RNG stream as
 /// ForEachWindow for identical window bounds.
 template <typename Fn>
-inline void ForEachPair(const std::vector<uint32_t>& seq,
+inline void ForEachPair(std::span<const uint32_t> seq,
                         const WindowOptions& options, Rng& rng, Fn&& fn) {
   ForEachWindow(seq, options, rng, [&](size_t i, size_t lo, size_t hi) {
     for (size_t j = lo; j < hi; ++j) {

@@ -274,7 +274,8 @@ TEST_F(CorpusFixture, CorpusBuildFiltersAndEncodes) {
   EXPECT_GT(corpus.vocab().size(), 0u);
   EXPECT_GT(corpus.num_tokens(), 0u);
   uint64_t tokens = 0;
-  for (const auto& seq : corpus.sequences()) {
+  for (uint64_t s = 0; s < corpus.num_sequences(); ++s) {
+    const auto seq = corpus.packed().seq(s);
     EXPECT_GE(seq.size(), 2u);
     tokens += seq.size();
     for (uint32_t v : seq) ASSERT_LT(v, corpus.vocab().size());

@@ -1,0 +1,584 @@
+// Ingestion pipeline suite: streaming session reader (chunking, error
+// tolerance, line numbers), the open-addressing count map, count-based
+// vocabulary construction, the packed corpus arena (round trip + corruption
+// harness), and — the core guarantee — thread-count-invariant corpus bytes.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/io_util.h"
+#include "core/pipeline.h"
+#include "corpus/corpus.h"
+#include "corpus/count_map.h"
+#include "corpus/packed_corpus.h"
+#include "corpus/vocabulary.h"
+#include "datagen/dataset.h"
+#include "datagen/session_stream.h"
+
+namespace sisg {
+namespace {
+
+std::string FreshPath(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "/" + name + "." + std::to_string(getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+void FlipByteAt(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+class IngestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetSpec spec;
+    spec.catalog.num_items = 300;
+    spec.catalog.num_leaf_categories = 8;
+    spec.catalog.num_shops = 30;
+    spec.catalog.num_brands = 20;
+    spec.users.num_user_types = 40;
+    spec.num_train_sessions = 700;  // > 2 ingest chunks of 256
+    spec.num_test_sessions = 10;
+    auto ds = SyntheticDataset::Generate(spec);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<SyntheticDataset>(std::move(ds).value());
+    token_space_ =
+        TokenSpace::Create(&dataset_->catalog(), &dataset_->users());
+  }
+
+  /// Writes raw session lines (already formatted) to a fresh file.
+  std::string WriteLines(const std::string& name,
+                         const std::vector<std::string>& lines) {
+    const std::string path = FreshPath(name);
+    std::ofstream out(path);
+    for (const auto& l : lines) out << l << "\n";
+    return path;
+  }
+
+  std::unique_ptr<SyntheticDataset> dataset_;
+  TokenSpace token_space_;
+};
+
+// --------------------------- session stream ---------------------------
+
+TEST_F(IngestFixture, StreamChunksPreserveOrderAndCount) {
+  const std::string path = FreshPath("stream_rt.txt");
+  ASSERT_TRUE(WriteSessionsText(dataset_->train_sessions(), dataset_->users(),
+                                path)
+                  .ok());
+  SessionStreamOptions opts;
+  opts.chunk_sessions = 64;
+  auto stream = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> all;
+  std::vector<Session> chunk;
+  size_t chunks = 0;
+  for (;;) {
+    ASSERT_TRUE(stream->NextChunk(&chunk).ok());
+    if (chunk.empty()) break;
+    EXPECT_LE(chunk.size(), 64u);
+    ++chunks;
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_GT(chunks, 10u);
+  ASSERT_EQ(all.size(), dataset_->train_sessions().size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].user_type, dataset_->train_sessions()[i].user_type);
+    EXPECT_EQ(all[i].items, dataset_->train_sessions()[i].items);
+  }
+  EXPECT_EQ(stream->stats().sessions, all.size());
+  EXPECT_EQ(stream->stats().lines_skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, StreamErrorsCarryLineNumbers) {
+  const std::string ut = dataset_->users().TypeToken(0);
+  const std::string path = WriteLines(
+      "stream_lineno.txt", {ut + "\t1 2 3", ut + "\t4 bogus 6"});
+  auto stream = SessionStream::Open(dataset_->users(), path);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> chunk;
+  const Status st = stream->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, StreamMaxErrorsSkipsAndCounts) {
+  const std::string ut = dataset_->users().TypeToken(3);
+  const std::string path = WriteLines(
+      "stream_skip.txt",
+      {ut + "\t1 2 3",
+       "no-tab-here",               // malformed: no tab
+       "not_a_usertype\t5 6",      // malformed: unknown user type
+       ut + "\t7 8",
+       ut + "\t"});                 // malformed: empty session
+  SessionStreamOptions opts;
+  opts.max_errors = 10;
+  auto stream = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> chunk;
+  ASSERT_TRUE(stream->NextChunk(&chunk).ok());
+  EXPECT_EQ(chunk.size(), 2u);
+  EXPECT_EQ(chunk[1].items, (std::vector<uint32_t>{7, 8}));
+  EXPECT_EQ(stream->stats().lines_skipped, 3u);
+  EXPECT_NE(stream->stats().first_error.find("line 2"), std::string::npos);
+
+  // The same file under a tighter budget fails on the third bad line.
+  opts.max_errors = 2;
+  auto strict = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->NextChunk(&chunk).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, StreamValidatesItemIdsAgainstCatalog) {
+  const std::string ut = dataset_->users().TypeToken(0);
+  const std::string path =
+      WriteLines("stream_itemrange.txt", {ut + "\t1 999999"});
+  SessionStreamOptions opts;
+  opts.max_item_id = dataset_->catalog().num_items();
+  auto stream = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> chunk;
+  const Status st = stream->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("outside the catalog"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, ReadSessionsTextSurfacesSkips) {
+  const std::string ut = dataset_->users().TypeToken(1);
+  const std::string path = WriteLines("read_tolerant.txt",
+                                      {ut + "\t1 2", "garbage", ut + "\t3 4"});
+  // Strict default: fails with the line number.
+  auto strict = ReadSessionsText(dataset_->users(), path);
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(strict.status().message().find("line 2"), std::string::npos);
+  // Tolerant: skips and reports.
+  SessionStreamOptions opts;
+  opts.max_errors = 1;
+  IngestStats stats;
+  auto tolerant = ReadSessionsText(dataset_->users(), path, opts, &stats);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant->size(), 2u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+  EXPECT_EQ(stats.lines_read, 3u);
+  std::remove(path.c_str());
+}
+
+// --------------------------- count map ---------------------------
+
+TEST(CountMapTest, AddCountMergeGrow) {
+  TokenCountMap a;
+  for (uint32_t t = 0; t < 1000; ++t) a.Add(t, t + 1);
+  for (uint32_t t = 0; t < 1000; ++t) a.Add(t);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a.Count(999), 1001u);
+  EXPECT_EQ(a.Count(12345), 0u);
+
+  TokenCountMap b;
+  b.Reserve(2000);
+  b.Add(5, 100);
+  b.Add(5000, 7);
+  b.MergeFrom(a);
+  EXPECT_EQ(b.size(), 1001u);
+  EXPECT_EQ(b.Count(5), 107u);  // 100 + (5+1) + 1 from the merge
+  EXPECT_EQ(b.Count(5000), 7u);
+
+  uint64_t total = 0;
+  b.ForEach([&](uint32_t, uint64_t c) { total += c; });
+  uint64_t expect = 100 + 7;
+  for (uint32_t t = 0; t < 1000; ++t) expect += t + 2;
+  EXPECT_EQ(total, expect);
+}
+
+// --------------------------- vocabulary from counts ---------------------------
+
+TEST_F(IngestFixture, BuildFromCountsMatchesSequenceBuild) {
+  std::vector<std::vector<uint32_t>> seqs = {{1, 2, 2, 3, 3, 3}, {3, 2, 3, 7}};
+  Vocabulary from_seqs;
+  ASSERT_TRUE(
+      from_seqs.Build(seqs, token_space_.num_tokens(), 1, token_space_).ok());
+
+  TokenCountMap counts;
+  for (const auto& s : seqs) {
+    for (uint32_t t : s) counts.Add(t);
+  }
+  Vocabulary from_counts;
+  ASSERT_TRUE(from_counts
+                  .BuildFromCounts(counts, token_space_.num_tokens(), 1,
+                                   token_space_)
+                  .ok());
+  ASSERT_EQ(from_counts.size(), from_seqs.size());
+  for (uint32_t v = 0; v < from_seqs.size(); ++v) {
+    EXPECT_EQ(from_counts.ToToken(v), from_seqs.ToToken(v));
+    EXPECT_EQ(from_counts.Frequency(v), from_seqs.Frequency(v));
+    EXPECT_EQ(from_counts.ClassOf(v), from_seqs.ClassOf(v));
+  }
+  EXPECT_EQ(from_counts.total_count(), from_seqs.total_count());
+}
+
+// Pins the id-assignment total order: count descending, token id ascending
+// on ties. Any change here silently reshuffles every trained embedding row,
+// so this must never drift.
+TEST_F(IngestFixture, VocabIdAssignmentIsPinned) {
+  TokenCountMap counts;
+  counts.Add(50, 3);  // tied with 9 — lower token id wins
+  counts.Add(9, 3);
+  counts.Add(4, 10);
+  counts.Add(200, 1);
+  Vocabulary v;
+  ASSERT_TRUE(
+      v.BuildFromCounts(counts, token_space_.num_tokens(), 1, token_space_)
+          .ok());
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.ToToken(0), 4u);    // count 10
+  EXPECT_EQ(v.ToToken(1), 9u);    // count 3, tie -> smaller token first
+  EXPECT_EQ(v.ToToken(2), 50u);   // count 3
+  EXPECT_EQ(v.ToToken(3), 200u);  // count 1
+  EXPECT_EQ(v.ToVocab(9), 1);
+  EXPECT_EQ(v.ToVocab(50), 2);
+}
+
+TEST_F(IngestFixture, BuildFromCountsRejectsOutOfRange) {
+  TokenCountMap counts;
+  counts.Add(token_space_.num_tokens() + 3, 5);
+  Vocabulary v;
+  EXPECT_EQ(
+      v.BuildFromCounts(counts, token_space_.num_tokens(), 1, token_space_)
+          .code(),
+      StatusCode::kOutOfRange);
+}
+
+// --------------------------- enricher edge cases ---------------------------
+
+TEST_F(IngestFixture, EnricherEmptySession) {
+  Session s;
+  s.user_type = 2;  // no items
+  SequenceEnricher both(&token_space_, &dataset_->catalog(), {});
+  const auto seq = both.Enrich(s);
+  // No items -> no item/SI tokens, just the user-type token.
+  ASSERT_EQ(seq.size(), 1u);
+  EXPECT_EQ(seq[0], token_space_.UserTypeToken(2));
+
+  SequenceEnricher none(
+      &token_space_, &dataset_->catalog(),
+      {.include_item_si = false, .include_user_type = false});
+  EXPECT_TRUE(none.Enrich(s).empty());
+}
+
+TEST_F(IngestFixture, CorpusDropsSingleTokenSequences) {
+  // One item, no SI, no UT: the enriched sequence has a single token and
+  // must be dropped (a skip-gram window needs >= 2).
+  std::vector<Session> sessions(3);
+  for (auto& s : sessions) {
+    s.user_type = 0;
+    s.items = {7};
+  }
+  sessions.push_back({});
+  sessions.back().user_type = 0;
+  sessions.back().items = {1, 2};
+  CorpusOptions opts;
+  opts.enrich.include_item_si = false;
+  opts.enrich.include_user_type = false;
+  Corpus corpus;
+  ASSERT_TRUE(corpus
+                  .Build(sessions, token_space_, dataset_->catalog(), opts)
+                  .ok());
+  EXPECT_EQ(corpus.num_sequences(), 1u);
+  EXPECT_EQ(corpus.num_tokens(), 2u);
+
+  // All-dropped is an error, as before.
+  sessions.pop_back();
+  Corpus empty;
+  EXPECT_EQ(
+      empty.Build(sessions, token_space_, dataset_->catalog(), opts).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(IngestFixture, CorpusRejectsOutOfRangeSessions) {
+  std::vector<Session> sessions(1);
+  sessions[0].user_type = token_space_.num_user_types() + 1;
+  sessions[0].items = {1, 2};
+  Corpus corpus;
+  EXPECT_EQ(corpus
+                .Build(sessions, token_space_, dataset_->catalog(),
+                       CorpusOptions{})
+                .code(),
+            StatusCode::kOutOfRange);
+  sessions[0].user_type = 0;
+  sessions[0].items = {1, token_space_.num_items() + 50};
+  EXPECT_EQ(corpus
+                .Build(sessions, token_space_, dataset_->catalog(),
+                       CorpusOptions{})
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+// --------------------------- packed corpus ---------------------------
+
+TEST(PackedCorpusTest, AppendAndView) {
+  PackedCorpus pc;
+  EXPECT_TRUE(pc.empty());
+  pc.AppendSequence(std::vector<uint32_t>{1, 2, 3});
+  pc.AppendSequence(std::vector<uint32_t>{4, 5});
+  ASSERT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc.num_tokens(), 5u);
+  EXPECT_EQ(pc.seq_size(0), 3u);
+  const auto s1 = pc.seq(1);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s1[0], 4u);
+  EXPECT_EQ(s1[1], 5u);
+  // The arena is 64-byte aligned for the SIMD kernels.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(pc.tokens().data()) % 64, 0u);
+}
+
+TEST(PackedCorpusTest, SaveLoadRoundTrip) {
+  PackedCorpus pc;
+  for (uint32_t i = 0; i < 100; ++i) {
+    std::vector<uint32_t> seq(1 + i % 7, i);
+    pc.AppendSequence(seq);
+  }
+  const std::string path = FreshPath("packed_rt.bin");
+  ASSERT_TRUE(pc.Save(path).ok());
+  auto loaded = PackedCorpus::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == pc);
+  // A token bound below the max token is DataLoss.
+  EXPECT_EQ(PackedCorpus::Load(path, 50).status().code(),
+            StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(PackedCorpusTest, CorruptionIsDataLossNeverPartialData) {
+  PackedCorpus pc;
+  for (uint32_t i = 0; i < 64; ++i) {
+    pc.AppendSequence(std::vector<uint32_t>{i, i + 1, i + 2});
+  }
+  const std::string path = FreshPath("packed_corrupt.bin");
+  ASSERT_TRUE(pc.Save(path).ok());
+  const long size = FileSize(path);
+  ASSERT_GT(size, static_cast<long>(kArtifactHeaderBytes));
+
+  // Byte flips anywhere in the payload: checksum rejects before parsing.
+  for (const long off : {static_cast<long>(kArtifactHeaderBytes),
+                         static_cast<long>(kArtifactHeaderBytes) + 40,
+                         size - 1}) {
+    FlipByteAt(path, off);
+    EXPECT_EQ(PackedCorpus::Load(path).status().code(), StatusCode::kDataLoss)
+        << "offset " << off;
+    FlipByteAt(path, off);  // restore
+    ASSERT_TRUE(PackedCorpus::Load(path).ok());
+  }
+
+  // Truncation at any boundary is DataLoss too.
+  ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+  EXPECT_EQ(PackedCorpus::Load(path).status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+// --------------------------- parallel build determinism ---------------------------
+
+TEST_F(IngestFixture, CorpusBytesAreThreadCountInvariant) {
+  CorpusOptions base;
+  base.min_count = 2;
+  Corpus serial;
+  ASSERT_TRUE(serial
+                  .Build(dataset_->train_sessions(), token_space_,
+                         dataset_->catalog(), base)
+                  .ok());
+  ASSERT_GT(serial.num_sequences(), 0u);
+
+  for (uint32_t threads : {2u, 4u, 7u}) {
+    CorpusOptions opts = base;
+    opts.num_threads = threads;
+    Corpus parallel;
+    ASSERT_TRUE(parallel
+                    .Build(dataset_->train_sessions(), token_space_,
+                           dataset_->catalog(), opts)
+                    .ok());
+    // Byte-identical arena...
+    ASSERT_TRUE(parallel.packed() == serial.packed()) << threads << " threads";
+    // ...and identical vocabulary (ids, counts, classes).
+    ASSERT_EQ(parallel.vocab().size(), serial.vocab().size());
+    for (uint32_t v = 0; v < serial.vocab().size(); ++v) {
+      ASSERT_EQ(parallel.vocab().ToToken(v), serial.vocab().ToToken(v));
+      ASSERT_EQ(parallel.vocab().Frequency(v), serial.vocab().Frequency(v));
+    }
+  }
+}
+
+// The flat fast path (per-item block table + click counters) and the
+// open-addressing fallback (materialized enriched tokens + count maps) must
+// produce byte-identical corpora: forcing flat_count_threshold = 0 routes
+// the same build through the fallback.
+TEST_F(IngestFixture, FlatAndMapCountingPathsAreByteIdentical) {
+  for (const uint32_t threads : {1u, 4u}) {
+    CorpusOptions opts;
+    opts.min_count = 2;
+    opts.num_threads = threads;
+    Corpus flat;
+    ASSERT_TRUE(flat.Build(dataset_->train_sessions(), token_space_,
+                           dataset_->catalog(), opts)
+                    .ok());
+
+    opts.flat_count_threshold = 0;  // force the open-addressing fallback
+    Corpus mapped;
+    ASSERT_TRUE(mapped
+                    .Build(dataset_->train_sessions(), token_space_,
+                           dataset_->catalog(), opts)
+                    .ok());
+
+    ASSERT_TRUE(flat.packed() == mapped.packed()) << threads << " threads";
+    ASSERT_EQ(flat.vocab().size(), mapped.vocab().size());
+    for (uint32_t v = 0; v < flat.vocab().size(); ++v) {
+      ASSERT_EQ(flat.vocab().ToToken(v), mapped.vocab().ToToken(v));
+      ASSERT_EQ(flat.vocab().Frequency(v), mapped.vocab().Frequency(v));
+    }
+  }
+}
+
+TEST_F(IngestFixture, StreamedBuildMatchesMaterializedBuild) {
+  CorpusOptions opts;
+  opts.min_count = 2;
+  opts.num_threads = 4;
+  Corpus from_vector;
+  ASSERT_TRUE(from_vector
+                  .Build(dataset_->train_sessions(), token_space_,
+                         dataset_->catalog(), opts)
+                  .ok());
+
+  // An odd chunk size that does not divide the session count: chunk
+  // boundaries must not leak into the output.
+  VectorSessionSource source(&dataset_->train_sessions(), 97);
+  Corpus from_stream;
+  ASSERT_TRUE(from_stream
+                  .BuildFromSource(&source, token_space_, dataset_->catalog(),
+                                   opts)
+                  .ok());
+  EXPECT_TRUE(from_stream.packed() == from_vector.packed());
+  EXPECT_EQ(from_stream.vocab().size(), from_vector.vocab().size());
+}
+
+// --------------------------- corpus cache ---------------------------
+
+TEST_F(IngestFixture, CorpusCacheRoundTripAndGuards) {
+  CorpusOptions opts;
+  opts.min_count = 2;
+  Corpus corpus;
+  ASSERT_TRUE(corpus
+                  .Build(dataset_->train_sessions(), token_space_,
+                         dataset_->catalog(), opts)
+                  .ok());
+  const std::string prefix = FreshPath("corpus_cache");
+  ASSERT_TRUE(corpus.Save(prefix).ok());
+
+  auto loaded = Corpus::Load(prefix, opts, token_space_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->packed() == corpus.packed());
+  EXPECT_EQ(loaded->vocab().size(), corpus.vocab().size());
+  EXPECT_EQ(loaded->vocab().total_count(), corpus.vocab().total_count());
+
+  // Built with different options -> FailedPrecondition (callers rebuild).
+  CorpusOptions other = opts;
+  other.min_count = 5;
+  EXPECT_EQ(Corpus::Load(prefix, other, token_space_).status().code(),
+            StatusCode::kFailedPrecondition);
+  other = opts;
+  other.enrich.include_item_si = false;
+  EXPECT_EQ(Corpus::Load(prefix, other, token_space_).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A flipped byte in the cached corpus is DataLoss, never partial data.
+  FlipByteAt(prefix + ".corpus",
+             static_cast<long>(kArtifactHeaderBytes) + 20);
+  EXPECT_EQ(Corpus::Load(prefix, opts, token_space_).status().code(),
+            StatusCode::kDataLoss);
+
+  std::remove((prefix + ".vocab").c_str());
+  std::remove((prefix + ".corpus").c_str());
+}
+
+// --------------------------- pipeline wiring ---------------------------
+
+TEST(PipelineOptionsTest, WindowDoublesOnlyWithItemSi) {
+  SisgConfig config;
+  config.sgns.window.window = 4;
+
+  config.variant = SisgVariant::kSgns;
+  EXPECT_EQ(SisgPipeline(config).EffectiveSgnsOptions().window.window, 4u);
+  EXPECT_FALSE(SisgPipeline(config).EffectiveSgnsOptions().window.directional);
+
+  config.variant = SisgVariant::kSisgU;  // user types, no SI: no doubling
+  EXPECT_EQ(SisgPipeline(config).EffectiveSgnsOptions().window.window, 4u);
+
+  config.variant = SisgVariant::kSisgF;  // SI interleaves: token window x2
+  EXPECT_EQ(SisgPipeline(config).EffectiveSgnsOptions().window.window, 8u);
+
+  config.variant = SisgVariant::kSisgFUD;
+  EXPECT_EQ(SisgPipeline(config).EffectiveSgnsOptions().window.window, 8u);
+  EXPECT_TRUE(SisgPipeline(config).EffectiveSgnsOptions().window.directional);
+}
+
+TEST_F(IngestFixture, StreamedPipelineMatchesMaterializedPipeline) {
+  const std::string path = FreshPath("pipeline_stream.txt");
+  ASSERT_TRUE(WriteSessionsText(dataset_->train_sessions(), dataset_->users(),
+                                path)
+                  .ok());
+  SisgConfig config;
+  config.variant = SisgVariant::kSisgFU;
+  config.sgns.dim = 16;
+  config.sgns.epochs = 1;
+  config.sgns.negatives = 3;
+  config.min_count = 2;
+  config.ingest_threads = 4;
+  const SisgPipeline pipeline(config);
+
+  PipelineReport mat_report;
+  auto materialized = pipeline.Train(dataset_->train_sessions(),
+                                     dataset_->catalog(), dataset_->users(),
+                                     &mat_report);
+  ASSERT_TRUE(materialized.ok());
+
+  auto stream = SessionStream::Open(dataset_->users(), path);
+  ASSERT_TRUE(stream.ok());
+  PipelineReport stream_report;
+  auto streamed = pipeline.TrainStream(&*stream, dataset_->catalog(),
+                                       dataset_->users(), &stream_report);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  // Same corpus, same vocab, same deterministic single-thread training.
+  EXPECT_EQ(stream_report.vocab_size, mat_report.vocab_size);
+  EXPECT_EQ(stream_report.corpus_sequences, mat_report.corpus_sequences);
+  EXPECT_EQ(stream_report.corpus_tokens, mat_report.corpus_tokens);
+  EXPECT_EQ(stream_report.train.pairs_trained, mat_report.train.pairs_trained);
+  EXPECT_EQ(stream_report.ingest.sessions,
+            dataset_->train_sessions().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sisg

@@ -1,7 +1,7 @@
 // sisg_train — trains a SISG model on a session file written by
 // sisg_datagen and saves it (binary model + optional word2vec text export).
 //
-//   sisg_train --input /tmp/sessions.txt --model /tmp/model \
+//   sisg_train --input /tmp/sessions.txt --model /tmp/model
 //              --variant sisg-f-u-d --dim 64 --epochs 20 [world flags]
 
 #include <iostream>
@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
   FlagParser flags;
   const auto known = tools::WithWorldFlags(
       {"input", "model", "variant", "dim", "epochs", "negatives", "window",
-       "min_count", "threads", "distributed", "workers", "export_text",
-       "checkpoint_dir", "checkpoint_interval", "resume", "fault_plan",
-       "help"});
+       "min_count", "threads", "ingest_threads", "max_errors", "corpus_cache",
+       "distributed", "workers", "export_text", "checkpoint_dir",
+       "checkpoint_interval", "resume", "fault_plan", "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 2;
@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
                  "  [--variant sgns|sisg-f|sisg-u|sisg-f-u|sisg-f-u-d]\n"
                  "  [--dim 64] [--epochs 20] [--negatives 10] [--window 4]\n"
                  "  [--min_count 1] [--threads 1]\n"
+                 "  [--ingest_threads 1] (0 = all cores; corpus build only)\n"
+                 "  [--max_errors 0] (bad input lines tolerated + skipped)\n"
+                 "  [--corpus_cache PREFIX] (reuse the built corpus on disk)\n"
                  "  [--distributed] [--workers 8] [--export_text FILE]\n"
                  "  [--checkpoint_dir DIR] [--checkpoint_interval N]\n"
                  "  [--resume] [--fault_plan SPEC]\n"
@@ -64,13 +67,6 @@ int main(int argc, char** argv) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
-  auto sessions = ReadSessionsText(users, flags.GetString("input", ""));
-  if (!sessions.ok()) {
-    std::cerr << sessions.status().ToString() << "\n";
-    return 1;
-  }
-  std::cout << "read " << sessions->size() << " sessions\n";
-
   auto variant = VariantFromName(flags.GetString("variant", "sisg-f-u-d"));
   if (!variant.ok()) {
     std::cerr << variant.status().ToString() << "\n";
@@ -87,6 +83,9 @@ int main(int argc, char** argv) {
   config.sgns.num_threads =
       static_cast<uint32_t>(flags.GetInt64("threads", 1));
   config.min_count = static_cast<uint32_t>(flags.GetInt64("min_count", 1));
+  config.ingest_threads =
+      static_cast<uint32_t>(flags.GetInt64("ingest_threads", 1));
+  config.corpus_cache = flags.GetString("corpus_cache", "");
   config.distributed = flags.GetBool("distributed", false);
   config.dist.num_workers =
       static_cast<uint32_t>(flags.GetInt64("workers", 8));
@@ -108,13 +107,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Sessions stream chunk-wise from the input file straight into the
+  // parallel corpus builder — the session list is never fully materialized
+  // (except under --distributed, where graph partitioning needs it).
+  SessionStreamOptions sopts;
+  sopts.max_errors = static_cast<uint64_t>(flags.GetInt64("max_errors", 0));
+  sopts.max_item_id = catalog.num_items();
+  auto stream =
+      SessionStream::Open(users, flags.GetString("input", ""), sopts);
+  if (!stream.ok()) {
+    std::cerr << stream.status().ToString() << "\n";
+    return 1;
+  }
+
   SisgPipeline pipeline(config);
   PipelineReport report;
-  auto model = pipeline.Train(*sessions, catalog, users, &report);
+  auto model = pipeline.TrainStream(&*stream, catalog, users, &report);
   if (!model.ok()) {
     std::cerr << "training failed: " << model.status().ToString() << "\n";
     return 1;
   }
+  std::cout << "read " << report.ingest.sessions << " sessions";
+  if (report.ingest.lines_skipped > 0) {
+    std::cout << " (skipped " << report.ingest.lines_skipped
+              << " bad lines; first: " << report.ingest.first_error << ")";
+  }
+  if (report.corpus_cache_hit) std::cout << " [corpus cache hit]";
+  std::cout << "\n";
+  std::cout << "corpus: " << report.corpus_sequences << " sequences, "
+            << report.corpus_tokens << " tokens, "
+            << report.corpus_build_seconds << "s build\n";
   std::cout << "trained " << report.vocab_size << " vectors, "
             << report.train.pairs_trained << " pairs, "
             << report.train.seconds << "s\n";
