@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "corpus/corpus.h"
 #include "datagen/session_stream.h"
+#include "obs/metrics.h"
 #include "sgns/trainer.h"
 
 namespace sisg {
@@ -193,6 +194,32 @@ void BM_SgnsEpochPacked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * corpus.num_tokens());
 }
 BENCHMARK(BM_SgnsEpochPacked)->Unit(benchmark::kMillisecond);
+
+/// The same epoch with the metrics registry live — the number to compare
+/// against BM_SgnsEpochPacked for the enabled-instrumentation overhead
+/// budget (<= 5%; the disabled path is a single relaxed atomic load and
+/// rides inside BM_SgnsEpochPacked itself).
+void BM_SgnsEpochPackedMetrics(benchmark::State& state) {
+  const Corpus& corpus = BenchCorpus();
+  SgnsOptions opts;
+  opts.dim = 64;
+  opts.epochs = 1;
+  opts.negatives = 10;
+  opts.window.window = 8;
+  opts.num_threads = 1;
+  const SgnsTrainer trainer(opts);
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  for (auto _ : state) {
+    EmbeddingModel model;
+    TrainStats stats;
+    SISG_CHECK(trainer.Train(corpus, &model, &stats, nullptr).ok());
+    benchmark::DoNotOptimize(stats.pairs_trained);
+  }
+  obs::EnableMetrics(was_enabled);
+  state.SetItemsProcessed(state.iterations() * corpus.num_tokens());
+}
+BENCHMARK(BM_SgnsEpochPackedMetrics)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sisg

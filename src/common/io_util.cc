@@ -200,6 +200,14 @@ StatusOr<ArtifactReader> ArtifactReader::Open(const std::string& path,
         "artifact: kind mismatch in " + path + " (want '" + kind + "', got '" +
         std::string(header.kind, 8) + "')");
   }
+  // The reserved field is written as zero and is not CRC-covered (the CRC
+  // spans only the payload), so a byte flip here would otherwise load
+  // silently.
+  if (header.reserved != 0) {
+    std::fclose(f);
+    return Status::DataLoss("artifact: corrupt header (reserved != 0) in " +
+                            path);
+  }
   // Declared payload size must match the bytes actually on disk; a shorter
   // file is a truncated write, a longer one trailing garbage.
   if (std::fseek(f, 0, SEEK_END) != 0) {

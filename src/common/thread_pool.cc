@@ -9,6 +9,12 @@ thread_local int tls_worker_index = -1;
 
 int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
+std::atomic<ThreadPoolObserver*> ThreadPool::observer_{nullptr};
+
+void ThreadPool::SetObserver(ThreadPoolObserver* observer) {
+  observer_.store(observer, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   SISG_CHECK_GE(num_threads, 1u);
   threads_.reserve(num_threads);
@@ -27,12 +33,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
   task_cv_.notify_one();
+  if (ThreadPoolObserver* obs = observer_.load(std::memory_order_acquire)) {
+    obs->OnTaskQueued(depth);
+  }
 }
 
 void ThreadPool::Wait() {
@@ -62,6 +73,9 @@ void ThreadPool::WorkerLoop(int worker_index) {
       tasks_.pop();
     }
     task();
+    if (ThreadPoolObserver* obs = observer_.load(std::memory_order_acquire)) {
+      obs->OnTaskDone(worker_index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

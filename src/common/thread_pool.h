@@ -1,6 +1,7 @@
 #ifndef SISG_COMMON_THREAD_POOL_H_
 #define SISG_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -10,6 +11,19 @@
 #include <vector>
 
 namespace sisg {
+
+/// Process-wide hook for pool instrumentation. Defined here (not in obs/)
+/// so common/ stays dependency-free: the observability layer implements the
+/// interface and installs it via ThreadPool::SetObserver; with no observer
+/// installed the pool pays one relaxed pointer load per event.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A task was enqueued; `queue_depth` is the depth right after the push.
+  virtual void OnTaskQueued(size_t queue_depth) = 0;
+  /// A worker finished running a task.
+  virtual void OnTaskDone(int worker_index) = 0;
+};
 
 /// Fixed-size worker pool. Tasks are arbitrary std::function<void()>.
 /// `Wait()` blocks until every submitted task has finished; the pool can be
@@ -39,8 +53,15 @@ class ThreadPool {
   /// threading an id through every task closure.
   static int CurrentWorkerIndex();
 
+  /// Installs a process-wide observer notified by every pool. The observer
+  /// must outlive all pools (in practice: a leaked singleton installed
+  /// once). Pass nullptr to detach.
+  static void SetObserver(ThreadPoolObserver* observer);
+
  private:
   void WorkerLoop(int worker_index);
+
+  static std::atomic<ThreadPoolObserver*> observer_;
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;

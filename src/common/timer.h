@@ -2,25 +2,36 @@
 #define SISG_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sisg {
 
-/// Wall-clock stopwatch, started at construction.
+/// The one process-wide monotonic clock. Every duration in the repo —
+/// Timer, bench phase profiles, obs trace spans and latency histograms —
+/// reads this, so their numbers are directly comparable and none of them
+/// can jump when the system clock is adjusted.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic stopwatch, started at construction.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(MonotonicNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = MonotonicNanos(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace sisg

@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace sisg {
 
@@ -17,7 +18,8 @@ float HnswIndex::Score(const float* q, uint32_t node) const {
 }
 
 std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
-                                             uint32_t ef, int layer) const {
+                                             uint32_t ef, int layer,
+                                             uint64_t* visited_count) const {
   // Max-heap of candidates to expand, bounded set of best results.
   using Entry = std::pair<float, uint32_t>;
   std::priority_queue<Entry> candidates;                       // best first
@@ -54,6 +56,7 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
       }
     }
   }
+  if (visited_count != nullptr) *visited_count += visited.size();
   std::vector<ScoredId> out;
   out.reserve(best.size());
   while (!best.empty()) {
@@ -175,7 +178,14 @@ std::vector<ScoredId> HnswIndex::Query(const float* query, uint32_t k,
     }
   }
   const uint32_t ef = std::max(options_.ef_search, k + 1);
-  const auto found = SearchLayer(query, entry, ef, 0);
+  uint64_t visited = 0;
+  const auto found = SearchLayer(query, entry, ef, 0,
+                                 obs::MetricsEnabled() ? &visited : nullptr);
+  if (visited > 0) {
+    static obs::Counter* const m_visited =
+        obs::MetricsRegistry::Global().counter("serve.hnsw_visited_nodes");
+    m_visited->Add(visited);
+  }
   std::vector<ScoredId> out;
   out.reserve(k);
   for (const auto& cand : found) {

@@ -52,9 +52,11 @@ class HnswIndex {
  private:
   float Score(const float* q, uint32_t node) const;
   /// Beam search on one layer from `entry`; returns up to `ef` best nodes
-  /// (internal ids), best-first.
+  /// (internal ids), best-first. When `visited_count` is non-null it is
+  /// incremented by the number of distinct nodes touched (metrics).
   std::vector<ScoredId> SearchLayer(const float* q, uint32_t entry, uint32_t ef,
-                                    int layer) const;
+                                    int layer,
+                                    uint64_t* visited_count = nullptr) const;
 
   HnswOptions options_;
   uint32_t dim_ = 0;

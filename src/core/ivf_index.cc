@@ -6,6 +6,7 @@
 #include "common/io_util.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace sisg {
 namespace {
@@ -71,12 +72,24 @@ std::vector<ScoredId> IvfIndex::Query(const float* query, uint32_t k,
   if (num_indexed_ == 0 || k == 0) return {};
   const SimdOps& ops = GetSimdOps();
   TopKSelector sel(k);
+  uint64_t probed = 0;
+  uint64_t scanned = 0;
   for (uint32_t c : quantizer_.AssignTopN(query, nprobe_)) {
     const uint32_t begin = list_begin_[c];
     const uint32_t len = list_begin_[c + 1] - begin;
+    ++probed;
     if (len == 0) continue;
+    scanned += len;
     ops.top_k_scan(query, list_data_.data() + static_cast<size_t>(begin) * stride_,
                    stride_, len, dim_, flat_ids_.data() + begin, exclude, &sel);
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const m_probed =
+        obs::MetricsRegistry::Global().counter("serve.ivf_lists_probed");
+    static obs::Counter* const m_scanned =
+        obs::MetricsRegistry::Global().counter("serve.ivf_rows_scanned");
+    m_probed->Add(probed);
+    m_scanned->Add(scanned);
   }
   return sel.Take();
 }

@@ -6,8 +6,19 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sisg {
+
+void MatchingEngine::PublishDegraded() const {
+  // Unconditional (not gated on MetricsEnabled): a degradation transition is
+  // rare and operationally important, and tests that enable metrics after an
+  // engine was built still see the current state.
+  obs::MetricsRegistry::Global()
+      .gauge("serve.degraded")
+      ->Set(degraded_ ? 1.0 : 0.0);
+}
 
 Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
                              uint32_t num_items, uint32_t dim,
@@ -74,6 +85,21 @@ Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
 
 std::vector<ScoredId> MatchingEngine::ScanBlock(const float* query, uint32_t k,
                                                 uint32_t exclude) const {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const m_queries =
+        obs::MetricsRegistry::Global().counter("serve.queries");
+    static obs::Histogram* const m_latency =
+        obs::MetricsRegistry::Global().histogram("serve.query_seconds");
+    m_queries->Increment();
+    obs::TraceSpan span(m_latency);
+    return ScanBlockImpl(query, k, exclude);
+  }
+  return ScanBlockImpl(query, k, exclude);
+}
+
+std::vector<ScoredId> MatchingEngine::ScanBlockImpl(const float* query,
+                                                    uint32_t k,
+                                                    uint32_t exclude) const {
   // ANN fast path; the brute-force block below stays intact as the serving
   // fallback, so a failed or missing index only costs latency, not queries.
   if (backend_ == AnnBackend::kIvf && ivf_ != nullptr) {
@@ -99,6 +125,7 @@ Status MatchingEngine::EnableIvf(const IvfOptions& options) {
   if (!built.ok()) {
     degraded_ = true;
     backend_ = AnnBackend::kBruteForce;
+    PublishDegraded();
     LOG_WARN << "matching engine: IVF build failed (" << built.message()
              << "); serving degrades to brute-force scan";
     return built;
@@ -106,6 +133,7 @@ Status MatchingEngine::EnableIvf(const IvfOptions& options) {
   ivf_ = std::move(index);
   backend_ = AnnBackend::kIvf;
   degraded_ = false;
+  PublishDegraded();
   return Status::OK();
 }
 
@@ -119,6 +147,7 @@ Status MatchingEngine::EnableHnsw(const HnswOptions& options) {
   if (!built.ok()) {
     degraded_ = true;
     backend_ = AnnBackend::kBruteForce;
+    PublishDegraded();
     LOG_WARN << "matching engine: HNSW build failed (" << built.message()
              << "); serving degrades to brute-force scan";
     return built;
@@ -126,6 +155,7 @@ Status MatchingEngine::EnableHnsw(const HnswOptions& options) {
   hnsw_ = std::move(index);
   backend_ = AnnBackend::kHnsw;
   degraded_ = false;
+  PublishDegraded();
   return Status::OK();
 }
 
@@ -136,6 +166,7 @@ Status MatchingEngine::EnableIvfFromFile(const std::string& path) {
   auto degrade = [&](const Status& why) {
     degraded_ = true;
     backend_ = AnnBackend::kBruteForce;
+    PublishDegraded();
     LOG_WARN << "matching engine: IVF load from " << path << " failed ("
              << why.message() << "); serving degrades to brute-force scan";
     return why;
@@ -152,6 +183,7 @@ Status MatchingEngine::EnableIvfFromFile(const std::string& path) {
   ivf_ = std::make_unique<IvfIndex>(std::move(loaded).value());
   backend_ = AnnBackend::kIvf;
   degraded_ = false;
+  PublishDegraded();
   return Status::OK();
 }
 

@@ -112,8 +112,16 @@ class MatchingEngine {
   }
 
   /// Blocked scan of the compact candidate block for one prepared query.
+  /// Funnels every query path (Query/QueryVector/QueryBatch), so this is
+  /// where the per-query latency histogram is recorded.
   std::vector<ScoredId> ScanBlock(const float* query, uint32_t k,
                                   uint32_t exclude) const;
+  std::vector<ScoredId> ScanBlockImpl(const float* query, uint32_t k,
+                                      uint32_t exclude) const;
+
+  /// Publishes degraded_ to the serve.degraded gauge (cold path; runs on
+  /// every ANN enable/degrade transition).
+  void PublishDegraded() const;
 
   uint32_t num_items_ = 0;
   uint32_t dim_ = 0;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "corpus/corpus.h"
+#include "obs/metrics.h"
 #include "dist/distributed_trainer.h"
 #include "graph/category_graph.h"
 #include "graph/item_graph.h"
@@ -79,6 +80,21 @@ Status SisgPipeline::PrepareCorpus(const std::vector<Session>* sessions,
   report->corpus_build_seconds = timer.ElapsedSeconds();
   report->corpus_sequences = corpus->num_sequences();
   report->corpus_tokens = corpus->num_tokens();
+  if (obs::MetricsEnabled()) {
+    // Cold fold of the per-run ingest stats into the registry (parse-error
+    // lines become a counter an operator can alert on).
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.counter("ingest.sessions")->Add(report->ingest.sessions);
+    reg.counter("ingest.lines_read")->Add(report->ingest.lines_read);
+    reg.counter("ingest.parse_errors")->Add(report->ingest.lines_skipped);
+    reg.gauge("ingest.corpus_build_seconds")
+        ->Set(report->corpus_build_seconds);
+    reg.gauge("ingest.sessions_per_sec")
+        ->Set(report->corpus_build_seconds > 0.0
+                  ? static_cast<double>(report->ingest.sessions) /
+                        report->corpus_build_seconds
+                  : 0.0);
+  }
   if (!config_.corpus_cache.empty()) {
     SISG_RETURN_IF_ERROR(corpus->Save(config_.corpus_cache));
   }

@@ -1,7 +1,6 @@
 #include "corpus/corpus.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +12,7 @@
 
 #include "common/io_util.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "corpus/count_map.h"
 
 namespace sisg {
@@ -59,18 +59,18 @@ class PhaseProf {
  public:
   PhaseProf()
       : on_(std::getenv("SISG_CORPUS_PROF") != nullptr),
-        t_(std::chrono::steady_clock::now()) {}
+        t_ns_(MonotonicNanos()) {}
   void Mark(const char* what) {
     if (!on_) return;
-    const auto now = std::chrono::steady_clock::now();
+    const uint64_t now = MonotonicNanos();
     std::fprintf(stderr, "  [corpus] %-10s %.3f ms\n", what,
-                 std::chrono::duration<double, std::milli>(now - t_).count());
-    t_ = now;
+                 static_cast<double>(now - t_ns_) * 1e-6);
+    t_ns_ = now;
   }
 
  private:
   bool on_;
-  std::chrono::steady_clock::time_point t_;
+  uint64_t t_ns_;  // MonotonicNanos — the shared clock every timer uses
 };
 
 /// Validates one session against the token space. The flat path fuses the

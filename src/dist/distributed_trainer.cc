@@ -9,6 +9,8 @@
 #include "common/math_util.h"
 #include "common/simd.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sgns/sgns_kernel.h"
 #include "sgns/window.h"
 
@@ -222,8 +224,23 @@ Status DistributedTrainer::Train(const Corpus& corpus,
   comm.worker_failures = static_cast<uint64_t>(dead_workers.size());
   comm.worker_recoveries = comm.worker_failures;
 
+  // Metrics: latched once per run; all instrumentation is read-only and
+  // consumes no RNG, so seeded fault injection stays deterministic with
+  // metrics on or off. CommStats folds into the registry at end of run.
+  const bool metrics_on = obs::MetricsEnabled();
+  obs::Histogram* m_sync = nullptr;
+  obs::Histogram* m_retries_per_call = nullptr;
+  obs::Histogram* m_backoff_per_call = nullptr;
+  if (metrics_on) {
+    auto& reg = obs::MetricsRegistry::Global();
+    m_sync = reg.histogram("dist.sync_seconds");
+    m_retries_per_call = reg.histogram("dist.retries_per_call");
+    m_backoff_per_call = reg.histogram("dist.backoff_per_call_seconds");
+  }
+
   auto sync_replicas = [&]() {
     if (K == 0) return;
+    obs::TraceSpan sync_span(m_sync);
     ++comm.sync_rounds;
     if (plan.sync_delay_every > 0 &&
         comm.sync_rounds % plan.sync_delay_every == 0) {
@@ -372,6 +389,10 @@ Status DistributedTrainer::Train(const Corpus& corpus,
               account_transfer();  // retransmission
             }
             if (lost) ++comm.pairs_lost;
+            if (metrics_on && (attempt > 0 || lost)) {
+              m_retries_per_call->Observe(static_cast<double>(attempt));
+              m_backoff_per_call->Observe(call_time);
+            }
           }
           if (!lost && plan.remote_dup_rate > 0.0 &&
               fault_rng.Bernoulli(plan.remote_dup_rate)) {
@@ -487,6 +508,47 @@ Status DistributedTrainer::Train(const Corpus& corpus,
     }
   }
   if (!stopped && K > 0) sync_replicas();  // publish final hot vectors
+
+  if (metrics_on) {
+    // Unify CommStats with the registry: the 9 fault counters plus the core
+    // pair/byte counters become dist.* metrics, and the per-worker load
+    // vectors become distributions so imbalance shows up as p99/max spread.
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.counter("dist.local_pairs")->Add(comm.local_pairs);
+    reg.counter("dist.remote_pairs")->Add(comm.remote_pairs);
+    reg.counter("dist.hot_pairs")->Add(comm.hot_pairs);
+    reg.counter("dist.bytes_sent")->Add(comm.bytes_sent);
+    reg.counter("dist.sync_rounds")->Add(comm.sync_rounds);
+    reg.counter("dist.sync_bytes")->Add(comm.sync_bytes);
+    reg.counter("dist.remote_retries")->Add(comm.remote_retries);
+    reg.counter("dist.remote_drops")->Add(comm.remote_drops);
+    reg.counter("dist.remote_duplicates")->Add(comm.remote_duplicates);
+    reg.counter("dist.pairs_lost")->Add(comm.pairs_lost);
+    reg.counter("dist.worker_failures")->Add(comm.worker_failures);
+    reg.counter("dist.worker_recoveries")->Add(comm.worker_recoveries);
+    reg.counter("dist.sync_delays")->Add(comm.sync_delays);
+    reg.gauge("dist.backoff_seconds")->Add(comm.backoff_seconds);
+    reg.gauge("dist.delay_seconds")->Add(comm.delay_seconds);
+    reg.gauge("dist.remote_fraction")->Set(comm.RemoteFraction());
+    reg.gauge("dist.load_imbalance")->Set(comm.LoadImbalance());
+    obs::Histogram* per_pairs = reg.histogram("dist.pairs_per_worker");
+    obs::Histogram* per_calls = reg.histogram("dist.remote_calls_per_worker");
+    obs::Histogram* per_bytes = reg.histogram("dist.bytes_per_worker");
+    for (uint32_t w = 0; w < W; ++w) {
+      per_pairs->Observe(static_cast<double>(comm.pairs_per_worker[w]));
+      per_calls->Observe(static_cast<double>(comm.remote_calls_per_worker[w]));
+      per_bytes->Observe(static_cast<double>(comm.bytes_per_worker[w]));
+    }
+    // The distributed engine replaces SgnsTrainer wholesale, so it also
+    // owns the train.* progress metrics for this run.
+    const double elapsed = timer.ElapsedSeconds();
+    reg.counter("train.pairs")->Add(pair_counter);
+    reg.counter("train.tokens")->Add(processed_tokens);
+    reg.gauge("train.lr")->Set(lr_at(processed_tokens));
+    reg.gauge("train.seconds")->Set(elapsed);
+    reg.gauge("train.pairs_per_sec")
+        ->Set(elapsed > 0 ? static_cast<double>(pair_counter) / elapsed : 0.0);
+  }
 
   if (result != nullptr) {
     result->comm = comm;

@@ -1,32 +1,9 @@
 #ifndef SISG_EVAL_TABLE_PRINTER_H_
 #define SISG_EVAL_TABLE_PRINTER_H_
 
-#include <iosfwd>
-#include <string>
-#include <vector>
-
-namespace sisg {
-
-/// Fixed-width ASCII table used by the experiment harnesses to print
-/// paper-style tables (Table II, Table III, ...).
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> headers);
-
-  void AddRow(std::vector<std::string> cells);
-
-  /// Renders with column widths fit to content.
-  void Print(std::ostream& os) const;
-
-  /// Convenience formatters.
-  static std::string Fixed(double v, int precision);
-  static std::string Percent(double fraction, int precision = 2);
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-}  // namespace sisg
+// TablePrinter moved to obs/ so the observability exporters can use it
+// without eval depending on obs (and vice versa). This forwarding header
+// keeps existing includes working.
+#include "obs/table_printer.h"  // IWYU pragma: export
 
 #endif  // SISG_EVAL_TABLE_PRINTER_H_

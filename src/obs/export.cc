@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <ostream>
+
+#include "common/io_util.h"
+#include "obs/table_printer.h"
+
+namespace sisg::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  // JSON has no inf/nan literals; exporters only see finite metrics in
+  // practice (histogram quantiles report bucket floors, never infinity).
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out = "sisg_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+constexpr const char* kQuantileKeys[] = {"p50", "p90", "p95", "p99"};
+// Label strings kept literal: FormatDouble would print 0.99 as
+// 0.98999999999999999 and break scrapers matching quantile="0.99".
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.95", "0.99"};
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": " + FormatDouble(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"mean\": " + FormatDouble(h.Mean());
+    for (size_t i = 0; i < std::size(kQuantiles); ++i) {
+      out += std::string(", \"") + kQuantileKeys[i] +
+             "\": " + FormatDouble(h.Quantile(kQuantiles[i]));
+    }
+    out += ", \"max\": " + FormatDouble(h.Quantile(1.0));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteJsonFile(const MetricsSnapshot& snap, const std::string& path) {
+  const std::string body = ToJson(snap);
+  SISG_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  if (std::fwrite(body.data(), 1, body.size(), file.stream()) != body.size()) {
+    file.Abandon();
+    return Status::IOError("metrics json: short write to " + path);
+  }
+  return file.Commit();
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + FormatDouble(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " summary\n";
+    for (size_t i = 0; i < std::size(kQuantiles); ++i) {
+      out += p + "{quantile=\"" + kQuantileLabels[i] + "\"} " +
+             FormatDouble(h.Quantile(kQuantiles[i])) + "\n";
+    }
+    out += p + "_sum " + FormatDouble(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+void PrintSummary(const MetricsSnapshot& snap, std::ostream& os) {
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    TablePrinter t({"metric", "value"});
+    for (const auto& [name, v] : snap.counters) {
+      t.AddRow({name, std::to_string(v)});
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      t.AddRow({name, TablePrinter::Fixed(v, 6)});
+    }
+    t.Print(os);
+  }
+  if (!snap.histograms.empty()) {
+    TablePrinter t({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      t.AddRow({name, std::to_string(h.count), TablePrinter::Fixed(h.Mean(), 6),
+                TablePrinter::Fixed(h.Quantile(0.5), 6),
+                TablePrinter::Fixed(h.Quantile(0.95), 6),
+                TablePrinter::Fixed(h.Quantile(0.99), 6),
+                TablePrinter::Fixed(h.Quantile(1.0), 6)});
+    }
+    t.Print(os);
+  }
+}
+
+}  // namespace sisg::obs

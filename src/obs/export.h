@@ -1,0 +1,41 @@
+#ifndef SISG_OBS_EXPORT_H_
+#define SISG_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace sisg::obs {
+
+/// Renders a snapshot as a JSON document:
+///
+///   {
+///     "counters":   {"train.pairs": 123, ...},
+///     "gauges":     {"train.lr": 0.024, ...},
+///     "histograms": {"serve.query_seconds":
+///                      {"count": N, "sum": S, "mean": M,
+///                       "p50": ..., "p90": ..., "p95": ..., "p99": ...,
+///                       "max": ...}, ...}
+///   }
+///
+/// Doubles are printed with %.17g so a parse-back reproduces them exactly.
+std::string ToJson(const MetricsSnapshot& snap);
+
+/// Writes ToJson() to `path` via AtomicFile (temp + rename), so a crashed
+/// writer never leaves a torn metrics artifact behind.
+Status WriteJsonFile(const MetricsSnapshot& snap, const std::string& path);
+
+/// Prometheus text exposition format (metric names get a `sisg_` prefix,
+/// dots become underscores; histograms export as summary quantiles plus
+/// _sum/_count).
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+/// End-of-run human-readable summary: one table for counters/gauges, one
+/// for histogram percentiles. Skips empty sections.
+void PrintSummary(const MetricsSnapshot& snap, std::ostream& os);
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_EXPORT_H_

@@ -1,0 +1,251 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace sisg::obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> m) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(m);
+  return v;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWs();
+    auto v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const size_t n = std::strlen(w);
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        auto str = ParseString();
+        if (!str.ok()) return str.status();
+        return JsonValue::String(*std::move(str));
+      }
+      case 't':
+        if (ConsumeWord("true")) return JsonValue::Bool(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return JsonValue::Bool(false);
+        return Err("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return JsonValue::Null();
+        return Err("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWs();
+    if (Consume('}')) return JsonValue::Object(std::move(members));
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Err("expected key");
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      auto val = ParseValue(depth + 1);
+      if (!val.ok()) return val;
+      members[*std::move(key)] = *std::move(val);
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::Object(std::move(members));
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    for (;;) {
+      SkipWs();
+      auto val = ParseValue(depth + 1);
+      if (!val.ok()) return val;
+      items.push_back(*std::move(val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return Err("truncated \\u escape");
+            unsigned cp = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("invalid \\u escape");
+            }
+            pos_ += 4;
+            // Encode the code point as UTF-8 (surrogate pairs unsupported —
+            // the exporter never emits them).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("invalid escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("invalid number");
+    return JsonValue::Number(d);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace sisg::obs

@@ -1,0 +1,60 @@
+#ifndef SISG_OBS_JSON_H_
+#define SISG_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sisg::obs {
+
+/// Minimal JSON document model + recursive-descent parser, just enough to
+/// read back the metrics artifact in tests and tooling. Not a general JSON
+/// library: numbers are doubles, strings support the standard escapes
+/// (\uXXXX decoded to UTF-8), depth is bounded to reject adversarial
+/// nesting.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> v);
+  static JsonValue Object(std::map<std::string, JsonValue> m);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_JSON_H_

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include "obs/pool_metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace sisg::obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled = [] {
+  const char* env = std::getenv("SISG_METRICS");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "") != 0;
+}();
+
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal
+
+void EnableMetrics(bool on) {
+  if (on) InstallThreadPoolMetrics();
+  internal::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+// SISG_METRICS=1 enables metrics without any EnableMetrics() call; hook the
+// pool observer up in that path too. Runs after g_metrics_enabled's
+// initializer (same translation unit, declared above).
+[[maybe_unused]] const bool g_env_install = [] {
+  if (MetricsEnabled()) InstallThreadPoolMetrics();
+  return true;
+}();
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing.
+//
+// A value v in [2^e, 2^(e+1)) lands in one of kSubBuckets equal-width slices
+// of that octave. frexp(v) = m * 2^x with m in [0.5, 1), i.e. e = x - 1 and
+// the slice is floor((m - 0.5) * 2 * kSubBuckets). Bucket widths are
+// geometric, so relative quantile error is bounded by 1/kSubBuckets per
+// octave (~25%) before intra-bucket interpolation tightens it further.
+// ---------------------------------------------------------------------------
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return v == 0.0 ? 0 : kNumBuckets - 1;  // 0 / negative / NaN
+  int x;
+  const double m = std::frexp(v, &x);
+  const int e = x - 1;
+  if (e < kMinExp2) return 0;
+  if (e >= kMaxExp2) return kNumBuckets - 1;
+  const int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  return 1 + (e - kMinExp2) * kSubBuckets + (sub < kSubBuckets ? sub : kSubBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExp2);
+  const int i = index - 1;
+  const int e = kMinExp2 + i / kSubBuckets;
+  const int sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e);
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return BucketLowerBound(index + 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  // Relaxed loads: a snapshot taken concurrently with writers is a
+  // near-point-in-time view; count is re-derived from the buckets so the
+  // quantile walk is internally consistent.
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // distribution and interpolate linearly inside the containing bucket.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  const int n = static_cast<int>(buckets.size());
+  for (int i = 0; i < n; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double lo = Histogram::BucketLowerBound(i);
+      double hi = Histogram::BucketUpperBound(i);
+      if (std::isinf(hi)) return lo;  // overflow bucket: report its floor
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+  }
+  return Histogram::BucketLowerBound(n - 1);
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (buckets.empty()) buckets.resize(Histogram::kNumBuckets);
+  const size_t n = std::min(buckets.size(), other.buckets.size());
+  for (size_t i = 0; i < n; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace sisg::obs

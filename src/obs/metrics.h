@@ -1,0 +1,180 @@
+#ifndef SISG_OBS_METRICS_H_
+#define SISG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sisg::obs {
+
+/// Process-wide metrics switch. Every hot-path instrumentation site guards
+/// on this single relaxed atomic load, so a metrics-disabled build path
+/// costs one predictable branch and nothing else — training output is
+/// bit-identical with metrics on or off because no instrumentation touches
+/// model state or RNG streams. Initialized from env SISG_METRICS (0/absent
+/// = off); tools flip it via --metrics_out / --metrics_interval.
+bool MetricsEnabled();
+void EnableMetrics(bool on);
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+/// Stable small index for the calling thread, assigned round-robin on first
+/// use; shards hash off it so two threads rarely share a cache line.
+uint32_t ThreadSlot();
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic counter sharded across cache-line-padded atomics: writers do
+/// one relaxed fetch_add on their thread's shard (lock-free, no cross-core
+/// line bouncing between threads on distinct shards); readers merge all
+/// shards. Registered objects live for the process, so call sites may cache
+/// the pointer.
+class Counter {
+ public:
+  static constexpr uint32_t kShards = 16;  // power of two
+
+  void Add(uint64_t n) {
+    shards_[internal::ThreadSlot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-writer-wins double value (plus a lock-free Add for accumulating
+/// gauges like modeled backoff seconds).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Read-side view of a histogram: merged bucket counts plus count/sum.
+/// Percentiles interpolate inside the containing log bucket, so the
+/// relative error is bounded by the bucket width (~25% with 4 sub-buckets
+/// per octave). Snapshots from independent histograms (or processes) merge
+/// by bucket-wise addition — MergeFrom — and percentiles of the merge are
+/// exactly the percentiles of the combined stream up to bucket resolution.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<uint64_t> buckets;  // size Histogram::kNumBuckets
+
+  double Quantile(double q) const;  // q in [0, 1]
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed distribution of non-negative doubles (latencies in seconds,
+/// per-worker loads, byte counts). Buckets are 4 sub-buckets per power of
+/// two spanning [2^kMinExp2, 2^kMaxExp2), plus an underflow bucket for
+/// [0, 2^kMinExp2) and an overflow bucket. Observe() is two relaxed
+/// fetch_adds plus a CAS on the sum — lock-free, no merge work until read.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMinExp2 = -34;  // lower bound ~5.8e-11 (sub-ns)
+  static constexpr int kMaxExp2 = 36;   // upper bound ~6.9e10 (~2000 years)
+  static constexpr int kNumBuckets =
+      (kMaxExp2 - kMinExp2) * kSubBuckets + 2;  // + underflow + overflow
+
+  /// Bucket containing `v`. Bucket 0 is [0, 2^kMinExp2); the last bucket
+  /// absorbs everything >= 2^kMaxExp2 (and NaN, defensively).
+  static int BucketIndex(double v);
+  /// Inclusive lower bound of bucket `index` (0.0 for the underflow bucket).
+  static double BucketLowerBound(int index);
+  /// Exclusive upper bound (infinity for the overflow bucket).
+  static double BucketUpperBound(int index);
+
+  void Observe(double v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, the input to the
+/// exporters (obs/export.h).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Process-wide name -> metric table. Registration (find-or-create) takes a
+/// mutex and is meant for cold paths; the returned pointers are stable for
+/// the process lifetime, so hot paths register once (function-local static)
+/// and then touch only the lock-free metric object. Reset() zeroes values
+/// but never invalidates pointers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (tests); registered objects stay valid.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_METRICS_H_

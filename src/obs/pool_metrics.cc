@@ -1,0 +1,49 @@
+#include "obs/pool_metrics.h"
+
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace sisg::obs {
+
+namespace {
+
+class PoolMetricsObserver : public ThreadPoolObserver {
+ public:
+  PoolMetricsObserver()
+      : submitted_(MetricsRegistry::Global().counter("pool.tasks_submitted")),
+        completed_(MetricsRegistry::Global().counter("pool.tasks_completed")),
+        depth_(MetricsRegistry::Global().gauge("pool.queue_depth")),
+        depth_dist_(
+            MetricsRegistry::Global().histogram("pool.queue_depth_dist")) {}
+
+  void OnTaskQueued(size_t queue_depth) override {
+    if (!MetricsEnabled()) return;
+    submitted_->Increment();
+    depth_->Set(static_cast<double>(queue_depth));
+    depth_dist_->Observe(static_cast<double>(queue_depth));
+  }
+
+  void OnTaskDone(int /*worker_index*/) override {
+    if (!MetricsEnabled()) return;
+    completed_->Increment();
+  }
+
+ private:
+  Counter* submitted_;
+  Counter* completed_;
+  Gauge* depth_;
+  Histogram* depth_dist_;
+};
+
+}  // namespace
+
+void InstallThreadPoolMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ThreadPool::SetObserver(new PoolMetricsObserver());  // leaked singleton
+  });
+}
+
+}  // namespace sisg::obs

@@ -1,0 +1,18 @@
+#ifndef SISG_OBS_POOL_METRICS_H_
+#define SISG_OBS_POOL_METRICS_H_
+
+namespace sisg::obs {
+
+/// Installs the process-wide ThreadPool observer that feeds the registry:
+///   pool.tasks_submitted  (counter)  — Submit() calls
+///   pool.tasks_completed  (counter)  — tasks finished by workers
+///   pool.queue_depth      (gauge)    — depth observed at the last Submit
+///   pool.queue_depth_dist (histogram)— queue depth per submission
+/// Idempotent; called automatically by EnableMetrics(true). The observer
+/// itself checks MetricsEnabled() per event, so a later disable returns the
+/// pool to a pointer-load + relaxed-check fast path.
+void InstallThreadPoolMetrics();
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_POOL_METRICS_H_

@@ -1,0 +1,83 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/export.h"
+
+namespace sisg::obs {
+
+void MetricsSampler::Start() {
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  prev_ns_ = MonotonicNanos();
+  prev_counters_.clear();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  TickOnce();  // final sample so the on-disk artifact is end-of-run state
+}
+
+void MetricsSampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto interval = std::chrono::duration<double>(
+          opts_.interval_seconds > 0.0 ? opts_.interval_seconds : 10.0);
+      if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+        return;  // final tick happens in Stop() after the join
+      }
+    }
+    TickOnce();
+  }
+}
+
+void MetricsSampler::TickOnce() {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const uint64_t now_ns = MonotonicNanos();
+  const double dt = static_cast<double>(now_ns - prev_ns_) * 1e-9;
+
+  // One progress line: counters that moved since the last tick, as rates.
+  std::string line;
+  for (const auto& [name, v] : snap.counters) {
+    const auto it = prev_counters_.find(name);
+    const uint64_t prev = it == prev_counters_.end() ? 0 : it->second;
+    if (v == prev) continue;
+    char buf[160];
+    if (dt > 1e-9) {
+      std::snprintf(buf, sizeof(buf), "%s%s=%llu (%.1f/s)",
+                    line.empty() ? "" : " ", name.c_str(),
+                    static_cast<unsigned long long>(v),
+                    static_cast<double>(v - prev) / dt);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s%s=%llu", line.empty() ? "" : " ",
+                    name.c_str(), static_cast<unsigned long long>(v));
+    }
+    line += buf;
+  }
+  if (!line.empty()) LOG_INFO << "metrics: " << line;
+
+  if (!opts_.json_path.empty()) {
+    if (auto st = WriteJsonFile(snap, opts_.json_path); !st.ok()) {
+      LOG_WARN << "metrics: failed to write " << opts_.json_path << ": "
+               << st.ToString();
+    }
+  }
+
+  prev_counters_ = snap.counters;
+  prev_ns_ = now_ns;
+}
+
+}  // namespace sisg::obs

@@ -1,0 +1,60 @@
+#ifndef SISG_OBS_SAMPLER_H_
+#define SISG_OBS_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace sisg::obs {
+
+/// Background metrics sampler: every `interval_seconds` it snapshots the
+/// global registry, logs a one-line progress summary (counter deltas as
+/// rates since the previous tick), and — when `json_path` is set — rewrites
+/// the JSON metrics artifact so an external watcher always sees a fresh,
+/// complete file (AtomicFile publication; never torn).
+///
+/// Start() spawns the thread; Stop() joins it after one final tick, so the
+/// artifact on disk always reflects end-of-run state. TickOnce() runs a
+/// single sample synchronously for deterministic tests.
+class MetricsSampler {
+ public:
+  struct Options {
+    double interval_seconds = 10.0;
+    std::string json_path;  // empty = no artifact, progress lines only
+  };
+
+  explicit MetricsSampler(Options opts) : opts_(std::move(opts)) {}
+  ~MetricsSampler() { Stop(); }
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// One synchronous sample (also what the background thread runs per tick).
+  void TickOnce();
+
+ private:
+  void Loop();
+
+  Options opts_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+
+  // Previous tick's counter values + timestamp, for delta/rate lines.
+  std::map<std::string, uint64_t> prev_counters_;
+  uint64_t prev_ns_ = 0;
+};
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_SAMPLER_H_

@@ -1,4 +1,4 @@
-#include "eval/table_printer.h"
+#include "obs/table_printer.h"
 
 #include <algorithm>
 #include <cstdio>

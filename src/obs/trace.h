@@ -1,0 +1,52 @@
+#ifndef SISG_OBS_TRACE_H_
+#define SISG_OBS_TRACE_H_
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace sisg::obs {
+
+/// RAII phase timer: records the enclosing scope's duration (seconds) into
+/// a latency histogram at destruction. When metrics are disabled the
+/// constructor is one relaxed atomic load and the destructor a null check —
+/// cheap enough to leave in non-hot paths unconditionally.
+///
+///   {
+///     obs::TraceSpan span("serve.query_seconds");
+///     ... do the query ...
+///   }  // span observed here
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* histogram_name) {
+    if (MetricsEnabled()) {
+      hist_ = MetricsRegistry::Global().histogram(histogram_name);
+      start_ns_ = MonotonicNanos();
+    }
+  }
+
+  /// Variant for call sites that pre-registered the histogram (hot paths:
+  /// skips the registry map lookup entirely).
+  explicit TraceSpan(Histogram* hist) {
+    if (MetricsEnabled() && hist != nullptr) {
+      hist_ = hist;
+      start_ns_ = MonotonicNanos();
+    }
+  }
+
+  ~TraceSpan() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace sisg::obs
+
+#endif  // SISG_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <span>
 #include <thread>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "common/math_util.h"
 #include "common/simd.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sgns/sgns_kernel.h"
 
 namespace sisg {
@@ -147,6 +150,27 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     }
   };
 
+  // Metrics: the flag is latched once per Train() call so every worker takes
+  // the same branch; all instrumentation below is read-only with respect to
+  // model state and consumes no RNG, so training output is bit-identical
+  // with metrics on or off.
+  const bool metrics_on = obs::MetricsEnabled();
+  obs::Counter* m_pairs = nullptr;
+  obs::Counter* m_tokens = nullptr;
+  obs::Counter* m_chunks = nullptr;
+  obs::Gauge* m_lr = nullptr;
+  obs::Gauge* m_loss = nullptr;
+  obs::Histogram* m_barrier = nullptr;
+  if (metrics_on) {
+    auto& reg = obs::MetricsRegistry::Global();
+    m_pairs = reg.counter("train.pairs");
+    m_tokens = reg.counter("train.tokens");
+    m_chunks = reg.counter("train.chunks");
+    m_lr = reg.gauge("train.lr");
+    m_loss = reg.gauge("train.loss_ema");
+    m_barrier = reg.histogram("train.barrier_wait_seconds");
+  }
+
   Timer timer;
   auto worker = [&](uint32_t tid) {
     Rng rng(options_.seed + 0x51ed2701ULL * (tid + 1));
@@ -160,6 +184,21 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     uint64_t local_tokens = 0;
     float lr = lr_at(initial_tokens);
 
+    // Metering state: pairs already published to the registry, plus a
+    // thread-local loss EMA sampled every 1024 pairs through ops.dot (a
+    // read-only probe; under hogwild the read races benignly like the
+    // kernel itself and is covered by the same TSan suppressions).
+    uint64_t pairs_metered = 0;
+    double loss_ema = 0.0;
+    bool loss_seeded = false;
+    auto meter = [&](uint64_t pairs_now, uint64_t tokens_delta) {
+      if (!metrics_on) return;
+      m_pairs->Add(pairs_now - pairs_metered);
+      pairs_metered = pairs_now;
+      if (tokens_delta > 0) m_tokens->Add(tokens_delta);
+      m_lr->Set(lr);
+    };
+
     // Flush thread-local counters into the shared atomics so a snapshot (or
     // the final stats) is exact, and refresh the LR from the global token
     // count. Also runs at every checkpoint rendezvous, so the LR trajectory
@@ -167,10 +206,13 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     auto flush = [&]() {
       const uint64_t done =
           processed_tokens.fetch_add(local_tokens) + local_tokens;
+      const uint64_t token_delta = local_tokens;
       local_tokens = 0;
       lr = lr_at(done);
+      meter(pairs, token_delta);
       total_pairs.fetch_add(pairs);
       pairs = 0;
+      pairs_metered = 0;
       total_kept.fetch_add(kept_tokens);
       kept_tokens = 0;
     };
@@ -179,15 +221,21 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
       if (ckpt_active && barrier.pending()) {
         flush();
         rng_snapshot[tid] = rng.State();
+        const uint64_t wait_start = metrics_on ? MonotonicNanos() : 0;
         if (barrier.Arrive() == CheckpointBarrier::Role::kLeader) {
           leader_checkpoint();
           barrier.Release();
+        }
+        if (metrics_on) {
+          m_barrier->Observe(static_cast<double>(MonotonicNanos() -
+                                                 wait_start) * 1e-9);
         }
       }
       if (abort.load(std::memory_order_acquire)) break;
       const uint64_t begin =
           next_work.fetch_add(chunk_size, std::memory_order_relaxed);
       if (begin >= total_work) break;
+      if (metrics_on) m_chunks->Increment();
       const uint64_t end = std::min(begin + chunk_size, total_work);
       for (uint64_t slot = begin; slot < end; ++slot) {
         const std::span<const uint32_t> seq = packed.seq(slot % num_seqs);
@@ -195,8 +243,10 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
         if (local_tokens >= 4096) {
           const uint64_t done =
               processed_tokens.fetch_add(local_tokens) + local_tokens;
+          const uint64_t token_delta = local_tokens;
           local_tokens = 0;
           lr = lr_at(done);
+          meter(pairs, token_delta);
         }
         SubsampleSequence(seq, subsampler, rng, &kept);
         kept_tokens += kept.size();
@@ -254,6 +304,22 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
                                   sigmoid);
             ops.axpy(1.0f, grad_in.data(), model->Input(target), dim);
             ++pairs;
+            if (metrics_on && (pairs & 1023) == 0) {
+              // Positive-pair loss probe: softplus(-dot) on the freshly
+              // updated rows, via ops.dot so the benign hogwild read is
+              // covered by the kernel TSan suppressions. No RNG consumed.
+              const double s = ops.dot(model->Input(target),
+                                       model->Output(context), dim);
+              const double loss = s > 0.0 ? std::log1p(std::exp(-s))
+                                          : -s + std::log1p(std::exp(s));
+              if (loss_seeded) {
+                loss_ema = 0.95 * loss_ema + 0.05 * loss;
+              } else {
+                loss_ema = loss;
+                loss_seeded = true;
+              }
+              m_loss->Set(loss_ema);
+            }
           }
         });
       }
@@ -282,6 +348,14 @@ Status SgnsTrainer::Train(const Corpus& corpus, EmbeddingModel* model,
     for (auto& t : threads) t.join();
   }
 
+  if (metrics_on) {
+    const double secs = timer.ElapsedSeconds();
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.gauge("train.seconds")->Set(secs);
+    reg.gauge("train.pairs_per_sec")
+        ->Set(secs > 0.0 ? static_cast<double>(total_pairs.load()) / secs
+                         : 0.0);
+  }
   if (stats != nullptr) {
     stats->pairs_trained = total_pairs.load();
     stats->tokens_seen = processed_tokens.load();

@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "cf/item_cf.h"
 #include "core/cold_start.h"
 #include "core/pipeline.h"
 #include "datagen/dataset.h"
 #include "eval/ctr_simulator.h"
 #include "eval/hitrate.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace sisg {
 namespace {
@@ -145,6 +150,82 @@ TEST_F(IntegrationFixture, ColdStartItemRecommendationsAreUsable) {
   }
   ASSERT_GT(total, 500);
   EXPECT_GT(static_cast<double>(same_leaf) / total, 0.6);
+}
+
+// The metrics artifact contract: a distributed training run plus serving
+// queries with metrics enabled must produce a metrics.json containing the
+// trainer throughput, the distributed sync histograms, and per-query
+// serving percentiles. CI uploads the file this test writes as a workflow
+// artifact.
+TEST_F(IntegrationFixture, MetricsJsonArtifactHasRequiredKeys) {
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().Reset();
+
+  SisgConfig c;
+  c.variant = SisgVariant::kSisgFU;
+  c.sgns.dim = 32;
+  c.sgns.epochs = 2;
+  c.sgns.negatives = 5;
+  c.sgns.num_threads = 2;
+  c.distributed = true;
+  c.dist.num_workers = 4;
+  SisgPipeline pipeline(c);
+  auto model = pipeline.Train(*dataset_);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto engine = model->BuildMatchingEngine();
+  ASSERT_TRUE(engine.ok());
+  for (uint32_t item = 0; item < 200; item += 3) engine->Query(item, 10);
+
+  // Written to the test CWD (build/tests in the CI tree) so the workflow
+  // can pick it up by a fixed path.
+  const std::string path = "metrics.json";
+  ASSERT_TRUE(
+      obs::WriteJsonFile(obs::MetricsRegistry::Global().Snapshot(), path).ok());
+  obs::EnableMetrics(was_enabled);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  auto doc = obs::ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Trainer throughput and progress.
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("train.pairs"), nullptr);
+  EXPECT_GT(counters->Find("train.pairs")->as_number(), 0.0);
+  const obs::JsonValue* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("train.pairs_per_sec"), nullptr);
+  EXPECT_GT(gauges->Find("train.pairs_per_sec")->as_number(), 0.0);
+
+  // Distributed sync histograms and fault counters.
+  const obs::JsonValue* hists = doc->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  for (const char* name :
+       {"dist.sync_seconds", "dist.pairs_per_worker",
+        "dist.bytes_per_worker"}) {
+    const obs::JsonValue* h = hists->Find(name);
+    ASSERT_NE(h, nullptr) << name << " missing from metrics.json";
+    EXPECT_GT(h->Find("count")->as_number(), 0.0) << name;
+  }
+  ASSERT_NE(counters->Find("dist.sync_rounds"), nullptr);
+  EXPECT_GT(counters->Find("dist.sync_rounds")->as_number(), 0.0);
+
+  // Per-query serving percentiles.
+  const obs::JsonValue* q = hists->Find("serve.query_seconds");
+  ASSERT_NE(q, nullptr);
+  EXPECT_GT(q->Find("count")->as_number(), 0.0);
+  for (const char* pct : {"p50", "p90", "p95", "p99", "max", "mean", "sum"}) {
+    ASSERT_NE(q->Find(pct), nullptr) << pct << " missing";
+  }
+  EXPECT_GE(q->Find("p99")->as_number(), q->Find("p50")->as_number());
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Seeded corruption fuzzing of every on-disk artifact kind: random
+// truncations and byte flips over saved embedding models, vocabularies,
+// packed corpora, corpus caches, and IVF indexes must always yield a typed
+// DataLoss / InvalidArgument — never a crash, never a partially loaded
+// object. The SISGART1 framing makes this provable: the CRC covers the
+// whole payload and every header byte (magic, kind, version, reserved,
+// declared size, checksum) is validated on open.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ivf_index.h"
+#include "corpus/corpus.h"
+#include "corpus/packed_corpus.h"
+#include "corpus/vocabulary.h"
+#include "datagen/dataset.h"
+#include "sgns/embedding_model.h"
+
+namespace sisg {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+/// One artifact under test: the file the fuzzer mutates plus a loader that
+/// attempts a full load through the production code path.
+struct ArtifactCase {
+  std::string name;
+  std::string file;
+  std::function<Status()> load;
+};
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::string dir = ::testing::TempDir();
+
+    // A small but real corpus so the vocab / packed / cache artifacts have
+    // representative payloads (multiple sections, non-trivial sizes).
+    DatasetSpec spec;
+    spec.catalog.num_items = 300;
+    spec.catalog.num_leaf_categories = 6;
+    spec.catalog.num_shops = 25;
+    spec.catalog.num_brands = 20;
+    spec.users.num_user_types = 40;
+    spec.num_train_sessions = 800;
+    spec.num_test_sessions = 10;
+    auto ds = SyntheticDataset::Generate(spec);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = new SyntheticDataset(std::move(ds).value());
+    token_space_ = new TokenSpace(
+        TokenSpace::Create(&dataset_->catalog(), &dataset_->users()));
+    corpus_ = new Corpus();
+    ASSERT_TRUE(corpus_
+                    ->Build(dataset_->train_sessions(), *token_space_,
+                            dataset_->catalog(), CorpusOptions{})
+                    .ok());
+
+    cases_ = new std::vector<ArtifactCase>();
+
+    const std::string vocab_path = dir + "/fuzz.vocab_only";
+    ASSERT_TRUE(corpus_->vocab().Save(vocab_path).ok());
+    cases_->push_back({"vocab", vocab_path, [vocab_path] {
+                         return Vocabulary::Load(vocab_path).status();
+                       }});
+
+    const std::string packed_path = dir + "/fuzz.packed";
+    ASSERT_TRUE(corpus_->packed().Save(packed_path).ok());
+    const uint32_t bound = corpus_->vocab().size();
+    cases_->push_back({"packed_corpus", packed_path, [packed_path, bound] {
+                         return PackedCorpus::Load(packed_path, bound).status();
+                       }});
+
+    // The corpus cache is two artifacts behind one prefix; fuzz each file
+    // while the sibling stays pristine.
+    const std::string cache_prefix = dir + "/fuzz_cache";
+    ASSERT_TRUE(corpus_->Save(cache_prefix).ok());
+    const CorpusOptions cache_opts = corpus_->options();
+    const auto load_cache = [cache_prefix, cache_opts] {
+      return Corpus::Load(cache_prefix, cache_opts, *token_space_).status();
+    };
+    cases_->push_back({"corpus_cache.corpus", cache_prefix + ".corpus",
+                       load_cache});
+    cases_->push_back({"corpus_cache.vocab", cache_prefix + ".vocab",
+                       load_cache});
+
+    const std::string emb_path = dir + "/fuzz.emb";
+    EmbeddingModel model;
+    ASSERT_TRUE(model.Init(128, 24, 7).ok());
+    for (uint32_t r = 0; r < model.rows(); ++r) {
+      for (uint32_t d = 0; d < model.dim(); ++d) {
+        model.Output(r)[d] = 0.01f * static_cast<float>(r + d);
+      }
+    }
+    ASSERT_TRUE(model.Save(emb_path).ok());
+    cases_->push_back({"embedding_model", emb_path, [emb_path] {
+                         return EmbeddingModel::Load(emb_path).status();
+                       }});
+
+    const std::string ivf_path = dir + "/fuzz.ivf";
+    std::mt19937 rng(123);
+    std::uniform_real_distribution<float> unit(-1.0f, 1.0f);
+    std::vector<float> data(256 * 16);
+    for (float& v : data) v = unit(rng);
+    IvfIndex ivf;
+    IvfOptions iopts;
+    iopts.kmeans.num_clusters = 8;
+    iopts.nprobe = 2;
+    ASSERT_TRUE(ivf.Build(data.data(), 256, 16, iopts).ok());
+    ASSERT_TRUE(ivf.Save(ivf_path).ok());
+    cases_->push_back({"ivf_index", ivf_path, [ivf_path] {
+                         return IvfIndex::Load(ivf_path).status();
+                       }});
+
+    for (const ArtifactCase& c : *cases_) {
+      pristine_.push_back(ReadFileBytes(c.file));
+      ASSERT_GT(pristine_.back().size(), 36u) << c.name;
+    }
+  }
+
+  static void TearDownTestSuite() {
+    for (const ArtifactCase& c : *cases_) std::remove(c.file.c_str());
+    delete cases_;
+    cases_ = nullptr;
+    pristine_.clear();
+    delete corpus_;
+    corpus_ = nullptr;
+    delete token_space_;
+    token_space_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  void TearDown() override {
+    // Whatever a test did, leave every artifact pristine for the next one.
+    for (size_t i = 0; i < cases_->size(); ++i) {
+      WriteFileBytes((*cases_)[i].file, pristine_[i]);
+    }
+  }
+
+  static void ExpectTypedFailure(const ArtifactCase& c, const Status& st,
+                                 const std::string& what) {
+    ASSERT_FALSE(st.ok()) << c.name << ": " << what
+                          << " loaded successfully from corrupt bytes";
+    ASSERT_TRUE(st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kInvalidArgument)
+        << c.name << ": " << what << " produced untyped error: "
+        << st.ToString();
+  }
+
+  static SyntheticDataset* dataset_;
+  static TokenSpace* token_space_;
+  static Corpus* corpus_;
+  static std::vector<ArtifactCase>* cases_;
+  static std::vector<std::string> pristine_;
+};
+
+SyntheticDataset* IoFuzzTest::dataset_ = nullptr;
+TokenSpace* IoFuzzTest::token_space_ = nullptr;
+Corpus* IoFuzzTest::corpus_ = nullptr;
+std::vector<ArtifactCase>* IoFuzzTest::cases_ = nullptr;
+std::vector<std::string> IoFuzzTest::pristine_;
+
+TEST_F(IoFuzzTest, PristineArtifactsLoad) {
+  for (const ArtifactCase& c : *cases_) {
+    const Status st = c.load();
+    EXPECT_TRUE(st.ok()) << c.name << ": " << st.ToString();
+  }
+}
+
+TEST_F(IoFuzzTest, TruncationsAlwaysRejected) {
+  std::mt19937_64 rng(0xF0220807);
+  for (size_t i = 0; i < cases_->size(); ++i) {
+    const ArtifactCase& c = (*cases_)[i];
+    const std::string& orig = pristine_[i];
+    std::vector<size_t> cuts = {0, 1, 8, 17, 35, 36, orig.size() - 1};
+    std::uniform_int_distribution<size_t> cut_dist(1, orig.size() - 1);
+    for (int r = 0; r < 24; ++r) cuts.push_back(cut_dist(rng));
+    for (const size_t cut : cuts) {
+      WriteFileBytes(c.file, orig.substr(0, cut));
+      ExpectTypedFailure(c, c.load(),
+                         "truncated to " + std::to_string(cut) + " bytes");
+    }
+    // Trailing garbage is a size mismatch, not silently ignored bytes.
+    WriteFileBytes(c.file, orig + std::string(3, '\x5a'));
+    ExpectTypedFailure(c, c.load(), "3 appended garbage bytes");
+    WriteFileBytes(c.file, orig);
+  }
+}
+
+TEST_F(IoFuzzTest, SeededByteFlipsAlwaysRejected) {
+  std::mt19937_64 rng(0xB17F11D5);
+  for (size_t i = 0; i < cases_->size(); ++i) {
+    const ArtifactCase& c = (*cases_)[i];
+    const std::string& orig = pristine_[i];
+    std::uniform_int_distribution<size_t> byte_dist(0, orig.size() - 1);
+    std::uniform_int_distribution<int> bit_dist(0, 7);
+    for (int r = 0; r < 96; ++r) {
+      // Bias one third of the flips into the 36-byte header, where each
+      // field has its own dedicated validation path.
+      const size_t idx = (r % 3 == 0)
+                             ? byte_dist(rng) % 36
+                             : byte_dist(rng);
+      const int bit = bit_dist(rng);
+      std::string mutated = orig;
+      mutated[idx] = static_cast<char>(mutated[idx] ^ (1 << bit));
+      WriteFileBytes(c.file, mutated);
+      ExpectTypedFailure(c, c.load(),
+                         "bit " + std::to_string(bit) + " of byte " +
+                             std::to_string(idx) + " flipped");
+    }
+    WriteFileBytes(c.file, orig);
+    EXPECT_TRUE(c.load().ok()) << c.name << " failed to load after restore";
+  }
+}
+
+}  // namespace
+}  // namespace sisg

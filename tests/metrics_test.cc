@@ -1,0 +1,365 @@
+// Tests of the observability subsystem: lock-free counters/gauges under
+// ThreadPool contention, log-bucket histogram boundaries and percentile
+// merge, JSON exporter round-trip through the bundled parser, and the
+// core invariant that instrumentation never perturbs training (metrics on
+// vs off is bit-identical).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "corpus/corpus.h"
+#include "datagen/dataset.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sgns/embedding_model.h"
+#include "sgns/trainer.h"
+
+namespace sisg {
+namespace {
+
+/// Restores the global metrics switch (and zeroes the registry) around each
+/// test so the suite is order-independent.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::MetricsEnabled();
+    obs::MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    obs::EnableMetrics(was_enabled_);
+    obs::MetricsRegistry::Global().Reset();
+  }
+  bool was_enabled_ = false;
+};
+
+// --------------------------- counters / gauges ---------------------------
+
+TEST_F(MetricsTest, EnableToggle) {
+  obs::EnableMetrics(true);
+  EXPECT_TRUE(obs::MetricsEnabled());
+  obs::EnableMetrics(false);
+  EXPECT_FALSE(obs::MetricsEnabled());
+}
+
+TEST_F(MetricsTest, CounterBasics) {
+  obs::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAccumulate) {
+  obs::Gauge g;
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(0.5);
+  g.Add(-1.0);
+  EXPECT_EQ(g.Value(), 2.0);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+// The shard merge must be exact under real contention: many pool workers
+// hammering the same counter and histogram. Run under TSan this is also the
+// data-race check for the whole write path.
+TEST_F(MetricsTest, CounterAndHistogramExactUnderThreadPoolContention) {
+  obs::Counter counter;
+  obs::Histogram hist;
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  {
+    ThreadPool pool(8);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Submit([&counter, &hist, t] {
+        for (int i = 0; i < kPerTask; ++i) {
+          counter.Increment();
+          hist.Observe(1e-3 * (1 + ((t + i) % 7)));
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kTasks) * kPerTask);
+  const obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kTasks) * kPerTask);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// --------------------------- histogram buckets ---------------------------
+
+TEST_F(MetricsTest, BucketBoundsContainTheirValues) {
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> exp_dist(-30.0, 30.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp2(exp_dist(rng));
+    const int idx = obs::Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, obs::Histogram::kNumBuckets);
+    ASSERT_LE(obs::Histogram::BucketLowerBound(idx), v)
+        << "v=" << v << " idx=" << idx;
+    ASSERT_LT(v, obs::Histogram::BucketUpperBound(idx))
+        << "v=" << v << " idx=" << idx;
+  }
+}
+
+TEST_F(MetricsTest, BucketEdgesAndSpecialValues) {
+  // Zero and subnormal-small values land in the underflow bucket.
+  EXPECT_EQ(obs::Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1e-12), 0);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0.0);
+  // Huge values and NaN go to the overflow bucket instead of indexing out
+  // of range.
+  EXPECT_EQ(obs::Histogram::BucketIndex(1e300),
+            obs::Histogram::kNumBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(std::numeric_limits<double>::quiet_NaN()),
+            obs::Histogram::kNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      obs::Histogram::BucketUpperBound(obs::Histogram::kNumBuckets - 1)));
+  // An exact power of two is the inclusive lower edge of its bucket.
+  const int idx = obs::Histogram::BucketIndex(1.0);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(idx), 1.0);
+  // Buckets tile the range: upper(i) == lower(i+1).
+  for (int i = 0; i + 1 < obs::Histogram::kNumBuckets - 1; ++i) {
+    ASSERT_EQ(obs::Histogram::BucketUpperBound(i),
+              obs::Histogram::BucketLowerBound(i + 1))
+        << "gap after bucket " << i;
+  }
+}
+
+TEST_F(MetricsTest, QuantilesWithinBucketResolution) {
+  // 4 sub-buckets per octave bounds the relative quantile error by
+  // 2^(1/4)-1 ~ 19%; check against an exactly known uniform stream.
+  obs::Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Observe(i * 1e-4);  // 0.1ms .. 1s
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_NEAR(snap.sum, 10000.0 * 10001.0 / 2.0 * 1e-4, 1e-6);
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = q * 1.0;  // quantile of uniform(0, 1]
+    const double est = snap.Quantile(q);
+    EXPECT_NEAR(est, exact, exact * 0.20) << "q=" << q;
+  }
+  // Degenerate quantiles stay inside the observed range.
+  EXPECT_GE(snap.Quantile(0.0), 0.0);
+  EXPECT_LE(snap.Quantile(1.0), 2.0);
+}
+
+TEST_F(MetricsTest, MergeMatchesCombinedStream) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1e-6, 10.0);
+  obs::Histogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist(rng);
+    (i % 2 == 0 ? a : b).Observe(v);
+    combined.Observe(v);
+  }
+  obs::HistogramSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  const obs::HistogramSnapshot want = combined.Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_NEAR(merged.sum, want.sum, 1e-9);
+  ASSERT_EQ(merged.buckets.size(), want.buckets.size());
+  for (size_t i = 0; i < merged.buckets.size(); ++i) {
+    ASSERT_EQ(merged.buckets[i], want.buckets[i]) << "bucket " << i;
+  }
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(merged.Quantile(q), want.Quantile(q));
+  }
+}
+
+// --------------------------- registry ---------------------------
+
+TEST_F(MetricsTest, RegistryPointersStableAcrossReset) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* c = reg.counter("test.reset_counter");
+  obs::Gauge* g = reg.gauge("test.reset_gauge");
+  obs::Histogram* h = reg.histogram("test.reset_hist");
+  c->Add(5);
+  g->Set(1.5);
+  h->Observe(0.25);
+  reg.Reset();
+  // Same objects, zeroed values.
+  EXPECT_EQ(reg.counter("test.reset_counter"), c);
+  EXPECT_EQ(reg.gauge("test.reset_gauge"), g);
+  EXPECT_EQ(reg.histogram("test.reset_hist"), h);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST_F(MetricsTest, TraceSpanRecordsElapsed) {
+  obs::EnableMetrics(true);
+  obs::Histogram* h = obs::MetricsRegistry::Global().histogram("test.span");
+  {
+    obs::TraceSpan span(h);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Snapshot().sum, 0.0);
+  // Null histogram and disabled metrics are both no-ops.
+  { obs::TraceSpan span(static_cast<obs::Histogram*>(nullptr)); }
+  obs::EnableMetrics(false);
+  { obs::TraceSpan span(h); }
+  EXPECT_EQ(h->Count(), 1u);
+}
+
+// --------------------------- exporters ---------------------------
+
+TEST_F(MetricsTest, JsonExportRoundTrips) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.counter("rt.pairs")->Add(12345);
+  reg.gauge("rt.lr")->Set(0.024999999999999998);
+  obs::Histogram* h = reg.histogram("rt.latency");
+  for (int i = 1; i <= 100; ++i) h->Observe(i * 1e-3);
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  auto doc = obs::ParseJson(obs::ToJson(snap));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* pairs = counters->Find("rt.pairs");
+  ASSERT_NE(pairs, nullptr);
+  EXPECT_EQ(pairs->as_number(), 12345.0);
+
+  const obs::JsonValue* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  // %.17g printing makes the double survive the round trip exactly.
+  EXPECT_EQ(gauges->Find("rt.lr")->as_number(), 0.024999999999999998);
+
+  const obs::JsonValue* hist = doc->Find("histograms")->Find("rt.latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->as_number(), 100.0);
+  EXPECT_EQ(hist->Find("p50")->as_number(),
+            snap.histograms.at("rt.latency").Quantile(0.5));
+  EXPECT_EQ(hist->Find("mean")->as_number(),
+            snap.histograms.at("rt.latency").Mean());
+  EXPECT_NE(hist->Find("p99"), nullptr);
+  EXPECT_NE(hist->Find("max"), nullptr);
+}
+
+TEST_F(MetricsTest, JsonFileWriteThenParse) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.counter("file.events")->Add(7);
+  const std::string path = ::testing::TempDir() + "/metrics_rt.json";
+  ASSERT_TRUE(obs::WriteJsonFile(reg.Snapshot(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  auto doc = obs::ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("counters")->Find("file.events")->as_number(), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, JsonParserHandlesEscapesAndRejectsGarbage) {
+  auto ok = obs::ParseJson(
+      R"({"s": "a\n\"bé", "arr": [1, -2.5e3, true, null], "o": {}})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->Find("s")->as_string(), "a\n\"b\xc3\xa9");
+  ASSERT_EQ(ok->Find("arr")->as_array().size(), 4u);
+  EXPECT_EQ(ok->Find("arr")->as_array()[1].as_number(), -2500.0);
+  EXPECT_TRUE(ok->Find("arr")->as_array()[3].is_null());
+
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson(R"({"a": nul})").ok());
+  EXPECT_FALSE(obs::ParseJson(R"({"a": 1-2})").ok());
+  EXPECT_FALSE(obs::ParseJson(R"({"a": "unterminated)").ok());
+  // Depth bound rejects adversarial nesting instead of overflowing the
+  // stack.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(obs::ParseJson(deep).ok());
+}
+
+TEST_F(MetricsTest, PrometheusTextShape) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.counter("prom.requests")->Add(3);
+  reg.histogram("prom.latency")->Observe(0.01);
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE sisg_prom_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("sisg_prom_requests 3"), std::string::npos);
+  EXPECT_NE(text.find("sisg_prom_latency_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+// --------------------------- training invariance ---------------------------
+
+// The load-bearing guarantee: flipping metrics on must not change a single
+// trained byte. All instrumentation is read-only with respect to model
+// state and consumes no RNG. The ctest registration also runs this pinned
+// to SISG_SIMD=scalar (metrics_test_scalar) so the comparison is
+// dispatch-independent.
+TEST_F(MetricsTest, TrainingBitIdenticalWithMetricsOnAndOff) {
+  DatasetSpec spec;
+  spec.catalog.num_items = 200;
+  spec.catalog.num_leaf_categories = 6;
+  spec.catalog.num_shops = 20;
+  spec.catalog.num_brands = 16;
+  spec.users.num_user_types = 30;
+  spec.num_train_sessions = 600;
+  spec.num_test_sessions = 10;
+  auto ds = SyntheticDataset::Generate(spec);
+  ASSERT_TRUE(ds.ok());
+  const TokenSpace ts = TokenSpace::Create(&ds->catalog(), &ds->users());
+  Corpus corpus;
+  ASSERT_TRUE(
+      corpus.Build(ds->train_sessions(), ts, ds->catalog(), CorpusOptions{})
+          .ok());
+
+  // Single-threaded: with >1 worker the HogWild update order is already
+  // scheduler-dependent, so run-to-run comparison is only meaningful here.
+  SgnsOptions opts;
+  opts.dim = 16;
+  opts.epochs = 2;
+  opts.negatives = 5;
+  opts.num_threads = 1;
+
+  obs::EnableMetrics(false);
+  EmbeddingModel off;
+  ASSERT_TRUE(SgnsTrainer(opts).Train(corpus, &off).ok());
+
+  obs::EnableMetrics(true);
+  EmbeddingModel on;
+  ASSERT_TRUE(SgnsTrainer(opts).Train(corpus, &on).ok());
+  obs::EnableMetrics(false);
+
+  ASSERT_EQ(off.rows(), on.rows());
+  ASSERT_EQ(off.dim(), on.dim());
+  for (uint32_t r = 0; r < off.rows(); ++r) {
+    ASSERT_EQ(std::memcmp(off.Input(r), on.Input(r),
+                          off.dim() * sizeof(float)),
+              0)
+        << "input row " << r << " diverged with metrics enabled";
+    ASSERT_EQ(std::memcmp(off.Output(r), on.Output(r),
+                          off.dim() * sizeof(float)),
+              0)
+        << "output row " << r << " diverged with metrics enabled";
+  }
+  // And the metrics actually recorded the run.
+  EXPECT_GE(obs::MetricsRegistry::Global().counter("train.pairs")->Value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace sisg

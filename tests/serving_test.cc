@@ -7,10 +7,12 @@
 #include <fstream>
 
 #include "core/candidate_table.h"
+#include "core/ivf_index.h"
 #include "core/pipeline.h"
 #include "corpus/corpus.h"
 #include "datagen/dataset.h"
 #include "eval/hitrate.h"
+#include "obs/metrics.h"
 #include "sgns/trainer.h"
 #include "sgns/warm_start.h"
 
@@ -272,6 +274,127 @@ TEST_F(WarmStartFixture, TrainerWarmStartValidatesShape) {
   EmbeddingModel unshaped;
   EXPECT_EQ(SgnsTrainer(opts).Train(new_corpus_, &unshaped).code(),
             StatusCode::kFailedPrecondition);
+}
+
+// --------------------------- graceful degradation ---------------------------
+
+/// ServingFixture plus metrics enabled for the duration of each test, so
+/// the serve.* instrumentation can be asserted on directly.
+class DegradationFixture : public ServingFixture {
+ protected:
+  void SetUp() override {
+    ServingFixture::SetUp();
+    was_enabled_ = obs::MetricsEnabled();
+    obs::EnableMetrics(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    obs::EnableMetrics(was_enabled_);
+    obs::MetricsRegistry::Global().Reset();
+  }
+  static double DegradedGauge() {
+    return obs::MetricsRegistry::Global().gauge("serve.degraded")->Value();
+  }
+  bool was_enabled_ = false;
+};
+
+// A corrupt IVF artifact must fail the checksum, flip the degraded gauge,
+// keep serving through the brute-force scan (results identical to a
+// never-accelerated engine), and keep the latency histogram recording.
+TEST_F(DegradationFixture, CorruptIvfArtifactDegradesToBruteForce) {
+  // Build + persist a valid index first.
+  auto good = model_->BuildMatchingEngine();
+  ASSERT_TRUE(good.ok());
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 16;
+  opts.nprobe = 4;
+  ASSERT_TRUE(good->EnableIvf(opts).ok());
+  EXPECT_FALSE(good->degraded());
+  EXPECT_EQ(DegradedGauge(), 0.0);
+  const std::string path = ::testing::TempDir() + "/degradation.ivf";
+  ASSERT_TRUE(good->SaveIvf(path).ok());
+
+  // Flip one payload byte; the artifact CRC must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(100);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(100);
+    f.write(&b, 1);
+  }
+
+  auto victim = model_->BuildMatchingEngine();
+  ASSERT_TRUE(victim.ok());
+  const Status st = victim->EnableIvfFromFile(path);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+  EXPECT_TRUE(victim->degraded());
+  EXPECT_EQ(victim->ann_backend(), AnnBackend::kBruteForce);
+  EXPECT_EQ(DegradedGauge(), 1.0);
+
+  // Degraded serving answers every query bit-identically to an engine that
+  // never attempted acceleration.
+  auto brute = model_->BuildMatchingEngine();
+  ASSERT_TRUE(brute.ok());
+  const uint64_t latency_before = obs::MetricsRegistry::Global()
+                                      .histogram("serve.query_seconds")
+                                      ->Count();
+  size_t compared = 0;
+  for (uint32_t item = 0; item < victim->num_items(); item += 29) {
+    const auto got = victim->Query(item, 10);
+    const auto want = brute->Query(item, 10);
+    ASSERT_EQ(got.size(), want.size()) << "item " << item;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].id, want[i].id) << "item " << item << " rank " << i;
+      ASSERT_EQ(got[i].score, want[i].score) << "item " << item;
+    }
+    compared += got.size();
+  }
+  ASSERT_GT(compared, 0u);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .histogram("serve.query_seconds")
+                ->Count(),
+            latency_before)
+      << "latency histogram stopped recording after degradation";
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().counter("serve.queries")->Value(), 0u);
+
+  // Recovery: replacing the corrupt artifact with a valid one clears the
+  // degraded state and the gauge.
+  ASSERT_TRUE(good->SaveIvf(path).ok());
+  ASSERT_TRUE(victim->EnableIvfFromFile(path).ok());
+  EXPECT_FALSE(victim->degraded());
+  EXPECT_EQ(victim->ann_backend(), AnnBackend::kIvf);
+  EXPECT_EQ(DegradedGauge(), 0.0);
+  std::remove(path.c_str());
+}
+
+// A shape-mismatched (but uncorrupted) artifact is FailedPrecondition and
+// also degrades; queries keep flowing.
+TEST_F(DegradationFixture, MismatchedIvfArtifactDegrades) {
+  // An index over tiny random data can never match this engine's shape.
+  std::vector<float> data(32 * 4, 0.25f);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.1f * static_cast<float>(i % 13) - 0.5f;
+  }
+  IvfIndex small;
+  IvfOptions iopts;
+  iopts.kmeans.num_clusters = 4;
+  ASSERT_TRUE(small.Build(data.data(), 32, 4, iopts).ok());
+  const std::string path = ::testing::TempDir() + "/mismatch.ivf";
+  ASSERT_TRUE(small.Save(path).ok());
+
+  auto victim = model_->BuildMatchingEngine();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->EnableIvfFromFile(path).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(victim->degraded());
+  EXPECT_EQ(DegradedGauge(), 1.0);
+  EXPECT_FALSE(victim->Query(0, 5).empty() &&
+               victim->Query(1, 5).empty() && victim->Query(2, 5).empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   const auto known = tools::WithWorldFlags(
       {"model", "variant", "k", "candidates", "threads", "cold_gender",
-       "cold_age", "cold_purchase", "help"});
+       "cold_age", "cold_purchase", "metrics_out", "metrics_interval",
+       "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 2;
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
                  "[--k 10] [item ids...]\n"
                  "  --candidates FILE   export the full item->top-K table\n"
                  "  --cold_gender F|M [--cold_age 0-6] [--cold_purchase 0-2]\n"
+                 "  --metrics_out FILE  per-query latency percentiles (JSON)\n"
+                 "  --metrics_interval SECONDS  periodic progress lines\n"
                  "  [world flags matching sisg_train]\n";
     return flags.Has("model") ? 0 : 2;
   }
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const uint32_t k = static_cast<uint32_t>(flags.GetInt64("k", 10));
+  tools::ToolMetrics metrics = tools::ToolMetrics::FromFlags(flags);
 
   if (flags.Has("candidates")) {
     CandidateTable table;
@@ -78,7 +82,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "exported top-" << k << " candidates for "
               << table.num_items() << " items to " << path << "\n";
-    return 0;
+    return metrics.Finish();
   }
 
   if (flags.Has("cold_gender")) {
@@ -98,7 +102,7 @@ int main(int argc, char** argv) {
       std::cout << " item_" << r.id;
     }
     std::cout << "\n";
-    return 0;
+    return metrics.Finish();
   }
 
   // Ad-hoc lookups go through the batched serving API so --threads applies
@@ -119,5 +123,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
-  return 0;
+  return metrics.Finish();
 }

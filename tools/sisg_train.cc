@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
       {"input", "model", "variant", "dim", "epochs", "negatives", "window",
        "min_count", "threads", "ingest_threads", "max_errors", "corpus_cache",
        "distributed", "workers", "export_text", "checkpoint_dir",
-       "checkpoint_interval", "resume", "fault_plan", "help"});
+       "checkpoint_interval", "resume", "fault_plan", "metrics_out",
+       "metrics_interval", "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 2;
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
                  "  [--distributed] [--workers 8] [--export_text FILE]\n"
                  "  [--checkpoint_dir DIR] [--checkpoint_interval N]\n"
                  "  [--resume] [--fault_plan SPEC]\n"
+                 "  [--metrics_out FILE] (JSON metrics artifact)\n"
+                 "  [--metrics_interval SECONDS] (periodic progress lines)\n"
                  "  [world flags matching sisg_datagen]\n"
                  "fault plan SPEC: comma-separated key=value —\n"
                  "  kill_worker, kill_at_pair, drop, dup, sync_delay_every,\n"
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  tools::ToolMetrics metrics = tools::ToolMetrics::FromFlags(flags);
+
   // Sessions stream chunk-wise from the input file straight into the
   // parallel corpus builder — the session list is never fully materialized
   // (except under --distributed, where graph partitioning needs it).
@@ -159,5 +164,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "exported word2vec text to " << path << "\n";
   }
-  return 0;
+  return metrics.Finish();
 }

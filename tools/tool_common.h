@@ -2,13 +2,69 @@
 #define SISG_TOOLS_TOOL_COMMON_H_
 
 #include <cstdint>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "datagen/dataset.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
 
 namespace sisg::tools {
+
+/// Shared --metrics_out / --metrics_interval handling. When either flag is
+/// present, enables the metrics registry and (for a positive interval)
+/// starts the background sampler, which logs periodic progress lines and
+/// keeps the JSON artifact fresh. Finish() stops the sampler, writes the
+/// final artifact, and prints the end-of-run summary table.
+class ToolMetrics {
+ public:
+  static ToolMetrics FromFlags(const FlagParser& flags) {
+    ToolMetrics m;
+    m.json_path_ = flags.GetString("metrics_out", "");
+    const double interval =
+        static_cast<double>(flags.GetInt64("metrics_interval", 0));
+    if (m.json_path_.empty() && interval <= 0.0) return m;
+    obs::EnableMetrics(true);
+    m.active_ = true;
+    if (interval > 0.0) {
+      obs::MetricsSampler::Options sopts;
+      sopts.interval_seconds = interval;
+      sopts.json_path = m.json_path_;
+      m.sampler_ = std::make_unique<obs::MetricsSampler>(sopts);
+      m.sampler_->Start();
+    }
+    return m;
+  }
+
+  /// Returns 0, or 1 when writing the artifact failed (the tool's exit
+  /// code should reflect a missing requested artifact).
+  int Finish() {
+    if (!active_) return 0;
+    if (sampler_ != nullptr) sampler_->Stop();  // runs one final tick
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    int rc = 0;
+    if (!json_path_.empty()) {
+      if (auto st = obs::WriteJsonFile(snap, json_path_); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        rc = 1;
+      } else {
+        std::cout << "wrote metrics to " << json_path_ << "\n";
+      }
+    }
+    obs::PrintSummary(snap, std::cout);
+    active_ = false;
+    return rc;
+  }
+
+ private:
+  bool active_ = false;
+  std::string json_path_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+};
 
 /// The world-spec flags shared by all tools. The catalog and user universe
 /// are deterministic functions of these, so sisg_datagen / sisg_train /
