@@ -7,7 +7,9 @@
 # EXPERIMENTS.md "Retrieval microbench"), and BENCH_corpus.json for the
 # ingestion pipeline (serial vs N-thread corpus build, packed vs nested
 # traversal, SGNS epoch on the packed arena; see EXPERIMENTS.md
-# "Ingestion microbench").
+# "Ingestion microbench"), and BENCH_quant.json for the quantized serving
+# path (fp32 vs int8 scan, fp32 IVF vs IVF-PQ ADC, each with a
+# bytes_per_query counter; see EXPERIMENTS.md "Quantization microbench").
 cd /root/repo
 if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
   echo "error: bench binaries not found under build/bench." >&2
@@ -24,9 +26,12 @@ fi
 ./build/bench/bench_micro_corpus \
   --benchmark_out=BENCH_corpus.json --benchmark_out_format=json \
   2>&1 | tee -a bench_output.txt
+./build/bench/bench_micro_quant \
+  --benchmark_out=BENCH_quant.json --benchmark_out_format=json \
+  2>&1 | tee -a bench_output.txt
 for b in build/bench/*; do
   case "$b" in
-    */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus) continue ;;
+    */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus|*/bench_micro_quant) continue ;;
   esac
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip cmake build artifacts
   "$b"

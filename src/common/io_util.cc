@@ -1,6 +1,7 @@
 #include "common/io_util.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -278,6 +279,90 @@ ArtifactReader& ArtifactReader::operator=(ArtifactReader&& other) noexcept {
 
 ArtifactReader::~ArtifactReader() {
   if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<MappedArtifact> MappedArtifact::Open(const std::string& path,
+                                              const std::string& kind) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for read", path));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("cannot stat", path));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < kArtifactHeaderBytes) {
+    ::close(fd);
+    return Status::DataLoss("artifact: truncated file " + path + " (" +
+                            std::to_string(file_size) +
+                            " bytes is smaller than the header)");
+  }
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("cannot mmap", path));
+  }
+  MappedArtifact mapped(map, file_size, 0, 0);  // owns the unmap from here on
+
+  ArtifactHeader header{};
+  std::memcpy(&header, map, sizeof(header));
+  if (std::memcmp(header.magic, kArtifactMagic, 8) != 0) {
+    return Status::DataLoss("artifact: bad magic in " + path);
+  }
+  char want_kind[8];
+  FillKind(kind, want_kind);
+  if (std::memcmp(header.kind, want_kind, 8) != 0) {
+    return Status::InvalidArgument(
+        "artifact: kind mismatch in " + path + " (want '" + kind + "', got '" +
+        std::string(header.kind, 8) + "')");
+  }
+  if (header.reserved != 0) {
+    return Status::DataLoss("artifact: corrupt header (reserved != 0) in " +
+                            path);
+  }
+  if (file_size != kArtifactHeaderBytes + header.payload_bytes) {
+    return Status::DataLoss(
+        "artifact: truncated file " + path + " (header declares " +
+        std::to_string(header.payload_bytes) + " payload bytes, file has " +
+        std::to_string(file_size - kArtifactHeaderBytes) + ")");
+  }
+  const uint32_t crc =
+      Crc32(static_cast<const uint8_t*>(map) + kArtifactHeaderBytes,
+            header.payload_bytes);
+  if (crc != header.crc) {
+    return Status::DataLoss("artifact: checksum mismatch in " + path);
+  }
+  mapped.version_ = header.version;
+  mapped.payload_bytes_ = header.payload_bytes;
+  return mapped;
+}
+
+MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept
+    : map_(other.map_),
+      map_len_(other.map_len_),
+      version_(other.version_),
+      payload_bytes_(other.payload_bytes_) {
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+}
+
+MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_len_);
+    map_ = other.map_;
+    map_len_ = other.map_len_;
+    version_ = other.version_;
+    payload_bytes_ = other.payload_bytes_;
+    other.map_ = nullptr;
+    other.map_len_ = 0;
+  }
+  return *this;
+}
+
+MappedArtifact::~MappedArtifact() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
 }
 
 Status ArtifactReader::Read(void* data, size_t len) {

@@ -143,6 +143,51 @@ class ArtifactReader {
   uint64_t consumed_ = 0;
 };
 
+/// A read-only memory-mapped artifact: the whole file is mapped MAP_PRIVATE
+/// and the SISGART1 header plus the full payload CRC are validated BEFORE
+/// the mapping is handed out, so the never-partially-loaded contract of
+/// ArtifactReader holds here too (the one validation pass also warms the
+/// page cache). The payload pointer stays valid for the lifetime of this
+/// object; consumers (the quantized arenas, the serving arena) point their
+/// row blocks straight into the map, which is what makes a model larger
+/// than RAM a page-cache problem instead of an allocation.
+///
+/// Error contract mirrors ArtifactReader::Open: IOError when the file
+/// cannot be opened/mapped, DataLoss for truncation or corruption,
+/// InvalidArgument for a kind mismatch.
+class MappedArtifact {
+ public:
+  static StatusOr<MappedArtifact> Open(const std::string& path,
+                                       const std::string& kind);
+
+  MappedArtifact() = default;
+  MappedArtifact(MappedArtifact&& other) noexcept;
+  MappedArtifact& operator=(MappedArtifact&& other) noexcept;
+  MappedArtifact(const MappedArtifact&) = delete;
+  MappedArtifact& operator=(const MappedArtifact&) = delete;
+  ~MappedArtifact();
+
+  uint32_t version() const { return version_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// First payload byte (file offset kArtifactHeaderBytes).
+  const uint8_t* payload() const {
+    return static_cast<const uint8_t*>(map_) + kArtifactHeaderBytes;
+  }
+
+ private:
+  MappedArtifact(void* map, size_t map_len, uint32_t version,
+                 uint64_t payload_bytes)
+      : map_(map),
+        map_len_(map_len),
+        version_(version),
+        payload_bytes_(payload_bytes) {}
+
+  void* map_ = nullptr;
+  size_t map_len_ = 0;
+  uint32_t version_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
 }  // namespace sisg
 
 #endif  // SISG_COMMON_IO_UTIL_H_

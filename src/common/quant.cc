@@ -1,0 +1,202 @@
+#include "common/quant.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sisg {
+namespace {
+
+constexpr char kQuantArenaKind[] = "QNTARENA";
+constexpr uint32_t kQuantArenaVersion = 1;
+
+/// Fixed-size prologue of the QNTARENA payload:
+///   u32 num_rows, u32 dim, u32 row stride (bytes), u32 data_off
+/// followed by scales (num_rows f32), mins (num_rows f32), zero padding up
+/// to data_off, then the code block (num_rows * stride bytes). data_off is
+/// chosen so the code block's FILE offset (header + data_off) is 64-byte
+/// aligned, making mmap'd rows cache-line aligned like heap rows.
+constexpr size_t kQuantPrologueBytes = 16;
+
+uint64_t CodeBlockOffset(uint32_t num_rows) {
+  const uint64_t meta = kQuantPrologueBytes +
+                        static_cast<uint64_t>(num_rows) * 2 * sizeof(float);
+  const uint64_t file_off = kArtifactHeaderBytes + meta;
+  return (file_off + 63) / 64 * 64 - kArtifactHeaderBytes;
+}
+
+}  // namespace
+
+void QuantizeRowInt8(const float* row, size_t dim, uint8_t* codes,
+                     float* scale, float* min) {
+  float lo = row[0], hi = row[0];
+  for (size_t i = 1; i < dim; ++i) {
+    lo = row[i] < lo ? row[i] : lo;
+    hi = row[i] > hi ? row[i] : hi;
+  }
+  const float s = (hi - lo) / 255.0f;
+  *min = lo;
+  *scale = s;
+  if (s <= 0.0f) {
+    std::memset(codes, 0, dim);
+    return;
+  }
+  const float inv = 1.0f / s;
+  for (size_t i = 0; i < dim; ++i) {
+    const float c = std::nearbyintf((row[i] - lo) * inv);
+    codes[i] = static_cast<uint8_t>(c < 0.0f ? 0.0f : (c > 255.0f ? 255.0f : c));
+  }
+}
+
+Int8Query QuantizeQueryInt8(const float* q, size_t dim, int8_t* codes) {
+  float amax = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    const float a = std::fabs(q[i]);
+    amax = a > amax ? a : amax;
+  }
+  Int8Query out;
+  out.codes = codes;
+  if (amax <= 0.0f) {
+    std::memset(codes, 0, dim);
+    return out;
+  }
+  out.scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  int32_t sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    const float c = std::nearbyintf(q[i] * inv);
+    const int32_t ci =
+        static_cast<int32_t>(c < -127.0f ? -127.0f : (c > 127.0f ? 127.0f : c));
+    codes[i] = static_cast<int8_t>(ci);
+    sum += ci;
+  }
+  out.sum = sum;
+  return out;
+}
+
+Status Int8Arena::BuildFromRows(const float* rows, uint32_t n, uint32_t dim,
+                                size_t row_stride) {
+  if (rows == nullptr || n == 0 || dim == 0 || row_stride < dim) {
+    return Status::InvalidArgument("int8 arena: empty or inconsistent input");
+  }
+  num_rows_ = n;
+  dim_ = dim;
+  stride_ = AlignedByteStride(dim);
+  own_codes_.assign(static_cast<size_t>(n) * stride_, 0);
+  own_params_.assign(static_cast<size_t>(n) * 2, 0.0f);
+  for (uint32_t r = 0; r < n; ++r) {
+    QuantizeRowInt8(rows + static_cast<size_t>(r) * row_stride, dim,
+                    own_codes_.data() + static_cast<size_t>(r) * stride_,
+                    &own_params_[r], &own_params_[static_cast<size_t>(n) + r]);
+  }
+  codes_ = own_codes_.data();
+  scales_ = own_params_.data();
+  mins_ = own_params_.data() + n;
+  map_ = MappedArtifact();
+  return Status::OK();
+}
+
+Status Int8Arena::Save(const std::string& path) const {
+  if (num_rows_ == 0) {
+    return Status::FailedPrecondition("int8 arena: cannot save an empty arena");
+  }
+  SISG_ASSIGN_OR_RETURN(
+      ArtifactWriter w,
+      ArtifactWriter::Open(path, kQuantArenaKind, kQuantArenaVersion));
+  const uint32_t stride32 = static_cast<uint32_t>(stride_);
+  const uint32_t data_off = static_cast<uint32_t>(CodeBlockOffset(num_rows_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(num_rows_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(dim_));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(stride32));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(data_off));
+  SISG_RETURN_IF_ERROR(
+      w.Write(scales_, static_cast<size_t>(num_rows_) * sizeof(float)));
+  SISG_RETURN_IF_ERROR(
+      w.Write(mins_, static_cast<size_t>(num_rows_) * sizeof(float)));
+  const uint64_t meta_end =
+      kQuantPrologueBytes + static_cast<uint64_t>(num_rows_) * 2 * sizeof(float);
+  const char zeros[64] = {0};
+  SISG_RETURN_IF_ERROR(w.Write(zeros, data_off - meta_end));
+  SISG_RETURN_IF_ERROR(
+      w.Write(codes_, static_cast<size_t>(num_rows_) * stride_));
+  return w.Commit();
+}
+
+StatusOr<Int8Arena> Int8Arena::Load(const std::string& path, bool use_mmap) {
+  Int8Arena arena;
+  uint32_t num_rows = 0, dim = 0, stride = 0, data_off = 0;
+
+  auto validate = [&](uint64_t payload_bytes) -> Status {
+    if (num_rows == 0 || dim == 0) {
+      return Status::DataLoss("int8 arena: empty shape in " + path);
+    }
+    if (stride != AlignedByteStride(dim)) {
+      return Status::DataLoss("int8 arena: row stride " +
+                              std::to_string(stride) +
+                              " does not match dim " + std::to_string(dim) +
+                              " in " + path);
+    }
+    if (data_off != CodeBlockOffset(num_rows) ||
+        payload_bytes !=
+            data_off + static_cast<uint64_t>(num_rows) * stride) {
+      return Status::DataLoss(
+          "int8 arena: artifact layout inconsistent with declared shape in " +
+          path);
+    }
+    return Status::OK();
+  };
+
+  if (use_mmap) {
+    SISG_ASSIGN_OR_RETURN(MappedArtifact map,
+                          MappedArtifact::Open(path, kQuantArenaKind));
+    if (map.version() != kQuantArenaVersion) {
+      return Status::InvalidArgument("int8 arena: unsupported version " +
+                                     std::to_string(map.version()) + " in " +
+                                     path);
+    }
+    if (map.payload_bytes() < kQuantPrologueBytes) {
+      return Status::DataLoss("int8 arena: payload too small in " + path);
+    }
+    const uint8_t* p = map.payload();
+    std::memcpy(&num_rows, p, 4);
+    std::memcpy(&dim, p + 4, 4);
+    std::memcpy(&stride, p + 8, 4);
+    std::memcpy(&data_off, p + 12, 4);
+    SISG_RETURN_IF_ERROR(validate(map.payload_bytes()));
+    arena.map_ = std::move(map);
+    const uint8_t* base = arena.map_.payload();
+    arena.scales_ = reinterpret_cast<const float*>(base + kQuantPrologueBytes);
+    arena.mins_ = arena.scales_ + num_rows;
+    arena.codes_ = base + data_off;
+  } else {
+    SISG_ASSIGN_OR_RETURN(ArtifactReader r,
+                          ArtifactReader::Open(path, kQuantArenaKind));
+    if (r.version() != kQuantArenaVersion) {
+      return Status::InvalidArgument("int8 arena: unsupported version " +
+                                     std::to_string(r.version()) + " in " +
+                                     path);
+    }
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&num_rows));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&dim));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&stride));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&data_off));
+    SISG_RETURN_IF_ERROR(validate(r.payload_bytes()));
+    arena.own_params_.assign(static_cast<size_t>(num_rows) * 2, 0.0f);
+    SISG_RETURN_IF_ERROR(r.Read(arena.own_params_.data(),
+                                arena.own_params_.size() * sizeof(float)));
+    std::vector<char> pad(data_off - kQuantPrologueBytes -
+                          static_cast<size_t>(num_rows) * 2 * sizeof(float));
+    SISG_RETURN_IF_ERROR(r.Read(pad.data(), pad.size()));
+    arena.own_codes_.assign(static_cast<size_t>(num_rows) * stride, 0);
+    SISG_RETURN_IF_ERROR(
+        r.Read(arena.own_codes_.data(), arena.own_codes_.size()));
+    arena.scales_ = arena.own_params_.data();
+    arena.mins_ = arena.own_params_.data() + num_rows;
+    arena.codes_ = arena.own_codes_.data();
+  }
+  arena.num_rows_ = num_rows;
+  arena.dim_ = dim;
+  arena.stride_ = stride;
+  return arena;
+}
+
+}  // namespace sisg

@@ -15,6 +15,12 @@ const char* SimdLevelName(SimdLevel level) {
   return "unknown";
 }
 
+float Int8DequantScore(const Int8Query& q, float row_scale, float row_min,
+                       int32_t idot) {
+  return q.scale * (row_scale * static_cast<float>(idot) +
+                    row_min * static_cast<float>(q.sum));
+}
+
 bool CpuSupportsAvx2() {
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -38,9 +44,16 @@ SimdLevel ResolveSimdLevel(const std::string& preference, bool cpu_has_avx2) {
 
 namespace {
 
-const SimdOps kScalarOps = {
-    simd_scalar::Dot,      simd_scalar::Axpy,     simd_scalar::SgnsUpdateFused,
-    simd_scalar::DotBatch, simd_scalar::TopKScan, SimdLevel::kScalar};
+const SimdOps kScalarOps = {simd_scalar::Dot,
+                            simd_scalar::Axpy,
+                            simd_scalar::SgnsUpdateFused,
+                            simd_scalar::DotBatch,
+                            simd_scalar::TopKScan,
+                            simd_scalar::DotI8,
+                            simd_scalar::DotBatchI8,
+                            simd_scalar::TopKScanI8,
+                            simd_scalar::AdcScan,
+                            SimdLevel::kScalar};
 
 }  // namespace
 

@@ -29,6 +29,29 @@ enum class SimdLevel : int {
 
 const char* SimdLevelName(SimdLevel level);
 
+/// A query prepared for the int8 scan path: symmetric quantization
+/// q[i] ~= scale * codes[i] with codes in [-127, 127], plus the code sum the
+/// affine dequantization needs (see Int8DequantScore). Built per query by
+/// QuantizeQueryInt8 (common/quant.h); the codes buffer is caller-owned.
+struct Int8Query {
+  const int8_t* codes = nullptr;
+  int32_t sum = 0;    // sum of codes[0..dim)
+  float scale = 0.0f; // q[i] ~= scale * codes[i]
+};
+
+/// Reconstructs the fp32 score of one int8-quantized candidate row from the
+/// exact integer dot product. Rows are affine-quantized
+/// (x[i] ~= row_min + row_scale * u8code[i]), queries symmetric, so
+///   q . x ~= q_scale * (row_scale * idot + row_min * sum(q_codes)).
+/// Every kernel (scalar and SIMD) funnels through this one expression with
+/// an exactly-accumulated integer `idot`, which is what makes int8 scores
+/// bit-identical across dispatch levels. Deliberately out-of-line (defined
+/// in simd.cc, built without -mfma): inlined into the AVX2 translation unit
+/// the compiler would contract the expression into an FMA and round
+/// differently than the scalar reference.
+float Int8DequantScore(const Int8Query& q, float row_scale, float row_min,
+                       int32_t idot);
+
 /// Dispatch table of the hot kernels. `sgns_update_fused` is the fused SGNS
 /// gradient step: it computes the positive and all negative dot products,
 /// maps them through the sigmoid LUT, then updates every output row in place
@@ -55,6 +78,33 @@ struct SimdOps {
   void (*top_k_scan)(const float* query, const float* rows, size_t stride,
                      uint32_t n, size_t dim, const uint32_t* ids,
                      uint32_t exclude, TopKSelector* sel);
+  /// Exact integer dot product of an int8 query against one u8-coded row:
+  /// sum of q[i] * row[i] in int32 (no saturation; dim <= 2^16 is far below
+  /// the int32 overflow bound of 127 * 255 * dim).
+  int32_t (*dot_i8)(const int8_t* q, const uint8_t* row, size_t dim);
+  /// Batched integer dots over a contiguous block of `n` u8 rows spaced
+  /// `stride` BYTES apart (stride >= dim; padding codes are zero and benign).
+  void (*dot_batch_i8)(const int8_t* q, const uint8_t* rows, size_t stride,
+                       uint32_t n, size_t dim, int32_t* idots);
+  /// Fused int8 scan + top-K selection: integer dots per row, dequantized
+  /// through Int8DequantScore with the per-row affine params
+  /// (row_scales[i], row_mins[i]), folded into `sel` exactly like
+  /// top_k_scan. Bit-identical across dispatch levels (integer accumulation
+  /// is exact; the float dequant is one shared expression).
+  void (*top_k_scan_i8)(const Int8Query& query, const uint8_t* rows,
+                        size_t stride, const float* row_scales,
+                        const float* row_mins, uint32_t n, size_t dim,
+                        const uint32_t* ids, uint32_t exclude,
+                        TopKSelector* sel);
+  /// Asymmetric-distance (ADC) scan over PQ codes: row i holds `m` subspace
+  /// codes at rows + i * m, scored as sum_s table[s * 256 + code[s]] against
+  /// a per-query lookup table (m x 256 floats), folded into `sel` like
+  /// top_k_scan. The AVX2 version gathers 8 subspaces per step, so its float
+  /// summation order differs from scalar (parity is approximate, like the
+  /// fp32 kernels).
+  void (*adc_scan)(const float* table, const uint8_t* codes, size_t m,
+                   uint32_t n, const uint32_t* ids, uint32_t exclude,
+                   TopKSelector* sel);
   SimdLevel level;
 };
 
@@ -82,6 +132,15 @@ void DotBatch(const float* query, const float* rows, size_t stride, uint32_t n,
 void TopKScan(const float* query, const float* rows, size_t stride, uint32_t n,
               size_t dim, const uint32_t* ids, uint32_t exclude,
               TopKSelector* sel);
+int32_t DotI8(const int8_t* q, const uint8_t* row, size_t dim);
+void DotBatchI8(const int8_t* q, const uint8_t* rows, size_t stride,
+                uint32_t n, size_t dim, int32_t* idots);
+void TopKScanI8(const Int8Query& query, const uint8_t* rows, size_t stride,
+                const float* row_scales, const float* row_mins, uint32_t n,
+                size_t dim, const uint32_t* ids, uint32_t exclude,
+                TopKSelector* sel);
+void AdcScan(const float* table, const uint8_t* codes, size_t m, uint32_t n,
+             const uint32_t* ids, uint32_t exclude, TopKSelector* sel);
 }  // namespace simd_scalar
 
 namespace simd_avx2 {
@@ -137,12 +196,20 @@ struct AlignedAllocator {
 /// 64-byte aligned float buffer, the storage type of EmbeddingModel.
 using AlignedFloatVector = std::vector<float, AlignedAllocator<float, 64>>;
 
+/// 64-byte aligned byte buffer, the storage type of the int8 and PQ code
+/// arenas.
+using AlignedByteVector = std::vector<uint8_t, AlignedAllocator<uint8_t, 64>>;
+
 /// Rounds `dim` up to a whole number of 64-byte cache lines worth of floats
 /// (the row stride of aligned embedding storage).
 inline size_t AlignedRowStride(size_t dim) {
   constexpr size_t kFloatsPerLine = 64 / sizeof(float);
   return (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
 }
+
+/// Rounds `dim` up to a whole number of 64-byte cache lines worth of bytes
+/// (the row stride of the int8 code arena).
+inline size_t AlignedByteStride(size_t dim) { return (dim + 63) / 64 * 64; }
 
 }  // namespace sisg
 

@@ -185,8 +185,168 @@ void TopKScanAvx2(const float* query, const float* rows, size_t stride,
   }
 }
 
-constexpr SimdOps kAvx2Ops = {DotAvx2,      AxpyAvx2, SgnsUpdateFusedAvx2,
-                              DotBatchAvx2, TopKScanAvx2, SimdLevel::kAvx2};
+inline int32_t Hsum256i(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(lo);
+}
+
+/// 16 codes per step: widen u8 rows and i8 queries to i16 and multiply-add
+/// pairs with madd_epi16. The obvious maddubs_epi16 path is NOT used: it
+/// saturates its intermediate i16 sums (255 * 127 * 2 > 32767), which would
+/// both lose precision and break the bit-exact-across-dispatch contract.
+/// The widened path is exact for any code values, at half the throughput of
+/// maddubs and still ~4x the fp32 lanes.
+int32_t DotI8Avx2(const int8_t* q, const uint8_t* row, size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256i r16 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i)));
+    const __m256i q16 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(r16, q16));
+  }
+  int32_t dot = Hsum256i(acc);
+  for (; i < dim; ++i) {
+    dot += static_cast<int32_t>(q[i]) * static_cast<int32_t>(row[i]);
+  }
+  return dot;
+}
+
+void DotBatchI8Avx2(const int8_t* q, const uint8_t* rows, size_t stride,
+                    uint32_t n, size_t dim, int32_t* idots) {
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8_t* r0 = rows + static_cast<size_t>(i) * stride;
+    const uint8_t* r1 = r0 + stride;
+    const uint8_t* r2 = r1 + stride;
+    const uint8_t* r3 = r2 + stride;
+    if (i + 8 <= n) {
+      // A whole int8 row is <= 4 cache lines at dim 256; the row starts are
+      // enough to keep the stream ahead of the loads.
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 2 * stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 3 * stride), _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(r3 + 4 * stride), _MM_HINT_T0);
+    }
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    size_t d = 0;
+    for (; d + 16 <= dim; d += 16) {
+      const __m256i q16 = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + d)));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(
+                    _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(r0 + d))),
+                    q16));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(
+                    _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(r1 + d))),
+                    q16));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_madd_epi16(
+                    _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(r2 + d))),
+                    q16));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_madd_epi16(
+                    _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(r3 + d))),
+                    q16));
+    }
+    int32_t t0 = Hsum256i(acc0);
+    int32_t t1 = Hsum256i(acc1);
+    int32_t t2 = Hsum256i(acc2);
+    int32_t t3 = Hsum256i(acc3);
+    for (; d < dim; ++d) {
+      const int32_t qd = q[d];
+      t0 += qd * r0[d];
+      t1 += qd * r1[d];
+      t2 += qd * r2[d];
+      t3 += qd * r3[d];
+    }
+    idots[i] = t0;
+    idots[i + 1] = t1;
+    idots[i + 2] = t2;
+    idots[i + 3] = t3;
+  }
+  for (; i < n; ++i) {
+    idots[i] = DotI8Avx2(q, rows + static_cast<size_t>(i) * stride, dim);
+  }
+}
+
+void TopKScanI8Avx2(const Int8Query& query, const uint8_t* rows, size_t stride,
+                    const float* row_scales, const float* row_mins, uint32_t n,
+                    size_t dim, const uint32_t* ids, uint32_t exclude,
+                    TopKSelector* sel) {
+  // Chunked like the fp32 scan: one batched integer pass fills a stack
+  // buffer, then a scalar pass dequantizes (same expression as the scalar
+  // kernel, on exactly the same integer dots) and folds into the selector —
+  // bit-identical to simd_scalar::TopKScanI8.
+  constexpr uint32_t kChunk = 256;
+  int32_t idots[kChunk];
+  for (uint32_t base = 0; base < n; base += kChunk) {
+    const uint32_t len = n - base < kChunk ? n - base : kChunk;
+    DotBatchI8Avx2(query.codes, rows + static_cast<size_t>(base) * stride,
+                   stride, len, dim, idots);
+    float thr = sel->Threshold();
+    for (uint32_t j = 0; j < len; ++j) {
+      const uint32_t i = base + j;
+      const uint32_t id = ids != nullptr ? ids[i] : i;
+      if (id == exclude) continue;
+      const float s =
+          Int8DequantScore(query, row_scales[i], row_mins[i], idots[j]);
+      if (s <= thr) continue;
+      sel->Push(s, id);
+      thr = sel->Threshold();
+    }
+  }
+}
+
+void AdcScanAvx2(const float* table, const uint8_t* codes, size_t m,
+                 uint32_t n, const uint32_t* ids, uint32_t exclude,
+                 TopKSelector* sel) {
+  // 8 subspaces per step: widen 8 codes to i32, offset lane s by s * 256 and
+  // gather from the per-query table. The table is m * 256 floats (~16KB at
+  // m = 16), so it stays L1/L2-resident across the whole scan.
+  const __m256i lane_base =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t id = ids != nullptr ? ids[i] : i;
+    if (id == exclude) continue;
+    const uint8_t* row = codes + static_cast<size_t>(i) * m;
+    __m256 acc = _mm256_setzero_ps();
+    size_t s = 0;
+    for (; s + 8 <= m; s += 8) {
+      const __m256i c = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + s)));
+      const __m256i idx = _mm256_add_epi32(lane_base, c);
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table + s * 256, idx, 4));
+    }
+    float sum = Hsum256(acc);
+    for (; s < m; ++s) sum += table[s * 256 + row[s]];
+    if (sum > sel->Threshold()) sel->Push(sum, id);
+  }
+}
+
+constexpr SimdOps kAvx2Ops = {DotAvx2,
+                              AxpyAvx2,
+                              SgnsUpdateFusedAvx2,
+                              DotBatchAvx2,
+                              TopKScanAvx2,
+                              DotI8Avx2,
+                              DotBatchI8Avx2,
+                              TopKScanI8Avx2,
+                              AdcScanAvx2,
+                              SimdLevel::kAvx2};
 
 }  // namespace
 

@@ -56,5 +56,49 @@ void TopKScan(const float* query, const float* rows, size_t stride, uint32_t n,
   }
 }
 
+int32_t DotI8(const int8_t* q, const uint8_t* row, size_t dim) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    acc += static_cast<int32_t>(q[i]) * static_cast<int32_t>(row[i]);
+  }
+  return acc;
+}
+
+void DotBatchI8(const int8_t* q, const uint8_t* rows, size_t stride,
+                uint32_t n, size_t dim, int32_t* idots) {
+  for (uint32_t i = 0; i < n; ++i) {
+    idots[i] = DotI8(q, rows + static_cast<size_t>(i) * stride, dim);
+  }
+}
+
+void TopKScanI8(const Int8Query& query, const uint8_t* rows, size_t stride,
+                const float* row_scales, const float* row_mins, uint32_t n,
+                size_t dim, const uint32_t* ids, uint32_t exclude,
+                TopKSelector* sel) {
+  // The integer dot is exact and the dequantization is the one shared
+  // expression, so this loop defines the scores every dispatch level must
+  // reproduce bit-for-bit.
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t id = ids != nullptr ? ids[i] : i;
+    if (id == exclude) continue;
+    const int32_t idot =
+        DotI8(query.codes, rows + static_cast<size_t>(i) * stride, dim);
+    const float s = Int8DequantScore(query, row_scales[i], row_mins[i], idot);
+    if (s > sel->Threshold()) sel->Push(s, id);
+  }
+}
+
+void AdcScan(const float* table, const uint8_t* codes, size_t m, uint32_t n,
+             const uint32_t* ids, uint32_t exclude, TopKSelector* sel) {
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t id = ids != nullptr ? ids[i] : i;
+    if (id == exclude) continue;
+    const uint8_t* row = codes + static_cast<size_t>(i) * m;
+    float s = 0.0f;
+    for (size_t sub = 0; sub < m; ++sub) s += table[sub * 256 + row[sub]];
+    if (s > sel->Threshold()) sel->Push(s, id);
+  }
+}
+
 }  // namespace simd_scalar
 }  // namespace sisg

@@ -1,0 +1,179 @@
+#include "core/embedding_arena.h"
+
+#include <cstring>
+
+namespace sisg {
+namespace {
+
+constexpr char kArenaKind[] = "EMBARENA";
+constexpr uint32_t kArenaVersion = 1;
+
+/// Fixed-size prologue of the EMBARENA payload:
+///   u32 num_items, u32 dim, u32 num_cand, u32 mode,
+///   u32 row stride (floats), u32 data_off
+/// then cand_ids (num_cand u32), has_item (num_items u8), zero padding up to
+/// data_off, the query block (num_items x stride f32) and the candidate
+/// block (num_cand x stride f32). data_off 64-byte aligns the query block's
+/// file offset; the candidate block follows at a 64-byte boundary too since
+/// every padded row is a whole number of cache lines.
+constexpr size_t kArenaPrologueBytes = 24;
+
+uint64_t MetaBytes(uint32_t num_items, uint32_t num_cand) {
+  return kArenaPrologueBytes +
+         static_cast<uint64_t>(num_cand) * sizeof(uint32_t) + num_items;
+}
+
+uint64_t FloatBlockOffset(uint32_t num_items, uint32_t num_cand) {
+  const uint64_t file_off =
+      kArtifactHeaderBytes + MetaBytes(num_items, num_cand);
+  return (file_off + 63) / 64 * 64 - kArtifactHeaderBytes;
+}
+
+}  // namespace
+
+Status ServingArena::Save(const std::string& path, const View& v) {
+  if (v.num_items == 0 || v.dim == 0 || v.query_rows == nullptr ||
+      v.cand_ids == nullptr || v.has_item == nullptr ||
+      (v.num_cand > 0 && v.cand_rows == nullptr) ||
+      v.query_stride < v.dim || v.cand_stride < v.dim) {
+    return Status::InvalidArgument("serving arena: inconsistent view");
+  }
+  SISG_ASSIGN_OR_RETURN(ArtifactWriter w,
+                        ArtifactWriter::Open(path, kArenaKind, kArenaVersion));
+  const uint32_t stride =
+      static_cast<uint32_t>(AlignedRowStride(v.dim));
+  const uint32_t data_off =
+      static_cast<uint32_t>(FloatBlockOffset(v.num_items, v.num_cand));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(v.num_items));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(v.dim));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(v.num_cand));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(v.mode));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(stride));
+  SISG_RETURN_IF_ERROR(w.WriteScalar(data_off));
+  SISG_RETURN_IF_ERROR(
+      w.Write(v.cand_ids, static_cast<size_t>(v.num_cand) * sizeof(uint32_t)));
+  SISG_RETURN_IF_ERROR(w.Write(v.has_item, v.num_items));
+  const char zeros[64] = {0};
+  SISG_RETURN_IF_ERROR(
+      w.Write(zeros, data_off - MetaBytes(v.num_items, v.num_cand)));
+  // Rows are re-padded to the canonical stride on the way out, so the
+  // artifact layout is identical whether the source rows were dense
+  // (engine matrices) or already padded (another arena).
+  std::vector<float> row(stride, 0.0f);
+  for (uint32_t i = 0; i < v.num_items; ++i) {
+    std::memcpy(row.data(),
+                v.query_rows + static_cast<size_t>(i) * v.query_stride,
+                v.dim * sizeof(float));
+    SISG_RETURN_IF_ERROR(w.Write(row.data(), stride * sizeof(float)));
+  }
+  for (uint32_t i = 0; i < v.num_cand; ++i) {
+    std::memcpy(row.data(),
+                v.cand_rows + static_cast<size_t>(i) * v.cand_stride,
+                v.dim * sizeof(float));
+    SISG_RETURN_IF_ERROR(w.Write(row.data(), stride * sizeof(float)));
+  }
+  return w.Commit();
+}
+
+StatusOr<ServingArena> ServingArena::Load(const std::string& path,
+                                          bool use_mmap) {
+  ServingArena arena;
+  uint32_t num_items = 0, dim = 0, num_cand = 0, mode = 0, stride = 0,
+           data_off = 0;
+
+  auto validate = [&](uint64_t payload_bytes) -> Status {
+    if (num_items == 0 || dim == 0 || num_cand > num_items || mode > 1) {
+      return Status::DataLoss("serving arena: corrupt shape in " + path);
+    }
+    if (stride != AlignedRowStride(dim)) {
+      return Status::DataLoss("serving arena: row stride " +
+                              std::to_string(stride) +
+                              " does not match dim " + std::to_string(dim) +
+                              " in " + path);
+    }
+    const uint64_t floats = (static_cast<uint64_t>(num_items) + num_cand) *
+                            stride * sizeof(float);
+    if (data_off != FloatBlockOffset(num_items, num_cand) ||
+        payload_bytes != data_off + floats) {
+      return Status::DataLoss(
+          "serving arena: artifact layout inconsistent with declared shape "
+          "in " +
+          path);
+    }
+    return Status::OK();
+  };
+
+  if (use_mmap) {
+    SISG_ASSIGN_OR_RETURN(MappedArtifact map,
+                          MappedArtifact::Open(path, kArenaKind));
+    if (map.version() != kArenaVersion) {
+      return Status::InvalidArgument("serving arena: unsupported version " +
+                                     std::to_string(map.version()) + " in " +
+                                     path);
+    }
+    if (map.payload_bytes() < kArenaPrologueBytes) {
+      return Status::DataLoss("serving arena: payload too small in " + path);
+    }
+    const uint8_t* p = map.payload();
+    std::memcpy(&num_items, p, 4);
+    std::memcpy(&dim, p + 4, 4);
+    std::memcpy(&num_cand, p + 8, 4);
+    std::memcpy(&mode, p + 12, 4);
+    std::memcpy(&stride, p + 16, 4);
+    std::memcpy(&data_off, p + 20, 4);
+    SISG_RETURN_IF_ERROR(validate(map.payload_bytes()));
+    arena.map_ = std::move(map);
+    const uint8_t* base = arena.map_.payload();
+    arena.own_ids_.assign(num_cand, 0);
+    std::memcpy(arena.own_ids_.data(), base + kArenaPrologueBytes,
+                static_cast<size_t>(num_cand) * sizeof(uint32_t));
+    arena.own_has_.assign(num_items, 0);
+    std::memcpy(arena.own_has_.data(),
+                base + kArenaPrologueBytes +
+                    static_cast<size_t>(num_cand) * sizeof(uint32_t),
+                num_items);
+    arena.view_.query_rows = reinterpret_cast<const float*>(base + data_off);
+    arena.view_.cand_rows = arena.view_.query_rows +
+                            static_cast<size_t>(num_items) * stride;
+  } else {
+    SISG_ASSIGN_OR_RETURN(ArtifactReader r,
+                          ArtifactReader::Open(path, kArenaKind));
+    if (r.version() != kArenaVersion) {
+      return Status::InvalidArgument("serving arena: unsupported version " +
+                                     std::to_string(r.version()) + " in " +
+                                     path);
+    }
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&num_items));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&dim));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&num_cand));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&mode));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&stride));
+    SISG_RETURN_IF_ERROR(r.ReadScalar(&data_off));
+    SISG_RETURN_IF_ERROR(validate(r.payload_bytes()));
+    arena.own_ids_.assign(num_cand, 0);
+    SISG_RETURN_IF_ERROR(r.Read(arena.own_ids_.data(),
+                                arena.own_ids_.size() * sizeof(uint32_t)));
+    arena.own_has_.assign(num_items, 0);
+    SISG_RETURN_IF_ERROR(r.Read(arena.own_has_.data(), num_items));
+    std::vector<char> pad(data_off - MetaBytes(num_items, num_cand));
+    SISG_RETURN_IF_ERROR(r.Read(pad.data(), pad.size()));
+    arena.own_floats_.assign(
+        (static_cast<size_t>(num_items) + num_cand) * stride, 0.0f);
+    SISG_RETURN_IF_ERROR(r.Read(arena.own_floats_.data(),
+                                arena.own_floats_.size() * sizeof(float)));
+    arena.view_.query_rows = arena.own_floats_.data();
+    arena.view_.cand_rows =
+        arena.own_floats_.data() + static_cast<size_t>(num_items) * stride;
+  }
+  arena.view_.num_items = num_items;
+  arena.view_.dim = dim;
+  arena.view_.num_cand = num_cand;
+  arena.view_.mode = mode;
+  arena.view_.query_stride = stride;
+  arena.view_.cand_stride = stride;
+  arena.view_.cand_ids = arena.own_ids_.data();
+  arena.view_.has_item = arena.own_has_.data();
+  return arena;
+}
+
+}  // namespace sisg

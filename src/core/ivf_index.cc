@@ -67,31 +67,120 @@ Status IvfIndex::Build(const float* data, uint32_t rows, uint32_t dim,
   return Status::OK();
 }
 
+Status IvfIndex::EnablePq(const PqOptions& options, uint32_t rerank) {
+  if (num_indexed_ == 0) {
+    return Status::FailedPrecondition("ivf: index not built");
+  }
+  PqCodebook book;
+  SISG_RETURN_IF_ERROR(
+      book.Train(list_data_.data(), num_indexed_, dim_, stride_, options));
+  return EnablePq(std::move(book), rerank);
+}
+
+Status IvfIndex::EnablePq(PqCodebook book, uint32_t rerank) {
+  if (num_indexed_ == 0) {
+    return Status::FailedPrecondition("ivf: index not built");
+  }
+  if (!book.trained() || book.dim() != dim_) {
+    return Status::FailedPrecondition(
+        "ivf: pq codebook dim " + std::to_string(book.dim()) +
+        " != index dim " + std::to_string(dim_));
+  }
+  const uint32_t m = book.m();
+  pq_codes_.assign(static_cast<size_t>(num_indexed_) * m, 0);
+  for (uint32_t row = 0; row < num_indexed_; ++row) {
+    book.Encode(list_data_.data() + static_cast<size_t>(row) * stride_,
+                pq_codes_.data() + static_cast<size_t>(row) * m);
+  }
+  row_ids_.resize(num_indexed_);
+  for (uint32_t row = 0; row < num_indexed_; ++row) row_ids_[row] = row;
+  pq_ = std::make_unique<PqCodebook>(std::move(book));
+  pq_rerank_ = rerank;
+  return Status::OK();
+}
+
 std::vector<ScoredId> IvfIndex::Query(const float* query, uint32_t k,
                                       uint32_t exclude) const {
   if (num_indexed_ == 0 || k == 0) return {};
   const SimdOps& ops = GetSimdOps();
-  TopKSelector sel(k);
   uint64_t probed = 0;
   uint64_t scanned = 0;
-  for (uint32_t c : quantizer_.AssignTopN(query, nprobe_)) {
-    const uint32_t begin = list_begin_[c];
-    const uint32_t len = list_begin_[c + 1] - begin;
-    ++probed;
-    if (len == 0) continue;
-    scanned += len;
-    ops.top_k_scan(query, list_data_.data() + static_cast<size_t>(begin) * stride_,
-                   stride_, len, dim_, flat_ids_.data() + begin, exclude, &sel);
+  uint64_t bytes = 0;
+  std::vector<ScoredId> result;
+
+  if (pq_ != nullptr) {
+    // ADC path: build the per-query table once, scan m-byte codes, then
+    // re-score the shortlist exactly against the fp32 rows. The shortlist
+    // selector collects BLOCK rows (row_ids_ is the identity map) because
+    // the rerank needs row addresses; the exclude is applied at rerank,
+    // where external ids are known, so the shortlist is one deeper.
+    const uint32_t m = pq_->m();
+    const uint32_t want = pq_rerank_ > 0
+                              ? pq_rerank_
+                              : std::max(4 * k, 32u);
+    const uint32_t shortlist_k =
+        std::min(num_indexed_, want) + 1;  // +1 absorbs the excluded row
+    std::vector<float> table(static_cast<size_t>(m) * 256);
+    pq_->BuildAdcTable(query, table.data());
+    bytes += table.size() * sizeof(float);  // table build reads/writes
+    TopKSelector shortlist(shortlist_k);
+    for (uint32_t c : quantizer_.AssignTopN(query, nprobe_)) {
+      const uint32_t begin = list_begin_[c];
+      const uint32_t len = list_begin_[c + 1] - begin;
+      ++probed;
+      if (len == 0) continue;
+      scanned += len;
+      bytes += static_cast<uint64_t>(len) * m;
+      ops.adc_scan(table.data(),
+                   pq_codes_.data() + static_cast<size_t>(begin) * m, m, len,
+                   row_ids_.data() + begin, UINT32_MAX, &shortlist);
+    }
+    TopKSelector sel(k);
+    uint64_t reranked = 0;
+    for (const ScoredId& cand : shortlist.Take()) {
+      const uint32_t row = cand.id;
+      const uint32_t id = flat_ids_[row];
+      if (id == exclude) continue;
+      ++reranked;
+      const float s = ops.dot(
+          query, list_data_.data() + static_cast<size_t>(row) * stride_, dim_);
+      if (s > sel.Threshold()) sel.Push(s, id);
+    }
+    bytes += reranked * dim_ * sizeof(float);
+    result = sel.Take();
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const m_rerank =
+          obs::MetricsRegistry::Global().counter("serve.pq_rerank_rows");
+      m_rerank->Add(reranked);
+    }
+  } else {
+    TopKSelector sel(k);
+    for (uint32_t c : quantizer_.AssignTopN(query, nprobe_)) {
+      const uint32_t begin = list_begin_[c];
+      const uint32_t len = list_begin_[c + 1] - begin;
+      ++probed;
+      if (len == 0) continue;
+      scanned += len;
+      bytes += static_cast<uint64_t>(len) * dim_ * sizeof(float);
+      ops.top_k_scan(query,
+                     list_data_.data() + static_cast<size_t>(begin) * stride_,
+                     stride_, len, dim_, flat_ids_.data() + begin, exclude,
+                     &sel);
+    }
+    result = sel.Take();
   }
   if (obs::MetricsEnabled()) {
     static obs::Counter* const m_probed =
         obs::MetricsRegistry::Global().counter("serve.ivf_lists_probed");
     static obs::Counter* const m_scanned =
         obs::MetricsRegistry::Global().counter("serve.ivf_rows_scanned");
+    static obs::Counter* const m_bytes =
+        obs::MetricsRegistry::Global().counter("serve.bytes_scanned");
     m_probed->Add(probed);
     m_scanned->Add(scanned);
+    m_bytes->Add(bytes);
   }
-  return sel.Take();
+  return result;
 }
 
 Status IvfIndex::QueryChecked(const float* query, uint32_t query_dim,

@@ -2,6 +2,7 @@
 #define SISG_CORE_IVF_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "common/status.h"
 #include "common/top_k.h"
 #include "core/kmeans.h"
+#include "core/pq.h"
 
 namespace sisg {
 
@@ -65,8 +67,25 @@ class IvfIndex {
   /// brute force scans 1.0).
   double ExpectedScanFraction() const;
 
+  /// --- IVF-PQ: asymmetric-distance scans inside the posting lists. ---
+  /// Trains (or adopts) a product codebook and encodes every indexed row
+  /// into a code arena parallel to the CSR layout (list c's codes are the
+  /// contiguous rows [list_begin_[c], list_begin_[c+1]) x m bytes). Queries
+  /// then scan m-byte codes through a per-query ADC table instead of
+  /// dim * 4-byte fp32 rows, and the top `rerank` approximate hits are
+  /// re-scored exactly against the retained fp32 rows before the final
+  /// top-k — the PQ error only has to keep the true winners inside the
+  /// shortlist, not rank them. `rerank` 0 picks max(4k, 32) per query.
+  Status EnablePq(const PqOptions& options, uint32_t rerank = 0);
+  /// Same, with a codebook trained elsewhere (must match dim()).
+  Status EnablePq(PqCodebook book, uint32_t rerank = 0);
+  bool pq_enabled() const { return pq_ != nullptr; }
+  const PqCodebook* pq() const { return pq_.get(); }
+
   /// Serializes the built index (quantizer centroids, posting-list layout
   /// and packed rows) as an atomically published, checksummed artifact.
+  /// PQ state is not persisted: the codebook has its own artifact
+  /// (PqCodebook::Save) and codes are re-derived by EnablePq after Load.
   Status Save(const std::string& path) const;
 
   /// Loads an index saved by Save(). A truncated or bit-flipped file fails
@@ -87,6 +106,14 @@ class IvfIndex {
   AlignedFloatVector list_data_;
   std::vector<uint32_t> flat_ids_;
   std::vector<uint32_t> list_begin_;
+  // IVF-PQ state (absent unless EnablePq succeeded): per-row codes in CSR
+  // order (num_indexed_ x m bytes), an identity row-id array so the ADC
+  // kernel can report block rows for the rerank pass, and the shortlist
+  // depth.
+  std::unique_ptr<PqCodebook> pq_;
+  AlignedByteVector pq_codes_;
+  std::vector<uint32_t> row_ids_;
+  uint32_t pq_rerank_ = 0;
 };
 
 }  // namespace sisg

@@ -1,5 +1,6 @@
 #include "core/matching_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -80,6 +81,162 @@ Status MatchingEngine::Build(std::vector<float> in, std::vector<float> out,
                 cand.data() + static_cast<size_t>(cand_ids_[r]) * dim,
                 dim * sizeof(float));
   }
+  arena_.reset();
+  int8_arena_.reset();
+  quant_mode_ = QuantMode::kFp32;
+  query_data_ = in_.data();
+  query_stride_ = dim_;
+  cand_data_ = cand_block_.data();
+  IndexCandidates();
+  return Status::OK();
+}
+
+void MatchingEngine::IndexCandidates() {
+  row_of_item_.assign(num_items_, UINT32_MAX);
+  for (size_t r = 0; r < cand_ids_.size(); ++r) {
+    row_of_item_[cand_ids_[r]] = static_cast<uint32_t>(r);
+  }
+}
+
+const float* MatchingEngine::DenseCandidateMatrix(
+    std::vector<float>* scratch) const {
+  const std::vector<float>& m =
+      mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
+  if (!m.empty()) return m.data();
+  // Arena-backed: scatter the compact padded block back to a dense
+  // num_items x dim matrix (zero rows for absent items). Only index BUILDS
+  // pay this allocation; the query path never does.
+  scratch->assign(static_cast<size_t>(num_items_) * dim_, 0.0f);
+  for (size_t r = 0; r < cand_ids_.size(); ++r) {
+    std::memcpy(scratch->data() + static_cast<size_t>(cand_ids_[r]) * dim_,
+                cand_data_ + r * block_stride_, dim_ * sizeof(float));
+  }
+  return scratch->data();
+}
+
+Status MatchingEngine::SaveArena(const std::string& path) const {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  ServingArena::View v;
+  v.num_items = num_items_;
+  v.dim = dim_;
+  v.num_cand = static_cast<uint32_t>(cand_ids_.size());
+  v.mode = static_cast<uint32_t>(mode_);
+  v.query_stride = query_stride_;
+  v.cand_stride = block_stride_;
+  v.query_rows = query_data_;
+  v.cand_rows = cand_data_;
+  v.cand_ids = cand_ids_.data();
+  v.has_item = has_item_.data();
+  return ServingArena::Save(path, v);
+}
+
+Status MatchingEngine::LoadArena(const std::string& path, bool use_mmap) {
+  SISG_ASSIGN_OR_RETURN(ServingArena arena, ServingArena::Load(path, use_mmap));
+  const ServingArena::View& v = arena.view();
+  arena_ = std::make_unique<ServingArena>(std::move(arena));
+  // NOTE: `v` points into the moved-from local's buffers; re-read the view
+  // from its final home.
+  const ServingArena::View& view = arena_->view();
+  num_items_ = view.num_items;
+  dim_ = view.dim;
+  mode_ = static_cast<SimilarityMode>(view.mode);
+  in_.clear();
+  out_.clear();
+  has_item_.assign(view.has_item, view.has_item + view.num_items);
+  cand_ids_.assign(view.cand_ids, view.cand_ids + view.num_cand);
+  cand_block_.clear();
+  block_stride_ = view.cand_stride;
+  query_data_ = view.query_rows;
+  query_stride_ = view.query_stride;
+  cand_data_ = view.cand_rows;
+  backend_ = AnnBackend::kBruteForce;
+  degraded_ = false;
+  ivf_.reset();
+  hnsw_.reset();
+  int8_arena_.reset();
+  quant_mode_ = QuantMode::kFp32;
+  IndexCandidates();
+  return Status::OK();
+}
+
+Status MatchingEngine::EnableInt8() {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  auto arena = std::make_unique<Int8Arena>();
+  const Status built = arena->BuildFromRows(
+      cand_data_, static_cast<uint32_t>(cand_ids_.size()), dim_,
+      block_stride_);
+  if (!built.ok()) {
+    degraded_ = true;
+    PublishDegraded();
+    LOG_WARN << "matching engine: int8 quantization failed ("
+             << built.message() << "); serving stays on the fp32 scan";
+    return built;
+  }
+  int8_arena_ = std::move(arena);
+  quant_mode_ = QuantMode::kInt8;
+  degraded_ = false;
+  PublishDegraded();
+  return Status::OK();
+}
+
+Status MatchingEngine::EnableInt8FromFile(const std::string& path,
+                                          bool use_mmap) {
+  if (num_items_ == 0) {
+    return Status::FailedPrecondition("matching engine: not built");
+  }
+  auto degrade = [&](const Status& why) {
+    degraded_ = true;
+    quant_mode_ = QuantMode::kFp32;
+    int8_arena_.reset();
+    PublishDegraded();
+    LOG_WARN << "matching engine: int8 arena load from " << path
+             << " failed (" << why.message()
+             << "); serving stays on the fp32 scan";
+    return why;
+  };
+  StatusOr<Int8Arena> loaded = Int8Arena::Load(path, use_mmap);
+  if (!loaded.ok()) return degrade(loaded.status());
+  if (loaded->dim() != dim_ ||
+      loaded->num_rows() != cand_ids_.size()) {
+    return degrade(Status::FailedPrecondition(
+        "int8 arena holds " + std::to_string(loaded->num_rows()) +
+        " rows of dim " + std::to_string(loaded->dim()) +
+        " but this engine serves " + std::to_string(cand_ids_.size()) +
+        " candidates of dim " + std::to_string(dim_)));
+  }
+  int8_arena_ = std::make_unique<Int8Arena>(std::move(loaded).value());
+  quant_mode_ = QuantMode::kInt8;
+  degraded_ = false;
+  PublishDegraded();
+  return Status::OK();
+}
+
+Status MatchingEngine::SaveInt8(const std::string& path) const {
+  if (quant_mode_ != QuantMode::kInt8 || int8_arena_ == nullptr) {
+    return Status::FailedPrecondition(
+        "matching engine: int8 quantization not enabled");
+  }
+  return int8_arena_->Save(path);
+}
+
+Status MatchingEngine::EnableIvfPq(const IvfOptions& ivf_options,
+                                   const PqOptions& pq_options,
+                                   uint32_t rerank) {
+  SISG_RETURN_IF_ERROR(EnableIvf(ivf_options));
+  const Status st = ivf_->EnablePq(pq_options, rerank);
+  if (!st.ok()) {
+    degraded_ = true;
+    backend_ = AnnBackend::kBruteForce;
+    ivf_.reset();
+    PublishDegraded();
+    LOG_WARN << "matching engine: PQ enable failed (" << st.message()
+             << "); serving degrades to brute-force scan";
+    return st;
+  }
   return Status::OK();
 }
 
@@ -108,10 +265,54 @@ std::vector<ScoredId> MatchingEngine::ScanBlockImpl(const float* query,
   if (backend_ == AnnBackend::kHnsw && hnsw_ != nullptr) {
     return hnsw_->Query(query, k, exclude);
   }
+  const SimdOps& ops = GetSimdOps();
+  const uint32_t n = static_cast<uint32_t>(cand_ids_.size());
+
+  if (quant_mode_ == QuantMode::kInt8 && int8_arena_ != nullptr) {
+    // Int8 scan: quantize the query, scan 1-byte codes for a shortlist of
+    // BLOCK rows (ids = nullptr -> row index), then exactly re-score the
+    // shortlist against the fp32 rows. The quantization error only has to
+    // keep the true top-k inside the 4x-deeper shortlist; the scores the
+    // caller sees are exact fp32 dots.
+    std::vector<int8_t> qcodes(dim_);
+    const Int8Query iq = QuantizeQueryInt8(query, dim_, qcodes.data());
+    const uint32_t shortlist_k =
+        std::min(n, std::max(4 * k, 32u)) + 1;  // +1 absorbs the exclude
+    TopKSelector shortlist(shortlist_k);
+    ops.top_k_scan_i8(iq, int8_arena_->codes(), int8_arena_->stride(),
+                      int8_arena_->scales(), int8_arena_->mins(), n, dim_,
+                      nullptr, UINT32_MAX, &shortlist);
+    TopKSelector sel(k);
+    uint64_t reranked = 0;
+    for (const ScoredId& cand : shortlist.Take()) {
+      const uint32_t row = cand.id;
+      const uint32_t id = cand_ids_[row];
+      if (id == exclude) continue;
+      ++reranked;
+      const float s = ops.dot(
+          query, cand_data_ + static_cast<size_t>(row) * block_stride_, dim_);
+      if (s > sel.Threshold()) sel.Push(s, id);
+    }
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const m_bytes =
+          obs::MetricsRegistry::Global().counter("serve.bytes_scanned");
+      static obs::Counter* const m_rerank =
+          obs::MetricsRegistry::Global().counter("serve.rerank_rows");
+      m_bytes->Add(static_cast<uint64_t>(n) * int8_arena_->stride() +
+                   reranked * dim_ * sizeof(float));
+      m_rerank->Add(reranked);
+    }
+    return sel.Take();
+  }
+
   TopKSelector sel(k);
-  GetSimdOps().top_k_scan(query, cand_block_.data(), block_stride_,
-                          static_cast<uint32_t>(cand_ids_.size()), dim_,
-                          cand_ids_.data(), exclude, &sel);
+  ops.top_k_scan(query, cand_data_, block_stride_, n, dim_, cand_ids_.data(),
+                 exclude, &sel);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const m_bytes =
+        obs::MetricsRegistry::Global().counter("serve.bytes_scanned");
+    m_bytes->Add(static_cast<uint64_t>(n) * block_stride_ * sizeof(float));
+  }
   return sel.Take();
 }
 
@@ -120,8 +321,9 @@ Status MatchingEngine::EnableIvf(const IvfOptions& options) {
     return Status::FailedPrecondition("matching engine: not built");
   }
   auto index = std::make_unique<IvfIndex>();
+  std::vector<float> scratch;
   const Status built =
-      index->Build(candidate_matrix().data(), num_items_, dim_, options);
+      index->Build(DenseCandidateMatrix(&scratch), num_items_, dim_, options);
   if (!built.ok()) {
     degraded_ = true;
     backend_ = AnnBackend::kBruteForce;
@@ -142,8 +344,9 @@ Status MatchingEngine::EnableHnsw(const HnswOptions& options) {
     return Status::FailedPrecondition("matching engine: not built");
   }
   auto index = std::make_unique<HnswIndex>();
+  std::vector<float> scratch;
   const Status built =
-      index->Build(candidate_matrix().data(), num_items_, dim_, options);
+      index->Build(DenseCandidateMatrix(&scratch), num_items_, dim_, options);
   if (!built.ok()) {
     degraded_ = true;
     backend_ = AnnBackend::kBruteForce;
@@ -197,8 +400,7 @@ Status MatchingEngine::SaveIvf(const std::string& path) const {
 
 std::vector<ScoredId> MatchingEngine::Query(uint32_t item, uint32_t k) const {
   if (!HasItem(item)) return {};
-  const float* q = in_.data() + static_cast<size_t>(item) * dim_;
-  return ScanBlock(q, k, item);
+  return ScanBlock(QueryRow(item), k, item);
 }
 
 std::vector<ScoredId> MatchingEngine::QueryVector(const float* query,
@@ -227,8 +429,9 @@ std::vector<std::vector<ScoredId>> MatchingEngine::QueryBatch(
 
 float MatchingEngine::Score(uint32_t query_item, uint32_t candidate) const {
   if (query_item >= num_items_ || candidate >= num_items_) return 0.0f;
-  const float* q = in_.data() + static_cast<size_t>(query_item) * dim_;
-  return Dot(q, CandidateRow(candidate), dim_);
+  const float* c = CandidateRow(candidate);
+  if (c == nullptr) return 0.0f;
+  return Dot(QueryRow(query_item), c, dim_);
 }
 
 }  // namespace sisg

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "common/quant.h"
 #include "common/simd.h"
 #include "common/status.h"
 #include "common/top_k.h"
+#include "core/embedding_arena.h"
 #include "core/hnsw_index.h"
 #include "core/ivf_index.h"
 
@@ -18,6 +20,11 @@ namespace sisg {
 /// baseline and the graceful-degradation fallback: an ANN index that fails
 /// to build or to load never takes the query path down with it.
 enum class AnnBackend { kBruteForce, kIvf, kHnsw };
+
+/// Precision of the brute-force candidate scan. kInt8 scans 1-byte codes
+/// (4x+ fewer bytes than fp32) and exactly re-scores a small shortlist;
+/// PQ lives inside the IVF backend (EnableIvfPq), not here.
+enum class QuantMode { kFp32, kInt8 };
 
 /// How a query item is scored against candidates (Section II-C).
 enum class SimilarityMode {
@@ -79,6 +86,11 @@ class MatchingEngine {
   /// failure so callers can surface it.
   Status EnableIvf(const IvfOptions& options);
   Status EnableHnsw(const HnswOptions& options);
+  /// IVF with product-quantized posting lists: ADC scans over m-byte codes,
+  /// exact fp32 rerank of the shortlist. Same degradation contract as the
+  /// other Enable*.
+  Status EnableIvfPq(const IvfOptions& ivf_options, const PqOptions& pq_options,
+                     uint32_t rerank = 0);
   /// Installs a pre-built IVF index from a checksummed artifact; a corrupt
   /// file yields Status::DataLoss (and brute-force fallback), an index built
   /// for a different engine shape yields FailedPrecondition.
@@ -91,6 +103,27 @@ class MatchingEngine {
   /// True when an ANN enable failed and the engine fell back to brute force.
   bool degraded() const { return degraded_; }
 
+  /// --- Quantized brute-force scan (int8). Same degradation contract as
+  /// the ANN enables: a corrupt or mismatched quantized artifact marks the
+  /// engine degraded (serve.degraded gauge) and queries keep flowing
+  /// through the fp32 path, bit-identical to before the attempt.
+  Status EnableInt8();
+  Status EnableInt8FromFile(const std::string& path, bool use_mmap = false);
+  /// Persists the int8 code arena as a QNTARENA artifact (quantizing first
+  /// if int8 is not yet enabled is the caller's job — FailedPrecondition).
+  Status SaveInt8(const std::string& path) const;
+  QuantMode quant_mode() const { return quant_mode_; }
+
+  /// --- Arena serving: freeze the fp32 serving state (query rows,
+  /// candidate block, id map, liveness) into one EMBARENA artifact, and
+  /// reconstitute an engine from it without touching the training-side
+  /// model at all. With use_mmap the float blocks stay in the file mapping
+  /// (page-cache-backed serving for models larger than RAM); heap and mmap
+  /// loads answer queries bit-identically.
+  Status SaveArena(const std::string& path) const;
+  Status LoadArena(const std::string& path, bool use_mmap = false);
+  bool arena_backed() const { return arena_ != nullptr; }
+
   /// The matrix candidates are scored against (normalized input rows in
   /// cosine mode, normalized output rows in directional mode) — what an ANN
   /// index (IvfIndex, HnswIndex) should be built over. num_items() x dim()
@@ -99,17 +132,33 @@ class MatchingEngine {
     return mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
   }
 
-  /// The query-side row for an item (valid while the engine lives).
+  /// The query-side row for an item (valid while the engine lives). For an
+  /// arena-backed engine this points into the arena (possibly an mmap).
   const float* QueryRow(uint32_t item) const {
-    return in_.data() + static_cast<size_t>(item) * dim_;
+    return query_data_ + static_cast<size_t>(item) * query_stride_;
   }
 
  private:
+  /// The candidate-side row for an item, or nullptr when the item has no
+  /// candidate row (untrained, or absent from the compact block).
   const float* CandidateRow(uint32_t item) const {
-    const std::vector<float>& m =
-        mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
-    return m.data() + static_cast<size_t>(item) * dim_;
+    if (!in_.empty() || !out_.empty()) {
+      const std::vector<float>& m =
+          mode_ == SimilarityMode::kDirectionalInOut ? out_ : in_;
+      return m.data() + static_cast<size_t>(item) * dim_;
+    }
+    const uint32_t row = row_of_item_[item];
+    if (row == UINT32_MAX) return nullptr;
+    return cand_data_ + static_cast<size_t>(row) * block_stride_;
   }
+
+  /// num_items() x dim() dense candidate matrix for ANN index builds:
+  /// the engine's own matrix when model-built, or a dense rematerialization
+  /// of the compact block when arena-backed (scratch holds it then).
+  const float* DenseCandidateMatrix(std::vector<float>* scratch) const;
+
+  /// (Re)derives the serving pointers and the item -> block-row map.
+  void IndexCandidates();
 
   /// Blocked scan of the compact candidate block for one prepared query.
   /// Funnels every query path (Query/QueryVector/QueryBatch), so this is
@@ -126,15 +175,27 @@ class MatchingEngine {
   uint32_t num_items_ = 0;
   uint32_t dim_ = 0;
   SimilarityMode mode_ = SimilarityMode::kCosineInput;
-  std::vector<float> in_;   // normalized rows in cosine mode
-  std::vector<float> out_;
+  std::vector<float> in_;   // normalized rows in cosine mode (empty when
+  std::vector<float> out_;  // arena-backed)
   std::vector<uint8_t> has_item_;
 
   // Compact serving block: only trained candidate rows, 64-byte-aligned
   // padded stride, plus the row -> item-id map the scan kernel consumes.
+  // cand_data_/query_data_ point either into the heap storage below or into
+  // an arena (possibly mmap'd) — the scan kernels cannot tell the
+  // difference, which is what makes heap and mmap serving bit-identical.
   size_t block_stride_ = 0;
   AlignedFloatVector cand_block_;
   std::vector<uint32_t> cand_ids_;
+  std::vector<uint32_t> row_of_item_;  // item -> block row (UINT32_MAX: none)
+  const float* query_data_ = nullptr;
+  size_t query_stride_ = 0;
+  const float* cand_data_ = nullptr;
+  std::unique_ptr<ServingArena> arena_;
+
+  // Int8 brute-force scan state.
+  QuantMode quant_mode_ = QuantMode::kFp32;
+  std::unique_ptr<Int8Arena> int8_arena_;
 
   // Optional ANN acceleration; brute force remains the fallback whenever
   // these are absent (never built, failed to build, failed to load).

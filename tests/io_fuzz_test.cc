@@ -14,8 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "common/io_util.h"
+#include "common/quant.h"
 #include "common/status.h"
 #include "core/ivf_index.h"
+#include "core/matching_engine.h"
+#include "core/pq.h"
 #include "corpus/corpus.h"
 #include "corpus/packed_corpus.h"
 #include "corpus/vocabulary.h"
@@ -135,6 +139,46 @@ class IoFuzzTest : public ::testing::Test {
                          return IvfIndex::Load(ivf_path).status();
                        }});
 
+    // Quantized / arena artifacts. The mmap loaders validate the whole file
+    // (CRC included) before handing out a mapping, so they must reject every
+    // mutation exactly like the heap loaders do.
+    const std::string qnt_path = dir + "/fuzz.qarena";
+    Int8Arena qarena;
+    ASSERT_TRUE(qarena.BuildFromRows(data.data(), 256, 16, 16).ok());
+    ASSERT_TRUE(qarena.Save(qnt_path).ok());
+    cases_->push_back({"int8_arena.heap", qnt_path, [qnt_path] {
+                         return Int8Arena::Load(qnt_path, false).status();
+                       }});
+    cases_->push_back({"int8_arena.mmap", qnt_path, [qnt_path] {
+                         return Int8Arena::Load(qnt_path, true).status();
+                       }});
+
+    const std::string pq_path = dir + "/fuzz.pqcbook";
+    PqCodebook book;
+    PqOptions popts;
+    popts.m = 4;
+    popts.ksub = 16;
+    ASSERT_TRUE(book.Train(data.data(), 256, 16, 16, popts).ok());
+    ASSERT_TRUE(book.Save(pq_path).ok());
+    cases_->push_back({"pq_codebook", pq_path, [pq_path] {
+                         return PqCodebook::Load(pq_path).status();
+                       }});
+
+    const std::string arena_path = dir + "/fuzz.arena";
+    MatchingEngine arena_src;
+    ASSERT_TRUE(arena_src
+                    .Build(data, {}, 256, 16, SimilarityMode::kCosineInput)
+                    .ok());
+    ASSERT_TRUE(arena_src.SaveArena(arena_path).ok());
+    cases_->push_back({"serving_arena.heap", arena_path, [arena_path] {
+                         MatchingEngine e;
+                         return e.LoadArena(arena_path, false);
+                       }});
+    cases_->push_back({"serving_arena.mmap", arena_path, [arena_path] {
+                         MatchingEngine e;
+                         return e.LoadArena(arena_path, true);
+                       }});
+
     for (const ArtifactCase& c : *cases_) {
       pristine_.push_back(ReadFileBytes(c.file));
       ASSERT_GT(pristine_.back().size(), 36u) << c.name;
@@ -234,6 +278,111 @@ TEST_F(IoFuzzTest, SeededByteFlipsAlwaysRejected) {
     }
     WriteFileBytes(c.file, orig);
     EXPECT_TRUE(c.load().ok()) << c.name << " failed to load after restore";
+  }
+}
+
+// A doctored artifact can carry a perfectly valid CRC (rewritten by an
+// ArtifactWriter), so the shape metadata inside the payload gets its own
+// validation layer — these must all fail as DataLoss, never load partially.
+TEST_F(IoFuzzTest, ValidCrcShapeMismatchesRejected) {
+  const std::string dir = ::testing::TempDir();
+
+  const auto expect_dataloss = [](const Status& st, const std::string& what) {
+    ASSERT_FALSE(st.ok()) << what << " loaded successfully";
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << what << ": "
+                                                << st.ToString();
+  };
+
+  // QNTARENA whose row stride disagrees with its dim.
+  {
+    const std::string p = dir + "/mismatch.qarena";
+    auto w = ArtifactWriter::Open(p, "QNTARENA", 1);
+    ASSERT_TRUE(w.ok());
+    const uint32_t num_rows = 4, dim = 16, bad_stride = 16, data_off = 92;
+    ASSERT_TRUE(w->WriteScalar(num_rows).ok());
+    ASSERT_TRUE(w->WriteScalar(dim).ok());
+    ASSERT_TRUE(w->WriteScalar(bad_stride).ok());
+    ASSERT_TRUE(w->WriteScalar(data_off).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    expect_dataloss(Int8Arena::Load(p, false).status(), "qarena bad stride heap");
+    expect_dataloss(Int8Arena::Load(p, true).status(), "qarena bad stride mmap");
+    std::remove(p.c_str());
+  }
+
+  // QNTARENA with a consistent prologue but a missing code block.
+  {
+    const std::string p = dir + "/short.qarena";
+    auto w = ArtifactWriter::Open(p, "QNTARENA", 1);
+    ASSERT_TRUE(w.ok());
+    // meta = 16 + 4 rows * 8B params = 48; file offset 36 + 48 = 84 rounds
+    // up to 128, so the correct data_off is 92 — but no codes follow.
+    const uint32_t num_rows = 4, dim = 16, stride = 64, data_off = 92;
+    ASSERT_TRUE(w->WriteScalar(num_rows).ok());
+    ASSERT_TRUE(w->WriteScalar(dim).ok());
+    ASSERT_TRUE(w->WriteScalar(stride).ok());
+    ASSERT_TRUE(w->WriteScalar(data_off).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    expect_dataloss(Int8Arena::Load(p, false).status(), "qarena no codes heap");
+    expect_dataloss(Int8Arena::Load(p, true).status(), "qarena no codes mmap");
+    std::remove(p.c_str());
+  }
+
+  // PQCBOOK whose subspaces do not multiply out to dim.
+  {
+    const std::string p = dir + "/mismatch.pqcbook";
+    auto w = ArtifactWriter::Open(p, "PQCBOOK", 1);
+    ASSERT_TRUE(w.ok());
+    const uint32_t dim = 16, m = 3, dsub = 8, reserved = 0;  // 3 * 8 != 16
+    ASSERT_TRUE(w->WriteScalar(dim).ok());
+    ASSERT_TRUE(w->WriteScalar(m).ok());
+    ASSERT_TRUE(w->WriteScalar(dsub).ok());
+    ASSERT_TRUE(w->WriteScalar(reserved).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    expect_dataloss(PqCodebook::Load(p).status(), "pq shape mismatch");
+    std::remove(p.c_str());
+  }
+
+  // PQCBOOK with a live-centroid count outside 1..256.
+  {
+    const std::string p = dir + "/badksub.pqcbook";
+    auto w = ArtifactWriter::Open(p, "PQCBOOK", 1);
+    ASSERT_TRUE(w.ok());
+    const uint32_t dim = 16, m = 4, dsub = 4, reserved = 0;
+    ASSERT_TRUE(w->WriteScalar(dim).ok());
+    ASSERT_TRUE(w->WriteScalar(m).ok());
+    ASSERT_TRUE(w->WriteScalar(dsub).ok());
+    ASSERT_TRUE(w->WriteScalar(reserved).ok());
+    const uint32_t ksub[4] = {16, 0, 16, 16};  // subspace 1 claims 0 centroids
+    ASSERT_TRUE(w->Write(ksub, sizeof(ksub)).ok());
+    const std::vector<float> centroids(static_cast<size_t>(m) * 256 * dsub,
+                                       0.0f);
+    ASSERT_TRUE(
+        w->Write(centroids.data(), centroids.size() * sizeof(float)).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    expect_dataloss(PqCodebook::Load(p).status(), "pq ksub out of range");
+    std::remove(p.c_str());
+  }
+
+  // EMBARENA claiming more candidate rows than items (and a bogus mode).
+  for (const uint32_t bad : {0u, 1u}) {
+    const std::string p = dir + "/mismatch.arena";
+    auto w = ArtifactWriter::Open(p, "EMBARENA", 1);
+    ASSERT_TRUE(w.ok());
+    const uint32_t num_items = 2, dim = 8;
+    const uint32_t num_cand = bad == 0 ? 5u : 2u;  // 5 > num_items
+    const uint32_t mode = bad == 0 ? 0u : 7u;      // modes are 0 and 1
+    const uint32_t stride = 16, data_off = 92;
+    ASSERT_TRUE(w->WriteScalar(num_items).ok());
+    ASSERT_TRUE(w->WriteScalar(dim).ok());
+    ASSERT_TRUE(w->WriteScalar(num_cand).ok());
+    ASSERT_TRUE(w->WriteScalar(mode).ok());
+    ASSERT_TRUE(w->WriteScalar(stride).ok());
+    ASSERT_TRUE(w->WriteScalar(data_off).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    MatchingEngine heap_engine, mmap_engine;
+    expect_dataloss(heap_engine.LoadArena(p, false), "arena shape heap");
+    expect_dataloss(mmap_engine.LoadArena(p, true), "arena shape mmap");
+    std::remove(p.c_str());
   }
 }
 

@@ -11,12 +11,14 @@
 #include <set>
 #include <vector>
 
+#include "common/quant.h"
 #include "common/rng.h"
 #include "common/simd.h"
 #include "common/top_k.h"
 #include "core/hnsw_index.h"
 #include "core/ivf_index.h"
 #include "core/matching_engine.h"
+#include "core/pq.h"
 
 namespace sisg {
 namespace {
@@ -341,6 +343,335 @@ TEST(IvfRecallRegression, Recall10AtLeastPreChangeImplementation) {
   // Tiny slack: the recall average itself accumulates in floating point.
   EXPECT_GE(recall, 0.800 - 1e-9)
       << "recall@10 dropped below the pre-change baseline";
+}
+
+// --------------------------- int8 quantization ---------------------------
+
+TEST(Int8QuantTest, RowReconstructionErrorBoundedByHalfStep) {
+  Rng rng(201);
+  for (uint32_t dim : kParityDims) {
+    std::vector<float> row(dim);
+    for (auto& x : row) x = (rng.UniformFloat() * 2.0f - 1.0f) * 3.0f;
+    std::vector<uint8_t> codes(dim);
+    float scale = -1.0f, lo = 0.0f;
+    QuantizeRowInt8(row.data(), dim, codes.data(), &scale, &lo);
+    ASSERT_GE(scale, 0.0f) << "dim=" << dim;
+    for (uint32_t d = 0; d < dim; ++d) {
+      const float rec = lo + scale * static_cast<float>(codes[d]);
+      // Rounding to the nearest of 256 levels: at most half a step off
+      // (plus float epsilon on the reconstruction arithmetic itself).
+      EXPECT_LE(std::abs(row[d] - rec), scale * 0.5f + 1e-6f)
+          << "dim=" << dim << " d=" << d;
+    }
+  }
+  // A constant row has a zero step and reconstructs exactly.
+  std::vector<float> flat(32, 0.75f);
+  std::vector<uint8_t> codes(32);
+  float scale = -1.0f, lo = 0.0f;
+  QuantizeRowInt8(flat.data(), 32, codes.data(), &scale, &lo);
+  EXPECT_EQ(scale, 0.0f);
+  for (uint32_t d = 0; d < 32; ++d) {
+    EXPECT_EQ(lo + scale * static_cast<float>(codes[d]), 0.75f);
+  }
+}
+
+TEST(Int8QuantTest, QueryReconstructionErrorBoundedByHalfStep) {
+  Rng rng(202);
+  for (uint32_t dim : kParityDims) {
+    std::vector<float> q(dim);
+    for (auto& x : q) x = (rng.UniformFloat() * 2.0f - 1.0f) * 2.0f;
+    std::vector<int8_t> codes(dim);
+    const Int8Query iq = QuantizeQueryInt8(q.data(), dim, codes.data());
+    int32_t sum = 0;
+    for (uint32_t d = 0; d < dim; ++d) {
+      sum += codes[d];
+      const float rec = iq.scale * static_cast<float>(codes[d]);
+      EXPECT_LE(std::abs(q[d] - rec), iq.scale * 0.5f + 1e-6f)
+          << "dim=" << dim << " d=" << d;
+    }
+    EXPECT_EQ(iq.sum, sum) << "dim=" << dim;
+    EXPECT_EQ(iq.codes, codes.data()) << "dim=" << dim;
+  }
+}
+
+// Packs n quantized random rows at the arena stride and returns the query
+// alongside, so each kernel test scans realistic padded-stride data.
+struct Int8Fixture {
+  uint32_t n, dim;
+  size_t stride;
+  AlignedByteVector rows;
+  std::vector<float> scales, mins, frows;
+  std::vector<int8_t> qcodes;
+  std::vector<float> q;
+  Int8Query iq;
+
+  Int8Fixture(Rng& rng, uint32_t n_, uint32_t dim_) : n(n_), dim(dim_) {
+    stride = AlignedByteStride(dim);
+    rows.assign(static_cast<size_t>(n) * stride, 0);
+    scales.resize(n);
+    mins.resize(n);
+    frows.resize(static_cast<size_t>(n) * dim);
+    for (uint32_t r = 0; r < n; ++r) {
+      float* frow = frows.data() + static_cast<size_t>(r) * dim;
+      for (uint32_t d = 0; d < dim; ++d) {
+        frow[d] = rng.UniformFloat() * 2.0f - 1.0f;
+      }
+      QuantizeRowInt8(frow, dim, rows.data() + static_cast<size_t>(r) * stride,
+                      &scales[r], &mins[r]);
+    }
+    q.resize(dim);
+    for (auto& x : q) x = rng.UniformFloat() * 2.0f - 1.0f;
+    qcodes.resize(dim);
+    iq = QuantizeQueryInt8(q.data(), dim, qcodes.data());
+  }
+};
+
+TEST(Int8KernelParity, DispatchedKernelsMatchScalarBitExact) {
+  // Integer accumulation is exact and the dequantization is one shared float
+  // expression, so unlike the fp32 kernels the int8 scan must agree with the
+  // scalar reference bit-for-bit under EVERY dispatch level.
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(203);
+  for (uint32_t dim : kParityDims) {
+    Int8Fixture f(rng, 70, dim);
+    std::vector<int32_t> idots_ref(f.n), idots_got(f.n);
+    simd_scalar::DotBatchI8(f.iq.codes, f.rows.data(), f.stride, f.n, dim,
+                            idots_ref.data());
+    ops.dot_batch_i8(f.iq.codes, f.rows.data(), f.stride, f.n, dim,
+                     idots_got.data());
+    for (uint32_t r = 0; r < f.n; ++r) {
+      EXPECT_EQ(ops.dot_i8(f.iq.codes, f.rows.data() + r * f.stride, dim),
+                idots_ref[r])
+          << "dim=" << dim << " row=" << r;
+      EXPECT_EQ(idots_got[r], idots_ref[r]) << "dim=" << dim << " row=" << r;
+    }
+    TopKSelector ref_sel(10), got_sel(10);
+    simd_scalar::TopKScanI8(f.iq, f.rows.data(), f.stride, f.scales.data(),
+                            f.mins.data(), f.n, dim, nullptr, 3, &ref_sel);
+    ops.top_k_scan_i8(f.iq, f.rows.data(), f.stride, f.scales.data(),
+                      f.mins.data(), f.n, dim, nullptr, 3, &got_sel);
+    const auto ref = ref_sel.Take();
+    const auto got = got_sel.Take();
+    ASSERT_EQ(got.size(), ref.size()) << "dim=" << dim;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].id, ref[i].id) << "dim=" << dim << " rank " << i;
+      EXPECT_EQ(got[i].score, ref[i].score) << "dim=" << dim << " rank " << i;
+      EXPECT_NE(got[i].id, 3u) << "exclude leaked, dim=" << dim;
+    }
+  }
+}
+
+TEST(AdcKernelParity, DispatchedAdcMatchesScalarWithinTolerance) {
+  // The AVX2 gather sums subspaces in a different order than scalar, so ADC
+  // parity is toleranced like the fp32 kernels, not bit-exact.
+  const SimdOps& ops = GetSimdOps();
+  Rng rng(204);
+  for (uint32_t m : {1u, 4u, 8u, 13u, 16u, 32u}) {
+    const uint32_t n = 120;
+    std::vector<float> table(static_cast<size_t>(m) * 256);
+    for (auto& x : table) x = rng.UniformFloat() * 2.0f - 1.0f;
+    std::vector<uint8_t> codes(static_cast<size_t>(n) * m);
+    for (auto& c : codes) {
+      c = static_cast<uint8_t>(rng.UniformFloat() * 255.0f);
+    }
+    TopKSelector ref_sel(10), got_sel(10);
+    simd_scalar::AdcScan(table.data(), codes.data(), m, n, nullptr, UINT32_MAX,
+                         &ref_sel);
+    ops.adc_scan(table.data(), codes.data(), m, n, nullptr, UINT32_MAX,
+                 &got_sel);
+    const auto ref = ref_sel.Take();
+    const auto got = got_sel.Take();
+    ASSERT_EQ(got.size(), ref.size()) << "m=" << m;
+    constexpr float kTol = 2e-5f;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(got[i].score, ref[i].score, kTol) << "m=" << m << " rank " << i;
+      // Each returned score is the true scalar ADC sum of its id.
+      float acc = 0.0f;
+      for (uint32_t s = 0; s < m; ++s) {
+        acc += table[s * 256 + codes[got[i].id * m + s]];
+      }
+      EXPECT_NEAR(got[i].score, acc, kTol) << "m=" << m << " id " << got[i].id;
+    }
+  }
+}
+
+// --------------------------- quantized recall pins ---------------------------
+
+TEST(QuantRecallPin, Int8ScanRecall10Within1PercentOfFp32) {
+  Rng rng(205);
+  const uint32_t n = 1500, dim = 32, k = 10, queries = 60;
+  auto in = RandomMatrix(rng, n, dim, {});
+  MatchingEngine engine;
+  ASSERT_TRUE(
+      engine.Build(in, {}, n, dim, SimilarityMode::kCosineInput).ok());
+  std::vector<std::vector<ScoredId>> fp32(queries);
+  for (uint32_t q = 0; q < queries; ++q) fp32[q] = engine.Query(q, k);
+  ASSERT_TRUE(engine.EnableInt8().ok());
+  ASSERT_EQ(engine.quant_mode(), QuantMode::kInt8);
+  double recall = 0.0;
+  for (uint32_t q = 0; q < queries; ++q) {
+    const auto got = engine.Query(q, k);
+    ASSERT_EQ(got.size(), fp32[q].size());
+    int common = 0;
+    for (const auto& a : fp32[q]) {
+      for (const auto& b : got) common += a.id == b.id;
+    }
+    recall += static_cast<double>(common) / k;
+    // Rerank is exact, so every returned score is the true fp32 score.
+    for (const auto& b : got) {
+      float acc = 0.0f;
+      const float* qrow = engine.QueryRow(q);
+      const float* crow =
+          engine.candidate_matrix().data() + static_cast<size_t>(b.id) * dim;
+      for (uint32_t d = 0; d < dim; ++d) acc += qrow[d] * crow[d];
+      EXPECT_NEAR(b.score, acc, 2e-5f);
+    }
+  }
+  recall /= queries;
+  EXPECT_GE(recall, 0.99) << "int8 shortlist lost more than 1% recall@10";
+}
+
+TEST(QuantRecallPin, IvfPqRecall10Within2PercentOfIvfFp32) {
+  Rng rng(206);
+  const uint32_t n = 2000, dim = 16, k = 10, queries = 50;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  IvfOptions opts;
+  opts.kmeans.num_clusters = 16;
+  opts.nprobe = 4;
+  IvfIndex fp32_index;
+  ASSERT_TRUE(fp32_index.Build(data.data(), n, dim, opts).ok());
+  IvfIndex pq_index;
+  ASSERT_TRUE(pq_index.Build(data.data(), n, dim, opts).ok());
+  PqOptions pq;
+  pq.m = 8;  // dsub = 2 at dim 16
+  ASSERT_TRUE(pq_index.EnablePq(pq).ok());
+  ASSERT_TRUE(pq_index.pq_enabled());
+  double delta = 0.0;
+  for (uint32_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    const auto exact_fp32 = fp32_index.Query(qv, k, q);
+    const auto approx = pq_index.Query(qv, k, q);
+    int common = 0;
+    for (const auto& a : exact_fp32) {
+      for (const auto& b : approx) common += a.id == b.id;
+    }
+    delta += 1.0 - static_cast<double>(common) / k;
+  }
+  delta /= queries;
+  EXPECT_LE(delta, 0.02)
+      << "ADC shortlist + rerank diverged >2% from the fp32 IVF scan";
+}
+
+// --------------------------- arena bit-identity ---------------------------
+
+TEST(ArenaServing, HeapAndMmapLoadsMatchOriginalBitExact) {
+  Rng rng(207);
+  const uint32_t n = 300, dim = 24, k = 8;
+  const std::set<uint32_t> zeros = {4, 99};
+  auto in = RandomMatrix(rng, n, dim, zeros);
+  auto out = RandomMatrix(rng, n, dim, zeros);
+  for (SimilarityMode mode :
+       {SimilarityMode::kCosineInput, SimilarityMode::kDirectionalInOut}) {
+    MatchingEngine original;
+    ASSERT_TRUE(original.Build(in, out, n, dim, mode).ok());
+    const std::string path = ::testing::TempDir() + "/retrieval.arena";
+    ASSERT_TRUE(original.SaveArena(path).ok());
+
+    MatchingEngine heap, mapped;
+    ASSERT_TRUE(heap.LoadArena(path, /*use_mmap=*/false).ok());
+    ASSERT_TRUE(mapped.LoadArena(path, /*use_mmap=*/true).ok());
+    EXPECT_TRUE(heap.arena_backed());
+    EXPECT_TRUE(mapped.arena_backed());
+    ASSERT_EQ(heap.num_items(), n);
+    ASSERT_EQ(mapped.dim(), dim);
+    EXPECT_EQ(mapped.mode(), mode);
+
+    for (uint32_t item = 0; item < n; item += 7) {
+      const auto want = original.Query(item, k);
+      const auto got_heap = heap.Query(item, k);
+      const auto got_map = mapped.Query(item, k);
+      ASSERT_EQ(got_heap.size(), want.size()) << "item " << item;
+      ASSERT_EQ(got_map.size(), want.size()) << "item " << item;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got_heap[i], want[i]) << "item " << item << " rank " << i;
+        EXPECT_EQ(got_map[i], want[i]) << "item " << item << " rank " << i;
+      }
+    }
+    // Untrained rows stay unknown through the arena round trip.
+    EXPECT_FALSE(heap.HasItem(4));
+    EXPECT_TRUE(mapped.Query(99, k).empty());
+  }
+}
+
+TEST(ArenaServing, Int8ArtifactServesIdenticallyHeapAndMmap) {
+  Rng rng(208);
+  const uint32_t n = 400, dim = 48, k = 10;
+  auto in = RandomMatrix(rng, n, dim, {});
+  MatchingEngine original;
+  ASSERT_TRUE(
+      original.Build(in, {}, n, dim, SimilarityMode::kCosineInput).ok());
+  const std::string arena_path = ::testing::TempDir() + "/retrieval2.arena";
+  const std::string qarena_path = ::testing::TempDir() + "/retrieval2.qarena";
+  ASSERT_TRUE(original.SaveArena(arena_path).ok());
+  ASSERT_TRUE(original.EnableInt8().ok());
+  ASSERT_TRUE(original.SaveInt8(qarena_path).ok());
+
+  MatchingEngine heap, mapped;
+  ASSERT_TRUE(heap.LoadArena(arena_path, /*use_mmap=*/false).ok());
+  ASSERT_TRUE(heap.EnableInt8FromFile(qarena_path, /*use_mmap=*/false).ok());
+  ASSERT_TRUE(mapped.LoadArena(arena_path, /*use_mmap=*/true).ok());
+  ASSERT_TRUE(mapped.EnableInt8FromFile(qarena_path, /*use_mmap=*/true).ok());
+  EXPECT_EQ(heap.quant_mode(), QuantMode::kInt8);
+  EXPECT_EQ(mapped.quant_mode(), QuantMode::kInt8);
+  EXPECT_FALSE(mapped.degraded());
+
+  for (uint32_t item = 0; item < n; item += 13) {
+    const auto want = original.Query(item, k);
+    const auto got_heap = heap.Query(item, k);
+    const auto got_map = mapped.Query(item, k);
+    ASSERT_EQ(got_heap.size(), want.size()) << "item " << item;
+    ASSERT_EQ(got_map.size(), want.size()) << "item " << item;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got_heap[i], want[i]) << "item " << item << " rank " << i;
+      EXPECT_EQ(got_map[i], want[i]) << "item " << item << " rank " << i;
+    }
+  }
+}
+
+TEST(HnswInt8Traversal, RecallCloseToFp32AndScoresExact) {
+  Rng rng(209);
+  const uint32_t n = 800, dim = 32, k = 10, queries = 40;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  HnswOptions fp32_opts;
+  HnswOptions i8_opts;
+  i8_opts.int8_traversal = true;
+  HnswIndex fp32_index, i8_index;
+  ASSERT_TRUE(fp32_index.Build(data.data(), n, dim, fp32_opts).ok());
+  ASSERT_TRUE(i8_index.Build(data.data(), n, dim, i8_opts).ok());
+  double delta = 0.0;
+  for (uint32_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    const auto want = fp32_index.Query(qv, k, q);
+    const auto got = i8_index.Query(qv, k, q);
+    int common = 0;
+    for (const auto& a : want) {
+      for (const auto& b : got) common += a.id == b.id;
+    }
+    delta += 1.0 - static_cast<double>(common) / k;
+    // The ef survivors are re-scored exactly, so every returned score is a
+    // true fp32 inner product.
+    for (const auto& b : got) {
+      const float* row = data.data() + static_cast<size_t>(b.id) * dim;
+      float acc = 0.0f;
+      for (uint32_t d = 0; d < dim; ++d) acc += qv[d] * row[d];
+      EXPECT_NEAR(b.score, acc, 2e-5f) << "q=" << q << " id=" << b.id;
+    }
+  }
+  delta /= queries;
+  EXPECT_LE(delta, 0.05)
+      << "int8 beam traversal lost too much recall vs fp32 traversal";
 }
 
 }  // namespace

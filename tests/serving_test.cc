@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/quant.h"
 #include "core/candidate_table.h"
 #include "core/ivf_index.h"
+#include "core/matching_engine.h"
 #include "core/pipeline.h"
 #include "corpus/corpus.h"
 #include "datagen/dataset.h"
@@ -391,6 +393,100 @@ TEST_F(DegradationFixture, MismatchedIvfArtifactDegrades) {
   EXPECT_EQ(victim->EnableIvfFromFile(path).code(),
             StatusCode::kFailedPrecondition);
   EXPECT_TRUE(victim->degraded());
+  EXPECT_EQ(DegradedGauge(), 1.0);
+  EXPECT_FALSE(victim->Query(0, 5).empty() &&
+               victim->Query(1, 5).empty() && victim->Query(2, 5).empty());
+  std::remove(path.c_str());
+}
+
+// The quantized scan honors the same contract as the ANN backends: a corrupt
+// int8 arena artifact fails its CRC as DataLoss, flips the degraded gauge,
+// and the engine keeps answering on the fp32 scan bit-identically to a
+// never-quantized engine; a pristine replacement clears the state.
+TEST_F(DegradationFixture, CorruptInt8ArtifactDegradesToFp32) {
+  auto good = model_->BuildMatchingEngine();
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(good->EnableInt8().ok());
+  EXPECT_EQ(good->quant_mode(), QuantMode::kInt8);
+  const std::string path = ::testing::TempDir() + "/degradation.qarena";
+  ASSERT_TRUE(good->SaveInt8(path).ok());
+
+  // Flip one payload byte; the artifact CRC must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(200);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x04);
+    f.seekp(200);
+    f.write(&b, 1);
+  }
+
+  auto victim = model_->BuildMatchingEngine();
+  ASSERT_TRUE(victim.ok());
+  for (const bool use_mmap : {false, true}) {
+    const Status st = victim->EnableInt8FromFile(path, use_mmap);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss)
+        << "mmap=" << use_mmap << ": " << st.ToString();
+    EXPECT_TRUE(victim->degraded()) << "mmap=" << use_mmap;
+    EXPECT_EQ(victim->quant_mode(), QuantMode::kFp32) << "mmap=" << use_mmap;
+    EXPECT_EQ(DegradedGauge(), 1.0) << "mmap=" << use_mmap;
+  }
+
+  // Degraded serving is the fp32 scan, bit-identical to an engine that
+  // never attempted quantization.
+  auto brute = model_->BuildMatchingEngine();
+  ASSERT_TRUE(brute.ok());
+  size_t compared = 0;
+  for (uint32_t item = 0; item < victim->num_items(); item += 29) {
+    const auto got = victim->Query(item, 10);
+    const auto want = brute->Query(item, 10);
+    ASSERT_EQ(got.size(), want.size()) << "item " << item;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].id, want[i].id) << "item " << item << " rank " << i;
+      ASSERT_EQ(got[i].score, want[i].score) << "item " << item;
+    }
+    compared += got.size();
+  }
+  ASSERT_GT(compared, 0u);
+
+  // Recovery: a pristine artifact re-enables the int8 scan, clears the
+  // gauge, and the quantized-scan instrumentation starts moving.
+  ASSERT_TRUE(good->SaveInt8(path).ok());
+  ASSERT_TRUE(victim->EnableInt8FromFile(path, /*use_mmap=*/true).ok());
+  EXPECT_FALSE(victim->degraded());
+  EXPECT_EQ(victim->quant_mode(), QuantMode::kInt8);
+  EXPECT_EQ(DegradedGauge(), 0.0);
+  const uint64_t rerank_before =
+      obs::MetricsRegistry::Global().counter("serve.rerank_rows")->Value();
+  EXPECT_FALSE(victim->Query(1, 10).empty());
+  EXPECT_GT(obs::MetricsRegistry::Global().counter("serve.rerank_rows")->Value(),
+            rerank_before);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().counter("serve.bytes_scanned")->Value(),
+      0u);
+  std::remove(path.c_str());
+}
+
+// A shape-mismatched int8 arena (valid artifact, wrong engine) degrades as
+// FailedPrecondition and fp32 serving continues.
+TEST_F(DegradationFixture, MismatchedInt8ArtifactDegrades) {
+  std::vector<float> data(32 * 4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.1f * static_cast<float>(i % 13) - 0.5f;
+  }
+  Int8Arena small;
+  ASSERT_TRUE(small.BuildFromRows(data.data(), 32, 4, 4).ok());
+  const std::string path = ::testing::TempDir() + "/mismatch.qarena";
+  ASSERT_TRUE(small.Save(path).ok());
+
+  auto victim = model_->BuildMatchingEngine();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->EnableInt8FromFile(path).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(victim->degraded());
+  EXPECT_EQ(victim->quant_mode(), QuantMode::kFp32);
   EXPECT_EQ(DegradedGauge(), 1.0);
   EXPECT_FALSE(victim->Query(0, 5).empty() &&
                victim->Query(1, 5).empty() && victim->Query(2, 5).empty());

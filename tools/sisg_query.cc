@@ -4,72 +4,178 @@
 //   sisg_query --model /tmp/model --variant sisg-f-u-d --k 10 42 99 7
 //   sisg_query --model /tmp/model --candidates /tmp/i2i.tsv --k 200
 //   sisg_query --model /tmp/model --cold_gender F --cold_age 2
+//   sisg_query --model /tmp/model --save_arena /tmp/serve
+//   sisg_query --arena /tmp/serve --quant int8 --mmap --k 10 42 99 7
 
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "common/flags.h"
 #include "core/candidate_table.h"
 #include "core/cold_start.h"
+#include "core/matching_engine.h"
 #include "core/pipeline.h"
 #include "tools/tool_common.h"
 
 using namespace sisg;
+
+namespace {
+
+/// Switches the candidate scan to the requested precision. Enable failures
+/// follow the engine's degradation contract — warn and keep serving fp32.
+void ApplyQuant(MatchingEngine& engine, const std::string& quant,
+                const std::string& arena_prefix, bool use_mmap) {
+  if (quant == "int8") {
+    const Status st =
+        arena_prefix.empty()
+            ? engine.EnableInt8()
+            : engine.EnableInt8FromFile(arena_prefix + ".qarena", use_mmap);
+    if (!st.ok()) {
+      std::cerr << "int8 enable failed (serving fp32): " << st.ToString()
+                << "\n";
+    }
+  } else if (quant == "pq") {
+    if (auto st = engine.EnableIvfPq(IvfOptions{}, PqOptions{}); !st.ok()) {
+      std::cerr << "pq enable failed (serving fp32): " << st.ToString()
+                << "\n";
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags;
   const auto known = tools::WithWorldFlags(
       {"model", "variant", "k", "candidates", "threads", "cold_gender",
        "cold_age", "cold_purchase", "metrics_out", "metrics_interval",
-       "help"});
+       "quant", "mmap", "arena", "save_arena", "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 2;
   }
-  if (flags.GetBool("help", false) || !flags.Has("model")) {
+  const bool has_source = flags.Has("model") || flags.Has("arena");
+  if (flags.GetBool("help", false) || !has_source) {
     std::cout << "usage: sisg_query --model PREFIX [--variant sisg-f-u-d] "
                  "[--k 10] [item ids...]\n"
                  "  --candidates FILE   export the full item->top-K table\n"
                  "  --cold_gender F|M [--cold_age 0-6] [--cold_purchase 0-2]\n"
+                 "  --quant fp32|int8|pq  candidate-scan precision\n"
+                 "  --save_arena PREFIX freeze serving state to PREFIX.arena "
+                 "+ PREFIX.qarena\n"
+                 "  --arena PREFIX      serve from PREFIX.arena (no model "
+                 "load; int8 uses PREFIX.qarena)\n"
+                 "  --mmap              map arena artifacts instead of "
+                 "heap-loading them\n"
                  "  --metrics_out FILE  per-query latency percentiles (JSON)\n"
                  "  --metrics_interval SECONDS  periodic progress lines\n"
                  "  [world flags matching sisg_train]\n";
-    return flags.Has("model") ? 0 : 2;
+    return has_source ? 0 : 2;
   }
 
-  const DatasetSpec spec = tools::SpecFromFlags(flags);
-  ItemCatalog catalog;
-  UserUniverse users;
-  if (auto st = catalog.Build(spec.catalog); !st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
+  const std::string quant = flags.GetString("quant", "fp32");
+  if (quant != "fp32" && quant != "int8" && quant != "pq") {
+    std::cerr << "unknown --quant '" << quant << "' (want fp32|int8|pq)\n";
+    return 2;
   }
-  if (auto st = users.Build(spec.users, catalog.num_tops()); !st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
-  }
-
-  SisgConfig config;
-  config.variant = flags.GetString("variant", "sisg-f-u-d") == "sisg-f-u-d"
-                       ? SisgVariant::kSisgFUD
-                       : SisgVariant::kSisgFU;
-  TokenSpace ts = TokenSpace::Create(&catalog, &users);
-  auto model = SisgModel::Load(flags.GetString("model", ""), config, ts);
-  if (!model.ok()) {
-    std::cerr << "load failed: " << model.status().ToString() << "\n";
-    return 1;
-  }
-  auto engine = model->BuildMatchingEngine();
-  if (!engine.ok()) {
-    std::cerr << engine.status().ToString() << "\n";
-    return 1;
-  }
+  const bool use_mmap = flags.GetBool("mmap", false);
   const uint32_t k = static_cast<uint32_t>(flags.GetInt64("k", 10));
   tools::ToolMetrics metrics = tools::ToolMetrics::FromFlags(flags);
 
+  MatchingEngine engine;
+  if (flags.Has("arena")) {
+    // Arena serving: the frozen .arena artifact carries everything queries
+    // need, so the model (and the catalog it requires) is never loaded.
+    if (flags.Has("cold_gender") || flags.Has("save_arena")) {
+      std::cerr << "--arena serves a frozen engine; it cannot be combined "
+                   "with --cold_gender or --save_arena\n";
+      return 2;
+    }
+    const std::string prefix = flags.GetString("arena", "");
+    if (auto st = engine.LoadArena(prefix + ".arena", use_mmap); !st.ok()) {
+      std::cerr << "arena load failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    ApplyQuant(engine, quant, prefix, use_mmap);
+  } else {
+    const DatasetSpec spec = tools::SpecFromFlags(flags);
+    ItemCatalog catalog;
+    UserUniverse users;
+    if (auto st = catalog.Build(spec.catalog); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    if (auto st = users.Build(spec.users, catalog.num_tops()); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+
+    SisgConfig config;
+    config.variant = flags.GetString("variant", "sisg-f-u-d") == "sisg-f-u-d"
+                         ? SisgVariant::kSisgFUD
+                         : SisgVariant::kSisgFU;
+    TokenSpace ts = TokenSpace::Create(&catalog, &users);
+    auto model = SisgModel::Load(flags.GetString("model", ""), config, ts);
+    if (!model.ok()) {
+      std::cerr << "load failed: " << model.status().ToString() << "\n";
+      return 1;
+    }
+    auto built = model->BuildMatchingEngine();
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(*built);
+
+    if (flags.Has("save_arena")) {
+      // Offline freeze: the fp32 serving block plus its int8 shadow, so a
+      // later --arena run can pick either precision without the model.
+      const std::string prefix = flags.GetString("save_arena", "serve");
+      if (auto st = engine.SaveArena(prefix + ".arena"); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      if (auto st = engine.EnableInt8(); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      if (auto st = engine.SaveInt8(prefix + ".qarena"); !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "froze serving state for " << engine.num_items()
+                << " items to " << prefix << ".arena + " << prefix
+                << ".qarena\n";
+      return metrics.Finish();
+    }
+
+    if (flags.Has("cold_gender")) {
+      ApplyQuant(engine, quant, /*arena_prefix=*/"", use_mmap);
+      const std::string g = flags.GetString("cold_gender", "F");
+      const int gender = g == "F" ? 0 : (g == "M" ? 1 : 2);
+      std::vector<float> v;
+      if (auto st = InferColdUserVector(
+              *model, users, gender,
+              static_cast<int>(flags.GetInt64("cold_age", -1)),
+              static_cast<int>(flags.GetInt64("cold_purchase", -1)), &v);
+          !st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "cold-user top-" << k << ":";
+      for (const auto& r : engine.QueryVector(v.data(), k)) {
+        std::cout << " item_" << r.id;
+      }
+      std::cout << "\n";
+      return metrics.Finish();
+    }
+    ApplyQuant(engine, quant, /*arena_prefix=*/"", use_mmap);
+  }
+
   if (flags.Has("candidates")) {
     CandidateTable table;
-    if (auto st = table.Build(*engine, k,
+    if (auto st = table.Build(engine, k,
                               static_cast<uint32_t>(flags.GetInt64("threads", 1)));
         !st.ok()) {
       std::cerr << st.ToString() << "\n";
@@ -85,26 +191,6 @@ int main(int argc, char** argv) {
     return metrics.Finish();
   }
 
-  if (flags.Has("cold_gender")) {
-    const std::string g = flags.GetString("cold_gender", "F");
-    const int gender = g == "F" ? 0 : (g == "M" ? 1 : 2);
-    std::vector<float> v;
-    if (auto st = InferColdUserVector(
-            *model, users, gender,
-            static_cast<int>(flags.GetInt64("cold_age", -1)),
-            static_cast<int>(flags.GetInt64("cold_purchase", -1)), &v);
-        !st.ok()) {
-      std::cerr << st.ToString() << "\n";
-      return 1;
-    }
-    std::cout << "cold-user top-" << k << ":";
-    for (const auto& r : engine->QueryVector(v.data(), k)) {
-      std::cout << " item_" << r.id;
-    }
-    std::cout << "\n";
-    return metrics.Finish();
-  }
-
   // Ad-hoc lookups go through the batched serving API so --threads applies
   // here too, not only to the candidate-table export.
   std::vector<uint32_t> items;
@@ -113,7 +199,7 @@ int main(int argc, char** argv) {
     items.push_back(
         static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10)));
   }
-  const auto results = engine->QueryBatch(
+  const auto results = engine.QueryBatch(
       items, k, static_cast<uint32_t>(flags.GetInt64("threads", 1)));
   for (size_t i = 0; i < items.size(); ++i) {
     std::cout << "item_" << items[i] << " ->";
