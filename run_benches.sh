@@ -9,7 +9,10 @@
 # traversal, SGNS epoch on the packed arena; see EXPERIMENTS.md
 # "Ingestion microbench"), and BENCH_quant.json for the quantized serving
 # path (fp32 vs int8 scan, fp32 IVF vs IVF-PQ ADC, each with a
-# bytes_per_query counter; see EXPERIMENTS.md "Quantization microbench").
+# bytes_per_query counter; see EXPERIMENTS.md "Quantization microbench"),
+# and BENCH_serve.json for the end-to-end serving process (coalesced vs
+# max_batch=1 loopback throughput plus an overload run; see EXPERIMENTS.md
+# "Serving bench").
 cd /root/repo
 if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
   echo "error: bench binaries not found under build/bench." >&2
@@ -29,6 +32,7 @@ fi
 ./build/bench/bench_micro_quant \
   --benchmark_out=BENCH_quant.json --benchmark_out_format=json \
   2>&1 | tee -a bench_output.txt
+sh bench/serve_bench.sh BENCH_serve.json 2>&1 | tee -a bench_output.txt
 for b in build/bench/*; do
   case "$b" in
     */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus|*/bench_micro_quant) continue ;;

@@ -1,0 +1,130 @@
+#include "common/net_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sisg {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status ParseAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = INADDR_ANY;
+    return Status::OK();
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CreateTcpListener(const std::string& host, uint16_t port, int backlog,
+                         int* fd, uint16_t* bound_port) {
+  sockaddr_in addr;
+  SISG_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(s, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = ErrnoStatus("bind " + host + ":" + std::to_string(port));
+    ::close(s);
+    return st;
+  }
+  if (::listen(s, backlog) != 0) {
+    const Status st = ErrnoStatus("listen");
+    ::close(s);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(s, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const Status st = ErrnoStatus("getsockname");
+      ::close(s);
+      return st;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  *fd = s;
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+  sockaddr_in addr;
+  SISG_RETURN_IF_ERROR(
+      ParseAddr(host.empty() ? "127.0.0.1" : host, port, &addr));
+  const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s < 0) return ErrnoStatus("socket");
+  if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(s);
+    return st;
+  }
+  SISG_RETURN_IF_ERROR(SetTcpNoDelay(s));
+  *fd = s;
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int want = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) return ErrnoStatus("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status SetTcpNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status WriteAllBlocking(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadAllBlocking(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (r == 0) return Status::IOError("connection closed");
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace sisg

@@ -1,0 +1,44 @@
+#ifndef SISG_COMMON_NET_UTIL_H_
+#define SISG_COMMON_NET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sisg {
+
+/// Thin Status-returning wrappers over POSIX TCP sockets, shared by the
+/// serving front end (src/serve/) and its client library. All sockets are
+/// created with SIGPIPE suppressed at the write site (MSG_NOSIGNAL), so a
+/// peer hangup surfaces as a Status, never a process kill.
+
+/// Creates, binds and listens on a TCP socket. `port` may be 0 for an
+/// ephemeral port; `*bound_port` receives the actual port either way.
+/// SO_REUSEADDR is set so restarts don't trip over TIME_WAIT.
+Status CreateTcpListener(const std::string& host, uint16_t port, int backlog,
+                         int* fd, uint16_t* bound_port);
+
+/// Blocking TCP connect with TCP_NODELAY (request/response frames must not
+/// sit in Nagle buffers).
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+
+/// Flips O_NONBLOCK on an existing fd.
+Status SetNonBlocking(int fd, bool non_blocking);
+
+/// Disables Nagle on a connected socket.
+Status SetTcpNoDelay(int fd);
+
+/// Blocking write of the whole buffer (loops over partial writes and EINTR;
+/// MSG_NOSIGNAL). A peer reset yields IOError.
+Status WriteAllBlocking(int fd, const void* data, size_t n);
+
+/// Blocking read of exactly `n` bytes. A clean EOF before `n` bytes yields
+/// IOError("connection closed"), matching the framing contract that frames
+/// are never split across connections.
+Status ReadAllBlocking(int fd, void* data, size_t n);
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_NET_UTIL_H_

@@ -427,6 +427,149 @@ std::vector<std::vector<ScoredId>> MatchingEngine::QueryBatch(
   return results;
 }
 
+std::vector<std::vector<ScoredId>> MatchingEngine::QueryBatchCoalesced(
+    const uint32_t* items, const uint32_t* ks, size_t n,
+    ThreadPool* pool) const {
+  std::vector<std::vector<ScoredId>> results(n);
+  if (n == 0) return results;
+  // ANN backends walk per-query index structures — there is no shared
+  // linear scan to coalesce. A batch of one IS the per-query path.
+  if (backend_ != AnnBackend::kBruteForce || n == 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = Query(items[i], ks[i]);
+    return results;
+  }
+
+  // Queries with nothing to scan (untrained item, k == 0) keep their empty
+  // result slot; only the rest pay for the pass.
+  struct Active {
+    const float* query;
+    uint32_t exclude;
+    uint32_t k;
+    size_t slot;
+  };
+  std::vector<Active> act;
+  act.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!HasItem(items[i]) || ks[i] == 0) continue;
+    act.push_back({QueryRow(items[i]), items[i], ks[i], i});
+  }
+  if (act.empty()) return results;
+
+  const SimdOps& ops = GetSimdOps();
+  const uint32_t rows = static_cast<uint32_t>(cand_ids_.size());
+  const bool int8 = quant_mode_ == QuantMode::kInt8 && int8_arena_ != nullptr;
+
+  // Chunk size: keep one chunk of candidate rows within ~32KB so the 2nd..Bth
+  // queries of the batch re-read it from L1/L2 instead of DRAM.
+  constexpr size_t kChunkBytes = 32 * 1024;
+  const size_t row_bytes =
+      int8 ? int8_arena_->stride() : block_stride_ * sizeof(float);
+  const uint32_t chunk_rows = static_cast<uint32_t>(
+      std::max<size_t>(16, row_bytes == 0 ? 16 : kChunkBytes / row_bytes));
+
+  // The chunked int8 shortlist scan needs global row indices as ids (the
+  // per-query path passes ids=nullptr, meaning "row index within the call").
+  std::vector<uint32_t> row_ids;
+  if (int8) {
+    row_ids.resize(rows);
+    for (uint32_t r = 0; r < rows; ++r) row_ids[r] = r;
+  }
+
+  // One shard = a contiguous span of the active queries, answered with its
+  // own chunk-tiled pass. Serial serving is a single shard; with a pool each
+  // worker streams the block once for its span.
+  const auto scan_span = [&](size_t begin, size_t end) {
+    const size_t m = end - begin;
+    if (int8) {
+      std::vector<int8_t> qcodes(m * dim_);
+      std::vector<Int8Query> iq(m);
+      std::vector<TopKSelector> shortlists;
+      shortlists.reserve(m);
+      for (size_t j = 0; j < m; ++j) {
+        const Active& a = act[begin + j];
+        iq[j] = QuantizeQueryInt8(a.query, dim_, qcodes.data() + j * dim_);
+        const uint32_t shortlist_k =
+            std::min(rows, std::max(4 * a.k, 32u)) + 1;
+        shortlists.emplace_back(shortlist_k);
+      }
+      for (uint32_t c0 = 0; c0 < rows; c0 += chunk_rows) {
+        const uint32_t cn = std::min(chunk_rows, rows - c0);
+        const uint8_t* chunk =
+            int8_arena_->codes() + static_cast<size_t>(c0) * row_bytes;
+        for (size_t j = 0; j < m; ++j) {
+          ops.top_k_scan_i8(iq[j], chunk, row_bytes,
+                            int8_arena_->scales() + c0,
+                            int8_arena_->mins() + c0, cn, dim_,
+                            row_ids.data() + c0, UINT32_MAX, &shortlists[j]);
+        }
+      }
+      uint64_t reranked = 0;
+      for (size_t j = 0; j < m; ++j) {
+        const Active& a = act[begin + j];
+        TopKSelector sel(a.k);
+        for (const ScoredId& cand : shortlists[j].Take()) {
+          const uint32_t row = cand.id;
+          const uint32_t id = cand_ids_[row];
+          if (id == a.exclude) continue;
+          ++reranked;
+          const float s = ops.dot(
+              a.query, cand_data_ + static_cast<size_t>(row) * block_stride_,
+              dim_);
+          if (s > sel.Threshold()) sel.Push(s, id);
+        }
+        results[a.slot] = sel.Take();
+      }
+      if (obs::MetricsEnabled()) {
+        static obs::Counter* const m_bytes =
+            obs::MetricsRegistry::Global().counter("serve.bytes_scanned");
+        static obs::Counter* const m_rerank =
+            obs::MetricsRegistry::Global().counter("serve.rerank_rows");
+        m_bytes->Add(static_cast<uint64_t>(rows) * row_bytes * m +
+                     reranked * dim_ * sizeof(float));
+        m_rerank->Add(reranked);
+      }
+      return;
+    }
+    std::vector<TopKSelector> sels;
+    sels.reserve(m);
+    for (size_t j = 0; j < m; ++j) sels.emplace_back(act[begin + j].k);
+    for (uint32_t c0 = 0; c0 < rows; c0 += chunk_rows) {
+      const uint32_t cn = std::min(chunk_rows, rows - c0);
+      const float* chunk = cand_data_ + static_cast<size_t>(c0) * block_stride_;
+      for (size_t j = 0; j < m; ++j) {
+        ops.top_k_scan(act[begin + j].query, chunk, block_stride_, cn, dim_,
+                       cand_ids_.data() + c0, act[begin + j].exclude,
+                       &sels[j]);
+      }
+    }
+    for (size_t j = 0; j < m; ++j) results[act[begin + j].slot] = sels[j].Take();
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const m_bytes =
+          obs::MetricsRegistry::Global().counter("serve.bytes_scanned");
+      m_bytes->Add(static_cast<uint64_t>(rows) * block_stride_ *
+                   sizeof(float) * m);
+    }
+  };
+
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const m_queries =
+        obs::MetricsRegistry::Global().counter("serve.queries");
+    m_queries->Add(act.size());
+  }
+
+  const size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (workers <= 1 || act.size() < 2 * workers) {
+    scan_span(0, act.size());
+    return results;
+  }
+  const size_t shard = (act.size() + workers - 1) / workers;
+  pool->ParallelFor((act.size() + shard - 1) / shard, [&](size_t s) {
+    const size_t begin = s * shard;
+    scan_span(begin, std::min(begin + shard, act.size()));
+  });
+  return results;
+}
+
 float MatchingEngine::Score(uint32_t query_item, uint32_t candidate) const {
   if (query_item >= num_items_ || candidate >= num_items_) return 0.0f;
   const float* c = CandidateRow(candidate);

@@ -16,6 +16,8 @@
 
 namespace sisg {
 
+class ThreadPool;
+
 /// Which retrieval structure serves queries. Brute force is both the
 /// baseline and the graceful-degradation fallback: an ANN index that fails
 /// to build or to load never takes the query path down with it.
@@ -75,6 +77,21 @@ class MatchingEngine {
   std::vector<std::vector<ScoredId>> QueryBatch(
       const std::vector<uint32_t>& items, uint32_t k,
       uint32_t num_threads = 1) const;
+
+  /// Coalesced micro-batch serving: answers all `n` queries (per-query k) in
+  /// ONE chunk-tiled pass over the candidate block — each ~32KB chunk of
+  /// candidate rows is scanned by every query while it is cache-hot, so the
+  /// block is streamed from memory once per batch instead of once per query,
+  /// and dispatch/top-k setup amortize across the batch. Results are
+  /// bit-identical to calling Query(items[i], ks[i]) per item (same kernels,
+  /// same row order, same selector state evolution); this is what makes the
+  /// network batcher's answers indistinguishable from the one-shot CLI's.
+  /// With a `pool`, the batch is sharded into per-worker coalesced
+  /// sub-batches. ANN backends fall back to the per-query path (posting-list
+  /// walks share no linear scan).
+  std::vector<std::vector<ScoredId>> QueryBatchCoalesced(
+      const uint32_t* items, const uint32_t* ks, size_t n,
+      ThreadPool* pool = nullptr) const;
 
   /// Pairwise score between two items under the engine's mode.
   float Score(uint32_t query_item, uint32_t candidate) const;

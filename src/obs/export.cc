@@ -1,9 +1,17 @@
 #include "obs/export.h"
 
+#include <semaphore.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iterator>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "common/io_util.h"
 #include "obs/table_printer.h"
@@ -110,6 +118,19 @@ Status WriteJsonFile(const MetricsSnapshot& snap, const std::string& path) {
   return file.Commit();
 }
 
+Status WriteMetricsFile(const MetricsSnapshot& snap, const std::string& path) {
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  if (!prom) return WriteJsonFile(snap, path);
+  const std::string body = ToPrometheusText(snap);
+  SISG_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  if (std::fwrite(body.data(), 1, body.size(), file.stream()) != body.size()) {
+    file.Abandon();
+    return Status::IOError("metrics prom: short write to " + path);
+  }
+  return file.Commit();
+}
+
 std::string ToPrometheusText(const MetricsSnapshot& snap) {
   std::string out;
   for (const auto& [name, v] : snap.counters) {
@@ -134,6 +155,80 @@ std::string ToPrometheusText(const MetricsSnapshot& snap) {
   }
   return out;
 }
+
+namespace {
+
+// Signal-flush plumbing. The handler must stay async-signal-safe, so all it
+// does is record which signal fired and sem_post; the watcher thread (plain
+// thread context) snapshots the registry, writes the file, then re-raises
+// the signal through its default disposition so callers still observe
+// "killed by SIGINT/SIGTERM".
+struct SignalFlushState {
+  sem_t sem;
+  std::atomic<int> signo{0};
+  std::mutex path_mu;
+  std::string path;
+};
+
+SignalFlushState* g_signal_flush = nullptr;
+
+void SignalFlushHandler(int signo) {
+  if (g_signal_flush == nullptr) return;
+  g_signal_flush->signo.store(signo, std::memory_order_relaxed);
+  sem_post(&g_signal_flush->sem);
+}
+
+Status SignalFlushWrite() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_signal_flush->path_mu);
+    path = g_signal_flush->path;
+  }
+  if (path.empty()) return Status::OK();
+  return WriteMetricsFile(MetricsRegistry::Global().Snapshot(), path);
+}
+
+}  // namespace
+
+void FlushMetricsOnSignal(const std::string& path) {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_signal_flush = new SignalFlushState();
+    sem_init(&g_signal_flush->sem, 0, 0);
+    std::thread([] {
+      while (sem_wait(&g_signal_flush->sem) != 0 && errno == EINTR) {
+      }
+      const Status s = SignalFlushWrite();
+      if (!s.ok()) {
+        // Too late to report through normal channels; best-effort stderr.
+        std::fprintf(stderr, "metrics signal flush failed: %s\n",
+                     s.ToString().c_str());
+      }
+      const int signo = g_signal_flush->signo.load(std::memory_order_relaxed);
+      std::signal(signo, SIG_DFL);
+      raise(signo);
+    }).detach();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &SignalFlushHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  });
+  std::lock_guard<std::mutex> lock(g_signal_flush->path_mu);
+  g_signal_flush->path = path;
+}
+
+namespace internal {
+
+Status SignalFlushNowForTest() {
+  if (g_signal_flush == nullptr) {
+    return Status::FailedPrecondition("FlushMetricsOnSignal not installed");
+  }
+  return SignalFlushWrite();
+}
+
+}  // namespace internal
 
 void PrintSummary(const MetricsSnapshot& snap, std::ostream& os) {
   if (!snap.counters.empty() || !snap.gauges.empty()) {

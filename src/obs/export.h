@@ -27,6 +27,26 @@ std::string ToJson(const MetricsSnapshot& snap);
 /// writer never leaves a torn metrics artifact behind.
 Status WriteJsonFile(const MetricsSnapshot& snap, const std::string& path);
 
+/// Format-dispatching export behind every tool's --metrics_out: a path
+/// ending in ".prom" gets Prometheus text exposition, anything else the
+/// JSON document. Both publish via AtomicFile.
+Status WriteMetricsFile(const MetricsSnapshot& snap, const std::string& path);
+
+/// Installs a SIGINT/SIGTERM watcher that snapshots the global registry and
+/// writes it to `path` (WriteMetricsFile) before the process dies from the
+/// signal — a Ctrl-C'd run still leaves its metrics artifact behind. The
+/// handler itself only posts a semaphore (async-signal-safe); a detached
+/// watcher thread does the I/O, then re-raises the signal through the
+/// default disposition so the exit code still says "killed by signal".
+/// Call at most once per process; later calls update the path.
+void FlushMetricsOnSignal(const std::string& path);
+
+namespace internal {
+/// The watcher's flush body, callable directly so tests can exercise the
+/// export-on-signal path without delivering a real signal.
+Status SignalFlushNowForTest();
+}  // namespace internal
+
 /// Prometheus text exposition format (metric names get a `sisg_` prefix,
 /// dots become underscores; histograms export as summary quantiles plus
 /// _sum/_count).

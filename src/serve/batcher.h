@@ -1,0 +1,112 @@
+#ifndef SISG_SERVE_BATCHER_H_
+#define SISG_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/top_k.h"
+#include "core/matching_engine.h"
+
+namespace sisg::serve {
+
+struct BatchOptions {
+  /// Flush a pending micro-batch at this size...
+  uint32_t max_batch = 32;
+  /// ...or this many microseconds after its first request arrived,
+  /// whichever comes first. 0 = dispatch immediately (degenerates to
+  /// batch-of-whatever-is-queued).
+  uint32_t max_wait_us = 200;
+  /// Admission-control bound on queued-but-undispatched requests. A full
+  /// queue rejects (typed BUSY), never buffers unboundedly.
+  uint32_t queue_capacity = 1024;
+  /// Dispatcher threads pulling micro-batches off the queue. >1 overlaps
+  /// scans of consecutive batches on multi-core hosts.
+  uint32_t dispatch_threads = 1;
+  /// Per-dispatcher scan fan-out: each dispatcher shards its micro-batch
+  /// over this many pool workers (1 = serial coalesced scan).
+  uint32_t scan_threads = 1;
+};
+
+/// Outcome of QueryBatcher::Submit — the admission-control decision.
+enum class AdmitResult {
+  kAccepted,
+  kBusy,          // queue full; caller replies BUSY
+  kShuttingDown,  // Drain() has begun; caller replies SHUTTING_DOWN
+};
+
+/// Coalesces concurrent single-item requests into micro-batches for
+/// MatchingEngine::QueryBatchCoalesced. Producers (network threads) call
+/// Submit with a completion callback; dispatcher threads collect up to
+/// max_batch requests — waiting at most max_wait_us after the first — run
+/// one fused SIMD pass, and invoke every callback. Callbacks run on a
+/// dispatcher thread and must not block for long (the server's append-to-
+/// write-buffer-and-wake is fine).
+///
+/// Obs wiring: serve.batch_size (histogram, requests per dispatch),
+/// serve.queue_wait_seconds (submit -> dispatch), serve.batch_scan_seconds
+/// (fused scan), serve.queue_depth (gauge), serve.dropped (admission
+/// rejections), serve.batches (dispatch count).
+class QueryBatcher {
+ public:
+  using Callback = std::function<void(std::vector<ScoredId>)>;
+
+  QueryBatcher(const MatchingEngine* engine, const BatchOptions& options);
+  ~QueryBatcher();
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// Spawns the dispatcher threads. Submit before Start() queues (up to
+  /// capacity) without dispatching — tests use this to fill the queue
+  /// deterministically.
+  void Start();
+
+  /// Admission control + enqueue. On kAccepted the callback will be invoked
+  /// exactly once (possibly after Drain flushes the queue); on rejection it
+  /// is never invoked and the caller owns the error reply.
+  AdmitResult Submit(uint32_t item, uint32_t k, Callback cb);
+
+  /// Graceful drain: stop admitting, flush every queued request through the
+  /// scan path, join the dispatchers. Idempotent.
+  void Drain();
+
+  /// Queued-but-undispatched requests right now (tests/gauges).
+  size_t queue_depth() const;
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    uint32_t item;
+    uint32_t k;
+    Callback cb;
+    uint64_t enqueue_ns;
+  };
+
+  void DispatchLoop();
+  /// Pops one micro-batch (respecting max_batch / max_wait_us); empty only
+  /// when draining and the queue is exhausted.
+  std::vector<Pending> NextBatch();
+  void RunBatch(std::vector<Pending> batch, ThreadPool* pool);
+
+  const MatchingEngine* engine_;
+  const BatchOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  bool started_ = false;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace sisg::serve
+
+#endif  // SISG_SERVE_BATCHER_H_

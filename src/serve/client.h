@@ -1,0 +1,57 @@
+#ifndef SISG_SERVE_CLIENT_H_
+#define SISG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+#include "serve/wire.h"
+
+namespace sisg::serve {
+
+/// Blocking client for the sisg_serve wire protocol. One connection, not
+/// thread-safe; pipelining is supported by splitting Send/Read (request ids
+/// let the caller match out-of-order... responses are actually always
+/// returned in request order per connection, but ids make the pairing
+/// explicit and survive interleaved BUSY rejections).
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  static StatusOr<ServeClient> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One synchronous round trip. A transport/protocol failure is a non-OK
+  /// Status; an application-level rejection (BUSY etc.) is OK with the
+  /// response's status field set.
+  Status Query(uint32_t item, uint32_t k, QueryResponse* out);
+
+  /// Pipelined sends: fire a query without waiting.
+  Status SendQuery(uint64_t request_id, uint32_t item, uint32_t k);
+  /// Reads the next response frame (blocking).
+  Status ReadResponse(QueryResponse* out);
+
+  /// Liveness round trip.
+  Status Ping();
+
+ private:
+  Status ReadFrame(MsgType want, std::vector<uint8_t>* payload,
+                   uint32_t* payload_len);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace sisg::serve
+
+#endif  // SISG_SERVE_CLIENT_H_

@@ -1,0 +1,486 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/net_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace sisg::serve {
+
+namespace {
+
+// epoll user-data tags for the two non-connection fds.
+constexpr uint64_t kTagListener = 0;
+constexpr uint64_t kTagEventFd = 1;
+
+struct ServerMetrics {
+  obs::Counter* accepted;
+  obs::Counter* conn_rejected;
+  obs::Counter* requests;
+  obs::Counter* protocol_errors;
+  obs::Counter* tx_bytes;
+  obs::Counter* rx_bytes;
+  obs::Gauge* connections;
+  obs::Histogram* request_seconds;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m = {
+        obs::MetricsRegistry::Global().counter("serve.accepted"),
+        obs::MetricsRegistry::Global().counter("serve.conn_rejected"),
+        obs::MetricsRegistry::Global().counter("serve.requests"),
+        obs::MetricsRegistry::Global().counter("serve.protocol_errors"),
+        obs::MetricsRegistry::Global().counter("serve.tx_bytes"),
+        obs::MetricsRegistry::Global().counter("serve.rx_bytes"),
+        obs::MetricsRegistry::Global().gauge("serve.connections"),
+        obs::MetricsRegistry::Global().histogram("serve.request_seconds"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+/// One connection, owned by exactly one I/O thread. The write side is the
+/// only cross-thread surface (batcher callbacks append responses), so it
+/// sits behind its own mutex; everything else is touched only by the owner.
+struct ServeServer::Connection {
+  int fd = -1;
+  IoThread* owner = nullptr;
+  FrameReader reader;
+
+  std::mutex wmu;
+  std::string outbuf;          // guarded by wmu
+  bool closed = false;         // guarded by wmu
+  bool flush_queued = false;   // guarded by wmu (in owner's pending list?)
+  bool epollout_armed = false; // owner thread only
+};
+
+struct ServeServer::IoThread {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  /// fd -> connection, owner thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  /// Connections with freshly queued output, filled by any thread.
+  std::mutex pmu;
+  std::vector<std::shared_ptr<Connection>> pending_flush;
+};
+
+ServeServer::ServeServer(const MatchingEngine* engine,
+                         const ServerOptions& options)
+    : engine_(engine), options_(options) {}
+
+ServeServer::~ServeServer() { Shutdown(); }
+
+Status ServeServer::Start() {
+  if (started_.load()) return Status::FailedPrecondition("server: already started");
+  if (engine_ == nullptr || engine_->num_items() == 0) {
+    return Status::FailedPrecondition("server: engine not built");
+  }
+  SISG_RETURN_IF_ERROR(CreateTcpListener(options_.host, options_.port,
+                                         /*backlog=*/256, &listen_fd_,
+                                         &bound_port_));
+  SISG_RETURN_IF_ERROR(SetNonBlocking(listen_fd_, true));
+
+  batcher_ = std::make_unique<QueryBatcher>(engine_, options_.batch);
+  batcher_->Start();
+
+  const uint32_t n = std::max(1u, options_.io_threads);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll_fd = ::epoll_create1(0);
+    io->event_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (io->epoll_fd < 0 || io->event_fd < 0) {
+      return Status::IOError("server: epoll/eventfd creation failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagEventFd;
+    ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev);
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.u64 = kTagListener;
+    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      return Status::IOError(std::string("server: epoll_ctl(listener): ") +
+                             std::strerror(errno));
+    }
+    io_threads_.push_back(std::move(io));
+  }
+  started_.store(true);
+  for (auto& io : io_threads_) {
+    IoThread* p = io.get();
+    p->thread = std::thread([this, p] { IoLoop(p); });
+  }
+  LOG_INFO << "sisg_serve: listening on " << options_.host << ":"
+           << bound_port_ << " (" << n << " io threads, max_batch="
+           << options_.batch.max_batch << ", max_wait_us="
+           << options_.batch.max_wait_us << ")";
+  return Status::OK();
+}
+
+void ServeServer::IoLoop(IoThread* io) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const int nev = ::epoll_wait(io->epoll_fd, events, kMaxEvents, 100);
+    if (nev < 0 && errno != EINTR) break;
+    for (int i = 0; i < nev; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kTagListener) {
+        if (!stopping_.load(std::memory_order_relaxed)) AcceptPending(io);
+        continue;
+      }
+      if (tag == kTagEventFd) {
+        uint64_t junk;
+        while (::read(io->event_fd, &junk, sizeof(junk)) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> pending;
+        {
+          std::lock_guard<std::mutex> lock(io->pmu);
+          pending.swap(io->pending_flush);
+        }
+        for (const auto& conn : pending) {
+          {
+            std::lock_guard<std::mutex> lock(conn->wmu);
+            conn->flush_queued = false;
+            if (conn->closed) continue;
+          }
+          FlushConnection(io, conn);
+        }
+        continue;
+      }
+      Connection* raw = reinterpret_cast<Connection*>(tag);
+      const auto it = io->conns.find(raw->fd);
+      if (it == io->conns.end()) continue;  // closed earlier this wake
+      const std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(io, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(io, conn);
+      if ((events[i].events & EPOLLOUT) &&
+          io->conns.count(conn->fd) > 0) {
+        FlushConnection(io, conn);
+      }
+    }
+    // Drain mode: Shutdown keeps started_ true until every queued response
+    // byte is on the wire (it watches pending_tx_bytes_, bounded), so by
+    // the time this flips the flushing is done — just exit.
+    if (stopping_.load(std::memory_order_relaxed) &&
+        !started_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Teardown: close every connection this thread owns.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(io->conns.size());
+  for (const auto& [fd, conn] : io->conns) {
+    (void)fd;
+    remaining.push_back(conn);
+  }
+  for (const auto& conn : remaining) CloseConnection(io, conn);
+}
+
+void ServeServer::AcceptPending(IoThread* io) {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or a racing thread took it)
+    if (num_connections_.fetch_add(1, std::memory_order_relaxed) + 1 >
+        static_cast<int64_t>(options_.max_connections)) {
+      num_connections_.fetch_sub(1, std::memory_order_relaxed);
+      ::close(fd);
+      if (obs::MetricsEnabled()) ServerMetrics::Get().conn_rejected->Increment();
+      continue;
+    }
+    (void)SetNonBlocking(fd, true);
+    (void)SetTcpNoDelay(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->owner = io;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      num_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    io->conns.emplace(fd, std::move(conn));
+    if (obs::MetricsEnabled()) {
+      ServerMetrics::Get().accepted->Increment();
+      ServerMetrics::Get().connections->Set(
+          static_cast<double>(num_connections_.load(std::memory_order_relaxed)));
+    }
+  }
+}
+
+void ServeServer::HandleReadable(IoThread* io,
+                                 const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[16 * 1024];
+  while (true) {
+    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r == 0) {  // peer closed
+      CloseConnection(io, conn);
+      return;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(io, conn);
+      return;
+    }
+    if (obs::MetricsEnabled()) {
+      ServerMetrics::Get().rx_bytes->Add(static_cast<uint64_t>(r));
+    }
+    if (const Status st = conn->reader.Feed(buf, static_cast<size_t>(r));
+        !st.ok()) {
+      if (obs::MetricsEnabled()) {
+        ServerMetrics::Get().protocol_errors->Increment();
+      }
+      LOG_WARN << "serve: protocol error, closing connection: "
+               << st.ToString();
+      CloseConnection(io, conn);
+      return;
+    }
+    while (true) {
+      Frame frame;
+      bool have = false;
+      const Status st = conn->reader.Next(&frame, &have);
+      if (!st.ok()) {
+        // Typed protocol violation (bad magic/version/type, oversized
+        // length): count it and close cleanly — the stream can never
+        // resynchronize, and nothing of the bad frame reached a request
+        // struct.
+        if (obs::MetricsEnabled()) {
+          ServerMetrics::Get().protocol_errors->Increment();
+        }
+        LOG_WARN << "serve: protocol error, closing connection: "
+                 << st.ToString();
+        CloseConnection(io, conn);
+        return;
+      }
+      if (!have) break;
+      HandleFrame(io, conn, frame.type, frame.payload, frame.payload_len);
+      if (io->conns.count(conn->fd) == 0) return;  // frame handler closed it
+    }
+  }
+}
+
+void ServeServer::HandleFrame(IoThread* io,
+                              const std::shared_ptr<Connection>& conn,
+                              MsgType type, const uint8_t* payload,
+                              uint32_t len) {
+  switch (type) {
+    case MsgType::kPing: {
+      uint64_t id = 0;
+      if (!DecodeRequestId(payload, len, &id).ok()) {
+        if (obs::MetricsEnabled()) {
+          ServerMetrics::Get().protocol_errors->Increment();
+        }
+        CloseConnection(io, conn);
+        return;
+      }
+      std::string out;
+      EncodePong(id, &out);
+      EnqueueWrite(conn, std::move(out));
+      return;
+    }
+    case MsgType::kQuery: {
+      QueryRequest req;
+      if (const Status st = DecodeQuery(payload, len, &req); !st.ok()) {
+        if (obs::MetricsEnabled()) {
+          ServerMetrics::Get().protocol_errors->Increment();
+        }
+        LOG_WARN << "serve: bad query frame: " << st.ToString();
+        CloseConnection(io, conn);
+        return;
+      }
+      if (obs::MetricsEnabled()) ServerMetrics::Get().requests->Increment();
+      if (req.k == 0) {
+        QueryResponse resp;
+        resp.request_id = req.request_id;
+        resp.status = WireStatus::kBadRequest;
+        std::string out;
+        EncodeResponse(resp, &out);
+        EnqueueWrite(conn, std::move(out));
+        return;
+      }
+      const uint64_t recv_ns = MonotonicNanos();
+      const uint64_t request_id = req.request_id;
+      std::shared_ptr<Connection> cb_conn = conn;
+      ServeServer* self = this;
+      const AdmitResult admit = batcher_->Submit(
+          req.item, req.k,
+          [self, cb_conn, request_id, recv_ns](std::vector<ScoredId> results) {
+            QueryResponse resp;
+            resp.request_id = request_id;
+            resp.status = WireStatus::kOk;
+            resp.results = std::move(results);
+            std::string out;
+            EncodeResponse(resp, &out);
+            if (obs::MetricsEnabled()) {
+              ServerMetrics::Get().request_seconds->Observe(
+                  static_cast<double>(MonotonicNanos() - recv_ns) * 1e-9);
+            }
+            self->EnqueueWrite(cb_conn, std::move(out));
+          });
+      if (admit != AdmitResult::kAccepted) {
+        // Explicit backpressure: the client hears BUSY immediately instead
+        // of the request silently vanishing or buffering without bound.
+        QueryResponse resp;
+        resp.request_id = request_id;
+        resp.status = admit == AdmitResult::kBusy ? WireStatus::kBusy
+                                                  : WireStatus::kShuttingDown;
+        std::string out;
+        EncodeResponse(resp, &out);
+        EnqueueWrite(conn, std::move(out));
+      }
+      return;
+    }
+    case MsgType::kResponse:
+    case MsgType::kPong:
+      // Clients must not send server->client message types.
+      if (obs::MetricsEnabled()) {
+        ServerMetrics::Get().protocol_errors->Increment();
+      }
+      CloseConnection(io, conn);
+      return;
+  }
+}
+
+void ServeServer::EnqueueWrite(const std::shared_ptr<Connection>& conn,
+                               std::string bytes) {
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->wmu);
+    if (conn->closed) return;
+    conn->outbuf += bytes;
+    pending_tx_bytes_.fetch_add(static_cast<int64_t>(bytes.size()),
+                                std::memory_order_relaxed);
+    if (!conn->flush_queued) {
+      conn->flush_queued = true;
+      need_wake = true;
+    }
+  }
+  if (need_wake) {
+    IoThread* io = conn->owner;
+    {
+      std::lock_guard<std::mutex> lock(io->pmu);
+      io->pending_flush.push_back(conn);
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w =
+        ::write(io->event_fd, &one, sizeof(one));
+  }
+}
+
+void ServeServer::FlushConnection(IoThread* io,
+                                  const std::shared_ptr<Connection>& conn) {
+  bool want_epollout = false;
+  bool write_error = false;  // explicit: a non-empty outbuf alone is NOT an
+                             // error (a callback may append concurrently)
+  {
+    std::lock_guard<std::mutex> lock(conn->wmu);
+    while (!conn->outbuf.empty()) {
+      const ssize_t w = ::send(conn->fd, conn->outbuf.data(),
+                               conn->outbuf.size(), MSG_NOSIGNAL);
+      if (w > 0) {
+        pending_tx_bytes_.fetch_sub(w, std::memory_order_relaxed);
+        if (obs::MetricsEnabled()) {
+          ServerMetrics::Get().tx_bytes->Add(static_cast<uint64_t>(w));
+        }
+        conn->outbuf.erase(0, static_cast<size_t>(w));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_epollout = true;
+        break;
+      }
+      // Peer is gone; the close below releases the buffered bytes.
+      write_error = true;
+      break;
+    }
+  }
+  if (write_error) {
+    CloseConnection(io, conn);
+    return;
+  }
+  if (want_epollout != conn->epollout_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_epollout ? EPOLLOUT : 0);
+    ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+    ::epoll_ctl(io->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->epollout_armed = want_epollout;
+  }
+}
+
+void ServeServer::CloseConnection(IoThread* io,
+                                  const std::shared_ptr<Connection>& conn) {
+  if (io->conns.erase(conn->fd) == 0) return;  // already closed
+  {
+    std::lock_guard<std::mutex> lock(conn->wmu);
+    conn->closed = true;
+    pending_tx_bytes_.fetch_sub(static_cast<int64_t>(conn->outbuf.size()),
+                                std::memory_order_relaxed);
+    conn->outbuf.clear();
+  }
+  ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    ServerMetrics::Get().connections->Set(
+        static_cast<double>(num_connections_.load(std::memory_order_relaxed)));
+  }
+}
+
+void ServeServer::Shutdown() {
+  if (!started_.load()) return;
+  // Phase 1: stop taking new work. Closing the listener makes every racing
+  // accept fail; stopping_ gates the accept path.
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Phase 2: drain the batcher — every queued request runs through the scan
+  // path and its response lands in a connection write buffer (the I/O
+  // threads are still flushing).
+  if (batcher_ != nullptr) batcher_->Drain();
+  // Phase 3: wait (bounded) for the I/O threads to push the last response
+  // bytes to the kernel, then tell them to exit.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pending_tx_bytes_.load(std::memory_order_relaxed) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  started_.store(false);
+  for (auto& io : io_threads_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w =
+        ::write(io->event_fd, &one, sizeof(one));
+  }
+  for (auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+    if (io->epoll_fd >= 0) ::close(io->epoll_fd);
+    if (io->event_fd >= 0) ::close(io->event_fd);
+  }
+  io_threads_.clear();
+  batcher_.reset();
+  if (obs::MetricsEnabled()) {
+    ServerMetrics::Get().connections->Set(0.0);
+  }
+}
+
+}  // namespace sisg::serve

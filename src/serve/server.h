@@ -1,0 +1,108 @@
+#ifndef SISG_SERVE_SERVER_H_
+#define SISG_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matching_engine.h"
+#include "serve/batcher.h"
+#include "serve/wire.h"
+
+namespace sisg::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the actual port back via port().
+  uint16_t port = 0;
+  /// Accept/read/write front-end threads. Each runs its own epoll loop and
+  /// owns the connections it accepted (EPOLLEXCLUSIVE kernel-balanced
+  /// accepts), so no connection state is ever shared between I/O threads.
+  uint32_t io_threads = 2;
+  /// Hard cap on concurrent connections; excess accepts are closed on
+  /// arrival (serve.conn_rejected) — bounded state, like everything else.
+  uint32_t max_connections = 1024;
+  BatchOptions batch;
+};
+
+/// Long-lived TCP serving process front end: length-prefixed frames in,
+/// micro-batched SIMD scans in the middle (QueryBatcher), frames out.
+///
+/// Data path: an I/O thread parses a query frame and submits it to the
+/// batcher with a callback; the callback (on a dispatcher thread) encodes
+/// the response into the connection's write buffer and wakes the owning I/O
+/// thread through its eventfd — epoll_ctl is only ever called by the owning
+/// thread. Admission rejections (queue full / draining) are answered
+/// inline with typed BUSY / SHUTTING_DOWN responses, never silent drops.
+///
+/// Backpressure contract: queued requests are bounded by
+/// batch.queue_capacity, connections by max_connections, per-connection
+/// unparsed input by the wire module's frame bound, and responses by the
+/// clients' own read pace (slow readers accumulate bytes only as fast as
+/// they issue requests). Nothing in the pipeline grows without bound under
+/// overload.
+///
+/// Shutdown() is a graceful drain: stop accepting, flush every queued
+/// request through the scan path, push every pending response out, then
+/// close. Safe to call from a signal-watcher thread.
+class ServeServer {
+ public:
+  ServeServer(const MatchingEngine* engine, const ServerOptions& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, starts the batcher and the I/O threads. Fails (typed) when the
+  /// port is taken or the engine is empty.
+  Status Start();
+
+  /// The bound port (valid after Start), for ephemeral-port callers.
+  uint16_t port() const { return bound_port_; }
+
+  /// Graceful drain; idempotent, blocks until the server is fully down.
+  void Shutdown();
+
+  /// Live connection count (tests).
+  size_t num_connections() const {
+    return static_cast<size_t>(
+        num_connections_.load(std::memory_order_relaxed));
+  }
+
+  QueryBatcher* batcher() { return batcher_.get(); }
+
+ private:
+  struct IoThread;
+  struct Connection;
+
+  void IoLoop(IoThread* io);
+  void HandleReadable(IoThread* io, const std::shared_ptr<Connection>& conn);
+  void HandleFrame(IoThread* io, const std::shared_ptr<Connection>& conn,
+                   MsgType type, const uint8_t* payload, uint32_t len);
+  void EnqueueWrite(const std::shared_ptr<Connection>& conn,
+                    std::string bytes);
+  /// Writes until EAGAIN; arms/disarms EPOLLOUT. Owning I/O thread only.
+  void FlushConnection(IoThread* io, const std::shared_ptr<Connection>& conn);
+  void CloseConnection(IoThread* io, const std::shared_ptr<Connection>& conn);
+  void AcceptPending(IoThread* io);
+
+  const MatchingEngine* engine_;
+  const ServerOptions options_;
+  std::unique_ptr<QueryBatcher> batcher_;
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> num_connections_{0};
+  /// Response bytes enqueued but not yet handed to the kernel; Shutdown
+  /// waits for this to hit zero so drained replies actually reach clients.
+  std::atomic<int64_t> pending_tx_bytes_{0};
+};
+
+}  // namespace sisg::serve
+
+#endif  // SISG_SERVE_SERVER_H_

@@ -1,0 +1,123 @@
+#ifndef SISG_SERVE_WIRE_H_
+#define SISG_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+
+namespace sisg::serve {
+
+/// Length-prefixed binary framing for the serving protocol (little-endian,
+/// the only byte order this engine runs on).
+///
+///   frame   := header payload
+///   header  := magic:u16 version:u8 type:u8 payload_len:u32
+///   payload := payload_len bytes, layout per type
+///
+/// Payloads:
+///   kQuery     request_id:u64 item:u32 k:u32
+///   kResponse  request_id:u64 status:u8 pad:u8[3] n:u32 (id:u32 score:f32)*n
+///   kPing      request_id:u64
+///   kPong      request_id:u64
+///
+/// Every field of every inbound byte sequence is validated before any of it
+/// reaches a request struct: bad magic/version/type and oversized or
+/// inconsistent lengths are typed InvalidArgument errors (the connection is
+/// then closed by the caller), and a partial frame is simply "not yet" —
+/// never a partial decode.
+
+constexpr uint16_t kFrameMagic = 0x5153;  // "SQ" little-endian
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderBytes = 8;
+/// Upper bound on a single payload. Generous for any sane top-k response
+/// (k=100k) while keeping a garbage length prefix from triggering a huge
+/// allocation.
+constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class MsgType : uint8_t {
+  kQuery = 1,
+  kResponse = 2,
+  kPing = 3,
+  kPong = 4,
+};
+
+/// Application-level result code carried in a response frame.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  /// Admission control rejected the request (queue full). The client may
+  /// retry after backoff; the connection stays healthy.
+  kBusy = 1,
+  /// The request was structurally valid but unserviceable (e.g. k == 0).
+  kBadRequest = 2,
+  /// The server is draining; no new work is accepted.
+  kShuttingDown = 3,
+};
+
+struct QueryRequest {
+  uint64_t request_id = 0;
+  uint32_t item = 0;
+  uint32_t k = 0;
+};
+
+struct QueryResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::vector<ScoredId> results;
+};
+
+/// A fully delimited frame as produced by FrameReader. `payload` points into
+/// the reader's buffer and is valid only until the next Next()/Feed() call.
+struct Frame {
+  MsgType type = MsgType::kQuery;
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+};
+
+// --- encoding (appends to `out`) ---
+void EncodeQuery(const QueryRequest& req, std::string* out);
+void EncodeResponse(const QueryResponse& resp, std::string* out);
+void EncodePing(uint64_t request_id, std::string* out);
+void EncodePong(uint64_t request_id, std::string* out);
+
+// --- payload decoding (full validation; never partial) ---
+Status DecodeQuery(const uint8_t* payload, uint32_t len, QueryRequest* out);
+Status DecodeResponse(const uint8_t* payload, uint32_t len,
+                      QueryResponse* out);
+Status DecodeRequestId(const uint8_t* payload, uint32_t len, uint64_t* out);
+
+/// Incremental frame parser. Feed() appends raw bytes; Next() yields one
+/// complete frame at a time or reports that more bytes are needed. A header
+/// that can never become a valid frame (bad magic, unknown version or type,
+/// oversized declared length) poisons the stream: Next() returns the typed
+/// error from then on and the caller must close the connection.
+class FrameReader {
+ public:
+  /// Appends bytes from the socket. Returns InvalidArgument when the total
+  /// buffered-but-unparsed data exceeds the per-frame bound plus header
+  /// (cannot happen to a well-behaved peer, caps memory for a hostile one).
+  Status Feed(const void* data, size_t n);
+
+  /// Parses the next complete frame into `*frame`.
+  ///   kOk               -> *have = true, frame valid until next call
+  ///   kOk, *have=false  -> need more bytes
+  ///   error             -> stream poisoned (protocol violation)
+  Status Next(Frame* frame, bool* have);
+
+  /// Bytes currently buffered and not yet consumed as frames.
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+  Status poison_;  // sticky protocol error
+};
+
+const char* WireStatusName(WireStatus s);
+
+}  // namespace sisg::serve
+
+#endif  // SISG_SERVE_WIRE_H_

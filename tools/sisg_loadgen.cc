@@ -1,0 +1,319 @@
+// sisg_loadgen — load client for sisg_serve. Drives the wire protocol in
+// closed-loop (N connections, back-to-back round trips: throughput ceiling
+// at a given concurrency) or open-loop (target arrival rate with
+// exponential or heavy-tailed Pareto inter-arrivals: latency under a load
+// the server does not control) mode, and reports latency percentiles plus
+// admission-control outcomes.
+//
+//   sisg_loadgen --port 7411 --mode closed --connections 8 --duration 5
+//   sisg_loadgen --port 7411 --mode open --qps 20000 --arrival pareto \
+//                --duration 5 --json_out bench_row.json
+//
+// Exit code: 0 on a clean run, 1 when any transport/protocol error occurred
+// or nothing completed — so CI can use the binary directly as a smoke
+// check. BUSY replies are not errors: they are the server's backpressure
+// working as designed, and are reported in their own column.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "serve/client.h"
+
+using namespace sisg;
+
+namespace {
+
+struct WorkerStats {
+  std::vector<double> latencies_ms;
+  uint64_t completed = 0;  // kOk responses
+  uint64_t busy = 0;       // kBusy / kShuttingDown rejections
+  uint64_t bad = 0;        // kBadRequest
+  uint64_t errors = 0;     // transport/protocol failures
+};
+
+double Quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(idx), v.end());
+  return v[idx];
+}
+
+void Tally(WorkerStats* s, serve::WireStatus status, double ms) {
+  switch (status) {
+    case serve::WireStatus::kOk:
+      s->completed++;
+      s->latencies_ms.push_back(ms);
+      break;
+    case serve::WireStatus::kBadRequest:
+      s->bad++;
+      break;
+    default:
+      s->busy++;
+  }
+}
+
+/// Closed loop: one synchronous round trip after another until the deadline.
+void ClosedLoopWorker(const std::string& host, uint16_t port, uint32_t items,
+                      uint32_t k, uint64_t seed, uint64_t deadline_ns,
+                      WorkerStats* s) {
+  auto client = serve::ServeClient::Connect(host, port);
+  if (!client.ok()) {
+    s->errors++;
+    return;
+  }
+  Rng rng(seed);
+  while (MonotonicNanos() < deadline_ns) {
+    const auto item = static_cast<uint32_t>(rng.UniformU64(items));
+    serve::QueryResponse resp;
+    const uint64_t t0 = MonotonicNanos();
+    if (auto st = client->Query(item, k, &resp); !st.ok()) {
+      s->errors++;
+      return;  // transport gone; this connection is done
+    }
+    Tally(s, resp.status, static_cast<double>(MonotonicNanos() - t0) * 1e-6);
+  }
+}
+
+/// Open loop: a sender thread fires at scheduled arrival instants without
+/// waiting for replies; a reader thread drains responses and matches them to
+/// send timestamps by request id. The two threads touch opposite directions
+/// of the same socket, which is safe.
+void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
+                    uint32_t k, uint64_t seed, uint64_t deadline_ns,
+                    double rate_per_conn, const std::string& arrival,
+                    WorkerStats* s) {
+  auto client = serve::ServeClient::Connect(host, port);
+  if (!client.ok()) {
+    s->errors++;
+    return;
+  }
+  std::mutex mu;
+  std::unordered_map<uint64_t, uint64_t> inflight;  // id -> send ns
+  std::atomic<bool> send_failed{false};
+  std::atomic<uint64_t> sent{0};
+
+  std::thread reader([&] {
+    uint64_t got = 0;
+    for (;;) {
+      serve::QueryResponse resp;
+      if (auto st = client->ReadResponse(&resp); !st.ok()) {
+        // EOF after the sender closed is the clean end; mid-run it's an
+        // error, which the outer loop detects via counts.
+        return;
+      }
+      uint64_t t0 = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = inflight.find(resp.request_id);
+        if (it != inflight.end()) {
+          t0 = it->second;
+          inflight.erase(it);
+        }
+      }
+      if (t0 == 0) {
+        s->errors++;  // response to a request we never sent
+        continue;
+      }
+      Tally(s, resp.status,
+            static_cast<double>(MonotonicNanos() - t0) * 1e-6);
+      // Stop once every sent request is answered and the deadline passed.
+      ++got;
+      if (MonotonicNanos() >= deadline_ns &&
+          got >= sent.load(std::memory_order_acquire)) {
+        return;
+      }
+    }
+  });
+
+  Rng rng(seed);
+  uint64_t next_id = 1;
+  double next_ns = static_cast<double>(MonotonicNanos());
+  const double mean_gap_ns = 1e9 / rate_per_conn;
+  // Pareto with alpha=1.5 scaled to the same mean as the exponential:
+  // bursty heavy-tailed arrivals that stress the adaptive flush deadline.
+  const double pareto_alpha = 1.5;
+  const double pareto_xm = mean_gap_ns * (pareto_alpha - 1.0) / pareto_alpha;
+  while (MonotonicNanos() < deadline_ns) {
+    const double u = std::max(1e-12, rng.UniformDouble());
+    const double gap = arrival == "pareto"
+                           ? pareto_xm * std::pow(u, -1.0 / pareto_alpha)
+                           : -mean_gap_ns * std::log(u);
+    next_ns += gap;
+    while (static_cast<double>(MonotonicNanos()) < next_ns) {
+      const double ahead_us =
+          (next_ns - static_cast<double>(MonotonicNanos())) * 1e-3;
+      if (ahead_us > 100.0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<int64_t>(ahead_us / 2)));
+      }
+    }
+    const auto item = static_cast<uint32_t>(rng.UniformU64(items));
+    const uint64_t id = next_id++;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight[id] = MonotonicNanos();
+    }
+    if (auto st = client->SendQuery(id, item, k); !st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight.erase(id);
+      send_failed.store(true);
+      break;
+    }
+    sent.fetch_add(1, std::memory_order_release);
+  }
+  // Give in-flight replies a bounded grace period, then drop the socket to
+  // unblock the reader. Generous because an overloaded single-core host
+  // runs the server and every loadgen thread on the same core.
+  const uint64_t grace_end = MonotonicNanos() + 6'000'000'000ull;
+  while (MonotonicNanos() < grace_end) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (inflight.empty()) break;
+    std::this_thread::yield();
+  }
+  client->Close();
+  reader.join();
+  if (send_failed.load()) s->errors++;
+  std::lock_guard<std::mutex> lock(mu);
+  // Unanswered sends after grace: count as errors unless the run ended with
+  // the server still healthy (tail replies raced the close) — be strict.
+  s->errors += inflight.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (auto st = flags.Parse(
+          argc, argv,
+          {"host", "port", "mode", "connections", "qps", "arrival", "duration",
+           "items", "k", "seed", "json_out", "name", "help"});
+      !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("port")) {
+    std::cout << "usage: sisg_loadgen --port P [options]\n"
+                 "  --host ADDR        server address (default 127.0.0.1)\n"
+                 "  --mode closed|open closed: back-to-back round trips;\n"
+                 "                     open: scheduled arrivals (default "
+                 "closed)\n"
+                 "  --connections N    concurrent connections (default 4)\n"
+                 "  --qps Q            open-loop total arrival rate\n"
+                 "  --arrival exp|pareto  open-loop inter-arrival law\n"
+                 "  --duration S       seconds to run (default 5)\n"
+                 "  --items N          item-id space to sample (default "
+                 "8000)\n"
+                 "  --k K              top-k per query (default 10)\n"
+                 "  --json_out FILE    write one bench row as JSON\n"
+                 "  --name LABEL       row label (default the mode)\n";
+    return flags.Has("port") ? 0 : 2;
+  }
+
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags.GetInt64("port", 0));
+  const std::string mode = flags.GetString("mode", "closed");
+  if (mode != "closed" && mode != "open") {
+    std::cerr << "unknown --mode '" << mode << "' (want closed|open)\n";
+    return 2;
+  }
+  const std::string arrival = flags.GetString("arrival", "exp");
+  if (arrival != "exp" && arrival != "pareto") {
+    std::cerr << "unknown --arrival '" << arrival << "' (want exp|pareto)\n";
+    return 2;
+  }
+  const auto conns =
+      std::max<uint32_t>(1, static_cast<uint32_t>(
+                                flags.GetInt64("connections", 4)));
+  const double qps = static_cast<double>(flags.GetInt64("qps", 1000));
+  const double duration = static_cast<double>(flags.GetInt64("duration", 5));
+  const auto items =
+      static_cast<uint32_t>(flags.GetInt64("items", 8000));
+  const auto k = static_cast<uint32_t>(flags.GetInt64("k", 10));
+  const auto seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
+
+  const uint64_t t_start = MonotonicNanos();
+  const uint64_t deadline =
+      t_start + static_cast<uint64_t>(duration * 1e9);
+  std::vector<WorkerStats> stats(conns);
+  std::vector<std::thread> workers;
+  workers.reserve(conns);
+  for (uint32_t c = 0; c < conns; ++c) {
+    if (mode == "closed") {
+      workers.emplace_back(ClosedLoopWorker, host, port, items, k,
+                           seed + c * 7919, deadline, &stats[c]);
+    } else {
+      workers.emplace_back(OpenLoopWorker, host, port, items, k,
+                           seed + c * 7919, deadline, qps / conns, arrival,
+                           &stats[c]);
+    }
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      static_cast<double>(MonotonicNanos() - t_start) * 1e-9;
+
+  WorkerStats total;
+  for (auto& s : stats) {
+    total.completed += s.completed;
+    total.busy += s.busy;
+    total.bad += s.bad;
+    total.errors += s.errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              s.latencies_ms.begin(), s.latencies_ms.end());
+  }
+  const double actual_qps =
+      elapsed > 0 ? static_cast<double>(total.completed) / elapsed : 0.0;
+  const double p50 = Quantile(total.latencies_ms, 0.50);
+  const double p90 = Quantile(total.latencies_ms, 0.90);
+  const double p99 = Quantile(total.latencies_ms, 0.99);
+  const double pmax =
+      total.latencies_ms.empty()
+          ? 0.0
+          : *std::max_element(total.latencies_ms.begin(),
+                              total.latencies_ms.end());
+
+  const std::string name = flags.GetString("name", mode);
+  std::printf(
+      "%s: %llu ok, %llu busy, %llu bad, %llu errors in %.2fs "
+      "(%.0f qps) latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+      name.c_str(), static_cast<unsigned long long>(total.completed),
+      static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.bad),
+      static_cast<unsigned long long>(total.errors), elapsed, actual_qps, p50,
+      p90, p99, pmax);
+
+  if (flags.Has("json_out")) {
+    const std::string path = flags.GetString("json_out", "");
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "cannot write --json_out " << path << "\n";
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"name\": \"%s\", \"mode\": \"%s\", \"connections\": %u, "
+        "\"duration_s\": %.3f, \"completed\": %llu, \"busy\": %llu, "
+        "\"bad\": %llu, \"errors\": %llu, \"qps\": %.1f, "
+        "\"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"max_ms\": %.4f}\n",
+        name.c_str(), mode.c_str(), conns, elapsed,
+        static_cast<unsigned long long>(total.completed),
+        static_cast<unsigned long long>(total.busy),
+        static_cast<unsigned long long>(total.bad),
+        static_cast<unsigned long long>(total.errors), actual_qps, p50, p90,
+        p99, pmax);
+    std::fclose(f);
+  }
+  return (total.errors > 0 || total.completed == 0) ? 1 : 0;
+}

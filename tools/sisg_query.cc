@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
   const bool use_mmap = flags.GetBool("mmap", false);
   const uint32_t k = static_cast<uint32_t>(flags.GetInt64("k", 10));
   tools::ToolMetrics metrics = tools::ToolMetrics::FromFlags(flags);
+  // A Ctrl-C'd candidate export still leaves its latency artifact behind.
+  metrics.InstallSignalFlush();
 
   MatchingEngine engine;
   if (flags.Has("arena")) {

@@ -1,0 +1,219 @@
+// sisg_serve — long-lived TCP serving process. Loads a frozen arena (or a
+// trained model, or a deterministic synthetic corpus for benches), then
+// coalesces concurrent single-item requests into micro-batches dispatched
+// through the SIMD batch scan.
+//
+//   sisg_serve --arena /tmp/serve --quant int8 --port 7411
+//   sisg_serve --model /tmp/model --variant sisg-f-u-d --port 0 \
+//              --port_file /tmp/port
+//   sisg_serve --synth_items 20000 --synth_dim 128 --max_batch 32 \
+//              --metrics_out /tmp/serve_metrics.json
+//
+// Runs until SIGTERM/SIGINT, then drains gracefully: stops accepting,
+// flushes every queued request through the scan path, pushes pending
+// responses out, writes --metrics_out through the shared export path, and
+// exits 0.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <iostream>
+#include <utility>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/matching_engine.h"
+#include "core/pipeline.h"
+#include "serve/server.h"
+#include "tools/tool_common.h"
+
+using namespace sisg;
+
+namespace {
+
+/// Same degradation contract as sisg_query: a failed quant enable warns and
+/// keeps serving fp32.
+void ApplyQuant(MatchingEngine& engine, const std::string& quant,
+                const std::string& arena_prefix, bool use_mmap) {
+  if (quant == "int8") {
+    const Status st =
+        arena_prefix.empty()
+            ? engine.EnableInt8()
+            : engine.EnableInt8FromFile(arena_prefix + ".qarena", use_mmap);
+    if (!st.ok()) {
+      std::cerr << "int8 enable failed (serving fp32): " << st.ToString()
+                << "\n";
+    }
+  } else if (quant == "pq") {
+    if (auto st = engine.EnableIvfPq(IvfOptions{}, PqOptions{}); !st.ok()) {
+      std::cerr << "pq enable failed (serving fp32): " << st.ToString()
+                << "\n";
+    }
+  }
+}
+
+/// Deterministic random corpus for benchmarks and smoke tests: no training
+/// run needed, same seed -> same engine -> same answers.
+Status BuildSynthEngine(MatchingEngine* engine, uint32_t items, uint32_t dim,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> in(static_cast<size_t>(items) * dim);
+  for (float& v : in) v = static_cast<float>(rng.Gaussian());
+  return engine->Build(std::move(in), {}, items, dim,
+                       SimilarityMode::kCosineInput);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  const auto known = tools::WithWorldFlags(
+      {"host", "port", "port_file", "arena", "model", "variant", "quant",
+       "mmap", "synth_items", "synth_dim", "synth_seed", "io_threads",
+       "max_connections", "max_batch", "max_wait_us", "queue_capacity",
+       "dispatch_threads", "scan_threads", "metrics_out", "metrics_interval",
+       "help"});
+  if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  const bool has_source =
+      flags.Has("arena") || flags.Has("model") || flags.Has("synth_items");
+  if (flags.GetBool("help", false) || !has_source) {
+    std::cout
+        << "usage: sisg_serve (--arena PREFIX | --model PREFIX | "
+           "--synth_items N) [options]\n"
+           "  --host ADDR         bind address (default 127.0.0.1)\n"
+           "  --port P            TCP port; 0 picks an ephemeral port\n"
+           "  --port_file FILE    write the bound port (scripts/tests)\n"
+           "  --quant fp32|int8|pq  candidate-scan precision\n"
+           "  --mmap              map arena artifacts instead of loading\n"
+           "  --synth_items N --synth_dim D --synth_seed S\n"
+           "                      serve a deterministic random corpus\n"
+           "  --io_threads N      epoll front-end threads (default 2)\n"
+           "  --max_connections N concurrent connection cap (default 1024)\n"
+           "  --max_batch N       micro-batch size bound (default 32)\n"
+           "  --max_wait_us U     adaptive flush deadline (default 200)\n"
+           "  --queue_capacity N  admission bound; full -> BUSY (default "
+           "1024)\n"
+           "  --dispatch_threads N  batch dispatcher threads (default 1)\n"
+           "  --scan_threads N    per-batch scan fan-out (default 1)\n"
+           "  --metrics_out FILE  export on drain (.prom -> Prometheus)\n"
+           "  --metrics_interval SECONDS  periodic sampler\n"
+           "  [world flags matching sisg_train when using --model]\n";
+    return has_source ? 0 : 2;
+  }
+
+  const std::string quant = flags.GetString("quant", "fp32");
+  if (quant != "fp32" && quant != "int8" && quant != "pq") {
+    std::cerr << "unknown --quant '" << quant << "' (want fp32|int8|pq)\n";
+    return 2;
+  }
+  const bool use_mmap = flags.GetBool("mmap", false);
+
+  // Block the shutdown signals in every thread the server will spawn; the
+  // main thread collects them with sigwait below, so "kill -TERM" turns into
+  // a graceful drain instead of sudden death.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  tools::ToolMetrics metrics = tools::ToolMetrics::FromFlags(flags);
+
+  MatchingEngine engine;
+  if (flags.Has("arena")) {
+    const std::string prefix = flags.GetString("arena", "");
+    if (auto st = engine.LoadArena(prefix + ".arena", use_mmap); !st.ok()) {
+      std::cerr << "arena load failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    ApplyQuant(engine, quant, prefix, use_mmap);
+  } else if (flags.Has("model")) {
+    const DatasetSpec spec = tools::SpecFromFlags(flags);
+    ItemCatalog catalog;
+    UserUniverse users;
+    if (auto st = catalog.Build(spec.catalog); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    if (auto st = users.Build(spec.users, catalog.num_tops()); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    SisgConfig config;
+    config.variant = flags.GetString("variant", "sisg-f-u-d") == "sisg-f-u-d"
+                         ? SisgVariant::kSisgFUD
+                         : SisgVariant::kSisgFU;
+    TokenSpace ts = TokenSpace::Create(&catalog, &users);
+    auto model = SisgModel::Load(flags.GetString("model", ""), config, ts);
+    if (!model.ok()) {
+      std::cerr << "load failed: " << model.status().ToString() << "\n";
+      return 1;
+    }
+    auto built = model->BuildMatchingEngine();
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(*built);
+    ApplyQuant(engine, quant, /*arena_prefix=*/"", use_mmap);
+  } else {
+    const auto items = static_cast<uint32_t>(flags.GetInt64("synth_items", 0));
+    const auto dim = static_cast<uint32_t>(flags.GetInt64("synth_dim", 128));
+    if (auto st = BuildSynthEngine(
+            &engine, items, dim,
+            static_cast<uint64_t>(flags.GetInt64("synth_seed", 42)));
+        !st.ok()) {
+      std::cerr << "synth build failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    ApplyQuant(engine, quant, /*arena_prefix=*/"", use_mmap);
+  }
+
+  serve::ServerOptions opts;
+  opts.host = flags.GetString("host", "127.0.0.1");
+  opts.port = static_cast<uint16_t>(flags.GetInt64("port", 0));
+  opts.io_threads = static_cast<uint32_t>(flags.GetInt64("io_threads", 2));
+  opts.max_connections =
+      static_cast<uint32_t>(flags.GetInt64("max_connections", 1024));
+  opts.batch.max_batch =
+      static_cast<uint32_t>(flags.GetInt64("max_batch", 32));
+  opts.batch.max_wait_us =
+      static_cast<uint32_t>(flags.GetInt64("max_wait_us", 200));
+  opts.batch.queue_capacity =
+      static_cast<uint32_t>(flags.GetInt64("queue_capacity", 1024));
+  opts.batch.dispatch_threads =
+      static_cast<uint32_t>(flags.GetInt64("dispatch_threads", 1));
+  opts.batch.scan_threads =
+      static_cast<uint32_t>(flags.GetInt64("scan_threads", 1));
+
+  serve::ServeServer server(&engine, opts);
+  if (auto st = server.Start(); !st.ok()) {
+    std::cerr << "server start failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serving " << engine.num_items() << " items (dim "
+            << engine.dim() << ", quant " << quant << ") on " << opts.host
+            << ":" << server.port() << "\n";
+  std::cout.flush();
+  if (flags.Has("port_file")) {
+    const std::string pf = flags.GetString("port_file", "");
+    if (FILE* f = std::fopen(pf.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    } else {
+      std::cerr << "cannot write --port_file " << pf << "\n";
+      server.Shutdown();
+      return 1;
+    }
+  }
+
+  int signo = 0;
+  sigwait(&sigs, &signo);
+  std::cout << "caught signal " << signo << ", draining...\n";
+  server.Shutdown();
+  // Same export path the offline tools use: drain -> WriteMetricsFile.
+  return metrics.Finish();
+}

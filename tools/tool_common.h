@@ -40,6 +40,13 @@ class ToolMetrics {
     return m;
   }
 
+  /// Arms the SIGINT/SIGTERM watcher so an interrupted run still publishes
+  /// its --metrics_out artifact before dying from the signal. No-op when
+  /// metrics are off or no output path was requested.
+  void InstallSignalFlush() {
+    if (active_ && !json_path_.empty()) obs::FlushMetricsOnSignal(json_path_);
+  }
+
   /// Returns 0, or 1 when writing the artifact failed (the tool's exit
   /// code should reflect a missing requested artifact).
   int Finish() {
@@ -48,7 +55,7 @@ class ToolMetrics {
     const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
     int rc = 0;
     if (!json_path_.empty()) {
-      if (auto st = obs::WriteJsonFile(snap, json_path_); !st.ok()) {
+      if (auto st = obs::WriteMetricsFile(snap, json_path_); !st.ok()) {
         std::cerr << st.ToString() << "\n";
         rc = 1;
       } else {
