@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/timer.h"
@@ -31,11 +32,19 @@ struct BatcherMetrics {
   }
 };
 
+/// max_batch == 0 (reachable through an unvalidated flag) would make
+/// NextBatch always take zero items: the dispatcher spins and Drain never
+/// finishes. Normalize once at construction so every consumer can trust it.
+BatchOptions Sanitize(BatchOptions o) {
+  o.max_batch = std::max(1u, o.max_batch);
+  return o;
+}
+
 }  // namespace
 
 QueryBatcher::QueryBatcher(const MatchingEngine* engine,
                            const BatchOptions& options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine), options_(Sanitize(options)) {}
 
 QueryBatcher::~QueryBatcher() { Drain(); }
 
@@ -84,12 +93,17 @@ std::vector<QueryBatcher::Pending> QueryBatcher::NextBatch() {
   // offered load must not pay a full batching window of latency for a batch
   // that will never fill.
   if (options_.max_wait_us > 0 && !draining_) {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::microseconds(options_.max_wait_us);
-    cv_.wait_until(lock, deadline, [this] {
-      return queue_.size() >= options_.max_batch || draining_;
-    });
+    // The window counts from the oldest queued request's arrival, not from
+    // this wake: a dispatcher that was busy scanning the previous batch has
+    // already consumed part (or all) of the oldest request's wait budget.
+    const uint64_t budget_ns = uint64_t{options_.max_wait_us} * 1000;
+    const uint64_t waited_ns = MonotonicNanos() - queue_.front().enqueue_ns;
+    if (waited_ns < budget_ns) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(budget_ns - waited_ns),
+                   [this] {
+                     return queue_.size() >= options_.max_batch || draining_;
+                   });
+    }
   }
 
   const size_t take = std::min<size_t>(queue_.size(), options_.max_batch);
@@ -177,8 +191,7 @@ void QueryBatcher::Drain() {
     std::vector<Pending> rest;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      const size_t take =
-          std::min<size_t>(queue_.size(), std::max(1u, options_.max_batch));
+      const size_t take = std::min<size_t>(queue_.size(), options_.max_batch);
       for (size_t i = 0; i < take; ++i) {
         rest.push_back(std::move(queue_.front()));
         queue_.pop_front();

@@ -20,9 +20,11 @@ namespace sisg::serve {
 
 namespace {
 
-// epoll user-data tags for the two non-connection fds.
-constexpr uint64_t kTagListener = 0;
-constexpr uint64_t kTagEventFd = 1;
+// epoll user-data tags for the two non-connection fds. Connection events
+// carry the connection's fd (a small non-negative int), so these sentinels
+// can never collide with one.
+constexpr uint64_t kTagListener = ~0ull;
+constexpr uint64_t kTagEventFd = ~0ull - 1;
 
 struct ServerMetrics {
   obs::Counter* accepted;
@@ -88,10 +90,12 @@ Status ServeServer::Start() {
   if (engine_ == nullptr || engine_->num_items() == 0) {
     return Status::FailedPrecondition("server: engine not built");
   }
+  int listen_fd = -1;
   SISG_RETURN_IF_ERROR(CreateTcpListener(options_.host, options_.port,
-                                         /*backlog=*/256, &listen_fd_,
+                                         /*backlog=*/256, &listen_fd,
                                          &bound_port_));
-  SISG_RETURN_IF_ERROR(SetNonBlocking(listen_fd_, true));
+  SISG_RETURN_IF_ERROR(SetNonBlocking(listen_fd, true));
+  listen_fd_.store(listen_fd, std::memory_order_release);
 
   batcher_ = std::make_unique<QueryBatcher>(engine_, options_.batch);
   batcher_->Start();
@@ -110,7 +114,7 @@ Status ServeServer::Start() {
     ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev);
     ev.events = EPOLLIN | EPOLLEXCLUSIVE;
     ev.data.u64 = kTagListener;
-    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) != 0) {
       return Status::IOError(std::string("server: epoll_ctl(listener): ") +
                              std::strerror(errno));
     }
@@ -123,8 +127,8 @@ Status ServeServer::Start() {
   }
   LOG_INFO << "sisg_serve: listening on " << options_.host << ":"
            << bound_port_ << " (" << n << " io threads, max_batch="
-           << options_.batch.max_batch << ", max_wait_us="
-           << options_.batch.max_wait_us << ")";
+           << batcher_->options().max_batch << ", max_wait_us="
+           << batcher_->options().max_wait_us << ")";
   return Status::OK();
 }
 
@@ -134,10 +138,14 @@ void ServeServer::IoLoop(IoThread* io) {
   while (true) {
     const int nev = ::epoll_wait(io->epoll_fd, events, kMaxEvents, 100);
     if (nev < 0 && errno != EINTR) break;
+    // Accepts run after every connection event in the batch: a new
+    // connection must not reuse an fd number closed earlier in this batch
+    // while stale events for that number are still queued behind it.
+    bool accept_ready = false;
     for (int i = 0; i < nev; ++i) {
       const uint64_t tag = events[i].data.u64;
       if (tag == kTagListener) {
-        if (!stopping_.load(std::memory_order_relaxed)) AcceptPending(io);
+        accept_ready = true;
         continue;
       }
       if (tag == kTagEventFd) {
@@ -159,8 +167,11 @@ void ServeServer::IoLoop(IoThread* io) {
         }
         continue;
       }
-      Connection* raw = reinterpret_cast<Connection*>(tag);
-      const auto it = io->conns.find(raw->fd);
+      // Connection events carry the fd, never a pointer: an earlier event
+      // in this same batch (eventfd flush hitting a write error, EPOLLHUP
+      // on another entry) may have closed the connection and released the
+      // last shared_ptr, so the map lookup must come before any dereference.
+      const auto it = io->conns.find(static_cast<int>(tag));
       if (it == io->conns.end()) continue;  // closed earlier this wake
       const std::shared_ptr<Connection> conn = it->second;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
@@ -172,6 +183,9 @@ void ServeServer::IoLoop(IoThread* io) {
           io->conns.count(conn->fd) > 0) {
         FlushConnection(io, conn);
       }
+    }
+    if (accept_ready && !stopping_.load(std::memory_order_relaxed)) {
+      AcceptPending(io);
     }
     // Drain mode: Shutdown keeps started_ true until every queued response
     // byte is on the wire (it watches pending_tx_bytes_, bounded), so by
@@ -192,8 +206,10 @@ void ServeServer::IoLoop(IoThread* io) {
 }
 
 void ServeServer::AcceptPending(IoThread* io) {
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) return;
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN (or a racing thread took it)
     if (num_connections_.fetch_add(1, std::memory_order_relaxed) + 1 >
         static_cast<int64_t>(options_.max_connections)) {
@@ -209,7 +225,7 @@ void ServeServer::AcceptPending(IoThread* io) {
     conn->owner = io;
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+    ev.data.u64 = static_cast<uint64_t>(fd);
     if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       num_connections_.fetch_sub(1, std::memory_order_relaxed);
@@ -315,6 +331,9 @@ void ServeServer::HandleFrame(IoThread* io,
         EnqueueWrite(conn, std::move(out));
         return;
       }
+      // A corpus larger than kMaxResultsPerResponse could otherwise satisfy
+      // a huge k with a response no conforming reader accepts.
+      if (req.k > kMaxResultsPerResponse) req.k = kMaxResultsPerResponse;
       const uint64_t recv_ns = MonotonicNanos();
       const uint64_t request_id = req.request_id;
       std::shared_ptr<Connection> cb_conn = conn;
@@ -419,7 +438,7 @@ void ServeServer::FlushConnection(IoThread* io,
   if (want_epollout != conn->epollout_armed) {
     epoll_event ev{};
     ev.events = EPOLLIN | (want_epollout ? EPOLLOUT : 0);
-    ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+    ev.data.u64 = static_cast<uint64_t>(conn->fd);
     ::epoll_ctl(io->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
     conn->epollout_armed = want_epollout;
   }
@@ -446,12 +465,19 @@ void ServeServer::CloseConnection(IoThread* io,
 
 void ServeServer::Shutdown() {
   if (!started_.load()) return;
-  // Phase 1: stop taking new work. Closing the listener makes every racing
-  // accept fail; stopping_ gates the accept path.
+  // Phase 1: stop taking new work. shutdown() (not close) makes every
+  // racing accept fail while keeping the fd number allocated, so an I/O
+  // thread mid-accept can never touch a recycled descriptor; the fd is
+  // closed only after those threads have joined.
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    // Deregister so the level-triggered HUP doesn't spin the drain loops
+    // (EPOLL_CTL_DEL from another thread is safe).
+    for (auto& io : io_threads_) {
+      ::epoll_ctl(io->epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+    }
   }
   // Phase 2: drain the batcher — every queued request runs through the scan
   // path and its response lands in a connection write buffer (the I/O
@@ -477,6 +503,10 @@ void ServeServer::Shutdown() {
     if (io->event_fd >= 0) ::close(io->event_fd);
   }
   io_threads_.clear();
+  if (listen_fd >= 0) {
+    listen_fd_.store(-1, std::memory_order_release);
+    ::close(listen_fd);
+  }
   batcher_.reset();
   if (obs::MetricsEnabled()) {
     ServerMetrics::Get().connections->Set(0.0);

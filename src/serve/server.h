@@ -93,7 +93,9 @@ class ServeServer {
   const ServerOptions options_;
   std::unique_ptr<QueryBatcher> batcher_;
   std::vector<std::unique_ptr<IoThread>> io_threads_;
-  int listen_fd_ = -1;
+  /// Atomic because I/O threads read it in the accept path while Shutdown
+  /// runs; the fd itself is closed only after those threads have joined.
+  std::atomic<int> listen_fd_{-1};
   uint16_t bound_port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

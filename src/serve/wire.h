@@ -37,6 +37,10 @@ constexpr size_t kFrameHeaderBytes = 8;
 /// (k=100k) while keeping a garbage length prefix from triggering a huge
 /// allocation.
 constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+/// Largest result count a response frame can carry inside kMaxPayloadBytes
+/// (16 fixed bytes + 8 per result). Servers clamp k to this so they never
+/// emit a frame their own wire spec rejects as oversized.
+constexpr uint32_t kMaxResultsPerResponse = (kMaxPayloadBytes - 16) / 8;
 
 enum class MsgType : uint8_t {
   kQuery = 1,

@@ -228,6 +228,32 @@ TEST(QueryBatcherTest, FullQueueRepliesBusyNeverBuffersUnboundedly) {
             serve::AdmitResult::kShuttingDown);
 }
 
+TEST(QueryBatcherTest, MaxBatchZeroIsClampedAndStillDispatches) {
+  // max_batch = 0 reaches the batcher through the unvalidated --max_batch
+  // flag; it must behave as batch-of-1, not busy-spin taking zero items
+  // (which also made Drain join a thread that never exits).
+  MatchingEngine engine = BuildRandomEngine(100, 8);
+  serve::BatchOptions opts;
+  opts.max_batch = 0;
+  opts.max_wait_us = 0;
+  serve::QueryBatcher batcher(&engine, opts);
+  EXPECT_EQ(batcher.options().max_batch, 1u);
+  batcher.Start();
+  CallbackSink sink;
+  sink.results.resize(3);
+  sink.expected = 3;
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(batcher.Submit(i * 7, 4, sink.Make(i)),
+              serve::AdmitResult::kAccepted);
+  }
+  ASSERT_TRUE(sink.WaitAll());
+  batcher.Drain();
+  for (uint32_t i = 0; i < 3; ++i) {
+    ExpectBitIdentical(sink.results[i], engine.Query(i * 7, 4),
+                       "clamped-batch item " + std::to_string(i * 7));
+  }
+}
+
 // --- Loopback end-to-end: server == offline engine, per serving mode. ---
 
 class LoopbackFixture : public ::testing::Test {
@@ -297,6 +323,29 @@ TEST_F(LoopbackFixture, Int8ServedEqualsOffline) {
 
 TEST_F(LoopbackFixture, MmapArenaServedEqualsOffline) {
   RunMode(/*int8=*/false, /*mmap=*/true, "mmap");
+}
+
+TEST(ServeServerTest, HugeKIsClampedToWirePayloadBound) {
+  // A response frame maxes out at kMaxResultsPerResponse results; a larger
+  // k must be served clamped, never answered with a frame the wire spec
+  // itself rejects as oversized (which would poison the client's reader).
+  static_assert(16 + uint64_t{serve::kMaxResultsPerResponse} * 8 <=
+                    serve::kMaxPayloadBytes,
+                "response at the clamp bound must fit the payload limit");
+  MatchingEngine engine = BuildRandomEngine(150, 8);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  serve::QueryResponse resp;
+  ASSERT_TRUE(client->Query(3, UINT32_MAX, &resp).ok());
+  EXPECT_EQ(resp.status, serve::WireStatus::kOk);
+  ExpectBitIdentical(resp.results, engine.Query(3, serve::kMaxResultsPerResponse),
+                     "huge-k clamp");
+  client->Close();
+  server.Shutdown();
 }
 
 // --- Overload: bounded queue, typed BUSY, recovery. ---
