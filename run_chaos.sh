@@ -2,8 +2,16 @@
 # Runs the fault-injection ("chaos") test suite under ThreadSanitizer: the
 # checkpoint/resume rendezvous barrier, the fault-injected distributed
 # engine (worker kill + recovery, dropped/duplicated remote calls, injected
-# crashes) and the ANN degradation paths. A dedicated TSan build dir keeps
+# crashes), the ANN degradation paths, and the serving-path hot-swap /
+# attack-sweep suite (serve_reload_test). A dedicated TSan build dir keeps
 # the instrumented objects out of the regular build.
+#
+# After the ctest suite, a LIVE sweep runs against a real TSan-instrumented
+# sisg_serve process: sisg_chaos drives every attack mode plus a reload
+# storm (good versions interleaved with deliberately corrupt ones) through
+# the watch-dir, and sisg_loadgen keeps honest load + malformed frames on
+# the wire at the same time. The server must answer every honest probe,
+# swap every good version, roll back every corrupt one, and drain cleanly.
 set -e
 cd /root/repo
 cmake -B build-tsan -S . -DSISG_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -13,4 +21,34 @@ cd build-tsan
 # checkpoint barrier and fault-injection machinery run unsuppressed.
 TSAN_OPTIONS="suppressions=/root/repo/tsan.supp history_size=7" \
   ctest -L chaos --output-on-failure "$@"
+
+# --- Live serving-path sweep (reload storm + malformed frames). ---
+CHAOS_DIR=$(mktemp -d)
+PORT_FILE="$CHAOS_DIR/port"
+METRICS_OUT="${SISG_CHAOS_METRICS_OUT:-$CHAOS_DIR/serve_chaos_metrics.json}"
+WATCH_DIR="$CHAOS_DIR/watch"
+mkdir -p "$WATCH_DIR"
+TSAN_OPTIONS="suppressions=/root/repo/tsan.supp history_size=7" \
+  ./tools/sisg_serve --synth_items 2000 --synth_dim 32 --port 0 \
+    --port_file "$PORT_FILE" --watch_dir "$WATCH_DIR" \
+    --reload_interval_ms 100 --idle_timeout_ms 300 --deadline_ms 500 \
+    --io_threads 1 --metrics_out "$METRICS_OUT" &
+SERVER_PID=$!
+for i in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.2; done
+test -s "$PORT_FILE"
+PORT=$(cat "$PORT_FILE")
+# Reload storm + full attack sweep; corrupt every 3rd publish so validated
+# rollback is exercised, not just the happy path.
+./tools/sisg_chaos --port "$PORT" --modes all --connections 2 \
+  --duration "${SISG_CHAOS_SECONDS:-8}" --reload_dir "$WATCH_DIR" \
+  --reload_interval_ms 400 --corrupt_every 3 --items 2000 --dim 32
+# Honest load with interleaved malformed frames, timeouts on.
+./tools/sisg_loadgen --port "$PORT" --mode closed --connections 4 \
+  --duration "${SISG_CHAOS_SECONDS:-8}" --items 2000 --k 10 \
+  --timeout_ms 5000 --chaos disconnect,garbage,truncate,churn \
+  --chaos_connections 2
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+test -s "$METRICS_OUT"
+echo "serve chaos metrics: $METRICS_OUT"
 echo "CHAOS_COMPLETE"

@@ -6,7 +6,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace sisg {
@@ -65,19 +67,62 @@ Status CreateTcpListener(const std::string& host, uint16_t port, int backlog,
   return Status::OK();
 }
 
-Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd,
+                  uint32_t timeout_ms) {
   sockaddr_in addr;
   SISG_RETURN_IF_ERROR(
       ParseAddr(host.empty() ? "127.0.0.1" : host, port, &addr));
   const int s = ::socket(AF_INET, SOCK_STREAM, 0);
   if (s < 0) return ErrnoStatus("socket");
-  if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status st =
-        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  const std::string peer = host + ":" + std::to_string(port);
+  if (timeout_ms == 0) {
+    if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status st = ErrnoStatus("connect " + peer);
+      ::close(s);
+      return st;
+    }
+  } else {
+    // Bounded connect: go non-blocking, start the handshake, poll for
+    // writability, then read SO_ERROR for the real verdict and restore the
+    // socket to blocking so the framing helpers behave as documented.
+    Status st = SetNonBlocking(s, true);
+    if (st.ok() &&
+        ::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno == EINPROGRESS) {
+        pollfd pfd{s, POLLOUT, 0};
+        int rc;
+        do {
+          rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+          st = Status::DeadlineExceeded("connect " + peer + ": timed out after " +
+                                        std::to_string(timeout_ms) + "ms");
+        } else if (rc < 0) {
+          st = ErrnoStatus("poll(connect " + peer + ")");
+        } else {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (::getsockopt(s, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+            st = ErrnoStatus("getsockopt(SO_ERROR)");
+          } else if (err != 0) {
+            st = Status::IOError("connect " + peer + ": " + std::strerror(err));
+          }
+        }
+      } else {
+        st = ErrnoStatus("connect " + peer);
+      }
+    }
+    if (st.ok()) st = SetNonBlocking(s, false);
+    if (!st.ok()) {
+      ::close(s);
+      return st;
+    }
+  }
+  Status st = SetTcpNoDelay(s);
+  if (!st.ok()) {
     ::close(s);
     return st;
   }
-  SISG_RETURN_IF_ERROR(SetTcpNoDelay(s));
   *fd = s;
   return Status::OK();
 }
@@ -98,12 +143,30 @@ Status SetTcpNoDelay(int fd) {
   return Status::OK();
 }
 
+Status SetSocketTimeouts(int fd, uint32_t recv_ms, uint32_t send_ms) {
+  timeval tv;
+  tv.tv_sec = recv_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(recv_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+  }
+  tv.tv_sec = send_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(send_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status WriteAllBlocking(int fd, const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send: timed out");
+      }
       return ErrnoStatus("send");
     }
     p += w;
@@ -118,6 +181,9 @@ Status ReadAllBlocking(int fd, void* data, size_t n) {
     const ssize_t r = ::recv(fd, p, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv: timed out");
+      }
       return ErrnoStatus("recv");
     }
     if (r == 0) return Status::IOError("connection closed");

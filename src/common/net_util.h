@@ -21,8 +21,11 @@ Status CreateTcpListener(const std::string& host, uint16_t port, int backlog,
                          int* fd, uint16_t* bound_port);
 
 /// Blocking TCP connect with TCP_NODELAY (request/response frames must not
-/// sit in Nagle buffers).
-Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+/// sit in Nagle buffers). With timeout_ms > 0 the connect itself is bounded
+/// (non-blocking connect + poll); exceeding it yields DeadlineExceeded and
+/// the fd is not handed out. The returned socket is always blocking.
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd,
+                  uint32_t timeout_ms = 0);
 
 /// Flips O_NONBLOCK on an existing fd.
 Status SetNonBlocking(int fd, bool non_blocking);
@@ -30,13 +33,22 @@ Status SetNonBlocking(int fd, bool non_blocking);
 /// Disables Nagle on a connected socket.
 Status SetTcpNoDelay(int fd);
 
+/// Arms SO_RCVTIMEO / SO_SNDTIMEO on a blocking socket (0 = no timeout for
+/// that direction). After this, Read/WriteAllBlocking return
+/// DeadlineExceeded when the kernel gives up waiting — the caller must
+/// treat the stream as unsynchronized (a frame may be half-transferred)
+/// and reconnect.
+Status SetSocketTimeouts(int fd, uint32_t recv_ms, uint32_t send_ms);
+
 /// Blocking write of the whole buffer (loops over partial writes and EINTR;
-/// MSG_NOSIGNAL). A peer reset yields IOError.
+/// MSG_NOSIGNAL). A peer reset yields IOError; an armed SO_SNDTIMEO expiry
+/// yields DeadlineExceeded.
 Status WriteAllBlocking(int fd, const void* data, size_t n);
 
 /// Blocking read of exactly `n` bytes. A clean EOF before `n` bytes yields
 /// IOError("connection closed"), matching the framing contract that frames
-/// are never split across connections.
+/// are never split across connections; an armed SO_RCVTIMEO expiry yields
+/// DeadlineExceeded.
 Status ReadAllBlocking(int fd, void* data, size_t n);
 
 }  // namespace sisg

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

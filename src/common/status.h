@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,
   kDataLoss,
   kAborted,
+  kDeadlineExceeded,
   kUnimplemented,
   kInternal,
 };
@@ -67,6 +68,12 @@ class Status {
   /// is durable and the job is resumable.
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// A bounded wait ran out: a socket read/write/connect timed out, or a
+  /// queued request overstayed its serving deadline. Distinct from kIOError
+  /// (the peer may be fine, just slow) so callers can retry or shed load.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -17,6 +17,7 @@ struct BatcherMetrics {
   obs::Histogram* scan_seconds;
   obs::Gauge* queue_depth;
   obs::Counter* dropped;
+  obs::Counter* deadline_exceeded;
   obs::Counter* batches;
 
   static const BatcherMetrics& Get() {
@@ -26,6 +27,7 @@ struct BatcherMetrics {
         obs::MetricsRegistry::Global().histogram("serve.batch_scan_seconds"),
         obs::MetricsRegistry::Global().gauge("serve.queue_depth"),
         obs::MetricsRegistry::Global().counter("serve.dropped"),
+        obs::MetricsRegistry::Global().counter("serve.deadline_exceeded"),
         obs::MetricsRegistry::Global().counter("serve.batches"),
     };
     return m;
@@ -42,9 +44,9 @@ BatchOptions Sanitize(BatchOptions o) {
 
 }  // namespace
 
-QueryBatcher::QueryBatcher(const MatchingEngine* engine,
+QueryBatcher::QueryBatcher(const ModelRegistry* registry,
                            const BatchOptions& options)
-    : engine_(engine), options_(Sanitize(options)) {}
+    : registry_(registry), options_(Sanitize(options)) {}
 
 QueryBatcher::~QueryBatcher() { Drain(); }
 
@@ -121,29 +123,54 @@ std::vector<QueryBatcher::Pending> QueryBatcher::NextBatch() {
 
 void QueryBatcher::RunBatch(std::vector<Pending> batch, ThreadPool* pool) {
   if (batch.empty()) return;
-  const size_t n = batch.size();
+  // One snapshot per micro-batch: every request below is answered by this
+  // exact model version, and the version cannot be retired under the scan —
+  // the SnapshotPtr pins it until this function returns.
+  const SnapshotPtr snap = registry_ ? registry_->Acquire() : nullptr;
+  const uint64_t version = snap ? snap->version() : 0;
+  const bool metrics = obs::MetricsEnabled();
+  const uint64_t now = MonotonicNanos();
+
+  // Shed requests that overstayed their deadline while queued (and, rare
+  // but possible during startup races, a batch with no published model):
+  // typed replies, no scan time spent.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  const uint64_t deadline_ns = uint64_t{options_.deadline_us} * 1000;
+  for (Pending& p : batch) {
+    if (snap == nullptr) {
+      p.cb(WireStatus::kShuttingDown, 0, {});
+    } else if (deadline_ns > 0 && now - p.enqueue_ns > deadline_ns) {
+      if (metrics) BatcherMetrics::Get().deadline_exceeded->Increment();
+      p.cb(WireStatus::kDeadlineExceeded, version, {});
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  const size_t n = live.size();
   std::vector<uint32_t> items(n), ks(n);
   for (size_t i = 0; i < n; ++i) {
-    items[i] = batch[i].item;
-    ks[i] = batch[i].k;
+    items[i] = live[i].item;
+    ks[i] = live[i].k;
   }
-  const bool metrics = obs::MetricsEnabled();
   if (metrics) {
     const BatcherMetrics& m = BatcherMetrics::Get();
     m.batches->Increment();
     m.batch_size->Observe(static_cast<double>(n));
-    const uint64_t now = MonotonicNanos();
-    for (const Pending& p : batch) {
+    for (const Pending& p : live) {
       m.queue_wait->Observe(static_cast<double>(now - p.enqueue_ns) * 1e-9);
     }
   }
   std::vector<std::vector<ScoredId>> results;
   {
     obs::TraceSpan span(metrics ? BatcherMetrics::Get().scan_seconds : nullptr);
-    results = engine_->QueryBatchCoalesced(items.data(), ks.data(), n, pool);
+    results =
+        snap->engine().QueryBatchCoalesced(items.data(), ks.data(), n, pool);
   }
   for (size_t i = 0; i < n; ++i) {
-    batch[i].cb(std::move(results[i]));
+    live[i].cb(WireStatus::kOk, version, std::move(results[i]));
   }
 }
 

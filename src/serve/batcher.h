@@ -12,7 +12,8 @@
 
 #include "common/thread_pool.h"
 #include "common/top_k.h"
-#include "core/matching_engine.h"
+#include "serve/model_registry.h"
+#include "serve/wire.h"
 
 namespace sisg::serve {
 
@@ -32,6 +33,11 @@ struct BatchOptions {
   /// Per-dispatcher scan fan-out: each dispatcher shards its micro-batch
   /// over this many pool workers (1 = serial coalesced scan).
   uint32_t scan_threads = 1;
+  /// Per-request serving deadline, measured from Submit to dispatch. A
+  /// request that sat queued longer than this is shed with a typed
+  /// DEADLINE_EXCEEDED reply instead of burning scan time on an answer the
+  /// client has already given up on. 0 = no deadline.
+  uint32_t deadline_us = 0;
 };
 
 /// Outcome of QueryBatcher::Submit — the admission-control decision.
@@ -49,15 +55,26 @@ enum class AdmitResult {
 /// dispatcher thread and must not block for long (the server's append-to-
 /// write-buffer-and-wake is fine).
 ///
+/// The engine comes from a ModelRegistry: each micro-batch Acquire()s the
+/// live snapshot ONCE and scans the whole batch against it, so every
+/// request in a batch is answered by one coherent model version (reported
+/// through the callback) and a hot swap mid-batch cannot mix versions —
+/// the old snapshot stays alive until this batch's SnapshotPtr drops.
+///
 /// Obs wiring: serve.batch_size (histogram, requests per dispatch),
 /// serve.queue_wait_seconds (submit -> dispatch), serve.batch_scan_seconds
 /// (fused scan), serve.queue_depth (gauge), serve.dropped (admission
-/// rejections), serve.batches (dispatch count).
+/// rejections), serve.deadline_exceeded (queued past deadline_us),
+/// serve.batches (dispatch count).
 class QueryBatcher {
  public:
-  using Callback = std::function<void(std::vector<ScoredId>)>;
+  /// status is kOk with the scan results, or a typed shed reason
+  /// (kDeadlineExceeded / kShuttingDown) with empty results.
+  /// model_version is the snapshot that answered (0 when none exists).
+  using Callback = std::function<void(
+      WireStatus status, uint64_t model_version, std::vector<ScoredId>)>;
 
-  QueryBatcher(const MatchingEngine* engine, const BatchOptions& options);
+  QueryBatcher(const ModelRegistry* registry, const BatchOptions& options);
   ~QueryBatcher();
 
   QueryBatcher(const QueryBatcher&) = delete;
@@ -96,7 +113,7 @@ class QueryBatcher {
   std::vector<Pending> NextBatch();
   void RunBatch(std::vector<Pending> batch, ThreadPool* pool);
 
-  const MatchingEngine* engine_;
+  const ModelRegistry* registry_;
   const BatchOptions options_;
 
   mutable std::mutex mu_;

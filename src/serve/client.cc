@@ -22,9 +22,15 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
 }
 
 StatusOr<ServeClient> ServeClient::Connect(const std::string& host,
-                                           uint16_t port) {
+                                           uint16_t port,
+                                           const ClientOptions& options) {
   ServeClient c;
-  SISG_RETURN_IF_ERROR(ConnectTcp(host, port, &c.fd_));
+  SISG_RETURN_IF_ERROR(
+      ConnectTcp(host, port, &c.fd_, options.connect_timeout_ms));
+  if (options.io_timeout_ms > 0) {
+    SISG_RETURN_IF_ERROR(SetSocketTimeouts(c.fd_, options.io_timeout_ms,
+                                           options.io_timeout_ms));
+  }
   return c;
 }
 
@@ -107,6 +113,22 @@ Status ServeClient::Ping() {
   uint64_t got = 0;
   SISG_RETURN_IF_ERROR(DecodeRequestId(payload.data(), len, &got));
   if (got != id) return Status::Internal("client: pong id mismatch");
+  return Status::OK();
+}
+
+Status ServeClient::Health(HealthInfo* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  const uint64_t id = next_id_++;
+  std::string req;
+  EncodeHealth(id, &req);
+  SISG_RETURN_IF_ERROR(WriteAllBlocking(fd_, req.data(), req.size()));
+  std::vector<uint8_t> payload;
+  uint32_t len = 0;
+  SISG_RETURN_IF_ERROR(ReadFrame(MsgType::kHealthResp, &payload, &len));
+  SISG_RETURN_IF_ERROR(DecodeHealthResp(payload.data(), len, out));
+  if (out->request_id != id) {
+    return Status::Internal("client: health response id mismatch");
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,17 @@
 
 namespace sisg::serve {
 
+/// Bounded-wait knobs for a client connection. A hung or wedged server
+/// turns into a typed kDeadlineExceeded Status instead of blocking the
+/// caller forever. After an io timeout the stream may be desynchronized
+/// (a frame half-read/half-written) — the caller must reconnect.
+struct ClientOptions {
+  /// TCP connect budget; 0 = the OS default (minutes).
+  uint32_t connect_timeout_ms = 0;
+  /// Per-recv/send budget (SO_RCVTIMEO/SO_SNDTIMEO); 0 = wait forever.
+  uint32_t io_timeout_ms = 0;
+};
+
 /// Blocking client for the sisg_serve wire protocol. One connection, not
 /// thread-safe; pipelining is supported by splitting Send/Read (request ids
 /// let the caller match out-of-order... responses are actually always
@@ -26,7 +37,8 @@ class ServeClient {
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  static StatusOr<ServeClient> Connect(const std::string& host, uint16_t port);
+  static StatusOr<ServeClient> Connect(const std::string& host, uint16_t port,
+                                       const ClientOptions& options = {});
 
   bool connected() const { return fd_ >= 0; }
   void Close();
@@ -43,6 +55,10 @@ class ServeClient {
 
   /// Liveness round trip.
   Status Ping();
+
+  /// Readiness round trip: reports whether the server would answer queries
+  /// right now, plus the live model version/shape.
+  Status Health(HealthInfo* out);
 
  private:
   Status ReadFrame(MsgType want, std::vector<uint8_t>* payload,

@@ -1,0 +1,220 @@
+#include "serve/reloader.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "sgns/embedding_model.h"
+
+namespace sisg::serve {
+
+namespace {
+
+struct ReloadMetrics {
+  obs::Counter* ok;
+  obs::Counter* failed;
+  obs::Histogram* seconds;
+
+  static const ReloadMetrics& Get() {
+    static ReloadMetrics m{
+        obs::MetricsRegistry::Global().counter("serve.reload_ok"),
+        obs::MetricsRegistry::Global().counter("serve.reload_failed"),
+        obs::MetricsRegistry::Global().histogram("serve.reload_seconds"),
+    };
+    return m;
+  }
+};
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+Status ValidateServingEngine(const MatchingEngine& engine, uint32_t canaries,
+                             uint32_t k) {
+  if (engine.num_items() == 0 || engine.dim() == 0) {
+    return Status::FailedPrecondition(
+        "serving validation: engine has no items");
+  }
+  if (canaries == 0) return Status::OK();
+  if (k == 0) k = 1;
+
+  // Probe evenly spaced starting points, advancing each to the next trained
+  // item (bounded walk — a sparse id space must not turn validation into a
+  // full scan per canary).
+  constexpr uint32_t kMaxProbeWalk = 1024;
+  const uint32_t n = engine.num_items();
+  uint32_t ran = 0;
+  for (uint32_t c = 0; c < canaries; ++c) {
+    const uint32_t start =
+        static_cast<uint32_t>((static_cast<uint64_t>(c) * n) / canaries);
+    uint32_t item = start;
+    uint32_t walked = 0;
+    while (walked < kMaxProbeWalk && walked < n && !engine.HasItem(item)) {
+      item = (item + 1) % n;
+      ++walked;
+    }
+    if (!engine.HasItem(item)) continue;  // dead id range; try next canary
+    const std::vector<ScoredId> top = engine.Query(item, k);
+    if (top.empty()) {
+      return Status::FailedPrecondition(
+          "serving validation: canary item " + std::to_string(item) +
+          " returned an empty top-k");
+    }
+    for (const ScoredId& r : top) {
+      if (!std::isfinite(r.score)) {
+        return Status::FailedPrecondition(
+            "serving validation: canary item " + std::to_string(item) +
+            " produced non-finite score for id " + std::to_string(r.id));
+      }
+      if (r.id >= n) {
+        return Status::FailedPrecondition(
+            "serving validation: canary item " + std::to_string(item) +
+            " produced out-of-range id " + std::to_string(r.id));
+      }
+      if (r.id == item) {
+        return Status::FailedPrecondition(
+            "serving validation: canary item " + std::to_string(item) +
+            " returned itself");
+      }
+    }
+    ++ran;
+  }
+  if (ran == 0) {
+    return Status::FailedPrecondition(
+        "serving validation: no trained item reachable from any canary "
+        "probe — model is empty or liveness map is corrupt");
+  }
+  return Status::OK();
+}
+
+ModelReloader::ModelReloader(ModelRegistry* registry,
+                             const ReloaderOptions& options)
+    : registry_(registry), options_(options) {}
+
+ModelReloader::~ModelReloader() { Stop(); }
+
+Status ModelReloader::Start() {
+  if (options_.watch_dir.empty()) {
+    return Status::InvalidArgument("reloader: empty watch_dir");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::OK();
+  stop_ = false;
+  started_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      PollOnce();  // failures are counted + logged inside
+      lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void ModelReloader::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    started_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string ModelReloader::ReadLatestToken() const {
+  std::FILE* f = std::fopen((options_.watch_dir + "/LATEST").c_str(), "r");
+  if (f == nullptr) return "";
+  char buf[256];
+  const int got = std::fscanf(f, "%255s", buf);
+  std::fclose(f);
+  return got == 1 ? std::string(buf) : "";
+}
+
+Status ModelReloader::PollOnce() {
+  const std::string token = ReadLatestToken();
+  // No pointer (yet) is not a failure — the publisher may not have shipped
+  // anything; keep serving whatever is live.
+  if (token.empty() || token == last_attempted_token_) return Status::OK();
+  last_attempted_token_ = token;
+
+  const uint64_t t0 = MonotonicNanos();
+  Status st = TryLoadToken(token);
+  if (st.ok()) {
+    ++ok_;
+    if (obs::MetricsEnabled()) {
+      ReloadMetrics::Get().ok->Increment();
+      ReloadMetrics::Get().seconds->Observe(
+          static_cast<double>(MonotonicNanos() - t0) * 1e-9);
+    }
+  } else {
+    ++failed_;
+    if (obs::MetricsEnabled()) ReloadMetrics::Get().failed->Increment();
+    LOG_WARN << "reloader: rejected version '" << token
+             << "' — keeping current model v" << registry_->version() << " ("
+             << st.ToString() << ")";
+  }
+  return st;
+}
+
+Status ModelReloader::TryLoadToken(const std::string& token) {
+  const std::string ckpt_path =
+      options_.watch_dir + "/ckpt-" + token + ".emb";
+  const std::string arena_path = options_.watch_dir + "/" + token + ".arena";
+
+  auto engine = std::make_unique<MatchingEngine>();
+  std::string source;
+  if (FileExists(ckpt_path)) {
+    // Checkpointer layout: LATEST holds the sequence number of the newest
+    // complete ckpt-<seq>.emb. Rebuild a cosine engine over its input rows
+    // (padded stride on disk side is the model's concern; Build wants dense
+    // rows).
+    auto model = EmbeddingModel::Load(ckpt_path);
+    if (!model.ok()) return model.status();
+    const uint32_t rows = model->rows();
+    const uint32_t dim = model->dim();
+    std::vector<float> in(static_cast<size_t>(rows) * dim);
+    for (uint32_t r = 0; r < rows; ++r) {
+      const float* src = model->Input(r);
+      std::copy(src, src + dim, in.begin() + static_cast<size_t>(r) * dim);
+    }
+    SISG_RETURN_IF_ERROR(engine->Build(std::move(in), {}, rows, dim,
+                                       SimilarityMode::kCosineInput));
+    source = ckpt_path;
+  } else if (FileExists(arena_path)) {
+    SISG_RETURN_IF_ERROR(engine->LoadArena(arena_path, options_.use_mmap));
+    if (options_.want_int8) {
+      // Unlike startup (degrade to fp32 and keep going), a reload must be
+      // all-or-nothing: the old snapshot serves int8, so a candidate that
+      // cannot is a failed deploy, not a degraded one.
+      SISG_RETURN_IF_ERROR(engine->EnableInt8FromFile(
+          options_.watch_dir + "/" + token + ".qarena", options_.use_mmap));
+    }
+    source = arena_path;
+  } else {
+    return Status::NotFound("reloader: LATEST names '" + token +
+                            "' but neither " + ckpt_path + " nor " +
+                            arena_path + " exists");
+  }
+
+  SISG_RETURN_IF_ERROR(
+      ValidateServingEngine(*engine, options_.canary_queries, options_.canary_k));
+  registry_->PublishOwned(std::move(engine), source);
+  return Status::OK();
+}
+
+}  // namespace sisg::serve

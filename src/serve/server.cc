@@ -31,6 +31,7 @@ struct ServerMetrics {
   obs::Counter* conn_rejected;
   obs::Counter* requests;
   obs::Counter* protocol_errors;
+  obs::Counter* idle_evicted;
   obs::Counter* tx_bytes;
   obs::Counter* rx_bytes;
   obs::Gauge* connections;
@@ -42,6 +43,7 @@ struct ServerMetrics {
         obs::MetricsRegistry::Global().counter("serve.conn_rejected"),
         obs::MetricsRegistry::Global().counter("serve.requests"),
         obs::MetricsRegistry::Global().counter("serve.protocol_errors"),
+        obs::MetricsRegistry::Global().counter("serve.idle_evicted"),
         obs::MetricsRegistry::Global().counter("serve.tx_bytes"),
         obs::MetricsRegistry::Global().counter("serve.rx_bytes"),
         obs::MetricsRegistry::Global().gauge("serve.connections"),
@@ -66,6 +68,13 @@ struct ServeServer::Connection {
   bool closed = false;         // guarded by wmu
   bool flush_queued = false;   // guarded by wmu (in owner's pending list?)
   bool epollout_armed = false; // owner thread only
+
+  // Idle/slow-loris eviction state, owner thread only. last_rx_ns advances
+  // on every received byte; partial_since_ns is set while an incomplete
+  // frame sits in the reader (cleared when the frame completes), so a peer
+  // trickling bytes cannot keep a half-frame open past the idle timeout.
+  uint64_t last_rx_ns = 0;
+  uint64_t partial_since_ns = 0;
 };
 
 struct ServeServer::IoThread {
@@ -77,18 +86,39 @@ struct ServeServer::IoThread {
   /// Connections with freshly queued output, filled by any thread.
   std::mutex pmu;
   std::vector<std::shared_ptr<Connection>> pending_flush;
+  /// Next idle sweep (owner thread only); sweeps are throttled to ~100ms so
+  /// eviction stays O(conns / 10) per second even under event storms.
+  uint64_t next_sweep_ns = 0;
 };
+
+ServeServer::ServeServer(ModelRegistry* registry, const ServerOptions& options)
+    : registry_(registry), options_(options) {}
 
 ServeServer::ServeServer(const MatchingEngine* engine,
                          const ServerOptions& options)
-    : engine_(engine), options_(options) {}
+    : registry_(nullptr),
+      owned_registry_(std::make_unique<ModelRegistry>()),
+      legacy_engine_(engine),
+      options_(options) {
+  registry_ = owned_registry_.get();
+}
 
 ServeServer::~ServeServer() { Shutdown(); }
 
 Status ServeServer::Start() {
   if (started_.load()) return Status::FailedPrecondition("server: already started");
-  if (engine_ == nullptr || engine_->num_items() == 0) {
-    return Status::FailedPrecondition("server: engine not built");
+  if (legacy_engine_ != nullptr && registry_->version() == 0) {
+    if (legacy_engine_->num_items() == 0) {
+      return Status::FailedPrecondition("server: engine not built");
+    }
+    registry_->PublishBorrowed(legacy_engine_, "startup");
+  }
+  {
+    const SnapshotPtr snap = registry_ ? registry_->Acquire() : nullptr;
+    if (snap == nullptr || snap->engine().num_items() == 0) {
+      return Status::FailedPrecondition(
+          "server: no model snapshot published");
+    }
   }
   int listen_fd = -1;
   SISG_RETURN_IF_ERROR(CreateTcpListener(options_.host, options_.port,
@@ -97,7 +127,7 @@ Status ServeServer::Start() {
   SISG_RETURN_IF_ERROR(SetNonBlocking(listen_fd, true));
   listen_fd_.store(listen_fd, std::memory_order_release);
 
-  batcher_ = std::make_unique<QueryBatcher>(engine_, options_.batch);
+  batcher_ = std::make_unique<QueryBatcher>(registry_, options_.batch);
   batcher_->Start();
 
   const uint32_t n = std::max(1u, options_.io_threads);
@@ -187,6 +217,14 @@ void ServeServer::IoLoop(IoThread* io) {
     if (accept_ready && !stopping_.load(std::memory_order_relaxed)) {
       AcceptPending(io);
     }
+    if (options_.idle_timeout_ms > 0 &&
+        !stopping_.load(std::memory_order_relaxed)) {
+      const uint64_t now_ns = MonotonicNanos();
+      if (now_ns >= io->next_sweep_ns) {
+        io->next_sweep_ns = now_ns + 100'000'000;  // ~100ms between sweeps
+        SweepIdle(io, now_ns);
+      }
+    }
     // Drain mode: Shutdown keeps started_ true until every queued response
     // byte is on the wire (it watches pending_tx_bytes_, bounded), so by
     // the time this flips the flushing is done — just exit.
@@ -223,6 +261,7 @@ void ServeServer::AcceptPending(IoThread* io) {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->owner = io;
+    conn->last_rx_ns = MonotonicNanos();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = static_cast<uint64_t>(fd);
@@ -255,6 +294,7 @@ void ServeServer::HandleReadable(IoThread* io,
       CloseConnection(io, conn);
       return;
     }
+    conn->last_rx_ns = MonotonicNanos();
     if (obs::MetricsEnabled()) {
       ServerMetrics::Get().rx_bytes->Add(static_cast<uint64_t>(r));
     }
@@ -289,6 +329,31 @@ void ServeServer::HandleReadable(IoThread* io,
       HandleFrame(io, conn, frame.type, frame.payload, frame.payload_len);
       if (io->conns.count(conn->fd) == 0) return;  // frame handler closed it
     }
+  }
+  // Slow-loris accounting: a partial frame left in the reader starts (or
+  // keeps) the stall clock; completing every fed frame resets it.
+  if (conn->reader.buffered() > 0) {
+    if (conn->partial_since_ns == 0) conn->partial_since_ns = conn->last_rx_ns;
+  } else {
+    conn->partial_since_ns = 0;
+  }
+}
+
+void ServeServer::SweepIdle(IoThread* io, uint64_t now_ns) {
+  const uint64_t limit_ns = uint64_t{options_.idle_timeout_ms} * 1'000'000;
+  std::vector<std::shared_ptr<Connection>> victims;
+  for (const auto& [fd, conn] : io->conns) {
+    (void)fd;
+    const bool silent = now_ns - conn->last_rx_ns > limit_ns;
+    const bool stalled_frame =
+        conn->partial_since_ns != 0 &&
+        now_ns - conn->partial_since_ns > limit_ns;
+    if (silent || stalled_frame) victims.push_back(conn);
+  }
+  for (const auto& conn : victims) {
+    if (obs::MetricsEnabled()) ServerMetrics::Get().idle_evicted->Increment();
+    LOG_INFO << "serve: evicting idle/stalled connection fd=" << conn->fd;
+    CloseConnection(io, conn);
   }
 }
 
@@ -326,6 +391,7 @@ void ServeServer::HandleFrame(IoThread* io,
         QueryResponse resp;
         resp.request_id = req.request_id;
         resp.status = WireStatus::kBadRequest;
+        resp.model_version = registry_->version();
         std::string out;
         EncodeResponse(resp, &out);
         EnqueueWrite(conn, std::move(out));
@@ -340,10 +406,13 @@ void ServeServer::HandleFrame(IoThread* io,
       ServeServer* self = this;
       const AdmitResult admit = batcher_->Submit(
           req.item, req.k,
-          [self, cb_conn, request_id, recv_ns](std::vector<ScoredId> results) {
+          [self, cb_conn, request_id, recv_ns](WireStatus status,
+                                               uint64_t model_version,
+                                               std::vector<ScoredId> results) {
             QueryResponse resp;
             resp.request_id = request_id;
-            resp.status = WireStatus::kOk;
+            resp.status = status;
+            resp.model_version = model_version;
             resp.results = std::move(results);
             std::string out;
             EncodeResponse(resp, &out);
@@ -360,14 +429,43 @@ void ServeServer::HandleFrame(IoThread* io,
         resp.request_id = request_id;
         resp.status = admit == AdmitResult::kBusy ? WireStatus::kBusy
                                                   : WireStatus::kShuttingDown;
+        resp.model_version = registry_->version();
         std::string out;
         EncodeResponse(resp, &out);
         EnqueueWrite(conn, std::move(out));
       }
       return;
     }
+    case MsgType::kHealth: {
+      // Answered inline on the I/O thread — the probe must work even when
+      // the batcher queue is jammed; that is exactly when you probe.
+      uint64_t id = 0;
+      if (!DecodeRequestId(payload, len, &id).ok()) {
+        if (obs::MetricsEnabled()) {
+          ServerMetrics::Get().protocol_errors->Increment();
+        }
+        CloseConnection(io, conn);
+        return;
+      }
+      const SnapshotPtr snap = registry_->Acquire();
+      HealthInfo info;
+      info.request_id = id;
+      info.ready = started_.load(std::memory_order_relaxed) &&
+                   !stopping_.load(std::memory_order_relaxed) &&
+                   snap != nullptr && snap->engine().num_items() > 0;
+      if (snap != nullptr) {
+        info.model_version = snap->version();
+        info.num_items = snap->engine().num_items();
+        info.dim = snap->engine().dim();
+      }
+      std::string out;
+      EncodeHealthResp(info, &out);
+      EnqueueWrite(conn, std::move(out));
+      return;
+    }
     case MsgType::kResponse:
     case MsgType::kPong:
+    case MsgType::kHealthResp:
       // Clients must not send server->client message types.
       if (obs::MetricsEnabled()) {
         ServerMetrics::Get().protocol_errors->Increment();
@@ -437,7 +535,7 @@ void ServeServer::FlushConnection(IoThread* io,
   }
   if (want_epollout != conn->epollout_armed) {
     epoll_event ev{};
-    ev.events = EPOLLIN | (want_epollout ? EPOLLOUT : 0);
+    ev.events = EPOLLIN | (want_epollout ? EPOLLOUT : 0u);
     ev.data.u64 = static_cast<uint64_t>(conn->fd);
     ::epoll_ctl(io->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
     conn->epollout_armed = want_epollout;

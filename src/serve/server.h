@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/matching_engine.h"
 #include "serve/batcher.h"
+#include "serve/model_registry.h"
 #include "serve/wire.h"
 
 namespace sisg::serve {
@@ -25,18 +26,32 @@ struct ServerOptions {
   /// Hard cap on concurrent connections; excess accepts are closed on
   /// arrival (serve.conn_rejected) — bounded state, like everything else.
   uint32_t max_connections = 1024;
+  /// Evict a connection that has been silent — or has held a partial frame
+  /// open — for this long (serve.idle_evicted). This is the slow-loris
+  /// defense: a peer trickling one byte per interval still cannot pin a
+  /// connection slot forever, because an UNFINISHED frame is held to the
+  /// same clock as total silence. 0 = never evict (library default; the
+  /// sisg_serve tool defaults it on).
+  uint32_t idle_timeout_ms = 0;
   BatchOptions batch;
 };
 
 /// Long-lived TCP serving process front end: length-prefixed frames in,
 /// micro-batched SIMD scans in the middle (QueryBatcher), frames out.
 ///
+/// The model comes from a ModelRegistry, so a background reloader can hot
+/// swap versions under live traffic: each micro-batch pins one snapshot,
+/// responses carry the version that answered, and HEALTH frames report
+/// readiness + live version without touching the query path.
+///
 /// Data path: an I/O thread parses a query frame and submits it to the
 /// batcher with a callback; the callback (on a dispatcher thread) encodes
 /// the response into the connection's write buffer and wakes the owning I/O
 /// thread through its eventfd — epoll_ctl is only ever called by the owning
 /// thread. Admission rejections (queue full / draining) are answered
-/// inline with typed BUSY / SHUTTING_DOWN responses, never silent drops.
+/// inline with typed BUSY / SHUTTING_DOWN responses, never silent drops;
+/// requests that overstay batch.deadline_us are shed with typed
+/// DEADLINE_EXCEEDED.
 ///
 /// Backpressure contract: queued requests are bounded by
 /// batch.queue_capacity, connections by max_connections, per-connection
@@ -50,6 +65,11 @@ struct ServerOptions {
 /// close. Safe to call from a signal-watcher thread.
 class ServeServer {
  public:
+  /// Serves versions published to `registry` (not owned; must outlive the
+  /// server). At least one snapshot must be published before Start().
+  ServeServer(ModelRegistry* registry, const ServerOptions& options);
+  /// Legacy single-model form: wraps `engine` (caller-owned, must outlive
+  /// the server) in an internal registry and publishes it at Start().
   ServeServer(const MatchingEngine* engine, const ServerOptions& options);
   ~ServeServer();
 
@@ -57,7 +77,7 @@ class ServeServer {
   ServeServer& operator=(const ServeServer&) = delete;
 
   /// Binds, starts the batcher and the I/O threads. Fails (typed) when the
-  /// port is taken or the engine is empty.
+  /// port is taken or no non-empty model snapshot is published.
   Status Start();
 
   /// The bound port (valid after Start), for ephemeral-port callers.
@@ -73,6 +93,7 @@ class ServeServer {
   }
 
   QueryBatcher* batcher() { return batcher_.get(); }
+  ModelRegistry* registry() { return registry_; }
 
  private:
   struct IoThread;
@@ -88,8 +109,13 @@ class ServeServer {
   void FlushConnection(IoThread* io, const std::shared_ptr<Connection>& conn);
   void CloseConnection(IoThread* io, const std::shared_ptr<Connection>& conn);
   void AcceptPending(IoThread* io);
+  /// Evicts idle / frame-stalled connections; owning I/O thread only.
+  void SweepIdle(IoThread* io, uint64_t now_ns);
 
-  const MatchingEngine* engine_;
+  ModelRegistry* registry_;
+  /// Backs the legacy single-engine constructor.
+  std::unique_ptr<ModelRegistry> owned_registry_;
+  const MatchingEngine* legacy_engine_ = nullptr;
   const ServerOptions options_;
   std::unique_ptr<QueryBatcher> batcher_;
   std::vector<std::unique_ptr<IoThread>> io_threads_;

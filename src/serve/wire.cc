@@ -35,11 +35,11 @@ void AppendHeader(MsgType type, uint32_t payload_len, std::string* out) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kQuery) &&
-         t <= static_cast<uint8_t>(MsgType::kPong);
+         t <= static_cast<uint8_t>(MsgType::kHealthResp);
 }
 
 bool ValidWireStatus(uint8_t s) {
-  return s <= static_cast<uint8_t>(WireStatus::kShuttingDown);
+  return s <= static_cast<uint8_t>(WireStatus::kDeadlineExceeded);
 }
 
 }  // namespace
@@ -50,6 +50,7 @@ const char* WireStatusName(WireStatus s) {
     case WireStatus::kBusy: return "BUSY";
     case WireStatus::kBadRequest: return "BAD_REQUEST";
     case WireStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case WireStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -63,11 +64,12 @@ void EncodeQuery(const QueryRequest& req, std::string* out) {
 
 void EncodeResponse(const QueryResponse& resp, std::string* out) {
   const uint32_t n = static_cast<uint32_t>(resp.results.size());
-  AppendHeader(MsgType::kResponse, 16 + n * 8, out);
+  AppendHeader(MsgType::kResponse, 24 + n * 8, out);
   AppendU64(resp.request_id, out);
   out->push_back(static_cast<char>(resp.status));
   out->append(3, '\0');
   AppendU32(n, out);
+  AppendU64(resp.model_version, out);
   for (const ScoredId& r : resp.results) {
     AppendU32(r.id, out);
     AppendF32(r.score, out);
@@ -84,6 +86,21 @@ void EncodePong(uint64_t request_id, std::string* out) {
   AppendU64(request_id, out);
 }
 
+void EncodeHealth(uint64_t request_id, std::string* out) {
+  AppendHeader(MsgType::kHealth, 8, out);
+  AppendU64(request_id, out);
+}
+
+void EncodeHealthResp(const HealthInfo& info, std::string* out) {
+  AppendHeader(MsgType::kHealthResp, 28, out);
+  AppendU64(info.request_id, out);
+  out->push_back(info.ready ? 1 : 0);
+  out->append(3, '\0');
+  AppendU32(info.num_items, out);
+  AppendU64(info.model_version, out);
+  AppendU32(info.dim, out);
+}
+
 Status DecodeQuery(const uint8_t* payload, uint32_t len, QueryRequest* out) {
   if (len != 16) {
     return Status::InvalidArgument("query frame: payload must be 16 bytes, got " +
@@ -97,7 +114,7 @@ Status DecodeQuery(const uint8_t* payload, uint32_t len, QueryRequest* out) {
 
 Status DecodeResponse(const uint8_t* payload, uint32_t len,
                       QueryResponse* out) {
-  if (len < 16) {
+  if (len < 24) {
     return Status::InvalidArgument(
         "response frame: payload shorter than fixed fields (" +
         std::to_string(len) + " bytes)");
@@ -110,13 +127,14 @@ Status DecodeResponse(const uint8_t* payload, uint32_t len,
   }
   out->status = static_cast<WireStatus>(status);
   const uint32_t n = ReadScalar<uint32_t>(payload + 12);
-  if (static_cast<uint64_t>(n) * 8 + 16 != len) {
+  out->model_version = ReadScalar<uint64_t>(payload + 16);
+  if (static_cast<uint64_t>(n) * 8 + 24 != len) {
     return Status::InvalidArgument(
         "response frame: result count " + std::to_string(n) +
         " inconsistent with payload of " + std::to_string(len) + " bytes");
   }
   out->results.resize(n);
-  const uint8_t* p = payload + 16;
+  const uint8_t* p = payload + 24;
   for (uint32_t i = 0; i < n; ++i, p += 8) {
     out->results[i].id = ReadScalar<uint32_t>(p);
     out->results[i].score = ReadScalar<float>(p + 4);
@@ -129,6 +147,26 @@ Status DecodeRequestId(const uint8_t* payload, uint32_t len, uint64_t* out) {
     return Status::InvalidArgument("ping/pong frame: payload must be 8 bytes");
   }
   *out = ReadScalar<uint64_t>(payload);
+  return Status::OK();
+}
+
+Status DecodeHealthResp(const uint8_t* payload, uint32_t len,
+                        HealthInfo* out) {
+  if (len != 28) {
+    return Status::InvalidArgument(
+        "health response frame: payload must be 28 bytes, got " +
+        std::to_string(len));
+  }
+  out->request_id = ReadScalar<uint64_t>(payload);
+  const uint8_t ready = payload[8];
+  if (ready > 1) {
+    return Status::InvalidArgument("health response frame: ready flag " +
+                                   std::to_string(ready) + " not 0/1");
+  }
+  out->ready = ready != 0;
+  out->num_items = ReadScalar<uint32_t>(payload + 12);
+  out->model_version = ReadScalar<uint64_t>(payload + 16);
+  out->dim = ReadScalar<uint32_t>(payload + 24);
   return Status::OK();
 }
 

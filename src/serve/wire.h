@@ -19,10 +19,20 @@ namespace sisg::serve {
 ///   payload := payload_len bytes, layout per type
 ///
 /// Payloads:
-///   kQuery     request_id:u64 item:u32 k:u32
-///   kResponse  request_id:u64 status:u8 pad:u8[3] n:u32 (id:u32 score:f32)*n
-///   kPing      request_id:u64
-///   kPong      request_id:u64
+///   kQuery      request_id:u64 item:u32 k:u32
+///   kResponse   request_id:u64 status:u8 pad:u8[3] n:u32 model_version:u64
+///               (id:u32 score:f32)*n
+///   kPing       request_id:u64
+///   kPong       request_id:u64
+///   kHealth     request_id:u64
+///   kHealthResp request_id:u64 ready:u8 pad:u8[3] num_items:u32
+///               model_version:u64 dim:u32
+///
+/// Responses carry the version of the snapshot that answered, so clients can
+/// observe hot swaps in-band (and tests can compare results against the
+/// exact offline model that produced them). kHealth is the readiness probe:
+/// ready=1 means the listener is accepting AND a validated snapshot is
+/// published — orchestration gates on this, not on the process being alive.
 ///
 /// Every field of every inbound byte sequence is validated before any of it
 /// reaches a request struct: bad magic/version/type and oversized or
@@ -38,15 +48,17 @@ constexpr size_t kFrameHeaderBytes = 8;
 /// allocation.
 constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 /// Largest result count a response frame can carry inside kMaxPayloadBytes
-/// (16 fixed bytes + 8 per result). Servers clamp k to this so they never
+/// (24 fixed bytes + 8 per result). Servers clamp k to this so they never
 /// emit a frame their own wire spec rejects as oversized.
-constexpr uint32_t kMaxResultsPerResponse = (kMaxPayloadBytes - 16) / 8;
+constexpr uint32_t kMaxResultsPerResponse = (kMaxPayloadBytes - 24) / 8;
 
 enum class MsgType : uint8_t {
   kQuery = 1,
   kResponse = 2,
   kPing = 3,
   kPong = 4,
+  kHealth = 5,
+  kHealthResp = 6,
 };
 
 /// Application-level result code carried in a response frame.
@@ -59,6 +71,9 @@ enum class WireStatus : uint8_t {
   kBadRequest = 2,
   /// The server is draining; no new work is accepted.
   kShuttingDown = 3,
+  /// The request overstayed its per-request serving deadline while queued;
+  /// it was shed without touching the engine. Retryable, like kBusy.
+  kDeadlineExceeded = 4,
 };
 
 struct QueryRequest {
@@ -70,7 +85,19 @@ struct QueryRequest {
 struct QueryResponse {
   uint64_t request_id = 0;
   WireStatus status = WireStatus::kOk;
+  /// Version of the published snapshot that answered (0 when no snapshot
+  /// was consulted, e.g. BUSY/BAD_REQUEST rejections before admission).
+  uint64_t model_version = 0;
   std::vector<ScoredId> results;
+};
+
+/// Readiness + live-version report carried by a kHealthResp frame.
+struct HealthInfo {
+  uint64_t request_id = 0;
+  bool ready = false;
+  uint64_t model_version = 0;
+  uint32_t num_items = 0;
+  uint32_t dim = 0;
 };
 
 /// A fully delimited frame as produced by FrameReader. `payload` points into
@@ -86,12 +113,16 @@ void EncodeQuery(const QueryRequest& req, std::string* out);
 void EncodeResponse(const QueryResponse& resp, std::string* out);
 void EncodePing(uint64_t request_id, std::string* out);
 void EncodePong(uint64_t request_id, std::string* out);
+void EncodeHealth(uint64_t request_id, std::string* out);
+void EncodeHealthResp(const HealthInfo& info, std::string* out);
 
 // --- payload decoding (full validation; never partial) ---
 Status DecodeQuery(const uint8_t* payload, uint32_t len, QueryRequest* out);
 Status DecodeResponse(const uint8_t* payload, uint32_t len,
                       QueryResponse* out);
 Status DecodeRequestId(const uint8_t* payload, uint32_t len, uint64_t* out);
+Status DecodeHealthResp(const uint8_t* payload, uint32_t len,
+                        HealthInfo* out);
 
 /// Incremental frame parser. Feed() appends raw bytes; Next() yields one
 /// complete frame at a time or reports that more bytes are needed. A header

@@ -1,0 +1,597 @@
+// Hot-swap suite: the RCU model registry must retire old snapshots only
+// after the last in-flight reader drops them, the reloader must publish
+// ONLY validated artifacts (corrupt / truncated / missing deploys roll back
+// with the old model serving bit-identically), and the full server must
+// survive a reload storm under concurrent load — versions monotone per
+// connection, every answer bit-identical to the offline engine for the
+// version that answered it. Plus the typed DEADLINE shed, idle eviction
+// (slow-loris), the HEALTH frame, and a seeded chaos-worker pass.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/matching_engine.h"
+#include "obs/metrics.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/model_registry.h"
+#include "serve/reloader.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "sgns/checkpoint.h"
+#include "sgns/embedding_model.h"
+
+namespace sisg {
+namespace {
+
+/// Same construction PublishSynthArena uses: seed -> Gaussian rows ->
+/// cosine engine. The offline reference for any published version.
+MatchingEngine BuildSynthEngine(uint32_t items, uint32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> in(static_cast<size_t>(items) * dim);
+  for (float& v : in) v = static_cast<float>(rng.Gaussian());
+  MatchingEngine engine;
+  EXPECT_TRUE(
+      engine.Build(std::move(in), {}, items, dim, SimilarityMode::kCosineInput)
+          .ok());
+  return engine;
+}
+
+bool BitIdentical(const std::vector<ScoredId>& a,
+                  const std::vector<ScoredId>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id) return false;
+    uint32_t abits, bbits;
+    std::memcpy(&abits, &a[i].score, 4);
+    std::memcpy(&bbits, &b[i].score, 4);
+    if (abits != bbits) return false;
+  }
+  return true;
+}
+
+std::string MakeTempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+uint64_t CounterVal(const obs::MetricsSnapshot& s, const std::string& name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+double GaugeVal(const obs::MetricsSnapshot& s, const std::string& name) {
+  auto it = s.gauges.find(name);
+  return it == s.gauges.end() ? 0.0 : it->second;
+}
+
+// --- Registry: RCU semantics. ---
+
+TEST(ModelRegistryTest, VersionsAreMonotoneAndOldSnapshotsStayAlive) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.Acquire(), nullptr);
+  EXPECT_EQ(registry.version(), 0u);
+
+  MatchingEngine borrowed = BuildSynthEngine(50, 8, 1);
+  EXPECT_EQ(registry.PublishBorrowed(&borrowed, "startup"), 1u);
+  const serve::SnapshotPtr v1 = registry.Acquire();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_EQ(v1->source(), "startup");
+  const auto v1_answer = v1->engine().Query(3, 5);
+
+  auto owned = std::make_unique<MatchingEngine>(BuildSynthEngine(60, 8, 2));
+  EXPECT_EQ(registry.PublishOwned(std::move(owned), "reload"), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  const serve::SnapshotPtr v2 = registry.Acquire();
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_EQ(v2->engine().num_items(), 60u);
+
+  // The replaced snapshot is still fully serviceable for whoever holds it:
+  // an in-flight batch that pinned v1 finishes on v1, bit for bit.
+  EXPECT_EQ(v1->engine().num_items(), 50u);
+  EXPECT_TRUE(BitIdentical(v1->engine().Query(3, 5), v1_answer));
+}
+
+// --- Validation gate. ---
+
+TEST(ValidateServingEngineTest, AcceptsHealthyRejectsEmpty) {
+  const MatchingEngine good = BuildSynthEngine(100, 8, 3);
+  EXPECT_TRUE(serve::ValidateServingEngine(good, 8, 10).ok());
+
+  const MatchingEngine empty;
+  const Status st = serve::ValidateServingEngine(empty, 8, 10);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Reloader: pickup, rollback, idempotent failure handling. ---
+
+class ReloaderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("reload_" +
+                       std::string(::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name()));
+    ropts_.watch_dir = dir_;
+    ropts_.poll_interval_ms = 10;
+  }
+
+  /// LATEST -> token, bypassing PublishSynthArena (for corrupt deploys).
+  void WriteLatest(const std::string& token) {
+    const std::string path = dir_ + "/LATEST";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "%s\n", token.c_str());
+    std::fclose(f);
+  }
+
+  std::string dir_;
+  serve::ReloaderOptions ropts_;
+  serve::ModelRegistry registry_;
+};
+
+TEST_F(ReloaderFixture, AbsentLatestIsANoop) {
+  serve::ModelReloader reloader(&registry_, ropts_);
+  EXPECT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(registry_.version(), 0u);
+  EXPECT_EQ(reloader.failed_reloads(), 0u);
+}
+
+TEST_F(ReloaderFixture, StartRequiresAWatchDir) {
+  serve::ReloaderOptions empty;
+  serve::ModelReloader reloader(&registry_, empty);
+  EXPECT_EQ(reloader.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReloaderFixture, PicksUpArenaVersionsInOrder) {
+  ASSERT_TRUE(serve::PublishSynthArena(dir_, "a", 80, 8, 11, false).ok());
+  serve::ModelReloader reloader(&registry_, ropts_);
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(registry_.version(), 1u);
+  EXPECT_EQ(reloader.ok_reloads(), 1u);
+
+  // Served answers are bit-identical to the offline engine built from the
+  // same seed — the arena roundtrip loses nothing.
+  const MatchingEngine offline_a = BuildSynthEngine(80, 8, 11);
+  const serve::SnapshotPtr v1 = registry_.Acquire();
+  EXPECT_TRUE(
+      BitIdentical(v1->engine().Query(7, 10), offline_a.Query(7, 10)));
+
+  // Same token again: nothing to do, no spurious re-publish.
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(registry_.version(), 1u);
+
+  ASSERT_TRUE(serve::PublishSynthArena(dir_, "b", 90, 8, 12, false).ok());
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(registry_.version(), 2u);
+  const MatchingEngine offline_b = BuildSynthEngine(90, 8, 12);
+  const serve::SnapshotPtr v2 = registry_.Acquire();
+  EXPECT_EQ(v2->engine().num_items(), 90u);
+  EXPECT_TRUE(
+      BitIdentical(v2->engine().Query(7, 10), offline_b.Query(7, 10)));
+}
+
+TEST_F(ReloaderFixture, CorruptArenaRollsBackAndIsNotRetried) {
+  obs::EnableMetrics(true);
+  ASSERT_TRUE(serve::PublishSynthArena(dir_, "good", 80, 8, 21, false).ok());
+  serve::ModelReloader reloader(&registry_, ropts_);
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  ASSERT_EQ(registry_.version(), 1u);
+  const auto before_answer = registry_.Acquire()->engine().Query(5, 10);
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+
+  // Garbage bytes behind an honest pointer: the load fails, the registry
+  // is untouched, the old model keeps answering bit-identically.
+  {
+    std::FILE* f = std::fopen((dir_ + "/bad.arena").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "definitely not an arena artifact";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  WriteLatest("bad");
+  EXPECT_FALSE(reloader.PollOnce().ok());
+  EXPECT_EQ(reloader.failed_reloads(), 1u);
+  EXPECT_EQ(registry_.version(), 1u);
+  EXPECT_TRUE(BitIdentical(registry_.Acquire()->engine().Query(5, 10),
+                           before_answer));
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterVal(after, "serve.reload_failed") -
+                CounterVal(before, "serve.reload_failed"),
+            1u);
+
+  // The same bad token is attempted once, not every poll tick.
+  EXPECT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(reloader.failed_reloads(), 1u);
+
+  // A truncated copy of a GOOD artifact must also be rejected (the loader's
+  // integrity checks catch the short read), same rollback contract.
+  {
+    std::FILE* in = std::fopen((dir_ + "/good.arena").c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    std::vector<char> bytes(static_cast<size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+    std::fclose(in);
+    std::FILE* out = std::fopen((dir_ + "/trunc.arena").c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, out);
+    std::fclose(out);
+  }
+  WriteLatest("trunc");
+  EXPECT_FALSE(reloader.PollOnce().ok());
+  EXPECT_EQ(reloader.failed_reloads(), 2u);
+  EXPECT_EQ(registry_.version(), 1u);
+  EXPECT_TRUE(BitIdentical(registry_.Acquire()->engine().Query(5, 10),
+                           before_answer));
+}
+
+TEST_F(ReloaderFixture, MissingArtifactRollsBack) {
+  ASSERT_TRUE(serve::PublishSynthArena(dir_, "v1", 60, 8, 31, false).ok());
+  serve::ModelReloader reloader(&registry_, ropts_);
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  WriteLatest("ghost");
+  const Status st = reloader.PollOnce();
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(reloader.failed_reloads(), 1u);
+  EXPECT_EQ(registry_.version(), 1u);
+}
+
+TEST_F(ReloaderFixture, MissingInt8ArtifactRollsBackWhenInt8Required) {
+  // want_int8 makes the quant arena part of the deploy: a version shipped
+  // without it must NOT silently swap the int8 model for an fp32 one.
+  ASSERT_TRUE(serve::PublishSynthArena(dir_, "q1", 60, 8, 41, true).ok());
+  ropts_.want_int8 = true;
+  serve::ModelReloader reloader(&registry_, ropts_);
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  EXPECT_EQ(registry_.version(), 1u);
+
+  ASSERT_TRUE(
+      serve::PublishSynthArena(dir_, "q2", 60, 8, 42, /*with_int8=*/false)
+          .ok());
+  EXPECT_FALSE(reloader.PollOnce().ok());
+  EXPECT_EQ(reloader.failed_reloads(), 1u);
+  EXPECT_EQ(registry_.version(), 1u);
+}
+
+TEST_F(ReloaderFixture, PicksUpCheckpointerStream) {
+  // The PR-3 trainer publication path: Checkpointer writes ckpt-<seq>.emb
+  // and advances LATEST; the reloader turns that into a cosine engine over
+  // the input rows.
+  auto ckpt = Checkpointer::Create({dir_, /*keep=*/2});
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EmbeddingModel model;
+  ASSERT_TRUE(model.Init(70, 16, /*seed=*/55).ok());
+  ASSERT_TRUE(ckpt->Save(model, TrainProgress{}).ok());
+
+  serve::ModelReloader reloader(&registry_, ropts_);
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  ASSERT_EQ(registry_.version(), 1u);
+  const serve::SnapshotPtr snap = registry_.Acquire();
+  EXPECT_EQ(snap->engine().num_items(), 70u);
+  EXPECT_EQ(snap->engine().dim(), 16u);
+
+  // Offline reference: same dense rows, same Build.
+  std::vector<float> in(static_cast<size_t>(70) * 16);
+  for (uint32_t r = 0; r < 70; ++r) {
+    std::copy(model.Input(r), model.Input(r) + 16,
+              in.begin() + static_cast<size_t>(r) * 16);
+  }
+  MatchingEngine offline;
+  ASSERT_TRUE(
+      offline.Build(std::move(in), {}, 70, 16, SimilarityMode::kCosineInput)
+          .ok());
+  EXPECT_TRUE(
+      BitIdentical(snap->engine().Query(9, 10), offline.Query(9, 10)));
+}
+
+// --- The acceptance bar: reload storm under concurrent load. ---
+
+TEST(HotSwapUnderLoadTest, TenSwapsEightConnectionsZeroErrorsBitIdentical) {
+  obs::EnableMetrics(true);
+  const std::string dir = MakeTempDir("hotswap");
+  constexpr uint32_t kItems = 200;
+  constexpr uint32_t kDim = 8;
+  constexpr uint32_t kK = 5;
+  constexpr uint64_t kSeedBase = 5000;
+  constexpr uint64_t kVersions = 11;  // initial + 10 hot swaps
+  constexpr uint32_t kConns = 8;
+
+  // Offline references, one per version the storm will publish. Version v
+  // is token "v" with seed kSeedBase + v (the publisher waits for each
+  // swap to land, so registry versions track tokens exactly).
+  std::vector<MatchingEngine> offline;
+  offline.reserve(kVersions + 1);
+  offline.emplace_back();  // index 0 unused
+  for (uint64_t v = 1; v <= kVersions; ++v) {
+    offline.push_back(BuildSynthEngine(kItems, kDim, kSeedBase + v));
+  }
+
+  serve::ModelRegistry registry;
+  serve::ReloaderOptions ropts;
+  ropts.watch_dir = dir;
+  ropts.poll_interval_ms = 5;
+  serve::ModelReloader reloader(&registry, ropts);
+  ASSERT_TRUE(
+      serve::PublishSynthArena(dir, "1", kItems, kDim, kSeedBase + 1, false)
+          .ok());
+  ASSERT_TRUE(reloader.PollOnce().ok());
+  ASSERT_EQ(registry.version(), 1u);
+
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  opts.batch.max_wait_us = 100;
+  serve::ServeServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(reloader.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> status_errors{0};
+  std::atomic<uint64_t> version_regressions{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (uint32_t c = 0; c < kConns; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        transport_errors++;
+        return;
+      }
+      Rng rng(900 + c);
+      uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto item = static_cast<uint32_t>(rng.UniformU64(kItems));
+        serve::QueryResponse resp;
+        if (!client->Query(item, kK, &resp).ok()) {
+          transport_errors++;
+          return;
+        }
+        if (resp.status == serve::WireStatus::kBusy) continue;
+        if (resp.status != serve::WireStatus::kOk) {
+          status_errors++;  // anything but OK/BUSY is a failure here
+          continue;
+        }
+        completed++;
+        const uint64_t v = resp.model_version;
+        // Versions a single connection observes never go backwards.
+        if (v < last_version || v == 0 || v > kVersions) {
+          version_regressions++;
+          continue;
+        }
+        last_version = v;
+        if (!BitIdentical(resp.results, offline[v].Query(item, kK))) {
+          mismatches++;
+        }
+      }
+      client->Close();
+    });
+  }
+
+  // The storm: publish versions 2..kVersions, each one waiting for the
+  // swap to land before shipping the next (so version <-> seed stays a
+  // bijection for the bit-identity check).
+  for (uint64_t v = 2; v <= kVersions; ++v) {
+    ASSERT_TRUE(serve::PublishSynthArena(dir, std::to_string(v), kItems, kDim,
+                                         kSeedBase + v, false)
+                    .ok());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (registry.version() < v &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(registry.version(), v) << "swap " << v << " never landed";
+  }
+  // Let traffic run a beat on the final version before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  reloader.Stop();
+  server.Shutdown();
+
+  EXPECT_EQ(transport_errors.load(), 0u);
+  EXPECT_EQ(status_errors.load(), 0u);
+  EXPECT_EQ(version_regressions.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_GE(reloader.ok_reloads(), kVersions);
+  EXPECT_EQ(reloader.failed_reloads(), 0u);
+  const auto snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(GaugeVal(snap, "serve.model_version"),
+            static_cast<double>(kVersions));
+}
+
+// --- Typed DEADLINE shed. ---
+
+TEST(ServeDeadlineTest, ExpiredQueuedRequestsAreShedTyped) {
+  obs::EnableMetrics(true);
+  MatchingEngine engine = BuildSynthEngine(100, 8, 61);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  opts.batch.max_batch = 64;
+  opts.batch.max_wait_us = 150000;  // hold the first batch open 150ms...
+  opts.batch.deadline_us = 1000;    // ...far past the 1ms request deadline
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  constexpr uint64_t kSent = 4;
+  for (uint64_t id = 1; id <= kSent; ++id) {
+    ASSERT_TRUE(client->SendQuery(id, static_cast<uint32_t>(id), 5).ok());
+  }
+  uint32_t shed = 0;
+  for (uint64_t i = 0; i < kSent; ++i) {
+    serve::QueryResponse resp;
+    ASSERT_TRUE(client->ReadResponse(&resp).ok());
+    if (resp.status == serve::WireStatus::kDeadlineExceeded) {
+      ++shed;
+      EXPECT_TRUE(resp.results.empty());
+      EXPECT_GE(resp.model_version, 1u);  // the shed still names the model
+    }
+  }
+  EXPECT_GE(shed, 1u);
+
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(CounterVal(after, "serve.deadline_exceeded") -
+                CounterVal(before, "serve.deadline_exceeded"),
+            uint64_t{shed});
+  client->Close();
+  server.Shutdown();
+}
+
+// --- Idle eviction (slow-loris). ---
+
+TEST(ServeIdleTest, SilentAndStalledConnectionsAreEvicted) {
+  obs::EnableMetrics(true);
+  MatchingEngine engine = BuildSynthEngine(50, 8, 71);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  opts.idle_timeout_ms = 100;
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+
+  auto wait_for_eof = [](int fd) {
+    ASSERT_TRUE(SetSocketTimeouts(fd, 5000, 5000).ok());
+    char buf[16];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_EQ(n, 0) << "expected server-side eviction (clean EOF)";
+    ::close(fd);
+  };
+
+  // A connection that never says anything...
+  int silent_fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &silent_fd, 2000).ok());
+  // ...and a slow-loris: a valid frame started but never finished. The
+  // trickle keeps the socket non-silent, yet the unfinished frame is held
+  // to the same clock and must still be evicted.
+  int stalled_fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.port(), &stalled_fd, 2000).ok());
+  serve::QueryRequest req;
+  req.request_id = 1;
+  req.item = 2;
+  req.k = 3;
+  std::string frame;
+  serve::EncodeQuery(req, &frame);
+  ASSERT_EQ(::send(stalled_fd, frame.data(), 4, 0), 4);
+
+  wait_for_eof(silent_fd);
+  wait_for_eof(stalled_fd);
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(CounterVal(after, "serve.idle_evicted") -
+                CounterVal(before, "serve.idle_evicted"),
+            2u);
+
+  // Eviction hygiene never touches a healthy, active connection.
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  serve::QueryResponse resp;
+  ASSERT_TRUE(client->Query(1, 5, &resp).ok());
+  EXPECT_EQ(resp.status, serve::WireStatus::kOk);
+  client->Close();
+  server.Shutdown();
+}
+
+// --- HEALTH frame. ---
+
+TEST(ServeHealthTest, ReportsReadyVersionAndShape) {
+  MatchingEngine engine = BuildSynthEngine(123, 16, 81);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  serve::HealthInfo info;
+  ASSERT_TRUE(client->Health(&info).ok());
+  EXPECT_TRUE(info.ready);
+  EXPECT_EQ(info.num_items, 123u);
+  EXPECT_EQ(info.dim, 16u);
+  EXPECT_EQ(info.model_version, server.registry()->version());
+  client->Close();
+  server.Shutdown();
+}
+
+// --- Client-side timeout: typed, and the slow server is survivable. ---
+
+TEST(ServeClientTimeoutTest, IoTimeoutIsTypedDeadlineExceeded) {
+  MatchingEngine engine = BuildSynthEngine(80, 8, 91);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  opts.batch.max_batch = 64;
+  opts.batch.max_wait_us = 2000000;  // hold replies 2s: longer than the
+                                     // client is willing to wait
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  serve::ClientOptions copt;
+  copt.connect_timeout_ms = 1000;
+  copt.io_timeout_ms = 200;
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port(), copt);
+  ASSERT_TRUE(client.ok());
+  serve::QueryResponse resp;
+  const Status st = client->Query(1, 5, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  client->Close();
+  server.Shutdown();
+}
+
+// --- Chaos worker: attacks never take the server down. ---
+
+TEST(ServeChaosTest, SeededAttackSweepLeavesServerHealthy) {
+  MatchingEngine engine = BuildSynthEngine(150, 8, 101);
+  serve::ServerOptions opts;
+  opts.io_threads = 1;
+  opts.idle_timeout_ms = 100;  // slow-loris attacks get evicted, not parked
+  serve::ServeServer server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto plan = serve::ChaosPlan::Parse("all,seed=424242");
+  ASSERT_TRUE(plan.ok());
+  serve::ChaosStats stats;
+  const uint64_t deadline = MonotonicNanos() + 1'500'000'000ull;
+  serve::RunChaosWorker("127.0.0.1", server.port(), *plan, 150, deadline,
+                        /*worker_id=*/1, &stats);
+  EXPECT_GT(stats.attacks.load(), 0u);
+  EXPECT_EQ(stats.probes_failed.load(), 0u)
+      << "honest probes failed while under attack";
+
+  auto client = serve::ServeClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  serve::HealthInfo info;
+  ASSERT_TRUE(client->Health(&info).ok());
+  EXPECT_TRUE(info.ready);
+  client->Close();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace sisg

@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 #include "serve/wire.h"
 
@@ -139,7 +140,8 @@ struct CallbackSink {
   size_t expected = 0;
 
   serve::QueryBatcher::Callback Make(size_t slot) {
-    return [this, slot](std::vector<ScoredId> r) {
+    return [this, slot](serve::WireStatus, uint64_t,
+                        std::vector<ScoredId> r) {
       std::lock_guard<std::mutex> lock(mu);
       results[slot] = std::move(r);
       --expected;
@@ -159,7 +161,9 @@ TEST(QueryBatcherTest, CoalescesQueuedRequestsIntoOneBatch) {
   serve::BatchOptions opts;
   opts.max_batch = 16;
   opts.max_wait_us = 0;  // flush whatever is queued, immediately
-  serve::QueryBatcher batcher(&engine, opts);
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(&engine, "test");
+  serve::QueryBatcher batcher(&registry, opts);
 
   const auto before = obs::MetricsRegistry::Global().Snapshot();
   CallbackSink sink;
@@ -192,7 +196,9 @@ TEST(QueryBatcherTest, FullQueueRepliesBusyNeverBuffersUnboundedly) {
   MatchingEngine engine = BuildRandomEngine(100, 8);
   serve::BatchOptions opts;
   opts.queue_capacity = 4;
-  serve::QueryBatcher batcher(&engine, opts);  // never started: queue holds
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(&engine, "test");
+  serve::QueryBatcher batcher(&registry, opts);  // never started: queue holds
 
   const auto before = obs::MetricsRegistry::Global().Snapshot();
   CallbackSink sink;
@@ -204,9 +210,12 @@ TEST(QueryBatcherTest, FullQueueRepliesBusyNeverBuffersUnboundedly) {
   }
   int rejected = 0;
   for (uint32_t i = 0; i < 3; ++i) {
-    if (batcher.Submit(50 + i, 5, [](std::vector<ScoredId>) {
-          FAIL() << "rejected submit must never invoke its callback";
-        }) == serve::AdmitResult::kBusy) {
+    if (batcher.Submit(50 + i, 5,
+                       [](serve::WireStatus, uint64_t, std::vector<ScoredId>) {
+                         FAIL()
+                             << "rejected submit must never invoke its "
+                                "callback";
+                       }) == serve::AdmitResult::kBusy) {
       ++rejected;
     }
   }
@@ -224,7 +233,8 @@ TEST(QueryBatcherTest, FullQueueRepliesBusyNeverBuffersUnboundedly) {
   EXPECT_EQ(CounterVal(after, "serve.dropped") -
                 CounterVal(before, "serve.dropped"),
             3u);
-  EXPECT_EQ(batcher.Submit(1, 5, [](std::vector<ScoredId>) {}),
+  EXPECT_EQ(batcher.Submit(
+                1, 5, [](serve::WireStatus, uint64_t, std::vector<ScoredId>) {}),
             serve::AdmitResult::kShuttingDown);
 }
 
@@ -236,7 +246,9 @@ TEST(QueryBatcherTest, MaxBatchZeroIsClampedAndStillDispatches) {
   serve::BatchOptions opts;
   opts.max_batch = 0;
   opts.max_wait_us = 0;
-  serve::QueryBatcher batcher(&engine, opts);
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(&engine, "test");
+  serve::QueryBatcher batcher(&registry, opts);
   EXPECT_EQ(batcher.options().max_batch, 1u);
   batcher.Start();
   CallbackSink sink;
@@ -329,7 +341,7 @@ TEST(ServeServerTest, HugeKIsClampedToWirePayloadBound) {
   // A response frame maxes out at kMaxResultsPerResponse results; a larger
   // k must be served clamped, never answered with a frame the wire spec
   // itself rejects as oversized (which would poison the client's reader).
-  static_assert(16 + uint64_t{serve::kMaxResultsPerResponse} * 8 <=
+  static_assert(24 + uint64_t{serve::kMaxResultsPerResponse} * 8 <=
                     serve::kMaxPayloadBytes,
                 "response at the clamp bound must fit the payload limit");
   MatchingEngine engine = BuildRandomEngine(150, 8);

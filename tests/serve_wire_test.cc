@@ -260,5 +260,143 @@ TEST(ServeWireTest, GarbageBetweenValidFramesPoisonsNotCrashes) {
   }
 }
 
+// --- Boundary frames: the exact edges of the payload cap. ---
+
+TEST(ServeWireTest, PayloadAtExactCapParses) {
+  // Declared length == kMaxPayloadBytes is legal; the reader must buffer
+  // and deliver it, rejecting only cap + 1 (OversizedDeclaredLengthPoisons).
+  std::string bytes = EncodeOneQuery(1, 2, 3).substr(0, kFrameHeaderBytes);
+  bytes[3] = static_cast<char>(MsgType::kResponse);
+  const uint32_t declared = kMaxPayloadBytes;
+  std::memcpy(&bytes[4], &declared, sizeof(declared));
+  bytes.append(kMaxPayloadBytes, '\0');
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(frame.payload_len, kMaxPayloadBytes);
+  // All-zero bytes are not a consistent response body; the decode error is
+  // typed, never a crash or a partial result set.
+  QueryResponse resp;
+  EXPECT_FALSE(DecodeResponse(frame.payload, frame.payload_len, &resp).ok());
+}
+
+TEST(ServeWireTest, ZeroLengthPayloadIsAFrameNotAnError) {
+  std::string bytes = EncodeOneQuery(1, 2, 3).substr(0, kFrameHeaderBytes);
+  const uint32_t zero = 0;
+  std::memcpy(&bytes[4], &zero, sizeof(zero));
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(frame.payload_len, 0u);
+  // The empty payload then fails the per-message decoder with a typed
+  // error (a query needs 16 bytes), and the stream itself is NOT poisoned:
+  // framing was legal, only the body was short.
+  QueryRequest req;
+  EXPECT_FALSE(DecodeQuery(frame.payload, frame.payload_len, &req).ok());
+  const std::string good = EncodeOneQuery(9, 8, 7);
+  ASSERT_TRUE(reader.Feed(good.data(), good.size()).ok());
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  ASSERT_TRUE(DecodeQuery(frame.payload, frame.payload_len, &req).ok());
+  EXPECT_EQ(req.request_id, 9u);
+}
+
+TEST(ServeWireTest, MaxResultsResponseRoundtripsAtTheCap) {
+  // k == kMaxResultsPerResponse is the largest legal response; its frame
+  // must sit exactly at (or under) the payload cap and roundtrip intact.
+  QueryResponse resp;
+  resp.request_id = 424242;
+  resp.status = WireStatus::kOk;
+  resp.model_version = 17;
+  resp.results.reserve(kMaxResultsPerResponse);
+  for (uint32_t i = 0; i < kMaxResultsPerResponse; ++i) {
+    resp.results.push_back({static_cast<float>(i) * 0.5f, i});
+  }
+  std::string bytes;
+  EncodeResponse(resp, &bytes);
+  ASSERT_LE(bytes.size() - kFrameHeaderBytes, kMaxPayloadBytes);
+
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  QueryResponse got;
+  ASSERT_TRUE(DecodeResponse(frame.payload, frame.payload_len, &got).ok());
+  EXPECT_EQ(got.request_id, 424242u);
+  EXPECT_EQ(got.model_version, 17u);
+  ASSERT_EQ(got.results.size(), size_t{kMaxResultsPerResponse});
+  EXPECT_EQ(got.results.front().id, 0u);
+  EXPECT_EQ(got.results.back().id, kMaxResultsPerResponse - 1);
+}
+
+TEST(ServeWireTest, ResponseCarriesModelVersion) {
+  QueryResponse resp;
+  resp.request_id = 5;
+  resp.status = WireStatus::kDeadlineExceeded;
+  resp.model_version = 0xDEADBEEFCAFEull;
+  std::string bytes;
+  EncodeResponse(resp, &bytes);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  QueryResponse got;
+  ASSERT_TRUE(DecodeResponse(frame.payload, frame.payload_len, &got).ok());
+  EXPECT_EQ(got.status, WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(got.model_version, 0xDEADBEEFCAFEull);
+  EXPECT_TRUE(got.results.empty());
+}
+
+TEST(ServeWireTest, HealthRoundtrip) {
+  std::string bytes;
+  EncodeHealth(31337, &bytes);
+  HealthInfo info;
+  info.request_id = 31337;
+  info.ready = true;
+  info.model_version = 12;
+  info.num_items = 100000;
+  info.dim = 128;
+  EncodeHealthResp(info, &bytes);
+
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  bool have = false;
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  ASSERT_EQ(frame.type, MsgType::kHealth);
+  uint64_t id = 0;
+  ASSERT_TRUE(DecodeRequestId(frame.payload, frame.payload_len, &id).ok());
+  EXPECT_EQ(id, 31337u);
+
+  ASSERT_TRUE(reader.Next(&frame, &have).ok());
+  ASSERT_TRUE(have);
+  ASSERT_EQ(frame.type, MsgType::kHealthResp);
+  HealthInfo got;
+  ASSERT_TRUE(DecodeHealthResp(frame.payload, frame.payload_len, &got).ok());
+  EXPECT_EQ(got.request_id, 31337u);
+  EXPECT_TRUE(got.ready);
+  EXPECT_EQ(got.model_version, 12u);
+  EXPECT_EQ(got.num_items, 100000u);
+  EXPECT_EQ(got.dim, 128u);
+
+  // Malformed health responses are typed errors: wrong length, bad bool.
+  uint8_t short_body[27] = {0};
+  EXPECT_FALSE(DecodeHealthResp(short_body, sizeof(short_body), &got).ok());
+  uint8_t bad_bool[28] = {0};
+  bad_bool[8] = 7;
+  EXPECT_FALSE(DecodeHealthResp(bad_bool, sizeof(bad_bool), &got).ok());
+}
+
 }  // namespace
 }  // namespace sisg::serve

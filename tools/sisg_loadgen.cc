@@ -12,7 +12,15 @@
 // Exit code: 0 on a clean run, 1 when any transport/protocol error occurred
 // or nothing completed — so CI can use the binary directly as a smoke
 // check. BUSY replies are not errors: they are the server's backpressure
-// working as designed, and are reported in their own column.
+// working as designed, and are reported in their own column. The same goes
+// for client-side timeouts (--timeout_ms), retries after BUSY (jittered
+// backoff) and server-side DEADLINE sheds — each gets its own column and
+// none of them fail the run.
+//
+// --chaos MODES additionally runs fault-injecting workers (serve/chaos.h)
+// alongside the load — mid-frame disconnects, garbage frames, slow-loris,
+// connection churn — and fails the run only if the server stops answering
+// honest probes.
 
 #include <algorithm>
 #include <atomic>
@@ -28,6 +36,7 @@
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 
 using namespace sisg;
@@ -39,6 +48,9 @@ struct WorkerStats {
   uint64_t completed = 0;  // kOk responses
   uint64_t busy = 0;       // kBusy / kShuttingDown rejections
   uint64_t bad = 0;        // kBadRequest
+  uint64_t deadline = 0;   // server-side DEADLINE_EXCEEDED sheds
+  uint64_t timeouts = 0;   // client-side --timeout_ms expiries
+  uint64_t retries = 0;    // re-issues after BUSY (jittered backoff)
   uint64_t errors = 0;     // transport/protocol failures
 };
 
@@ -59,30 +71,65 @@ void Tally(WorkerStats* s, serve::WireStatus status, double ms) {
     case serve::WireStatus::kBadRequest:
       s->bad++;
       break;
+    case serve::WireStatus::kDeadlineExceeded:
+      s->deadline++;
+      break;
     default:
       s->busy++;
   }
 }
 
 /// Closed loop: one synchronous round trip after another until the deadline.
+/// A BUSY reply backs off (jittered, so retry storms decorrelate across
+/// connections) and re-issues the same item; a client-side timeout drops
+/// the desynchronized connection and reconnects. Both are their own
+/// columns, not errors.
 void ClosedLoopWorker(const std::string& host, uint16_t port, uint32_t items,
                       uint32_t k, uint64_t seed, uint64_t deadline_ns,
-                      WorkerStats* s) {
-  auto client = serve::ServeClient::Connect(host, port);
+                      uint32_t timeout_ms, WorkerStats* s) {
+  serve::ClientOptions copt;
+  copt.connect_timeout_ms = timeout_ms;
+  copt.io_timeout_ms = timeout_ms;
+  auto client = serve::ServeClient::Connect(host, port, copt);
   if (!client.ok()) {
     s->errors++;
     return;
   }
   Rng rng(seed);
+  bool retry_pending = false;
+  uint32_t item = 0;
   while (MonotonicNanos() < deadline_ns) {
-    const auto item = static_cast<uint32_t>(rng.UniformU64(items));
+    if (!retry_pending) {
+      item = static_cast<uint32_t>(rng.UniformU64(items));
+    }
+    retry_pending = false;
     serve::QueryResponse resp;
     const uint64_t t0 = MonotonicNanos();
     if (auto st = client->Query(item, k, &resp); !st.ok()) {
+      if (st.code() == StatusCode::kDeadlineExceeded) {
+        // The stream may hold a half-frame now; only a fresh connection is
+        // safe. The timeout is its own column — the server may be fine.
+        s->timeouts++;
+        client->Close();
+        client = serve::ServeClient::Connect(host, port, copt);
+        if (!client.ok()) {
+          s->errors++;
+          return;
+        }
+        continue;
+      }
       s->errors++;
       return;  // transport gone; this connection is done
     }
     Tally(s, resp.status, static_cast<double>(MonotonicNanos() - t0) * 1e-6);
+    if (resp.status == serve::WireStatus::kBusy) {
+      // Jittered exponential-ish backoff before re-issuing: 200..1000us,
+      // enough to let a drained queue slot open without idling the worker.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(200 + rng.UniformU64(800)));
+      s->retries++;
+      retry_pending = true;
+    }
   }
 }
 
@@ -93,8 +140,11 @@ void ClosedLoopWorker(const std::string& host, uint16_t port, uint32_t items,
 void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
                     uint32_t k, uint64_t seed, uint64_t deadline_ns,
                     double rate_per_conn, const std::string& arrival,
-                    WorkerStats* s) {
-  auto client = serve::ServeClient::Connect(host, port);
+                    uint32_t timeout_ms, WorkerStats* s) {
+  serve::ClientOptions copt;
+  copt.connect_timeout_ms = timeout_ms;
+  copt.io_timeout_ms = timeout_ms;
+  auto client = serve::ServeClient::Connect(host, port, copt);
   if (!client.ok()) {
     s->errors++;
     return;
@@ -102,6 +152,7 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
   std::mutex mu;
   std::unordered_map<uint64_t, uint64_t> inflight;  // id -> send ns
   std::atomic<bool> send_failed{false};
+  std::atomic<bool> timed_out{false};
   std::atomic<uint64_t> sent{0};
 
   std::thread reader([&] {
@@ -109,8 +160,15 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
     for (;;) {
       serve::QueryResponse resp;
       if (auto st = client->ReadResponse(&resp); !st.ok()) {
-        // EOF after the sender closed is the clean end; mid-run it's an
-        // error, which the outer loop detects via counts.
+        // A timeout mid-frame desynchronizes the pipelined stream — the
+        // whole connection is done, and its unanswered sends are counted
+        // as timeouts (not transport errors) below. EOF after the sender
+        // closed is the clean end; any other mid-run failure is an error,
+        // which the outer loop detects via counts.
+        if (st.code() == StatusCode::kDeadlineExceeded) {
+          s->timeouts++;
+          timed_out.store(true);
+        }
         return;
       }
       uint64_t t0 = 0;
@@ -145,7 +203,8 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
   // bursty heavy-tailed arrivals that stress the adaptive flush deadline.
   const double pareto_alpha = 1.5;
   const double pareto_xm = mean_gap_ns * (pareto_alpha - 1.0) / pareto_alpha;
-  while (MonotonicNanos() < deadline_ns) {
+  while (MonotonicNanos() < deadline_ns &&
+         !timed_out.load(std::memory_order_relaxed)) {
     const double u = std::max(1e-12, rng.UniformDouble());
     const double gap = arrival == "pareto"
                            ? pareto_xm * std::pow(u, -1.0 / pareto_alpha)
@@ -168,7 +227,12 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
     if (auto st = client->SendQuery(id, item, k); !st.ok()) {
       std::lock_guard<std::mutex> lock(mu);
       inflight.erase(id);
-      send_failed.store(true);
+      if (st.code() == StatusCode::kDeadlineExceeded) {
+        s->timeouts++;
+        timed_out.store(true);
+      } else {
+        send_failed.store(true);
+      }
       break;
     }
     sent.fetch_add(1, std::memory_order_release);
@@ -177,7 +241,8 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
   // unblock the reader. Generous because an overloaded single-core host
   // runs the server and every loadgen thread on the same core.
   const uint64_t grace_end = MonotonicNanos() + 6'000'000'000ull;
-  while (MonotonicNanos() < grace_end) {
+  while (MonotonicNanos() < grace_end &&
+         !timed_out.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(mu);
     if (inflight.empty()) break;
     std::this_thread::yield();
@@ -186,9 +251,14 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
   reader.join();
   if (send_failed.load()) s->errors++;
   std::lock_guard<std::mutex> lock(mu);
-  // Unanswered sends after grace: count as errors unless the run ended with
-  // the server still healthy (tail replies raced the close) — be strict.
-  s->errors += inflight.size();
+  // Unanswered sends: a timed-out connection abandons its tail as timeouts
+  // (the server may well be fine); otherwise be strict and count them as
+  // errors even if tail replies merely raced the close.
+  if (timed_out.load()) {
+    s->timeouts += inflight.size();
+  } else {
+    s->errors += inflight.size();
+  }
 }
 
 }  // namespace
@@ -198,7 +268,8 @@ int main(int argc, char** argv) {
   if (auto st = flags.Parse(
           argc, argv,
           {"host", "port", "mode", "connections", "qps", "arrival", "duration",
-           "items", "k", "seed", "json_out", "name", "help"});
+           "items", "k", "seed", "timeout_ms", "chaos", "chaos_connections",
+           "json_out", "name", "help"});
       !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 2;
@@ -216,6 +287,12 @@ int main(int argc, char** argv) {
                  "  --items N          item-id space to sample (default "
                  "8000)\n"
                  "  --k K              top-k per query (default 10)\n"
+                 "  --timeout_ms MS    client connect/io timeout (0 = none);\n"
+                 "                     expiries land in their own column\n"
+                 "  --chaos MODES      also run fault injectors: comma list\n"
+                 "                     of disconnect|garbage|truncate|\n"
+                 "                     slowloris|churn|all, plus seed=N\n"
+                 "  --chaos_connections N  chaos workers (default 2)\n"
                  "  --json_out FILE    write one bench row as JSON\n"
                  "  --name LABEL       row label (default the mode)\n";
     return flags.Has("port") ? 0 : 2;
@@ -242,6 +319,20 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt64("items", 8000));
   const auto k = static_cast<uint32_t>(flags.GetInt64("k", 10));
   const auto seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
+  const auto timeout_ms =
+      static_cast<uint32_t>(flags.GetInt64("timeout_ms", 0));
+
+  serve::ChaosPlan chaos_plan;
+  if (flags.Has("chaos")) {
+    auto plan = serve::ChaosPlan::Parse(flags.GetString("chaos", ""));
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 2;
+    }
+    chaos_plan = *plan;
+  }
+  const auto chaos_conns = std::max<uint32_t>(
+      1, static_cast<uint32_t>(flags.GetInt64("chaos_connections", 2)));
 
   const uint64_t t_start = MonotonicNanos();
   const uint64_t deadline =
@@ -252,14 +343,27 @@ int main(int argc, char** argv) {
   for (uint32_t c = 0; c < conns; ++c) {
     if (mode == "closed") {
       workers.emplace_back(ClosedLoopWorker, host, port, items, k,
-                           seed + c * 7919, deadline, &stats[c]);
+                           seed + c * 7919, deadline, timeout_ms, &stats[c]);
     } else {
       workers.emplace_back(OpenLoopWorker, host, port, items, k,
                            seed + c * 7919, deadline, qps / conns, arrival,
-                           &stats[c]);
+                           timeout_ms, &stats[c]);
+    }
+  }
+  serve::ChaosStats chaos_stats;
+  std::vector<std::thread> chaos_workers;
+  if (chaos_plan.Active()) {
+    std::cerr << "chaos: running " << chaos_conns << " workers ("
+              << chaos_plan.ToString() << ")\n";
+    chaos_workers.reserve(chaos_conns);
+    for (uint32_t c = 0; c < chaos_conns; ++c) {
+      chaos_workers.emplace_back(serve::RunChaosWorker, host, port, chaos_plan,
+                                 items, deadline, static_cast<uint64_t>(c + 1),
+                                 &chaos_stats);
     }
   }
   for (auto& w : workers) w.join();
+  for (auto& w : chaos_workers) w.join();
   const double elapsed =
       static_cast<double>(MonotonicNanos() - t_start) * 1e-9;
 
@@ -268,6 +372,9 @@ int main(int argc, char** argv) {
     total.completed += s.completed;
     total.busy += s.busy;
     total.bad += s.bad;
+    total.deadline += s.deadline;
+    total.timeouts += s.timeouts;
+    total.retries += s.retries;
     total.errors += s.errors;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               s.latencies_ms.begin(), s.latencies_ms.end());
@@ -285,13 +392,49 @@ int main(int argc, char** argv) {
 
   const std::string name = flags.GetString("name", mode);
   std::printf(
-      "%s: %llu ok, %llu busy, %llu bad, %llu errors in %.2fs "
+      "%s: %llu ok, %llu busy, %llu bad, %llu deadline, %llu timeouts, "
+      "%llu retries, %llu errors in %.2fs "
       "(%.0f qps) latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
       name.c_str(), static_cast<unsigned long long>(total.completed),
       static_cast<unsigned long long>(total.busy),
       static_cast<unsigned long long>(total.bad),
+      static_cast<unsigned long long>(total.deadline),
+      static_cast<unsigned long long>(total.timeouts),
+      static_cast<unsigned long long>(total.retries),
       static_cast<unsigned long long>(total.errors), elapsed, actual_qps, p50,
       p90, p99, pmax);
+
+  // After a chaos run the server must still be alive and answering: one
+  // final health probe on a fresh connection decides pass/fail together
+  // with the per-attack probe tallies.
+  bool chaos_failed = false;
+  if (chaos_plan.Active()) {
+    std::printf(
+        "chaos: %llu attacks (%llu disconnect, %llu garbage, %llu truncate, "
+        "%llu slowloris, %llu churn) probes ok=%llu failed=%llu\n",
+        static_cast<unsigned long long>(chaos_stats.attacks.load()),
+        static_cast<unsigned long long>(chaos_stats.disconnects.load()),
+        static_cast<unsigned long long>(chaos_stats.garbage.load()),
+        static_cast<unsigned long long>(chaos_stats.truncated.load()),
+        static_cast<unsigned long long>(chaos_stats.slowloris.load()),
+        static_cast<unsigned long long>(chaos_stats.churns.load()),
+        static_cast<unsigned long long>(chaos_stats.probes_ok.load()),
+        static_cast<unsigned long long>(chaos_stats.probes_failed.load()));
+    chaos_failed = chaos_stats.probes_failed.load() > 0;
+    serve::ClientOptions copt;
+    copt.connect_timeout_ms = 5000;
+    copt.io_timeout_ms = 5000;
+    auto probe = serve::ServeClient::Connect(host, port, copt);
+    serve::HealthInfo health;
+    if (!probe.ok() || !probe->Health(&health).ok() || !health.ready) {
+      std::fprintf(stderr, "chaos: final health probe FAILED\n");
+      chaos_failed = true;
+    } else {
+      std::printf("chaos: final health ok (model v%llu, %u items)\n",
+                  static_cast<unsigned long long>(health.model_version),
+                  health.num_items);
+    }
+  }
 
   if (flags.Has("json_out")) {
     const std::string path = flags.GetString("json_out", "");
@@ -304,16 +447,24 @@ int main(int argc, char** argv) {
         f,
         "{\"name\": \"%s\", \"mode\": \"%s\", \"connections\": %u, "
         "\"duration_s\": %.3f, \"completed\": %llu, \"busy\": %llu, "
-        "\"bad\": %llu, \"errors\": %llu, \"qps\": %.1f, "
+        "\"bad\": %llu, \"deadline\": %llu, \"timeouts\": %llu, "
+        "\"retries\": %llu, \"errors\": %llu, \"qps\": %.1f, "
         "\"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, "
-        "\"max_ms\": %.4f}\n",
+        "\"max_ms\": %.4f, \"chaos_attacks\": %llu, "
+        "\"chaos_probes_ok\": %llu, \"chaos_probes_failed\": %llu}\n",
         name.c_str(), mode.c_str(), conns, elapsed,
         static_cast<unsigned long long>(total.completed),
         static_cast<unsigned long long>(total.busy),
         static_cast<unsigned long long>(total.bad),
+        static_cast<unsigned long long>(total.deadline),
+        static_cast<unsigned long long>(total.timeouts),
+        static_cast<unsigned long long>(total.retries),
         static_cast<unsigned long long>(total.errors), actual_qps, p50, p90,
-        p99, pmax);
+        p99, pmax,
+        static_cast<unsigned long long>(chaos_stats.attacks.load()),
+        static_cast<unsigned long long>(chaos_stats.probes_ok.load()),
+        static_cast<unsigned long long>(chaos_stats.probes_failed.load()));
     std::fclose(f);
   }
-  return (total.errors > 0 || total.completed == 0) ? 1 : 0;
+  return (total.errors > 0 || total.completed == 0 || chaos_failed) ? 1 : 0;
 }

@@ -4,10 +4,20 @@
 // through the SIMD batch scan.
 //
 //   sisg_serve --arena /tmp/serve --quant int8 --port 7411
-//   sisg_serve --model /tmp/model --variant sisg-f-u-d --port 0 \
+//   sisg_serve --model /tmp/model --variant sisg-f-u-d --port 0
 //              --port_file /tmp/port
-//   sisg_serve --synth_items 20000 --synth_dim 128 --max_batch 32 \
+//   sisg_serve --synth_items 20000 --synth_dim 128 --max_batch 32
 //              --metrics_out /tmp/serve_metrics.json
+//   sisg_serve --arena /tmp/serve --watch_dir /tmp/serve
+//              --reload_interval_ms 500 --port_file /tmp/port
+//
+// With --watch_dir the process hot-swaps models without restarting: a
+// background reloader polls <dir>/LATEST and, when the token changes, loads
+// + validates the new artifacts off the serving path and atomically
+// publishes them; a bad deploy rolls back to the serving snapshot and the
+// process keeps answering. --port_file is written only after the listener
+// is accepting AND the initial snapshot passed the same validation gate, so
+// "port file exists" means "ready for traffic".
 //
 // Runs until SIGTERM/SIGINT, then drains gracefully: stops accepting,
 // flushes every queued request through the scan path, pushes pending
@@ -24,6 +34,8 @@
 #include "common/rng.h"
 #include "core/matching_engine.h"
 #include "core/pipeline.h"
+#include "serve/model_registry.h"
+#include "serve/reloader.h"
 #include "serve/server.h"
 #include "tools/tool_common.h"
 
@@ -71,7 +83,8 @@ int main(int argc, char** argv) {
       {"host", "port", "port_file", "arena", "model", "variant", "quant",
        "mmap", "synth_items", "synth_dim", "synth_seed", "io_threads",
        "max_connections", "max_batch", "max_wait_us", "queue_capacity",
-       "dispatch_threads", "scan_threads", "metrics_out", "metrics_interval",
+       "dispatch_threads", "scan_threads", "deadline_ms", "idle_timeout_ms",
+       "watch_dir", "reload_interval_ms", "metrics_out", "metrics_interval",
        "help"});
   if (auto st = flags.Parse(argc, argv, known); !st.ok()) {
     std::cerr << st.ToString() << "\n";
@@ -98,6 +111,13 @@ int main(int argc, char** argv) {
            "1024)\n"
            "  --dispatch_threads N  batch dispatcher threads (default 1)\n"
            "  --scan_threads N    per-batch scan fan-out (default 1)\n"
+           "  --deadline_ms MS    shed queued requests older than this with\n"
+           "                      a typed DEADLINE reply (0 = off)\n"
+           "  --idle_timeout_ms MS  evict silent / stalled-frame\n"
+           "                      connections (slow-loris; 0 = off)\n"
+           "  --watch_dir DIR     hot-swap: poll DIR/LATEST and atomically\n"
+           "                      publish validated new model versions\n"
+           "  --reload_interval_ms MS  LATEST poll cadence (default 1000)\n"
            "  --metrics_out FILE  export on drain (.prom -> Prometheus)\n"
            "  --metrics_interval SECONDS  periodic sampler\n"
            "  [world flags matching sisg_train when using --model]\n";
@@ -188,16 +208,48 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt64("dispatch_threads", 1));
   opts.batch.scan_threads =
       static_cast<uint32_t>(flags.GetInt64("scan_threads", 1));
+  opts.batch.deadline_us =
+      static_cast<uint32_t>(flags.GetInt64("deadline_ms", 0)) * 1000;
+  opts.idle_timeout_ms =
+      static_cast<uint32_t>(flags.GetInt64("idle_timeout_ms", 0));
 
-  serve::ServeServer server(&engine, opts);
+  // The initial snapshot goes through the SAME validation gate hot reloads
+  // do; a process that cannot answer its own canaries must not advertise
+  // readiness via --port_file.
+  serve::ReloaderOptions ropts;
+  ropts.watch_dir = flags.GetString("watch_dir", "");
+  ropts.poll_interval_ms =
+      static_cast<uint32_t>(flags.GetInt64("reload_interval_ms", 1000));
+  ropts.use_mmap = use_mmap;
+  ropts.want_int8 = quant == "int8";
+  if (auto st = serve::ValidateServingEngine(engine, ropts.canary_queries,
+                                             ropts.canary_k);
+      !st.ok()) {
+    std::cerr << "initial snapshot failed validation: " << st.ToString()
+              << "\n";
+    return 1;
+  }
+
+  serve::ModelRegistry registry;
+  registry.PublishBorrowed(&engine, "startup");
+  serve::ServeServer server(&registry, opts);
   if (auto st = server.Start(); !st.ok()) {
     std::cerr << "server start failed: " << st.ToString() << "\n";
     return 1;
+  }
+  serve::ModelReloader reloader(&registry, ropts);
+  if (!ropts.watch_dir.empty()) {
+    if (auto st = reloader.Start(); !st.ok()) {
+      std::cerr << "reloader start failed: " << st.ToString() << "\n";
+      server.Shutdown();
+      return 1;
+    }
   }
   std::cout << "serving " << engine.num_items() << " items (dim "
             << engine.dim() << ", quant " << quant << ") on " << opts.host
             << ":" << server.port() << "\n";
   std::cout.flush();
+  // Written only now: listener accepting, initial snapshot validated.
   if (flags.Has("port_file")) {
     const std::string pf = flags.GetString("port_file", "");
     if (FILE* f = std::fopen(pf.c_str(), "w")) {
@@ -205,6 +257,7 @@ int main(int argc, char** argv) {
       std::fclose(f);
     } else {
       std::cerr << "cannot write --port_file " << pf << "\n";
+      reloader.Stop();
       server.Shutdown();
       return 1;
     }
@@ -213,6 +266,7 @@ int main(int argc, char** argv) {
   int signo = 0;
   sigwait(&sigs, &signo);
   std::cout << "caught signal " << signo << ", draining...\n";
+  reloader.Stop();
   server.Shutdown();
   // Same export path the offline tools use: drain -> WriteMetricsFile.
   return metrics.Finish();
