@@ -6,9 +6,9 @@
 // consistency of the retrieved lists.
 
 #include <iostream>
-#include <unordered_set>
 
 #include "bench/bench_common.h"
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "core/cold_start.h"
 #include "core/pipeline.h"
@@ -25,14 +25,14 @@ void Main() {
   const ItemCatalog& catalog = dataset->catalog();
 
   // Hold out ~5% of items: drop every training session touching them.
-  std::unordered_set<uint32_t> cold;
+  FlatHashSet<uint32_t> cold;
   for (uint32_t item = 7; item < catalog.num_items(); item += 20) {
-    cold.insert(item);
+    cold.Insert(item);
   }
   std::vector<Session> train;
   for (const Session& s : dataset->train_sessions()) {
     bool touches = false;
-    for (uint32_t it : s.items) touches |= cold.count(it) > 0;
+    for (uint32_t it : s.items) touches |= cold.Contains(it);
     if (!touches) train.push_back(s);
   }
   std::cerr << "[fig6] " << cold.size() << " cold items; "
@@ -81,7 +81,7 @@ void Main() {
   uint32_t warm_total = 0;
   for (uint32_t item = 0; item < catalog.num_items() && warm_total < 400;
        item += 13) {
-    if (cold.count(item) > 0 || !engine->HasItem(item)) continue;
+    if (cold.Contains(item) || !engine->HasItem(item)) continue;
     std::vector<float> v;
     if (!InferColdItemVector(*model, catalog.meta(item), &v).ok()) continue;
     const auto trained = engine->Query(item, kTop);

@@ -1,5 +1,7 @@
 #!/bin/sh
-# Runs the full bench sweep. The micro benches additionally emit
+# Runs the full bench sweep, fail-fast: the first bench that exits nonzero
+# aborts the sweep with its status (a crashed bench used to scroll past and
+# still print SWEEP_COMPLETE). The micro benches additionally emit
 # machine-readable JSON so the perf trajectory of the hot kernels can be
 # tracked across PRs: BENCH_micro.json for the training kernels (see
 # EXPERIMENTS.md "Kernel microbench") and BENCH_retrieval.json for the
@@ -12,7 +14,10 @@
 # bytes_per_query counter; see EXPERIMENTS.md "Quantization microbench"),
 # and BENCH_serve.json for the end-to-end serving process (coalesced vs
 # max_batch=1 loopback throughput plus an overload run; see EXPERIMENTS.md
-# "Serving bench").
+# "Serving bench"), and BENCH_hash.json for the hot-path hash layer
+# (FlatHashMap/Set vs std::unordered_* on insert/lookup/mixed churn, the
+# three visited-set variants on beam walks, and the end-to-end HNSW
+# query-batch + corpus-build deltas; see EXPERIMENTS.md "Hash microbench").
 cd /root/repo
 if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
   echo "error: bench binaries not found under build/bench." >&2
@@ -20,24 +25,35 @@ if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
   exit 1
 fi
 : > bench_output.txt
-./build/bench/bench_micro_engine \
-  --benchmark_out=BENCH_micro.json --benchmark_out_format=json \
-  2>&1 | tee -a bench_output.txt
-./build/bench/bench_micro_retrieval \
-  --benchmark_out=BENCH_retrieval.json --benchmark_out_format=json \
-  2>&1 | tee -a bench_output.txt
-./build/bench/bench_micro_corpus \
-  --benchmark_out=BENCH_corpus.json --benchmark_out_format=json \
-  2>&1 | tee -a bench_output.txt
-./build/bench/bench_micro_quant \
-  --benchmark_out=BENCH_quant.json --benchmark_out_format=json \
-  2>&1 | tee -a bench_output.txt
-sh bench/serve_bench.sh BENCH_serve.json 2>&1 | tee -a bench_output.txt
+
+# Runs one bench, teeing to bench_output.txt without letting tee's exit
+# status mask a bench failure (plain sh has no pipefail).
+run() {
+  { "$@" 2>&1; echo "$?" > .bench_status; } | tee -a bench_output.txt
+  status=$(cat .bench_status)
+  rm -f .bench_status
+  if [ "$status" -ne 0 ]; then
+    echo "error: $1 failed with status $status" >&2
+    exit "$status"
+  fi
+}
+
+run ./build/bench/bench_micro_engine \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+run ./build/bench/bench_micro_retrieval \
+  --benchmark_out=BENCH_retrieval.json --benchmark_out_format=json
+run ./build/bench/bench_micro_corpus \
+  --benchmark_out=BENCH_corpus.json --benchmark_out_format=json
+run ./build/bench/bench_micro_quant \
+  --benchmark_out=BENCH_quant.json --benchmark_out_format=json
+run ./build/bench/bench_micro_hash \
+  --benchmark_out=BENCH_hash.json --benchmark_out_format=json
+run sh bench/serve_bench.sh BENCH_serve.json
 for b in build/bench/*; do
   case "$b" in
-    */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus|*/bench_micro_quant) continue ;;
+    */bench_micro_engine|*/bench_micro_retrieval|*/bench_micro_corpus|*/bench_micro_quant|*/bench_micro_hash) continue ;;
   esac
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip cmake build artifacts
-  "$b"
-done 2>&1 | tee -a bench_output.txt
+  run "$b"
+done
 echo "SWEEP_COMPLETE" >> bench_output.txt

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace sisg {
 
@@ -15,7 +16,7 @@ Status ItemCf::Build(const std::vector<Session>& sessions, uint32_t num_items,
   options_ = options;
 
   std::vector<uint64_t> item_count(num_items, 0);
-  std::unordered_map<uint64_t, uint32_t> co;
+  FlatHashMap<uint64_t, uint32_t> co;
   for (const Session& s : sessions) {
     const size_t n = s.items.size();
     for (size_t i = 0; i < n; ++i) {
@@ -35,10 +36,20 @@ Status ItemCf::Build(const std::vector<Session>& sessions, uint32_t num_items,
     }
   }
 
+  // Push in sorted (a, b) key order: TopKSelector keeps the first-pushed id
+  // among beyond-k score ties, so feeding it straight from the table would
+  // make the kept neighbor depend on iteration order. The sort makes the
+  // tie-break "smallest b wins" — a total order, stable across table
+  // implementations and platforms.
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(co.size());
+  for (const auto& [key, c] : co) entries.emplace_back(key, c);
+  std::sort(entries.begin(), entries.end());
+
   std::vector<TopKSelector> selectors;
   selectors.reserve(num_items);
   for (uint32_t i = 0; i < num_items; ++i) selectors.emplace_back(options.top_k);
-  for (const auto& [key, c] : co) {
+  for (const auto& [key, c] : entries) {
     const uint32_t a = static_cast<uint32_t>(key >> 32);
     const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
     const double denom = std::sqrt(static_cast<double>(item_count[a]) *

@@ -1,0 +1,479 @@
+#ifndef SISG_COMMON_FLAT_HASH_H_
+#define SISG_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sisg {
+
+/// Hot-path hash containers (DESIGN.md Section 15). The std::unordered_*
+/// containers are node-based: every insert is a malloc, every probe is a
+/// pointer chase, and clear() walks a freelist. At billion-scale the
+/// per-token / per-node constants of these maps dominate ingest and ANN
+/// traversal, so the repo's hot paths use the flat containers below:
+///
+///  - One control byte per slot (0 = empty, else 0x80 | 7 hash bits), kept
+///    in its own contiguous array: a probe touches the byte array first and
+///    only compares the key on a 7-bit fragment match, so miss chains run
+///    at cache-line speed and the layout is ready for SIMD group probing.
+///  - Power-of-two capacity, linear probing, growth at 3/4 load.
+///  - Tombstone-free deletion by backward shift: erase re-packs the probe
+///    chain in place, so lookup cost never degrades with churn.
+///  - wyhash-style integer mixing (128-bit multiply fold) with dedicated
+///    fast paths for uint32_t/uint64_t-convertible keys; everything else
+///    funnels through std::hash and the same finalizer.
+///
+/// Iteration order is unspecified and MUST NOT leak into any output that is
+/// pinned deterministic (corpus bytes, vocab ids, partitions): adopters
+/// either sort extracted entries by key or fold with a commutative op.
+/// References/pointers into the table are invalidated by rehash and erase.
+
+/// wyhash-style 64 -> 64 finalizer: one 128-bit multiply, fold high ^ low.
+/// Cheap enough for per-token work and strong enough that dense low-entropy
+/// ids (fds, token ids, packed pair keys) spread over the low index bits.
+inline uint64_t FlatHashMix64(uint64_t x) {
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(x ^ 0x9e3779b97f4a7c15ull) *
+      0xbf58476d1ce4e5b9ull;
+  return static_cast<uint64_t>(m) ^ static_cast<uint64_t>(m >> 64);
+}
+
+/// Default hasher: integral keys (int fds, uint32_t tokens, uint64_t packed
+/// pairs) go straight through the mixer; other keys use std::hash then mix,
+/// because std::hash for integers is typically identity and libstdc++'s
+/// string hash already avalanches but cheap hashes may not fill 64 bits.
+template <typename K, typename Enable = void>
+struct FlatHasher {
+  uint64_t operator()(const K& k) const {
+    return FlatHashMix64(static_cast<uint64_t>(std::hash<K>{}(k)));
+  }
+};
+
+template <typename K>
+struct FlatHasher<K, std::enable_if_t<std::is_integral_v<K>>> {
+  uint64_t operator()(K k) const {
+    return FlatHashMix64(
+        static_cast<uint64_t>(static_cast<std::make_unsigned_t<K>>(k)));
+  }
+};
+
+namespace flat_hash_internal {
+
+inline constexpr uint8_t kEmptyCtrl = 0;
+
+inline uint8_t CtrlFrag(uint64_t h) {
+  // High 7 bits: independent of the low index bits consumed by the mask.
+  return static_cast<uint8_t>(0x80u | (h >> 57));
+}
+
+inline size_t CapacityFor(size_t n) {
+  size_t cap = 16;
+  while (cap * 3 < n * 4) cap <<= 1;  // keep load <= 3/4
+  return cap;
+}
+
+}  // namespace flat_hash_internal
+
+/// Open-addressing hash map. See the file comment for the design; see
+/// tests/flat_hash_test.cc for the randomized model check against
+/// std::unordered_map (including erase-during-probe-chain interleavings).
+template <typename K, typename V, typename HashFn = FlatHasher<K>>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+  explicit FlatHashMap(size_t size_hint) { Reserve(size_hint); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return ctrl_.size(); }
+
+  /// Pre-sizes for ~`n` keys so the insert path never rehashes mid-loop.
+  void Reserve(size_t n) {
+    const size_t cap = flat_hash_internal::CapacityFor(n);
+    if (cap > ctrl_.size()) Rehash(cap);
+  }
+
+  /// Drops every entry but keeps the allocation (epoch-style reuse is the
+  /// caller's job — see EpochVisitedSet for the bounded-universe case).
+  void Clear() {
+    if (size_ == 0) return;
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != flat_hash_internal::kEmptyCtrl) {
+        keys_[i] = K{};
+        vals_[i] = V{};
+      }
+    }
+    ctrl_.assign(ctrl_.size(), flat_hash_internal::kEmptyCtrl);
+    size_ = 0;
+  }
+
+  V* Find(const K& key) {
+    const size_t i = FindSlot(key);
+    return i == kNpos ? nullptr : &vals_[i];
+  }
+  const V* Find(const K& key) const {
+    const size_t i = FindSlot(key);
+    return i == kNpos ? nullptr : &vals_[i];
+  }
+  bool Contains(const K& key) const { return FindSlot(key) != kNpos; }
+
+  /// Value for `key`, default-constructing it on first access.
+  V& operator[](const K& key) {
+    const auto [i, inserted] = FindOrInsertSlot(key);
+    if (inserted) vals_[i] = V{};
+    return vals_[i];
+  }
+
+  /// Inserts (key, value) if absent. Returns {slot value ptr, inserted}.
+  std::pair<V*, bool> TryEmplace(const K& key, V value) {
+    const auto [i, inserted] = FindOrInsertSlot(key);
+    if (inserted) vals_[i] = std::move(value);
+    return {&vals_[i], inserted};
+  }
+
+  /// Inserts or overwrites.
+  void InsertOrAssign(const K& key, V value) {
+    const auto [i, inserted] = FindOrInsertSlot(key);
+    vals_[i] = std::move(value);
+  }
+
+  /// Removes `key` if present (backward-shift: no tombstones, the probe
+  /// chain is re-packed so later lookups never scan dead slots).
+  bool Erase(const K& key) {
+    const size_t i = FindSlot(key);
+    if (i == kNpos) return false;
+    EraseSlot(i);
+    return true;
+  }
+
+  /// fn(const K&, V&) for every entry, unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != flat_hash_internal::kEmptyCtrl) fn(keys_[i], vals_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != flat_hash_internal::kEmptyCtrl) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  /// Minimal const iteration for range-for with structured bindings:
+  /// `for (const auto& [k, v] : map)`. The proxy holds references into the
+  /// table, so the usual invalidation rules apply.
+  struct Entry {
+    const K& first;
+    const V& second;
+  };
+  class const_iterator {
+   public:
+    const_iterator(const FlatHashMap* m, size_t i) : m_(m), i_(i) { Skip(); }
+    Entry operator*() const { return {m_->keys_[i_], m_->vals_[i_]}; }
+    const_iterator& operator++() {
+      ++i_;
+      Skip();
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    void Skip() {
+      while (i_ < m_->ctrl_.size() &&
+             m_->ctrl_[i_] == flat_hash_internal::kEmptyCtrl) {
+        ++i_;
+      }
+    }
+    const FlatHashMap* m_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, ctrl_.size()); }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  size_t FindSlot(const K& key) const {
+    if (ctrl_.empty()) return kNpos;
+    const uint64_t h = hash_(key);
+    const uint8_t frag = flat_hash_internal::CtrlFrag(h);
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == flat_hash_internal::kEmptyCtrl) return kNpos;
+      if (c == frag && keys_[i] == key) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::pair<size_t, bool> FindOrInsertSlot(const K& key) {
+    if (ctrl_.empty() || (size_ + 1) * 4 > ctrl_.size() * 3) {
+      Rehash(ctrl_.empty() ? 16 : ctrl_.size() * 2);
+    }
+    const uint64_t h = hash_(key);
+    const uint8_t frag = flat_hash_internal::CtrlFrag(h);
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == flat_hash_internal::kEmptyCtrl) {
+        ctrl_[i] = frag;
+        keys_[i] = key;
+        ++size_;
+        return {i, true};
+      }
+      if (c == frag && keys_[i] == key) return {i, false};
+      i = (i + 1) & mask;
+    }
+  }
+
+  void EraseSlot(size_t pos) {
+    const size_t mask = ctrl_.size() - 1;
+    size_t hole = pos;
+    size_t i = pos;
+    for (;;) {
+      i = (i + 1) & mask;
+      if (ctrl_[i] == flat_hash_internal::kEmptyCtrl) break;
+      // The entry at i may move back into the hole only if its ideal slot
+      // is cyclically outside (hole, i] — otherwise the shift would break
+      // its own probe chain.
+      const size_t ideal = static_cast<size_t>(hash_(keys_[i])) & mask;
+      if (((i - ideal) & mask) >= ((i - hole) & mask)) {
+        ctrl_[hole] = ctrl_[i];
+        keys_[hole] = std::move(keys_[i]);
+        vals_[hole] = std::move(vals_[i]);
+        hole = i;
+      }
+    }
+    ctrl_[hole] = flat_hash_internal::kEmptyCtrl;
+    keys_[hole] = K{};  // release key/value resources, not just mark dead
+    vals_[hole] = V{};
+    --size_;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    ctrl_.assign(new_cap, flat_hash_internal::kEmptyCtrl);
+    keys_.assign(new_cap, K{});
+    vals_.assign(new_cap, V{});
+    const size_t mask = new_cap - 1;
+    for (size_t s = 0; s < old_ctrl.size(); ++s) {
+      if (old_ctrl[s] == flat_hash_internal::kEmptyCtrl) continue;
+      const uint64_t h = hash_(old_keys[s]);
+      size_t i = static_cast<size_t>(h) & mask;
+      while (ctrl_[i] != flat_hash_internal::kEmptyCtrl) i = (i + 1) & mask;
+      ctrl_[i] = flat_hash_internal::CtrlFrag(h);
+      keys_[i] = std::move(old_keys[s]);
+      vals_[i] = std::move(old_vals[s]);
+    }
+  }
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+  size_t size_ = 0;
+  HashFn hash_;
+};
+
+/// Open-addressing hash set; same design as FlatHashMap minus the values.
+template <typename K, typename HashFn = FlatHasher<K>>
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+  explicit FlatHashSet(size_t size_hint) { Reserve(size_hint); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return ctrl_.size(); }
+
+  void Reserve(size_t n) {
+    const size_t cap = flat_hash_internal::CapacityFor(n);
+    if (cap > ctrl_.size()) Rehash(cap);
+  }
+
+  void Clear() {
+    if (size_ == 0) return;
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != flat_hash_internal::kEmptyCtrl) keys_[i] = K{};
+    }
+    ctrl_.assign(ctrl_.size(), flat_hash_internal::kEmptyCtrl);
+    size_ = 0;
+  }
+
+  /// Returns true if `key` was newly inserted.
+  bool Insert(const K& key) {
+    if (ctrl_.empty() || (size_ + 1) * 4 > ctrl_.size() * 3) {
+      Rehash(ctrl_.empty() ? 16 : ctrl_.size() * 2);
+    }
+    const uint64_t h = hash_(key);
+    const uint8_t frag = flat_hash_internal::CtrlFrag(h);
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == flat_hash_internal::kEmptyCtrl) {
+        ctrl_[i] = frag;
+        keys_[i] = key;
+        ++size_;
+        return true;
+      }
+      if (c == frag && keys_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Contains(const K& key) const {
+    if (ctrl_.empty()) return false;
+    const uint64_t h = hash_(key);
+    const uint8_t frag = flat_hash_internal::CtrlFrag(h);
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == flat_hash_internal::kEmptyCtrl) return false;
+      if (c == frag && keys_[i] == key) return true;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Erase(const K& key) {
+    if (ctrl_.empty()) return false;
+    const uint64_t h = hash_(key);
+    const uint8_t frag = flat_hash_internal::CtrlFrag(h);
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == flat_hash_internal::kEmptyCtrl) return false;
+      if (c == frag && keys_[i] == key) break;
+      i = (i + 1) & mask;
+    }
+    size_t hole = i;
+    for (;;) {
+      i = (i + 1) & mask;
+      if (ctrl_[i] == flat_hash_internal::kEmptyCtrl) break;
+      const size_t ideal = static_cast<size_t>(hash_(keys_[i])) & mask;
+      if (((i - ideal) & mask) >= ((i - hole) & mask)) {
+        ctrl_[hole] = ctrl_[i];
+        keys_[hole] = std::move(keys_[i]);
+        hole = i;
+      }
+    }
+    ctrl_[hole] = flat_hash_internal::kEmptyCtrl;
+    keys_[hole] = K{};
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != flat_hash_internal::kEmptyCtrl) fn(keys_[i]);
+    }
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const FlatHashSet* s, size_t i) : s_(s), i_(i) { Skip(); }
+    const K& operator*() const { return s_->keys_[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      Skip();
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    void Skip() {
+      while (i_ < s_->ctrl_.size() &&
+             s_->ctrl_[i_] == flat_hash_internal::kEmptyCtrl) {
+        ++i_;
+      }
+    }
+    const FlatHashSet* s_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, ctrl_.size()); }
+
+ private:
+  void Rehash(size_t new_cap) {
+    std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+    std::vector<K> old_keys = std::move(keys_);
+    ctrl_.assign(new_cap, flat_hash_internal::kEmptyCtrl);
+    keys_.assign(new_cap, K{});
+    const size_t mask = new_cap - 1;
+    for (size_t s = 0; s < old_ctrl.size(); ++s) {
+      if (old_ctrl[s] == flat_hash_internal::kEmptyCtrl) continue;
+      const uint64_t h = hash_(old_keys[s]);
+      size_t i = static_cast<size_t>(h) & mask;
+      while (ctrl_[i] != flat_hash_internal::kEmptyCtrl) i = (i + 1) & mask;
+      ctrl_[i] = flat_hash_internal::CtrlFrag(h);
+      keys_[i] = std::move(old_keys[s]);
+    }
+  }
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<K> keys_;
+  size_t size_ = 0;
+  HashFn hash_;
+};
+
+/// Visited-set for a bounded dense id universe [0, n): one stamp per id,
+/// membership is `stamp[id] == epoch`, and clearing is an epoch bump — O(1)
+/// instead of O(visited) — so a reused per-thread instance makes the HNSW
+/// beam's visited check a single indexed load with zero per-query setup.
+/// Beats any hash set here because ids are dense and bounded: no hashing,
+/// no probing, no growth, and the stamp array stays hot across queries.
+class EpochVisitedSet {
+ public:
+  /// Prepares for a new traversal over ids in [0, universe). Amortized
+  /// O(1): resizes only when the universe grows, otherwise just bumps the
+  /// epoch. On the (once per 2^32 resets) epoch wrap the stamps are
+  /// refilled so a stale stamp from 4 billion traversals ago cannot alias.
+  void Reset(size_t universe) {
+    if (stamps_.size() < universe) stamps_.resize(universe, 0);
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+    count_ = 0;
+  }
+
+  /// Marks `id` visited. Returns true on first visit this epoch.
+  bool TestAndSet(uint32_t id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    ++count_;
+    return true;
+  }
+
+  bool Test(uint32_t id) const { return stamps_[id] == epoch_; }
+
+  /// Ids marked since the last Reset().
+  size_t count() const { return count_; }
+  size_t universe() const { return stamps_.size(); }
+
+  /// Test hook: fast-forwards the epoch counter so the wrap path is
+  /// reachable without 2^32 Reset() calls.
+  void JumpEpochForTest(uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace sisg
+
+#endif  // SISG_COMMON_FLAT_HASH_H_

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_set>
 
+#include "common/flat_hash.h"
 #include "common/math_util.h"
 #include "common/quant.h"
 #include "common/rng.h"
@@ -38,12 +38,19 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
   using Entry = std::pair<float, uint32_t>;
   std::priority_queue<Entry> candidates;                       // best first
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> best;  // worst on top
-  std::unordered_set<uint32_t> visited;
+  // Node ids are dense in [0, ids_.size()), so membership is an epoch-
+  // stamped array instead of a hash set: the per-query unordered_set this
+  // replaces was a malloc storm (one node per insert) paid on every beam
+  // step of the serving path. One instance per thread, reset by epoch bump,
+  // reused across queries — and purely an implementation detail of the
+  // visited check, so traversal order and results are bit-identical.
+  static thread_local EpochVisitedSet visited;
+  visited.Reset(ids_.size());
 
   const float entry_score = ScoreNode(q, iq, entry);
   candidates.push({entry_score, entry});
   best.push({entry_score, entry});
-  visited.insert(entry);
+  visited.TestAndSet(entry);
 
   while (!candidates.empty()) {
     const auto [score, node] = candidates.top();
@@ -63,7 +70,7 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
                                                    next * stride_));
       }
       const uint32_t nbr = nbrs[j];
-      if (!visited.insert(nbr).second) continue;
+      if (!visited.TestAndSet(nbr)) continue;
       const float s = ScoreNode(q, iq, nbr);
       if (best.size() < ef || s > best.top().first) {
         candidates.push({s, nbr});
@@ -72,7 +79,7 @@ std::vector<ScoredId> HnswIndex::SearchLayer(const float* q, uint32_t entry,
       }
     }
   }
-  if (visited_count != nullptr) *visited_count += visited.size();
+  if (visited_count != nullptr) *visited_count += visited.count();
   std::vector<ScoredId> out;
   out.reserve(best.size());
   while (!best.empty()) {

@@ -6,62 +6,36 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
+
 namespace sisg {
 
-/// Open-addressing token -> count map for the parallel ingest path: each
-/// ingest worker counts into its own TokenCountMap (no sharing, no locks)
-/// and the shard maps are merged afterwards. Linear probing over a
-/// power-of-two table, keys are global token ids (kEmpty = UINT32_MAX is
-/// reserved), values are u64 counts. Grows at 70% load.
+/// Token -> count map for the parallel ingest path: each ingest worker
+/// counts into its own TokenCountMap (no sharing, no locks) and the shard
+/// maps are merged afterwards. A thin facade over FlatHashMap (see
+/// common/flat_hash.h for the open-addressing design) that keeps the
+/// ingest-specific API: Add deltas, commutative MergeFrom, bulk Entries.
 ///
 /// Iteration order is unspecified — consumers that need determinism (the
 /// Vocabulary) must sort the extracted entries, never rely on table order.
 class TokenCountMap {
  public:
-  static constexpr uint32_t kEmpty = 0xffffffffu;
-
   TokenCountMap() = default;
 
   /// Pre-sizes the table for ~`hint` distinct keys so the hot Add() path
   /// never rehashes mid-ingest. A hint of 0 keeps the lazy default.
-  void Reserve(size_t hint) {
-    size_t cap = 16;
-    while (cap * 7 < hint * 10) cap <<= 1;
-    if (cap > keys_.size()) Rehash(cap);
-  }
+  void Reserve(size_t hint) { map_.Reserve(hint); }
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
 
   /// Adds `delta` to the count of `token`.
-  void Add(uint32_t token, uint64_t delta = 1) {
-    if ((size_ + 1) * 10 >= keys_.size() * 7) {
-      Rehash(keys_.empty() ? 16 : keys_.size() * 2);
-    }
-    const size_t mask = keys_.size() - 1;
-    size_t i = Hash(token) & mask;
-    while (keys_[i] != kEmpty) {
-      if (keys_[i] == token) {
-        vals_[i] += delta;
-        return;
-      }
-      i = (i + 1) & mask;
-    }
-    keys_[i] = token;
-    vals_[i] = delta;
-    ++size_;
-  }
+  void Add(uint32_t token, uint64_t delta = 1) { map_[token] += delta; }
 
   /// Count of `token`, 0 if absent.
   uint64_t Count(uint32_t token) const {
-    if (keys_.empty()) return 0;
-    const size_t mask = keys_.size() - 1;
-    size_t i = Hash(token) & mask;
-    while (keys_[i] != kEmpty) {
-      if (keys_[i] == token) return vals_[i];
-      i = (i + 1) & mask;
-    }
-    return 0;
+    const uint64_t* v = map_.Find(token);
+    return v == nullptr ? 0 : *v;
   }
 
   /// Folds `other` into this map (the deterministic merge: addition is
@@ -73,55 +47,21 @@ class TokenCountMap {
   /// Calls fn(token, count) for every entry in unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != kEmpty) fn(keys_[i], vals_[i]);
-    }
+    map_.ForEach([&fn](uint32_t tok, const uint64_t& c) { fn(tok, c); });
   }
 
   /// All (token, count) entries, in unspecified order.
   std::vector<std::pair<uint32_t, uint64_t>> Entries() const {
     std::vector<std::pair<uint32_t, uint64_t>> out;
-    out.reserve(size_);
+    out.reserve(map_.size());
     ForEach([&](uint32_t tok, uint64_t c) { out.emplace_back(tok, c); });
     return out;
   }
 
-  void Clear() {
-    keys_.assign(keys_.size(), kEmpty);
-    size_ = 0;
-  }
+  void Clear() { map_.Clear(); }
 
  private:
-  static size_t Hash(uint32_t k) {
-    // Finalizer of splitmix64 restricted to 32-bit keys: cheap and mixes
-    // the dense low-entropy token ids well enough for linear probing.
-    uint64_t x = k;
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<size_t>(x);
-  }
-
-  void Rehash(size_t new_cap) {
-    std::vector<uint32_t> old_keys = std::move(keys_);
-    std::vector<uint64_t> old_vals = std::move(vals_);
-    keys_.assign(new_cap, kEmpty);
-    vals_.assign(new_cap, 0);
-    const size_t mask = new_cap - 1;
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty) continue;
-      size_t j = Hash(old_keys[i]) & mask;
-      while (keys_[j] != kEmpty) j = (j + 1) & mask;
-      keys_[j] = old_keys[i];
-      vals_[j] = old_vals[i];
-    }
-  }
-
-  std::vector<uint32_t> keys_;
-  std::vector<uint64_t> vals_;
-  size_t size_ = 0;
+  FlatHashMap<uint32_t, uint64_t> map_;
 };
 
 }  // namespace sisg

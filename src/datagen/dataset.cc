@@ -4,9 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_hash.h"
 #include "common/io_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -46,14 +45,14 @@ DatasetStats ComputeDatasetStats(const SyntheticDataset& dataset, int window,
   stats.name = dataset.spec().name;
   stats.num_si_kinds = kNumItemFeatures;
 
-  std::unordered_set<uint32_t> items;
-  std::unordered_set<uint32_t> user_types;
+  FlatHashSet<uint32_t> items;
+  FlatHashSet<uint32_t> user_types;
   uint64_t item_clicks = 0;
   uint64_t positives = 0;
   for (const Session& s : dataset.train_sessions()) {
-    user_types.insert(s.user_type);
+    user_types.Insert(s.user_type);
     item_clicks += s.items.size();
-    for (uint32_t it : s.items) items.insert(it);
+    for (uint32_t it : s.items) items.Insert(it);
     // Positive pairs under a symmetric window of `window` items, counted
     // once per (target, context) ordered pair as word2vec does.
     const int64_t p = static_cast<int64_t>(s.items.size());

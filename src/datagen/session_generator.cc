@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 
 namespace sisg {
@@ -143,7 +143,9 @@ std::vector<Session> SessionGenerator::GenerateSessions(uint32_t n) const {
 std::vector<std::pair<uint32_t, double>>
 SessionGenerator::WithinLeafNextDistribution(uint32_t cur, uint32_t ut) const {
   const UserType& t = users_->type(ut);
-  std::unordered_map<uint32_t, double> probs;
+  // Order-independent: the entries are extracted and sorted by
+  // (prob desc, item asc) before they are returned.
+  FlatHashMap<uint32_t, double> probs;
 
   auto add_branch = [&](const std::vector<uint32_t>& cands,
                         const std::vector<double>& base, double mass) {
@@ -173,7 +175,9 @@ SessionGenerator::WithinLeafNextDistribution(uint32_t cur, uint32_t ut) const {
   }
   add_branch(predecessors_[cur], predecessor_weights_[cur], bwd_mass);
 
-  std::vector<std::pair<uint32_t, double>> out(probs.begin(), probs.end());
+  std::vector<std::pair<uint32_t, double>> out;
+  out.reserve(probs.size());
+  for (const auto& [item, prob] : probs) out.emplace_back(item, prob);
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -184,7 +188,7 @@ SessionGenerator::WithinLeafNextDistribution(uint32_t cur, uint32_t ut) const {
 double SessionGenerator::MeasureAsymmetryRate(const std::vector<Session>& sessions,
                                               double ratio_threshold,
                                               uint32_t min_count) {
-  std::unordered_map<uint64_t, uint32_t> counts;
+  FlatHashMap<uint64_t, uint32_t> counts;
   for (const Session& s : sessions) {
     for (size_t i = 0; i + 1 < s.items.size(); ++i) {
       const uint64_t key =
@@ -199,8 +203,8 @@ double SessionGenerator::MeasureAsymmetryRate(const std::vector<Session>& sessio
     const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
     if (a >= b) continue;  // visit each unordered pair once
     const uint64_t rkey = (static_cast<uint64_t>(b) << 32) | a;
-    const auto it = counts.find(rkey);
-    const uint32_t bwd = it == counts.end() ? 0 : it->second;
+    const uint32_t* rc = counts.Find(rkey);
+    const uint32_t bwd = rc == nullptr ? 0 : *rc;
     if (fwd + bwd < min_count) continue;
     ++pairs;
     const double hi = std::max(fwd, bwd);

@@ -28,12 +28,12 @@ Status SessionStream::ParseLine(const std::string& line, Session* s) const {
   if (tab == std::string::npos) {
     return Status::Corruption("sessions file: missing tab at line " + lineno);
   }
-  const auto it = type_index_.find(line.substr(0, tab));
-  if (it == type_index_.end()) {
+  const uint32_t* ut = type_index_.Find(line.substr(0, tab));
+  if (ut == nullptr) {
     return Status::Corruption("sessions file: unknown user type '" +
                               line.substr(0, tab) + "' at line " + lineno);
   }
-  s->user_type = it->second;
+  s->user_type = *ut;
   s->items.clear();
   for (const std::string& tok : SplitWhitespace(line.substr(tab + 1))) {
     char* end = nullptr;

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "datagen/session_generator.h"
 #include "datagen/user_universe.h"
@@ -76,7 +76,9 @@ class SessionStream final : public SessionSource {
 
   std::string path_;
   std::ifstream in_;
-  std::unordered_map<std::string, uint32_t> type_index_;
+  /// usertype token string -> id. String keys funnel through the std::hash
+  /// fallback of the flat table; this is the per-line parse hot path.
+  FlatHashMap<std::string, uint32_t> type_index_;
   SessionStreamOptions options_;
   IngestStats stats_;
   bool eof_ = false;

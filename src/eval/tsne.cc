@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "eval/pca.h"
 
@@ -177,7 +177,7 @@ double SilhouetteScore(const std::vector<double>& points, uint32_t n,
   auto dist = [&](uint32_t i, uint32_t j) {
     return std::sqrt(dist2[static_cast<size_t>(i) * n + j]);
   };
-  std::unordered_map<int, uint32_t> cluster_size;
+  FlatHashMap<int, uint32_t> cluster_size;
   for (int l : labels) ++cluster_size[l];
   if (cluster_size.size() < 2) return 0.0;
 
@@ -185,7 +185,7 @@ double SilhouetteScore(const std::vector<double>& points, uint32_t n,
   uint32_t counted = 0;
   for (uint32_t i = 0; i < n; ++i) {
     if (cluster_size[labels[i]] < 2) continue;
-    std::unordered_map<int, double> sums;
+    FlatHashMap<int, double> sums;
     for (uint32_t j = 0; j < n; ++j) {
       if (j == i) continue;
       sums[labels[j]] += dist(i, j);

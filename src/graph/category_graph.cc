@@ -15,7 +15,9 @@ CategoryGraph CategoryGraph::FromItemGraph(const ItemGraph& graph,
   cg.total_freq_ = 0;
   for (uint64_t f : cg.freq_) cg.total_freq_ += f;
 
-  std::unordered_map<uint64_t, double> agg;
+  // Iteration order is laundered by the (src, dst) sort below; weights are
+  // sums of integer-valued item-edge counts, so addition order is exact.
+  FlatHashMap<uint64_t, double> agg;
   for (uint32_t item = 0; item < graph.num_nodes(); ++item) {
     const uint32_t c1 = catalog.meta(item).leaf_category;
     const auto nbrs = graph.OutNeighbors(item);
@@ -44,8 +46,8 @@ CategoryGraph CategoryGraph::FromItemGraph(const ItemGraph& graph,
 }
 
 double CategoryGraph::Weight(uint32_t c1, uint32_t c2) const {
-  const auto it = weight_index_.find((static_cast<uint64_t>(c1) << 32) | c2);
-  return it == weight_index_.end() ? 0.0 : it->second;
+  const double* w = weight_index_.Find((static_cast<uint64_t>(c1) << 32) | c2);
+  return w == nullptr ? 0.0 : *w;
 }
 
 }  // namespace sisg

@@ -2,9 +2,9 @@
 #define SISG_GRAPH_CATEGORY_GRAPH_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "datagen/catalog.h"
 #include "graph/item_graph.h"
 
@@ -44,7 +44,7 @@ class CategoryGraph {
   std::vector<uint64_t> freq_;
   uint64_t total_freq_ = 0;
   std::vector<WeightedEdge> edges_;
-  std::unordered_map<uint64_t, double> weight_index_;
+  FlatHashMap<uint64_t, double> weight_index_;
 };
 
 }  // namespace sisg

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace sisg {
 
@@ -24,14 +25,13 @@ std::vector<uint32_t> WeakComponents(const ItemGraph& graph) {
       if (ru != rv) parent[rv] = ru;
     }
   }
-  // Compact component labels.
-  std::unordered_map<uint32_t, uint32_t> label;
+  // Compact component labels (insertion in node order, so the labels are
+  // deterministic no matter how the table iterates).
+  FlatHashMap<uint32_t, uint32_t> label;
   std::vector<uint32_t> out(n);
   for (uint32_t u = 0; u < n; ++u) {
     const uint32_t root = find(u);
-    auto [it, inserted] =
-        label.try_emplace(root, static_cast<uint32_t>(label.size()));
-    out[u] = it->second;
+    out[u] = *label.TryEmplace(root, static_cast<uint32_t>(label.size())).first;
   }
   return out;
 }
@@ -67,7 +67,7 @@ GraphStats ComputeGraphStats(const ItemGraph& graph) {
           : 0.0;
 
   const auto comp = WeakComponents(graph);
-  std::unordered_map<uint32_t, uint64_t> sizes;
+  FlatHashMap<uint32_t, uint64_t> sizes;
   for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
     if (graph.OutNeighbors(u).empty() && !has_in[u]) continue;  // skip isolated
     ++sizes[comp[u]];

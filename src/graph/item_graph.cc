@@ -1,7 +1,8 @@
 #include "graph/item_graph.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace sisg {
 
@@ -12,7 +13,11 @@ Status ItemGraph::Build(const std::vector<Session>& sessions, uint32_t num_items
   num_nodes_ = num_items;
   node_freq_.assign(num_items, 0);
 
-  std::unordered_map<uint64_t, double> edges;
+  // Packed (src << 32 | dst) keys; iteration order never reaches the
+  // output — edges are bucketed into CSR and each adjacency is sorted by
+  // dst below, and the weights are integer-valued counts so any summation
+  // order yields the same doubles.
+  FlatHashMap<uint64_t, double> edges;
   for (const Session& s : sessions) {
     for (size_t i = 0; i < s.items.size(); ++i) {
       const uint32_t a = s.items[i];

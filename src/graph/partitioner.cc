@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -97,7 +97,7 @@ StatusOr<std::vector<uint32_t>> HbgpPartitioner::PartitionCategories(
     if (a > b) std::swap(a, b);
     return (static_cast<uint64_t>(a) << 32) | b;
   };
-  std::unordered_map<uint64_t, double> edge_w;
+  FlatHashMap<uint64_t, double> edge_w;
   for (const WeightedEdge& e : graph.edges()) {
     edge_w[key_of(e.src, e.dst)] += e.weight;
   }
@@ -122,7 +122,11 @@ StatusOr<std::vector<uint32_t>> HbgpPartitioner::PartitionCategories(
           cap) {
         continue;
       }
-      if (w > best_w) {
+      // Smallest key wins ties: a total order, so the selected merge (and
+      // with it the whole partition) is independent of table iteration
+      // order — required now that the map's order is an implementation
+      // detail of the flat table, not something a test could have pinned.
+      if (w > best_w || (w == best_w && key < best_key)) {
         best_w = w;
         best_key = key;
       }
@@ -158,8 +162,8 @@ StatusOr<std::vector<uint32_t>> HbgpPartitioner::PartitionCategories(
     group_freq[a] += group_freq[b];
     --num_groups;
 
-    std::unordered_map<uint64_t, double> next;
-    next.reserve(edge_w.size());
+    FlatHashMap<uint64_t, double> next;
+    next.Reserve(edge_w.size());
     for (const auto& [key, w] : edge_w) {
       uint32_t x = find(static_cast<uint32_t>(key >> 32));
       uint32_t y = find(static_cast<uint32_t>(key & 0xffffffffu));
@@ -170,12 +174,11 @@ StatusOr<std::vector<uint32_t>> HbgpPartitioner::PartitionCategories(
   }
 
   // Label surviving roots 0..w-1.
-  std::unordered_map<uint32_t, uint32_t> label;
+  FlatHashMap<uint32_t, uint32_t> label;
   std::vector<uint32_t> out(n);
   for (uint32_t c = 0; c < n; ++c) {
     const uint32_t root = find(c);
-    auto [it, inserted] = label.try_emplace(root, static_cast<uint32_t>(label.size()));
-    out[c] = it->second;
+    out[c] = *label.TryEmplace(root, static_cast<uint32_t>(label.size())).first;
   }
   SISG_CHECK_EQ(label.size(), static_cast<size_t>(num_workers));
   return out;

@@ -9,8 +9,8 @@
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "common/net_util.h"
 #include "common/timer.h"
@@ -81,8 +81,12 @@ struct ServeServer::IoThread {
   int epoll_fd = -1;
   int event_fd = -1;
   std::thread thread;
-  /// fd -> connection, owner thread only.
-  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  /// fd -> connection, owner thread only. Flat open-addressing table: fds
+  /// are small dense ints, so lookups on the per-event hot path are one
+  /// probe into a contiguous array instead of a node chase. Same stale-
+  /// event contract as before: always look the fd up before dereferencing
+  /// anything (see the event-loop comment below).
+  FlatHashMap<int, std::shared_ptr<Connection>> conns;
   /// Connections with freshly queued output, filled by any thread.
   std::mutex pmu;
   std::vector<std::shared_ptr<Connection>> pending_flush;
@@ -201,16 +205,17 @@ void ServeServer::IoLoop(IoThread* io) {
       // in this same batch (eventfd flush hitting a write error, EPOLLHUP
       // on another entry) may have closed the connection and released the
       // last shared_ptr, so the map lookup must come before any dereference.
-      const auto it = io->conns.find(static_cast<int>(tag));
-      if (it == io->conns.end()) continue;  // closed earlier this wake
-      const std::shared_ptr<Connection> conn = it->second;
+      const std::shared_ptr<Connection>* slot =
+          io->conns.Find(static_cast<int>(tag));
+      if (slot == nullptr) continue;  // closed earlier this wake
+      const std::shared_ptr<Connection> conn = *slot;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
         CloseConnection(io, conn);
         continue;
       }
       if (events[i].events & EPOLLIN) HandleReadable(io, conn);
       if ((events[i].events & EPOLLOUT) &&
-          io->conns.count(conn->fd) > 0) {
+          io->conns.Contains(conn->fd)) {
         FlushConnection(io, conn);
       }
     }
@@ -270,7 +275,7 @@ void ServeServer::AcceptPending(IoThread* io) {
       num_connections_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
-    io->conns.emplace(fd, std::move(conn));
+    io->conns.TryEmplace(fd, std::move(conn));
     if (obs::MetricsEnabled()) {
       ServerMetrics::Get().accepted->Increment();
       ServerMetrics::Get().connections->Set(
@@ -327,7 +332,7 @@ void ServeServer::HandleReadable(IoThread* io,
       }
       if (!have) break;
       HandleFrame(io, conn, frame.type, frame.payload, frame.payload_len);
-      if (io->conns.count(conn->fd) == 0) return;  // frame handler closed it
+      if (!io->conns.Contains(conn->fd)) return;  // frame handler closed it
     }
   }
   // Slow-loris accounting: a partial frame left in the reader starts (or
@@ -544,7 +549,7 @@ void ServeServer::FlushConnection(IoThread* io,
 
 void ServeServer::CloseConnection(IoThread* io,
                                   const std::shared_ptr<Connection>& conn) {
-  if (io->conns.erase(conn->fd) == 0) return;  // already closed
+  if (!io->conns.Erase(conn->fd)) return;  // already closed
   {
     std::lock_guard<std::mutex> lock(conn->wmu);
     conn->closed = true;

@@ -289,6 +289,64 @@ TEST(HnswIndexTest, QueryFindsOwnVectorFirst) {
   EXPECT_GT(self_first, 45);  // a normalized vector's best match is itself
 }
 
+// The per-thread EpochVisitedSet behind SearchLayer is pure implementation:
+// repeating a query on the same index must return identical results (no
+// stale visited state can leak across the thread-local set's reuse), and
+// QueryBatch results must not depend on how queries land on pool threads.
+TEST(HnswIndexTest, QueryIsDeterministicAcrossRepeatsAndThreadCounts) {
+  Rng rng(17);
+  const uint32_t n = 1200, dim = 12, k = 10;
+  std::vector<float> data(static_cast<size_t>(n) * dim);
+  for (auto& x : data) x = rng.UniformFloat() - 0.5f;
+  for (uint32_t r = 0; r < n; ++r) {
+    float* row = data.data() + static_cast<size_t>(r) * dim;
+    Scale(1.0f / L2Norm(row, dim), row, dim);
+  }
+  HnswIndex index;
+  ASSERT_TRUE(index.Build(data.data(), n, dim, HnswOptions{}).ok());
+
+  // Same query repeated on one thread: bit-identical result lists. The
+  // repeat exercises the reused thread-local visited set back to back.
+  const uint32_t queries = 64;
+  std::vector<std::vector<ScoredId>> first;
+  for (uint32_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    first.push_back(index.Query(qv, k, q));
+  }
+  for (uint32_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + static_cast<size_t>(q) * dim;
+    const auto again = index.Query(qv, k, q);
+    ASSERT_EQ(again.size(), first[q].size()) << "query " << q;
+    for (size_t i = 0; i < again.size(); ++i) {
+      EXPECT_EQ(again[i].id, first[q][i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(again[i].score, first[q][i].score) << "query " << q;
+    }
+  }
+
+  // QueryBatch at 1, 2 and 4 threads: identical to the serial answers for
+  // every query, whatever thread each one happened to run on.
+  std::vector<uint32_t> excludes(queries);
+  for (uint32_t q = 0; q < queries; ++q) excludes[q] = q;
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    std::vector<std::vector<ScoredId>> batch;
+    ASSERT_TRUE(index
+                    .QueryBatch(data.data(), queries, dim, k, threads, &batch,
+                                excludes.data())
+                    .ok());
+    ASSERT_EQ(batch.size(), queries);
+    for (uint32_t q = 0; q < queries; ++q) {
+      ASSERT_EQ(batch[q].size(), first[q].size())
+          << "threads=" << threads << " query " << q;
+      for (size_t i = 0; i < batch[q].size(); ++i) {
+        EXPECT_EQ(batch[q][i].id, first[q][i].id)
+            << "threads=" << threads << " query " << q << " rank " << i;
+        EXPECT_EQ(batch[q][i].score, first[q][i].score)
+            << "threads=" << threads << " query " << q;
+      }
+    }
+  }
+}
+
 // --------------------------- integration with the engine ---------------------------
 
 TEST(IvfIndexTest, ServesSisgMatchingEngine) {

@@ -1,0 +1,409 @@
+// Property-based model checks of the hot-path flat hash layer
+// (common/flat_hash.h): seeded random interleavings of insert / erase /
+// lookup / rehash / clear are replayed against a std::unordered_map/set
+// reference model, with dedicated coverage for backward-shift deletion
+// inside live probe chains and capacity-hint edge cases. The suite carries
+// the chaos label so the ASan and TSan CI jobs replay it.
+
+#include "common/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sisg {
+namespace {
+
+// --------------------------- basic contracts ---------------------------
+
+TEST(FlatHashMapTest, InsertFindEraseRoundTrip) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42u), nullptr);
+  EXPECT_FALSE(m.Erase(42u));
+
+  m[42] = 7;
+  ASSERT_NE(m.Find(42u), nullptr);
+  EXPECT_EQ(*m.Find(42u), 7u);
+  EXPECT_EQ(m.size(), 1u);
+
+  m[42] += 3;
+  EXPECT_EQ(*m.Find(42u), 10u);
+  EXPECT_EQ(m.size(), 1u);
+
+  EXPECT_TRUE(m.Erase(42u));
+  EXPECT_EQ(m.Find(42u), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatHashMapTest, TryEmplaceKeepsFirstValue) {
+  FlatHashMap<uint32_t, uint32_t> m;
+  auto [v1, ins1] = m.TryEmplace(5, 100);
+  EXPECT_TRUE(ins1);
+  EXPECT_EQ(*v1, 100u);
+  auto [v2, ins2] = m.TryEmplace(5, 200);
+  EXPECT_FALSE(ins2);
+  EXPECT_EQ(*v2, 100u);
+  m.InsertOrAssign(5, 300);
+  EXPECT_EQ(*m.Find(5u), 300u);
+}
+
+TEST(FlatHashMapTest, NonTrivialValuesReleasedOnErase) {
+  FlatHashMap<int, std::shared_ptr<int>> m;  // the server's conns shape
+  auto p = std::make_shared<int>(9);
+  std::weak_ptr<int> w = p;
+  m.TryEmplace(3, std::move(p));
+  ASSERT_NE(m.Find(3), nullptr);
+  EXPECT_EQ(**m.Find(3), 9);
+  EXPECT_TRUE(m.Erase(3));
+  // Backward-shift erase must actually destroy the value, not just mark
+  // the slot dead — a leaked shared_ptr would pin the Connection.
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(FlatHashMapTest, StringKeys) {
+  FlatHashMap<std::string, uint32_t> m;
+  m["usertype_7"] = 7;
+  m["usertype_11"] = 11;
+  ASSERT_NE(m.Find(std::string("usertype_7")), nullptr);
+  EXPECT_EQ(*m.Find(std::string("usertype_7")), 7u);
+  EXPECT_EQ(m.Find(std::string("usertype_8")), nullptr);
+  EXPECT_TRUE(m.Erase(std::string("usertype_7")));
+  EXPECT_EQ(m.Find(std::string("usertype_7")), nullptr);
+  EXPECT_EQ(*m.Find(std::string("usertype_11")), 11u);
+}
+
+TEST(FlatHashMapTest, IterationVisitsEveryEntryOnce) {
+  FlatHashMap<uint32_t, uint64_t> m;
+  std::unordered_map<uint32_t, uint64_t> ref;
+  for (uint32_t k = 0; k < 1000; ++k) {
+    m[k * 3] = k;
+    ref[k * 3] = k;
+  }
+  std::unordered_map<uint32_t, uint64_t> seen;
+  for (const auto& [k, v] : m) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate key " << k;
+  }
+  EXPECT_EQ(seen, ref);
+
+  std::unordered_map<uint32_t, uint64_t> seen_fe;
+  m.ForEach([&](uint32_t k, const uint64_t& v) { seen_fe.emplace(k, v); });
+  EXPECT_EQ(seen_fe, ref);
+}
+
+TEST(FlatHashSetTest, InsertContainsErase) {
+  FlatHashSet<uint32_t> s;
+  EXPECT_TRUE(s.Insert(1));
+  EXPECT_FALSE(s.Insert(1));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Erase(1));
+  EXPECT_FALSE(s.Erase(1));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.empty());
+}
+
+// ------------------------ capacity-hint edges ------------------------
+
+TEST(FlatHashMapTest, ReserveEdgeCases) {
+  // Hint 0 and tiny hints must still produce a working table; a hint must
+  // guarantee no rehash while inserting that many keys.
+  for (size_t hint : {size_t{0}, size_t{1}, size_t{2}, size_t{15}, size_t{16},
+                      size_t{17}, size_t{4096}}) {
+    FlatHashMap<uint64_t, uint64_t> m;
+    m.Reserve(hint);
+    const size_t cap_before = m.capacity();
+    for (uint64_t k = 0; k < hint; ++k) m[k] = k;
+    if (hint > 0) {
+      EXPECT_EQ(m.capacity(), cap_before) << "rehash despite hint " << hint;
+    }
+    for (uint64_t k = 0; k < hint; ++k) {
+      ASSERT_NE(m.Find(k), nullptr) << "hint " << hint << " key " << k;
+    }
+    // Reserve never shrinks.
+    m.Reserve(0);
+    EXPECT_GE(m.capacity(), cap_before);
+  }
+}
+
+TEST(FlatHashMapTest, GrowsPastReserveHint) {
+  FlatHashMap<uint32_t, uint32_t> m;
+  m.Reserve(8);
+  for (uint32_t k = 0; k < 10000; ++k) m[k] = k + 1;
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint32_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), k + 1);
+  }
+}
+
+// ---------------------- backward-shift correctness ----------------------
+
+TEST(FlatHashMapTest, EraseInsideProbeChainKeepsChainReachable) {
+  // Build long probe chains by filling a small table near its load limit,
+  // then erase from the middle of chains and verify every survivor is
+  // still reachable (backward shift must re-pack, not tombstone).
+  FlatHashMap<uint64_t, uint64_t> m;
+  constexpr uint64_t kN = 96;  // capacity 128, load 0.75 — max chain stress
+  m.Reserve(kN);
+  for (uint64_t k = 0; k < kN; ++k) m[k] = k * 2;
+  ASSERT_EQ(m.capacity(), 128u);
+
+  // Erase every third key; after each erase, every remaining key must
+  // still be found with its value, and erased keys must stay gone.
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (uint64_t k = 0; k < kN; ++k) ref[k] = k * 2;
+  for (uint64_t k = 0; k < kN; k += 3) {
+    ASSERT_TRUE(m.Erase(k));
+    ref.erase(k);
+    for (const auto& [rk, rv] : ref) {
+      const uint64_t* v = m.Find(rk);
+      ASSERT_NE(v, nullptr) << "lost key " << rk << " after erasing " << k;
+      ASSERT_EQ(*v, rv);
+    }
+    ASSERT_EQ(m.Find(k), nullptr);
+  }
+  EXPECT_EQ(m.size(), ref.size());
+}
+
+TEST(FlatHashSetTest, HeavyChurnNeverDegrades) {
+  // Tombstone-full tables are the classic open-addressing failure mode:
+  // insert/erase cycles at a fixed population must stay correct (and the
+  // backward shift keeps them fast — BENCH_hash.json tracks that side).
+  FlatHashSet<uint64_t> s;
+  std::unordered_set<uint64_t> ref;
+  Rng rng(99);
+  for (int round = 0; round < 20000; ++round) {
+    const uint64_t k = rng.UniformU64(512);  // small key space -> collisions
+    if (ref.count(k)) {
+      EXPECT_TRUE(s.Erase(k)) << k;
+      ref.erase(k);
+    } else {
+      EXPECT_TRUE(s.Insert(k)) << k;
+      ref.insert(k);
+    }
+    ASSERT_EQ(s.size(), ref.size());
+  }
+  for (uint64_t k = 0; k < 512; ++k) {
+    ASSERT_EQ(s.Contains(k), ref.count(k) > 0) << k;
+  }
+}
+
+// ----------------------- randomized model check -----------------------
+// rapidcheck-style: seeded op streams replayed against the std reference.
+// Each seed drives a different interleaving of insert / erase / lookup /
+// clear / reserve; the full table contents are compared at checkpoints.
+
+void RunModelCheck(uint64_t seed, int ops, uint64_t key_space) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t k = rng.UniformU64(key_space);
+    switch (rng.UniformU64(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // 40% insert/overwrite
+        const uint64_t v = rng.UniformU64(1 << 20);
+        m[k] = v;
+        ref[k] = v;
+        break;
+      }
+      case 4: {  // accumulate (the counting idiom)
+        m[k] += 1;
+        ref[k] += 1;
+        break;
+      }
+      case 5:
+      case 6: {  // erase
+        ASSERT_EQ(m.Erase(k), ref.erase(k) > 0) << "seed " << seed;
+        break;
+      }
+      case 7: {  // try-emplace
+        const uint64_t v = rng.UniformU64(1 << 20);
+        const bool inserted = m.TryEmplace(k, v).second;
+        ASSERT_EQ(inserted, ref.try_emplace(k, v).second) << "seed " << seed;
+        break;
+      }
+      case 8: {  // rare clear / reserve
+        if (rng.UniformU64(100) == 0) {
+          m.Clear();
+          ref.clear();
+        } else if (rng.UniformU64(50) == 0) {
+          m.Reserve(rng.UniformU64(4096));
+        }
+        break;
+      }
+      default: {  // lookup
+        const uint64_t* v = m.Find(k);
+        const auto it = ref.find(k);
+        if (it == ref.end()) {
+          ASSERT_EQ(v, nullptr) << "seed " << seed << " key " << k;
+        } else {
+          ASSERT_NE(v, nullptr) << "seed " << seed << " key " << k;
+          ASSERT_EQ(*v, it->second) << "seed " << seed;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "seed " << seed << " op " << i;
+  }
+  // Final sweep: exact content equality in both directions.
+  std::unordered_map<uint64_t, uint64_t> got;
+  m.ForEach([&](uint64_t k, const uint64_t& v) {
+    ASSERT_TRUE(got.emplace(k, v).second) << "duplicate " << k;
+  });
+  EXPECT_EQ(got, ref) << "seed " << seed;
+}
+
+TEST(FlatHashMapModel, RandomOpsMatchStdReferenceDenseKeys) {
+  // Dense key space: constant collisions, long chains, heavy shift work.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RunModelCheck(seed, 20000, /*key_space=*/257);
+  }
+}
+
+TEST(FlatHashMapModel, RandomOpsMatchStdReferenceSparseKeys) {
+  // Sparse key space: mostly misses, rehash-driven growth.
+  for (uint64_t seed = 100; seed <= 106; ++seed) {
+    RunModelCheck(seed, 20000, /*key_space=*/1u << 30);
+  }
+}
+
+TEST(FlatHashSetModel, RandomOpsMatchStdReference) {
+  for (uint64_t seed = 7; seed <= 13; ++seed) {
+    FlatHashSet<uint32_t> s;
+    std::unordered_set<uint32_t> ref;
+    Rng rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+      const uint32_t k = static_cast<uint32_t>(rng.UniformU64(509));
+      switch (rng.UniformU64(4)) {
+        case 0:
+        case 1:
+          ASSERT_EQ(s.Insert(k), ref.insert(k).second) << "seed " << seed;
+          break;
+        case 2:
+          ASSERT_EQ(s.Erase(k), ref.erase(k) > 0) << "seed " << seed;
+          break;
+        default:
+          ASSERT_EQ(s.Contains(k), ref.count(k) > 0) << "seed " << seed;
+      }
+      ASSERT_EQ(s.size(), ref.size());
+    }
+    size_t n = 0;
+    s.ForEach([&](uint32_t k) {
+      ++n;
+      EXPECT_TRUE(ref.count(k)) << k;
+    });
+    EXPECT_EQ(n, ref.size());
+  }
+}
+
+// Read-only concurrent lookups are safe (the chaos/TSan replay of this
+// suite is what makes that claim honest — any hidden mutation in the const
+// path would be a reported race).
+TEST(FlatHashMapModel, ConcurrentConstLookupsAreRaceFree) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  for (uint64_t k = 0; k < 4096; ++k) m[k * 11] = k;
+  const auto& cm = m;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> total{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cm, &total, t] {
+      Rng rng(1000 + t);
+      uint64_t hits = 0;
+      for (int i = 0; i < 50000; ++i) {
+        hits += cm.Contains(rng.UniformU64(4096 * 12));
+      }
+      total.fetch_add(hits);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(total.load(), 0u);
+}
+
+// --------------------------- EpochVisitedSet ---------------------------
+
+TEST(EpochVisitedSetTest, BasicMembershipAndCount) {
+  EpochVisitedSet v;
+  v.Reset(100);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.TestAndSet(5));
+  EXPECT_FALSE(v.TestAndSet(5));
+  EXPECT_TRUE(v.Test(5));
+  EXPECT_FALSE(v.Test(6));
+  EXPECT_TRUE(v.TestAndSet(99));
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(EpochVisitedSetTest, ResetIsOhOneAndClearsMembership) {
+  EpochVisitedSet v;
+  v.Reset(1000);
+  for (uint32_t i = 0; i < 1000; ++i) v.TestAndSet(i);
+  EXPECT_EQ(v.count(), 1000u);
+  v.Reset(1000);  // epoch bump, no fill
+  EXPECT_EQ(v.count(), 0u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(v.Test(i)) << i;
+  }
+  EXPECT_TRUE(v.TestAndSet(0));
+}
+
+TEST(EpochVisitedSetTest, UniverseCanGrowAcrossResets) {
+  // The HNSW build path calls Reset with a growing node count.
+  EpochVisitedSet v;
+  v.Reset(4);
+  v.TestAndSet(3);
+  v.Reset(1024);
+  EXPECT_EQ(v.universe(), 1024u);
+  EXPECT_FALSE(v.Test(3));
+  EXPECT_TRUE(v.TestAndSet(1023));
+  v.Reset(16);  // smaller universe must not shrink the stamps
+  EXPECT_EQ(v.universe(), 1024u);
+  EXPECT_FALSE(v.Test(1023));
+}
+
+TEST(EpochVisitedSetTest, EpochWrapCannotAliasOldStamps) {
+  EpochVisitedSet v;
+  v.Reset(64);
+  v.TestAndSet(7);
+  // Fast-forward to the wrap: the next Reset overflows the epoch counter
+  // and must refill, so the id-7 stamp from "4 billion queries ago" cannot
+  // read as visited.
+  v.JumpEpochForTest(UINT32_MAX);
+  v.Reset(64);
+  EXPECT_FALSE(v.Test(7));
+  EXPECT_TRUE(v.TestAndSet(7));
+  // And the epoch restarted above the 0 sentinel stamps.
+  EXPECT_TRUE(v.Test(7));
+  v.Reset(64);
+  EXPECT_FALSE(v.Test(7));
+}
+
+TEST(EpochVisitedSetTest, MatchesHashSetOnRandomTraversals) {
+  EpochVisitedSet v;
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    std::unordered_set<uint32_t> ref;
+    v.Reset(512);
+    for (int i = 0; i < 300; ++i) {
+      const uint32_t id = static_cast<uint32_t>(rng.UniformU64(512));
+      ASSERT_EQ(v.TestAndSet(id), ref.insert(id).second)
+          << "round " << round << " id " << id;
+    }
+    ASSERT_EQ(v.count(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace sisg

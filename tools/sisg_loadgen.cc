@@ -30,10 +30,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "serve/chaos.h"
@@ -150,7 +150,7 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
     return;
   }
   std::mutex mu;
-  std::unordered_map<uint64_t, uint64_t> inflight;  // id -> send ns
+  FlatHashMap<uint64_t, uint64_t> inflight;  // id -> send ns
   std::atomic<bool> send_failed{false};
   std::atomic<bool> timed_out{false};
   std::atomic<uint64_t> sent{0};
@@ -174,10 +174,9 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
       uint64_t t0 = 0;
       {
         std::lock_guard<std::mutex> lock(mu);
-        auto it = inflight.find(resp.request_id);
-        if (it != inflight.end()) {
-          t0 = it->second;
-          inflight.erase(it);
+        if (const uint64_t* sent = inflight.Find(resp.request_id)) {
+          t0 = *sent;
+          inflight.Erase(resp.request_id);
         }
       }
       if (t0 == 0) {
@@ -226,7 +225,7 @@ void OpenLoopWorker(const std::string& host, uint16_t port, uint32_t items,
     }
     if (auto st = client->SendQuery(id, item, k); !st.ok()) {
       std::lock_guard<std::mutex> lock(mu);
-      inflight.erase(id);
+      inflight.Erase(id);
       if (st.code() == StatusCode::kDeadlineExceeded) {
         s->timeouts++;
         timed_out.store(true);
