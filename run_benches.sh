@@ -26,14 +26,32 @@ if [ ! -d build/bench ] || [ ! -x build/bench/bench_micro_engine ]; then
 fi
 : > bench_output.txt
 
+# Seeded-run knobs propagate to every child (some benches and the
+# property-test binaries share the SISG_PROP_* protocol), so a sweep can be
+# replayed exactly from a CI log.
+if [ -n "${SISG_PROP_SEED:-}" ]; then
+  echo "sweep: replaying property case SISG_PROP_SEED=$SISG_PROP_SEED"
+  export SISG_PROP_SEED
+fi
+if [ -n "${SISG_PROP_BASE_SEED:-}" ]; then
+  echo "sweep: property base seed SISG_PROP_BASE_SEED=$SISG_PROP_BASE_SEED"
+  export SISG_PROP_BASE_SEED
+fi
+
 # Runs one bench, teeing to bench_output.txt without letting tee's exit
-# status mask a bench failure (plain sh has no pipefail).
+# status mask a bench failure (plain sh has no pipefail). On failure, any
+# falsified-property replay line in the output is re-printed last so the
+# one-command reproducer is the final thing in the log.
 run() {
   { "$@" 2>&1; echo "$?" > .bench_status; } | tee -a bench_output.txt
   status=$(cat .bench_status)
   rm -f .bench_status
   if [ "$status" -ne 0 ]; then
     echo "error: $1 failed with status $status" >&2
+    if grep -q "SISG_PROP_SEED=" bench_output.txt; then
+      echo "reproduce with:" >&2
+      grep "replay: SISG_PROP_SEED=" bench_output.txt | tail -1 >&2
+    fi
     exit "$status"
   fi
 }

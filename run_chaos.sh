@@ -17,10 +17,35 @@ cd /root/repo
 cmake -B build-tsan -S . -DSISG_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j
 cd build-tsan
+# The chaos label now includes the property suites (tests/prop). Their
+# seeds propagate through the environment so a CI failure is one-command
+# reproducible locally: SISG_PROP_SEED replays a single failing case,
+# SISG_PROP_BASE_SEED rotates the whole run. Under TSan the per-suite case
+# counts are capped (overridable) — instrumented runs are ~20x slower and
+# the Release CI job already runs the full counts.
+SISG_PROP_CASES="${SISG_PROP_CASES:-40}"
+export SISG_PROP_CASES
+if [ -n "${SISG_PROP_SEED:-}" ]; then
+  echo "chaos: replaying property case SISG_PROP_SEED=$SISG_PROP_SEED"
+  export SISG_PROP_SEED
+fi
+if [ -n "${SISG_PROP_BASE_SEED:-}" ]; then
+  echo "chaos: property base seed SISG_PROP_BASE_SEED=$SISG_PROP_BASE_SEED"
+  export SISG_PROP_BASE_SEED
+fi
 # tsan.supp masks only the documented Hogwild! weight-update race; the
 # checkpoint barrier and fault-injection machinery run unsuppressed.
-TSAN_OPTIONS="suppressions=/root/repo/tsan.supp history_size=7" \
-  ctest -L chaos --output-on-failure "$@"
+# On failure, surface the seeds needed to reproduce: every falsified
+# property prints its own "replay: SISG_PROP_SEED=..." line in the ctest
+# output above.
+if ! TSAN_OPTIONS="suppressions=/root/repo/tsan.supp history_size=7" \
+    ctest -L chaos --output-on-failure "$@"; then
+  echo "chaos: FAILED (SISG_PROP_CASES=$SISG_PROP_CASES" \
+    "SISG_PROP_BASE_SEED=${SISG_PROP_BASE_SEED:-default})" >&2
+  echo "chaos: a falsified property prints 'replay: SISG_PROP_SEED=<seed>'" \
+    "above; rerun with that env var to reproduce the exact case." >&2
+  exit 1
+fi
 
 # --- Live serving-path sweep (reload storm + malformed frames). ---
 CHAOS_DIR=$(mktemp -d)

@@ -23,6 +23,16 @@ inline uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Deterministically derives the seed of sub-stream `stream` from a base
+/// seed (golden-ratio stepping through the mixer, so consecutive streams
+/// are decorrelated). This is the one seeding convention shared by every
+/// "seed of case i / worker i" consumer — the property harness
+/// (tests/prop) keys each generated case off it, so a printed case seed
+/// replays identically anywhere.
+inline uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream) {
+  return Mix64(base + 0x9e3779b97f4a7c15ULL * (stream + 1));
+}
+
 /// Fast, high-quality PRNG (xoshiro256**). Not cryptographic. One instance
 /// per thread; instances seeded with distinct seeds produce independent
 /// streams for all practical purposes.

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "prop/prop.h"
 
 namespace sisg {
 namespace {
@@ -389,6 +390,149 @@ TEST(EpochVisitedSetTest, EpochWrapCannotAliasOldStamps) {
   v.Reset(64);
   EXPECT_FALSE(v.Test(7));
 }
+
+// Property-based interleavings (dogfooding tests/prop): generated op
+// sequences — marks, probes, resets with growing universes, and u32
+// epoch-wrap jumps landing 0-3 resets before the wrap — must agree with a
+// plain hash-set model at every step. The wrap op completes through the
+// refill, so stale high-epoch stamps can never survive into later ops and
+// the set model stays sound.
+namespace epoch_prop {
+
+struct Op {
+  enum Kind { kMark, kProbe, kReset, kWrap } kind = kMark;
+  uint32_t id = 0;        // kMark/kProbe
+  size_t universe = 1;    // kReset
+  uint32_t wrap_dist = 0;  // kWrap: resets between the jump and the wrap
+  std::vector<uint32_t> wrap_marks;  // kWrap: ids marked between resets
+};
+
+prop::Gen<Op> OpGen() {
+  using prop::Frequency;
+  using prop::Gen;
+  using prop::InRange;
+  using prop::VectorOf;
+  const auto mark = Gen<Op>([](Rng& rng) {
+    Op op;
+    op.kind = Op::kMark;
+    op.id = static_cast<uint32_t>(InRange<uint32_t>(0, 299)(rng));
+    return op;
+  });
+  const auto probe = Gen<Op>([](Rng& rng) {
+    Op op;
+    op.kind = Op::kProbe;
+    op.id = static_cast<uint32_t>(InRange<uint32_t>(0, 299)(rng));
+    return op;
+  });
+  const auto reset = Gen<Op>([](Rng& rng) {
+    Op op;
+    op.kind = Op::kReset;
+    op.universe = InRange<size_t>(1, 300)(rng);
+    return op;
+  });
+  const auto wrap = Gen<Op>([](Rng& rng) {
+    Op op;
+    op.kind = Op::kWrap;
+    op.wrap_dist = InRange<uint32_t>(0, 3)(rng);
+    op.wrap_marks = VectorOf<uint32_t>(0, 8, InRange<uint32_t>(0, 299))(rng);
+    return op;
+  });
+  return Frequency<Op>({{6, mark}, {3, probe}, {2, reset}, {1, wrap}});
+}
+
+std::string ShowOps(const std::vector<Op>& ops) {
+  std::string out = "[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i) out += " ";
+    switch (ops[i].kind) {
+      case Op::kMark: out += "M" + std::to_string(ops[i].id); break;
+      case Op::kProbe: out += "P" + std::to_string(ops[i].id); break;
+      case Op::kReset: out += "R" + std::to_string(ops[i].universe); break;
+      case Op::kWrap:
+        out += "W" + std::to_string(ops[i].wrap_dist) + "x" +
+               std::to_string(ops[i].wrap_marks.size());
+        break;
+    }
+  }
+  return out + "]";
+}
+
+TEST(EpochVisitedSetTest, PropGeneratedInterleavingsMatchModelAcrossWraps) {
+  const prop::Result r = prop::ForAllSeeded<std::vector<Op>>(
+      "epoch_visited_interleavings", 150, prop::VectorOf<Op>(1, 60, OpGen()),
+      [](const std::vector<Op>& ops) -> std::string {
+        EpochVisitedSet v;
+        std::unordered_set<uint32_t> model;
+        size_t universe = 300;
+        v.Reset(universe);
+        size_t step = 0;
+        const auto mark = [&](uint32_t raw) -> std::string {
+          const uint32_t id = raw % universe;
+          const bool fresh = v.TestAndSet(id);
+          if (fresh != model.insert(id).second) {
+            return "step " + std::to_string(step) + ": TestAndSet(" +
+                   std::to_string(id) + ") returned " +
+                   (fresh ? "true" : "false") + ", model disagrees";
+          }
+          if (v.count() != model.size()) {
+            return "step " + std::to_string(step) + ": count " +
+                   std::to_string(v.count()) + " != model " +
+                   std::to_string(model.size());
+          }
+          return "";
+        };
+        for (const Op& op : ops) {
+          ++step;
+          std::string verdict;
+          switch (op.kind) {
+            case Op::kMark:
+              verdict = mark(op.id);
+              break;
+            case Op::kProbe: {
+              const uint32_t id = op.id % universe;
+              if (v.Test(id) != (model.count(id) != 0)) {
+                verdict = "step " + std::to_string(step) + ": Test(" +
+                          std::to_string(id) + ") disagrees with model";
+              }
+              break;
+            }
+            case Op::kReset:
+              universe = std::max(universe, op.universe);
+              v.Reset(universe);
+              model.clear();
+              if (v.count() != 0) verdict = "count nonzero after Reset";
+              break;
+            case Op::kWrap: {
+              // Land wrap_dist resets short of the u32 wrap, then push
+              // through it, interleaving marks so stamps written at epochs
+              // near UINT32_MAX are exercised and must not alias afterward.
+              // As in production, a jump is always followed by Reset before
+              // any marks (the hook only moves the epoch counter).
+              v.JumpEpochForTest(UINT32_MAX - op.wrap_dist);
+              size_t mi = 0;
+              for (uint32_t hop = 0; hop <= op.wrap_dist; ++hop) {
+                v.Reset(universe);
+                model.clear();
+                for (; mi < op.wrap_marks.size() &&
+                       mi * (op.wrap_dist + 1) < op.wrap_marks.size() * (hop + 1);
+                     ++mi) {
+                  verdict = mark(op.wrap_marks[mi]);
+                  if (!verdict.empty()) break;
+                }
+                if (!verdict.empty()) break;
+              }
+              break;
+            }
+          }
+          if (!verdict.empty()) return verdict;
+        }
+        return "";
+      },
+      prop::ShrinkVector<Op>(prop::NoShrink<Op>(), 1), ShowOps);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace epoch_prop
 
 TEST(EpochVisitedSetTest, MatchesHashSetOnRandomTraversals) {
   EpochVisitedSet v;

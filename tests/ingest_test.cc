@@ -154,6 +154,88 @@ TEST_F(IngestFixture, StreamMaxErrorsSkipsAndCounts) {
   std::remove(path.c_str());
 }
 
+TEST_F(IngestFixture, StreamMaxErrorsAtChunkBoundary) {
+  // The budget-exhausting bad line lands exactly where a chunk closes:
+  // the first chunk must still be handed out intact, and the error must
+  // surface on the call that reads past the boundary.
+  const std::string ut = dataset_->users().TypeToken(1);
+  const std::string path = WriteLines(
+      "stream_chunk_boundary.txt",
+      {ut + "\t1 2", ut + "\t3",  // chunk 1 (chunk_sessions = 2)
+       "bogus-line-a",            // consumes the whole error budget
+       ut + "\t4 5",              // chunk 2
+       "bogus-line-b",            // budget exhausted -> hard error
+       ut + "\t6"});
+  SessionStreamOptions opts;
+  opts.chunk_sessions = 2;
+  opts.max_errors = 1;
+  auto stream = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> chunk;
+  ASSERT_TRUE(stream->NextChunk(&chunk).ok());
+  ASSERT_EQ(chunk.size(), 2u);
+  EXPECT_EQ(chunk[1].items, (std::vector<uint32_t>{3}));
+  const Status st = stream->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("line 5"), std::string::npos) << st.ToString();
+  EXPECT_EQ(stream->stats().lines_skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, StreamMaxErrorsOnFinalLine) {
+  // A bad final line past the budget fails the stream even though every
+  // session before it was already parsed; within budget it is skipped and
+  // the stream drains cleanly to EOF.
+  const std::string ut = dataset_->users().TypeToken(2);
+  const std::string path = WriteLines(
+      "stream_final_line.txt", {ut + "\t1 2", ut + "\t3 4", "trailing-junk"});
+  SessionStreamOptions opts;
+  opts.max_errors = 0;  // strict
+  auto strict = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(strict.ok());
+  std::vector<Session> chunk;
+  const Status st = strict->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+
+  opts.max_errors = 1;
+  auto lax = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(lax.ok());
+  ASSERT_TRUE(lax->NextChunk(&chunk).ok());
+  EXPECT_EQ(chunk.size(), 2u);
+  EXPECT_TRUE(lax->NextChunk(&chunk).ok());
+  EXPECT_TRUE(chunk.empty());  // EOF
+  EXPECT_EQ(lax->stats().lines_skipped, 1u);
+  EXPECT_EQ(lax->stats().lines_read, 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IngestFixture, StreamAllLinesBad) {
+  // Every line malformed: under a covering budget the stream yields zero
+  // sessions but a clean EOF with full skip accounting; one short of
+  // covering, the last bad line is a hard error.
+  const std::string path = WriteLines(
+      "stream_all_bad.txt", {"junk-1", "junk-2\tx", "zzz_not_a_usertype\t1"});
+  SessionStreamOptions opts;
+  opts.max_errors = 3;
+  auto stream = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(stream.ok());
+  std::vector<Session> chunk;
+  EXPECT_TRUE(stream->NextChunk(&chunk).ok());
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_EQ(stream->stats().lines_skipped, 3u);
+  EXPECT_EQ(stream->stats().sessions, 0u);
+  EXPECT_FALSE(stream->stats().first_error.empty());
+
+  opts.max_errors = 2;
+  auto strict = SessionStream::Open(dataset_->users(), path, opts);
+  ASSERT_TRUE(strict.ok());
+  const Status st = strict->NextChunk(&chunk);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
 TEST_F(IngestFixture, StreamValidatesItemIdsAgainstCatalog) {
   const std::string ut = dataset_->users().TypeToken(0);
   const std::string path =

@@ -1,0 +1,428 @@
+#ifndef SISG_TESTS_PROP_PROP_H_
+#define SISG_TESTS_PROP_PROP_H_
+
+/// Seeded property-based testing harness (rapidcheck-style, dependency-free:
+/// only the repo's own Rng). The pieces:
+///
+///   Gen<T>          composable seeded generator: a function Rng& -> T.
+///   Shrinker<T>     candidate simplifications of a failing input.
+///   ForAllSeeded()  runs N generated cases; on the first violation it
+///                   greedily shrinks the input and reports a minimal
+///                   counterexample plus the *case seed* that reproduces it.
+///
+/// Every case i of a run draws its inputs from Rng(DeriveStreamSeed(base,
+/// i)), so a failure is pinned by one u64. Replay knobs (env or the
+/// prop_main.cc flags):
+///
+///   SISG_PROP_SEED=S / --prop_seed=S            replay exactly the failing
+///                                               case (1 case, seed S)
+///   SISG_PROP_BASE_SEED=B / --prop_base_seed=B  rotate the whole run's
+///                                               base seed (CI derives B
+///                                               from the commit SHA)
+///   SISG_PROP_CASES=N / --prop_cases=N          cap per-property case
+///                                               counts (sanitizer runs)
+///
+/// Properties return "" to accept an input and a human-readable violation
+/// otherwise; tests assert `Result.ok` and stream `Result.message`, which
+/// contains the one-command replay line.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sisg::prop {
+
+// ------------------------------ config ------------------------------
+
+struct Config {
+  /// Base seed of a full run; case i uses DeriveStreamSeed(base_seed, i).
+  uint64_t base_seed = 0x5349534750524f50ULL;  // "SISGPROP"
+  /// Replay mode: run exactly one case with `replay_seed` as the case seed.
+  bool replay = false;
+  uint64_t replay_seed = 0;
+  /// When > 0, caps every ForAllSeeded case count (sanitizer budgets).
+  uint64_t case_cap = 0;
+};
+
+inline Config MakeConfigFromEnv() {
+  Config c;
+  const auto env_u64 = [](const char* name, uint64_t* out) {
+    const char* s = std::getenv(name);
+    if (s == nullptr || *s == '\0') return false;
+    *out = std::strtoull(s, nullptr, 0);
+    return true;
+  };
+  env_u64("SISG_PROP_BASE_SEED", &c.base_seed);
+  c.replay = env_u64("SISG_PROP_SEED", &c.replay_seed);
+  env_u64("SISG_PROP_CASES", &c.case_cap);
+  return c;
+}
+
+/// Process-wide config, initialized from the environment on first use;
+/// prop_main.cc overrides it from --prop_* flags.
+inline Config& MutableConfig() {
+  static Config c = MakeConfigFromEnv();
+  return c;
+}
+
+// ----------------------------- generators -----------------------------
+
+/// A seeded generator: deterministic function of the Rng stream. Compose
+/// small ones into domain generators with Map/VectorOf/Frequency.
+template <typename T>
+class Gen {
+ public:
+  using value_type = T;
+  using Fn = std::function<T(Rng&)>;
+
+  explicit Gen(Fn fn) : fn_(std::move(fn)) {}
+
+  T operator()(Rng& rng) const { return fn_(rng); }
+
+  template <typename F>
+  auto Map(F f) const {
+    using U = std::invoke_result_t<F, T>;
+    Fn g = fn_;
+    return Gen<U>([g, f = std::move(f)](Rng& rng) { return f(g(rng)); });
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Uniform integer in [lo, hi] inclusive, any integral type.
+template <typename T>
+Gen<T> InRange(T lo, T hi) {
+  static_assert(std::is_integral_v<T>);
+  return Gen<T>([lo, hi](Rng& rng) {
+    return static_cast<T>(rng.UniformInt(static_cast<int64_t>(lo),
+                                         static_cast<int64_t>(hi)));
+  });
+}
+
+inline Gen<bool> Boolean(double p_true = 0.5) {
+  return Gen<bool>([p_true](Rng& rng) { return rng.Bernoulli(p_true); });
+}
+
+inline Gen<float> FloatIn(float lo, float hi) {
+  return Gen<float>(
+      [lo, hi](Rng& rng) { return lo + (hi - lo) * rng.UniformFloat(); });
+}
+
+inline Gen<float> GaussianFloat(float stddev = 1.0f) {
+  return Gen<float>(
+      [stddev](Rng& rng) { return stddev * static_cast<float>(rng.Gaussian()); });
+}
+
+/// The kernel-parity value mix: gaussians, exact small integers, both
+/// zeros, subnormals, and large-but-safe magnitudes (~1e15, so 256-dim dot
+/// products stay well under FLT_MAX in any summation order).
+inline Gen<float> AdversarialFloat() {
+  return Gen<float>([](Rng& rng) -> float {
+    const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    switch (rng.UniformU64(8)) {
+      case 0:
+        return 0.0f;
+      case 1:
+        return -0.0f;
+      case 2:  // subnormal
+        return sign * 1e-42f;
+      case 3:  // large magnitude
+        return sign * (1.0f + rng.UniformFloat()) * 1e15f;
+      case 4:  // exact small integer
+        return static_cast<float>(rng.UniformInt(-8, 8));
+      default:
+        return static_cast<float>(rng.Gaussian());
+    }
+  });
+}
+
+template <typename T>
+Gen<std::vector<T>> VectorOf(size_t min_len, size_t max_len, Gen<T> elem) {
+  return Gen<std::vector<T>>([min_len, max_len, elem](Rng& rng) {
+    const size_t n = min_len + static_cast<size_t>(
+                                   rng.UniformU64(max_len - min_len + 1));
+    std::vector<T> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(elem(rng));
+    return out;
+  });
+}
+
+inline Gen<std::string> StringOf(size_t min_len, size_t max_len,
+                                 std::string charset) {
+  return Gen<std::string>([min_len, max_len,
+                           charset = std::move(charset)](Rng& rng) {
+    const size_t n = min_len + static_cast<size_t>(
+                                   rng.UniformU64(max_len - min_len + 1));
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out += charset[rng.UniformU64(charset.size())];
+    return out;
+  });
+}
+
+template <typename T>
+Gen<T> ElementOf(std::vector<T> choices) {
+  return Gen<T>([choices = std::move(choices)](Rng& rng) {
+    return choices[rng.UniformU64(choices.size())];
+  });
+}
+
+/// Weighted choice over sub-generators (weights need not be normalized).
+template <typename T>
+Gen<T> Frequency(std::vector<std::pair<uint32_t, Gen<T>>> choices) {
+  uint64_t total = 0;
+  for (const auto& [w, g] : choices) total += w;
+  return Gen<T>([choices = std::move(choices), total](Rng& rng) {
+    uint64_t pick = rng.UniformU64(total);
+    for (const auto& [w, g] : choices) {
+      if (pick < w) return g(rng);
+      pick -= w;
+    }
+    return choices.back().second(rng);  // unreachable
+  });
+}
+
+// ------------------------------ shrinking ------------------------------
+
+/// Returns candidate simplifications of a failing input, most aggressive
+/// first. ForAllSeeded greedily steps to the first candidate that still
+/// fails, so candidates must be *strictly simpler* or the loop may cycle.
+template <typename T>
+using Shrinker = std::function<std::vector<T>(const T&)>;
+
+template <typename T>
+Shrinker<T> NoShrink() {
+  return [](const T&) { return std::vector<T>{}; };
+}
+
+/// Integral shrink toward `floor` (assumes failing values are >= floor):
+/// floor first, then a binary descent floor..v, then v-1 — log-convergent
+/// like QuickCheck's integer shrinker.
+template <typename T>
+Shrinker<T> ShrinkIntTowards(T floor) {
+  static_assert(std::is_integral_v<T>);
+  return [floor](const T& v) {
+    std::vector<T> out;
+    if (v <= floor) return out;
+    out.push_back(floor);
+    using W = std::conditional_t<std::is_signed_v<T>, int64_t, uint64_t>;
+    for (W d = (static_cast<W>(v) - static_cast<W>(floor)) / 2; d > 0; d /= 2) {
+      const T cand = static_cast<T>(static_cast<W>(v) - d);
+      if (cand != v && cand != floor && (out.empty() || out.back() != cand)) {
+        out.push_back(cand);
+      }
+    }
+    if (out.empty() || out.back() != v - 1) out.push_back(static_cast<T>(v - 1));
+    return out;
+  };
+}
+
+inline Shrinker<float> ShrinkFloat() {
+  return [](const float& v) {
+    std::vector<float> out;
+    if (v == 0.0f || !std::isfinite(v)) return out;
+    out.push_back(0.0f);
+    const float t = std::trunc(v);
+    if (t != v) out.push_back(t);
+    if (v / 2.0f != v) out.push_back(v / 2.0f);
+    return out;
+  };
+}
+
+/// Vector shrink: drop the front/back half, drop single elements (first 32
+/// positions), then shrink individual elements in place.
+template <typename T>
+Shrinker<std::vector<T>> ShrinkVector(Shrinker<T> elem = NoShrink<T>(),
+                                      size_t min_len = 0) {
+  return [elem = std::move(elem), min_len](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    const size_t n = v.size();
+    if (n > min_len) {
+      const size_t half = std::max<size_t>(1, (n - min_len) / 2);
+      out.emplace_back(v.begin() + half, v.end());    // drop front chunk
+      out.emplace_back(v.begin(), v.end() - half);    // drop back chunk
+      for (size_t i = 0; i < n && i < 32; ++i) {      // drop one element
+        if (n - 1 < min_len) break;
+        std::vector<T> cand(v);
+        cand.erase(cand.begin() + i);
+        out.push_back(std::move(cand));
+      }
+    }
+    for (size_t i = 0; i < n && i < 32; ++i) {        // shrink one element
+      for (T& smaller : elem(v[i])) {
+        std::vector<T> cand(v);
+        cand[i] = std::move(smaller);
+        out.push_back(std::move(cand));
+      }
+    }
+    return out;
+  };
+}
+
+// ------------------------------- display -------------------------------
+
+inline std::string ShowValue(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c >= 0x20 && c < 0x7f) {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out + "\"";
+}
+
+template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+std::string ShowValue(T v) {
+  std::ostringstream os;
+  if constexpr (std::is_floating_point_v<T>) {
+    os.precision(9);
+  } else if constexpr (sizeof(T) == 1) {
+    return ShowValue(static_cast<int>(v));
+  }
+  os << v;
+  return os.str();
+}
+
+// Constrained on element showability so DefaultShow's detection falls back
+// to the placeholder (instead of a body instantiation error) for vectors of
+// structs with no ShowValue of their own.
+template <typename T>
+auto ShowValue(const std::vector<T>& v)
+    -> decltype(ShowValue(std::declval<const T&>()), std::string()) {
+  std::ostringstream os;
+  os << "[";
+  const size_t show = std::min<size_t>(v.size(), 32);
+  for (size_t i = 0; i < show; ++i) {
+    if (i > 0) os << ", ";
+    os << ShowValue(v[i]);
+  }
+  if (show < v.size()) os << ", ... (" << v.size() << " total)";
+  os << "]";
+  return os.str();
+}
+
+namespace internal {
+template <typename T, typename = void>
+struct HasShowValue : std::false_type {};
+template <typename T>
+struct HasShowValue<T,
+                    std::void_t<decltype(ShowValue(std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename T>
+std::string DefaultShow(const T& v) {
+  if constexpr (HasShowValue<T>::value) {
+    return ShowValue(v);
+  } else {
+    (void)v;
+    return "<value; pass a show fn to ForAllSeeded for detail>";
+  }
+}
+}  // namespace internal
+
+// -------------------------------- runner --------------------------------
+
+struct Result {
+  bool ok = true;
+  int cases_run = 0;
+  /// Failure details (empty on success). Contains the violation, the
+  /// (shrunk) counterexample, and the one-command replay line.
+  std::string message;
+  /// Case seed of the falsifying input (valid when !ok).
+  uint64_t failing_seed = 0;
+  int shrink_steps = 0;
+  /// Rendering of the shrunk counterexample (valid when !ok).
+  std::string counterexample;
+};
+
+/// Property-evaluation budget spent on shrinking one failure; greedy
+/// descent converges long before this for the shrinkers above.
+constexpr int kMaxShrinkEvals = 2000;
+
+/// Runs `n_cases` generated cases of `property` (return "" to accept the
+/// input, a violation description to reject it). On the first failure the
+/// input is greedily shrunk with `shrink` (first still-failing candidate
+/// wins, repeat until fixpoint or budget) and the run stops. Honors the
+/// replay / base-seed / case-cap knobs in MutableConfig().
+template <typename T>
+Result ForAllSeeded(const std::string& name, int n_cases, const Gen<T>& gen,
+                    const std::function<std::string(const T&)>& property,
+                    Shrinker<T> shrink = nullptr,
+                    std::function<std::string(const T&)> show = nullptr) {
+  const Config& cfg = MutableConfig();
+  Result result;
+  int cases = n_cases;
+  if (cfg.case_cap > 0 && static_cast<uint64_t>(cases) > cfg.case_cap) {
+    cases = static_cast<int>(cfg.case_cap);
+  }
+  if (cfg.replay) cases = 1;
+
+  for (int i = 0; i < cases; ++i) {
+    const uint64_t case_seed =
+        cfg.replay ? cfg.replay_seed : DeriveStreamSeed(cfg.base_seed, i);
+    Rng rng(case_seed);
+    T input = gen(rng);
+    ++result.cases_run;
+    std::string why = property(input);
+    if (why.empty()) continue;
+
+    // Greedy shrink: step to the first simpler input that still fails.
+    int evals = 0;
+    if (shrink) {
+      bool improved = true;
+      while (improved && evals < kMaxShrinkEvals) {
+        improved = false;
+        for (T& cand : shrink(input)) {
+          if (++evals > kMaxShrinkEvals) break;
+          std::string cand_why = property(cand);
+          if (!cand_why.empty()) {
+            input = std::move(cand);
+            why = std::move(cand_why);
+            ++result.shrink_steps;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+
+    result.ok = false;
+    result.failing_seed = case_seed;
+    result.counterexample =
+        show ? show(input) : internal::DefaultShow<T>(input);
+    std::ostringstream os;
+    os << "property '" << name << "' FALSIFIED at case " << i << "/" << cases
+       << " (case seed " << case_seed << ")\n"
+       << "  violation: " << why << "\n"
+       << "  counterexample";
+    if (result.shrink_steps > 0) {
+      os << " (after " << result.shrink_steps << " shrink steps)";
+    }
+    os << ": " << result.counterexample << "\n"
+       << "  replay: SISG_PROP_SEED=" << case_seed
+       << " <this test binary> --gtest_filter=<this test>"
+       << "  (or --prop_seed=" << case_seed << ")";
+    result.message = os.str();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace sisg::prop
+
+#endif  // SISG_TESTS_PROP_PROP_H_

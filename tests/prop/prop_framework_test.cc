@@ -1,0 +1,174 @@
+// Self-tests of the property harness: generator determinism, the mutation
+// smoke check (a deliberately broken invariant must be caught, shrunk to a
+// minimal counterexample, and replayable from the printed seed), and the
+// shrinker helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "prop.h"
+
+namespace sisg::prop {
+namespace {
+
+/// Saves/restores the process-wide config so replay tests can't leak mode
+/// changes into later suites in the same binary.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(MutableConfig()) {}
+  ~ConfigGuard() { MutableConfig() = saved_; }
+
+ private:
+  Config saved_;
+};
+
+TEST(PropFramework, GeneratorsAreDeterministicPerSeed) {
+  const auto gen = VectorOf<int>(0, 20, InRange<int>(-100, 100));
+  Rng a(42), b(42), c(43);
+  const auto va = gen(a);
+  const auto vb = gen(b);
+  const auto vc = gen(c);
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);  // astronomically unlikely to collide
+}
+
+TEST(PropFramework, CombinatorsCoverTheirRanges) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int v = InRange<int>(3, 9)(rng);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    const float f = FloatIn(-2.0f, 2.0f)(rng);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LE(f, 2.0f);
+    const std::string s = StringOf(2, 5, "ab")(rng);
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 5u);
+    for (char ch : s) EXPECT_TRUE(ch == 'a' || ch == 'b');
+  }
+  // Frequency respects zero weights and hits all non-zero arms.
+  const auto freq = Frequency<int>({{0, InRange<int>(99, 99)},
+                                    {1, InRange<int>(1, 1)},
+                                    {3, InRange<int>(2, 2)}});
+  bool saw1 = false, saw2 = false;
+  for (int i = 0; i < 300; ++i) {
+    const int v = freq(rng);
+    EXPECT_NE(v, 99);
+    saw1 |= (v == 1);
+    saw2 |= (v == 2);
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+}
+
+TEST(PropFramework, TautologyPasses) {
+  // Pin the config: this test asserts an exact case count, which a
+  // SISG_PROP_CASES cap from the environment would legitimately change.
+  ConfigGuard guard;
+  MutableConfig() = Config{};
+  const Result r = ForAllSeeded<std::vector<int>>(
+      "tautology", 200, VectorOf<int>(0, 50, InRange<int>(-1000, 1000)),
+      [](const std::vector<int>&) { return std::string(); });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.cases_run, 200);
+}
+
+// The mutation smoke check required by the acceptance criteria: break an
+// invariant on purpose, and demand the harness (1) catches it, (2) shrinks
+// the input to the minimal counterexample [1001], and (3) prints a seed
+// that replays the identical counterexample in one command.
+TEST(PropFramework, MutationSmokeCheckShrinksToMinimalCounterexample) {
+  ConfigGuard guard;
+  MutableConfig() = Config{};  // fixed default base seed, no replay/cap
+
+  const auto gen = VectorOf<int>(0, 40, InRange<int>(0, 2000));
+  const std::function<std::string(const std::vector<int>&)> no_big =
+      [](const std::vector<int>& v) -> std::string {
+    for (int x : v) {
+      if (x > 1000) return "element " + std::to_string(x) + " exceeds 1000";
+    }
+    return "";
+  };
+
+  const Result r = ForAllSeeded<std::vector<int>>(
+      "mutation_smoke", 500, gen, no_big,
+      ShrinkVector<int>(ShrinkIntTowards<int>(0)));
+  ASSERT_FALSE(r.ok) << "deliberately broken invariant was not caught";
+  EXPECT_EQ(r.counterexample, "[1001]")
+      << "greedy shrink did not reach the minimal counterexample: "
+      << r.message;
+  EXPECT_GT(r.shrink_steps, 0);
+  EXPECT_NE(r.message.find("SISG_PROP_SEED="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find(std::to_string(r.failing_seed)), std::string::npos);
+
+  // Replay from the printed seed: one case, identical counterexample.
+  MutableConfig().replay = true;
+  MutableConfig().replay_seed = r.failing_seed;
+  const Result replay = ForAllSeeded<std::vector<int>>(
+      "mutation_smoke_replay", 500, gen, no_big,
+      ShrinkVector<int>(ShrinkIntTowards<int>(0)));
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.cases_run, 1);
+  EXPECT_EQ(replay.counterexample, r.counterexample);
+  EXPECT_EQ(replay.failing_seed, r.failing_seed);
+}
+
+TEST(PropFramework, CaseCapIsHonored) {
+  ConfigGuard guard;
+  MutableConfig() = Config{};
+  MutableConfig().case_cap = 17;
+  const Result r = ForAllSeeded<int>(
+      "capped", 1000, InRange<int>(0, 10),
+      [](const int&) { return std::string(); });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.cases_run, 17);
+}
+
+TEST(PropFramework, ShrinkIntBinaryDescentReachesAdjacentValues) {
+  const auto shrink = ShrinkIntTowards<int>(0);
+  const auto cands = shrink(1000);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 0);          // most aggressive first
+  EXPECT_EQ(cands.back(), 999);         // always offers v-1 for last-step
+  for (int c : cands) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 1000);
+  }
+  EXPECT_TRUE(shrink(0).empty());       // floor is terminal
+}
+
+TEST(PropFramework, ShrinkVectorRespectsMinLenAndShrinksElements) {
+  const auto shrink = ShrinkVector<int>(ShrinkIntTowards<int>(0), 2);
+  const std::vector<int> v{5, 6, 7};
+  bool saw_shorter = false, saw_element_shrink = false;
+  for (const auto& cand : shrink(v)) {
+    EXPECT_GE(cand.size(), 2u);
+    if (cand.size() < v.size()) saw_shorter = true;
+    if (cand.size() == v.size() && cand != v) saw_element_shrink = true;
+  }
+  EXPECT_TRUE(saw_shorter);
+  EXPECT_TRUE(saw_element_shrink);
+  // At min length only element shrinks remain.
+  for (const auto& cand : shrink({1, 1})) EXPECT_EQ(cand.size(), 2u);
+}
+
+TEST(PropFramework, DeriveStreamSeedDecorrelatesStreams) {
+  const uint64_t a = DeriveStreamSeed(1, 0);
+  const uint64_t b = DeriveStreamSeed(1, 1);
+  const uint64_t c = DeriveStreamSeed(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, DeriveStreamSeed(1, 0));  // pure function of (base, stream)
+}
+
+TEST(PropFramework, ShowValueRendersCommonShapes) {
+  EXPECT_EQ(ShowValue(std::vector<int>{1, 2}), "[1, 2]");
+  EXPECT_EQ(ShowValue(std::string("a\tb")), "\"a\\x09b\"");
+  const std::vector<int> big(100, 0);
+  EXPECT_NE(ShowValue(big).find("(100 total)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sisg::prop

@@ -1,0 +1,495 @@
+// Ingestion property suite: on generated worlds (catalog + user universe)
+// and generated sessions, the corpus build must be invariant to thread
+// count, counting path (flat fast path vs open-addressing fallback), and
+// chunked-streaming vs materialized input — byte-identical artifacts, not
+// just equal summaries. Plus the SessionStream error-tolerance contract on
+// generated malformed-line scripts, checked against a line-by-line model.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "datagen/dataset.h"
+#include "datagen/session_stream.h"
+#include "gtest/gtest.h"
+#include "prop.h"
+
+namespace sisg::prop {
+namespace {
+
+std::string FreshPath(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "/" + name + "." + std::to_string(getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A generated small world. Heap-held and shared so shrink candidates can
+/// copy the case cheaply.
+struct World {
+  ItemCatalog catalog;
+  UserUniverse users;
+  TokenSpace token_space;
+};
+
+std::shared_ptr<const World> MakeWorld(Rng& rng) {
+  auto w = std::make_shared<World>();
+  CatalogConfig cat;
+  cat.num_items = static_cast<uint32_t>(rng.UniformInt(20, 120));
+  cat.num_leaf_categories = static_cast<uint32_t>(rng.UniformInt(2, 6));
+  cat.leaves_per_top = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  cat.num_shops = static_cast<uint32_t>(rng.UniformInt(6, 20));
+  cat.num_brands = static_cast<uint32_t>(rng.UniformInt(8, 20));
+  cat.num_cities = static_cast<uint32_t>(rng.UniformInt(2, 8));
+  cat.num_styles = static_cast<uint32_t>(rng.UniformInt(2, 6));
+  cat.num_materials = static_cast<uint32_t>(rng.UniformInt(2, 6));
+  cat.brands_per_leaf = static_cast<uint32_t>(rng.UniformInt(2, 4));
+  cat.shops_per_leaf = static_cast<uint32_t>(rng.UniformInt(2, 5));
+  cat.seed = rng.Next();
+  if (!w->catalog.Build(cat).ok()) return nullptr;
+  UserUniverseConfig uc;
+  uc.num_user_types = static_cast<uint32_t>(rng.UniformInt(3, 30));
+  uc.num_preferred_tops = 1;
+  uc.seed = rng.Next();
+  if (!w->users.Build(uc, w->catalog.num_tops()).ok()) return nullptr;
+  w->token_space = TokenSpace::Create(&w->catalog, &w->users);
+  return w;
+}
+
+struct IngestCase {
+  std::shared_ptr<const World> world;
+  std::vector<Session> sessions;
+  CorpusOptions options;  // enrich + min_count; threads/path set per build
+};
+
+Gen<IngestCase> IngestGen(bool allow_empty_sessions) {
+  return Gen<IngestCase>([allow_empty_sessions](Rng& rng) {
+    IngestCase c;
+    c.world = MakeWorld(rng);
+    if (!c.world) return c;  // property reports the build failure
+    const uint32_t num_sessions =
+        static_cast<uint32_t>(rng.UniformInt(30, 150));
+    for (uint32_t i = 0; i < num_sessions; ++i) {
+      Session s;
+      s.user_type =
+          static_cast<uint32_t>(rng.UniformU64(c.world->users.num_types()));
+      // 0-length sessions (enricher edge case) only where the text format is
+      // not involved, since "ut\t" does not round-trip.
+      const int min_len = allow_empty_sessions ? 0 : 1;
+      const int len = static_cast<int>(rng.UniformInt(min_len, 10));
+      for (int j = 0; j < len; ++j) {
+        s.items.push_back(static_cast<uint32_t>(
+            rng.UniformU64(c.world->catalog.num_items())));
+      }
+      c.sessions.push_back(std::move(s));
+    }
+    c.options.enrich.include_item_si = rng.Bernoulli(0.5);
+    c.options.enrich.include_user_type = rng.Bernoulli(0.5);
+    c.options.min_count = static_cast<uint32_t>(rng.UniformInt(1, 3));
+    return c;
+  });
+}
+
+std::string ShowIngest(const IngestCase& c) {
+  std::ostringstream os;
+  if (!c.world) return "{world build failed}";
+  os << "{items=" << c.world->catalog.num_items()
+     << ", user_types=" << c.world->users.num_types()
+     << ", sessions=" << c.sessions.size()
+     << ", si=" << c.options.enrich.include_item_si
+     << ", ut=" << c.options.enrich.include_user_type
+     << ", min_count=" << c.options.min_count << "}";
+  return os.str();
+}
+
+/// Shrink by dropping sessions (the world and options stay fixed); the
+/// shared world makes candidate copies cheap.
+Shrinker<IngestCase> ShrinkIngest() {
+  return [](const IngestCase& c) {
+    std::vector<IngestCase> out;
+    const auto vec_shrink = ShrinkVector<Session>(NoShrink<Session>(), 1);
+    for (auto& smaller : vec_shrink(c.sessions)) {
+      IngestCase cand = c;
+      cand.sessions = std::move(smaller);
+      out.push_back(std::move(cand));
+    }
+    return out;
+  };
+}
+
+std::string CompareCorpora(const Corpus& ref, const Corpus& got,
+                           const std::string& what) {
+  if (!(got.packed() == ref.packed())) {
+    return what + ": packed corpus differs from the serial flat-path build";
+  }
+  if (got.vocab().size() != ref.vocab().size()) {
+    return what + ": vocab size " + std::to_string(got.vocab().size()) +
+           " != " + std::to_string(ref.vocab().size());
+  }
+  for (uint32_t v = 0; v < ref.vocab().size(); ++v) {
+    if (got.vocab().ToToken(v) != ref.vocab().ToToken(v) ||
+        got.vocab().Frequency(v) != ref.vocab().Frequency(v)) {
+      return what + ": vocab entry " + std::to_string(v) + " differs";
+    }
+  }
+  return "";
+}
+
+TEST(PropIngest, BuildInvariantToThreadsCountingPathAndStreaming) {
+  const Result r = ForAllSeeded<IngestCase>(
+      "build_invariance", 100, IngestGen(/*allow_empty_sessions=*/true),
+      [](const IngestCase& c) -> std::string {
+        if (!c.world) return "generated catalog/universe failed to build";
+        Corpus ref;
+        const Status ref_st = ref.Build(c.sessions, c.world->token_space,
+                                        c.world->catalog, c.options);
+
+        struct Variant {
+          const char* name;
+          uint32_t threads;
+          uint32_t flat_threshold;
+        };
+        const Variant variants[] = {
+            {"threads=2 flat", 2, 1u << 22},
+            {"threads=4 flat", 4, 1u << 22},
+            {"threads=1 map", 1, 0},
+            {"threads=3 map", 3, 0},
+        };
+        for (const Variant& v : variants) {
+          CorpusOptions opts = c.options;
+          opts.num_threads = v.threads;
+          opts.flat_count_threshold = v.flat_threshold;
+          Corpus got;
+          const Status st = got.Build(c.sessions, c.world->token_space,
+                                      c.world->catalog, opts);
+          // Failure (e.g. every sequence dropped) must be path-independent.
+          if (st.code() != ref_st.code()) {
+            return std::string(v.name) + ": status " + st.ToString() +
+                   " != reference " + ref_st.ToString();
+          }
+          if (!ref_st.ok()) continue;
+          const std::string diff = CompareCorpora(ref, got, v.name);
+          if (!diff.empty()) return diff;
+        }
+        if (!ref_st.ok()) return "";
+
+        // Streamed build with a chunk size that straddles session counts.
+        VectorSessionSource source(&c.sessions, 7);
+        CorpusOptions sopts = c.options;
+        sopts.num_threads = 4;
+        Corpus streamed;
+        const Status st = streamed.BuildFromSource(
+            &source, c.world->token_space, c.world->catalog, sopts);
+        if (!st.ok()) return "streamed build failed: " + st.ToString();
+        const std::string sdiff = CompareCorpora(ref, streamed, "streamed");
+        if (!sdiff.empty()) return sdiff;
+
+        // Full byte-identity of the published artifacts, not just equality
+        // of the in-memory views.
+        const std::string p_ref = FreshPath("prop_ingest_ref");
+        const std::string p_par = FreshPath("prop_ingest_par");
+        Corpus parallel;
+        CorpusOptions popts = c.options;
+        popts.num_threads = 4;
+        if (!parallel
+                 .Build(c.sessions, c.world->token_space, c.world->catalog,
+                        popts)
+                 .ok()) {
+          return "parallel rebuild failed";
+        }
+        if (!ref.Save(p_ref).ok() || !parallel.Save(p_par).ok()) {
+          return "corpus save failed";
+        }
+        std::string verdict;
+        for (const char* ext : {".vocab", ".corpus"}) {
+          if (ReadFileBytes(p_ref + ext) != ReadFileBytes(p_par + ext)) {
+            verdict = std::string("artifact ") + ext +
+                      " bytes differ between thread counts";
+            break;
+          }
+        }
+        for (const char* ext : {".vocab", ".corpus"}) {
+          std::remove((p_ref + ext).c_str());
+          std::remove((p_par + ext).c_str());
+        }
+        return verdict;
+      },
+      ShrinkIngest(), ShowIngest);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropIngest, FileStreamMatchesInMemorySessionsAcrossChunkSizes) {
+  const Result r = ForAllSeeded<IngestCase>(
+      "stream_vs_vector", 100, IngestGen(/*allow_empty_sessions=*/false),
+      [](const IngestCase& c) -> std::string {
+        if (!c.world) return "generated catalog/universe failed to build";
+        const std::string path = FreshPath("prop_ingest_stream.txt");
+        if (!WriteSessionsText(c.sessions, c.world->users, path).ok()) {
+          return "WriteSessionsText failed";
+        }
+        std::string verdict;
+        for (const size_t chunk : {size_t{1}, size_t{7}, size_t{64}}) {
+          SessionStreamOptions opts;
+          opts.chunk_sessions = chunk;
+          auto stream = SessionStream::Open(c.world->users, path, opts);
+          if (!stream.ok()) {
+            verdict = "stream open failed: " + stream.status().ToString();
+            break;
+          }
+          std::vector<Session> all, chunk_buf;
+          for (;;) {
+            const Status st = stream->NextChunk(&chunk_buf);
+            if (!st.ok()) {
+              verdict = "NextChunk failed: " + st.ToString();
+              break;
+            }
+            if (chunk_buf.empty()) break;
+            if (chunk_buf.size() > chunk) {
+              verdict = "chunk larger than requested";
+              break;
+            }
+            all.insert(all.end(), chunk_buf.begin(), chunk_buf.end());
+          }
+          if (!verdict.empty()) break;
+          if (all.size() != c.sessions.size()) {
+            verdict = "session count " + std::to_string(all.size()) + " != " +
+                      std::to_string(c.sessions.size()) + " at chunk " +
+                      std::to_string(chunk);
+            break;
+          }
+          for (size_t i = 0; i < all.size(); ++i) {
+            if (all[i].user_type != c.sessions[i].user_type ||
+                all[i].items != c.sessions[i].items) {
+              verdict = "session " + std::to_string(i) + " differs at chunk " +
+                        std::to_string(chunk);
+              break;
+            }
+          }
+          if (!verdict.empty()) break;
+          if (stream->stats().lines_skipped != 0) {
+            verdict = "clean file reported skipped lines";
+            break;
+          }
+        }
+        std::remove(path.c_str());
+        return verdict;
+      },
+      ShrinkIngest(), ShowIngest);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// ------------- max_errors tolerance on generated malformed scripts -------------
+
+enum class LineKind : int { kGood = 0, kBad = 1, kEmpty = 2 };
+
+struct ErrorScript {
+  std::vector<LineKind> lines;
+  uint64_t max_errors = 0;
+  size_t chunk_sessions = 4;
+};
+
+/// Renders a script to concrete file lines. Bad lines rotate through every
+/// malformed shape ParseLine can reject; the bad item token is "x9"
+/// (unambiguous: strtoul accepts "+5"-style strings).
+std::vector<std::string> RenderScript(const ErrorScript& s,
+                                      const UserUniverse& users) {
+  std::vector<std::string> out;
+  const std::string ut = users.TypeToken(0);
+  int bad = 0, good = 0;
+  for (const LineKind k : s.lines) {
+    switch (k) {
+      case LineKind::kGood:
+        out.push_back(ut + "\t" + std::to_string(1 + good % 5) + " " +
+                      std::to_string(2 + good % 7));
+        ++good;
+        break;
+      case LineKind::kBad:
+        switch (bad++ % 4) {
+          case 0: out.push_back("no-tab-here"); break;
+          case 1: out.push_back(ut + "\tx9 3"); break;
+          case 2: out.push_back("zzz_not_a_usertype\t1 2"); break;
+          default: out.push_back(ut + "\t"); break;  // empty session
+        }
+        break;
+      case LineKind::kEmpty:
+        out.push_back("");
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ShowScript(const ErrorScript& s) {
+  std::ostringstream os;
+  os << "{max_errors=" << s.max_errors << ", chunk=" << s.chunk_sessions
+     << ", lines=";
+  for (const LineKind k : s.lines) os << "GBE"[static_cast<int>(k)];
+  os << "}";
+  return os.str();
+}
+
+Gen<ErrorScript> ScriptGen() {
+  return Gen<ErrorScript>([](Rng& rng) {
+    ErrorScript s;
+    const int n = static_cast<int>(rng.UniformInt(1, 24));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t pick = rng.UniformU64(9);
+      s.lines.push_back(pick < 5   ? LineKind::kGood
+                        : pick < 8 ? LineKind::kBad
+                                   : LineKind::kEmpty);
+    }
+    s.chunk_sessions = static_cast<size_t>(rng.UniformInt(1, 6));
+    // Force the named edge shapes often enough to matter.
+    switch (rng.UniformU64(4)) {
+      case 0:  // all lines bad
+        for (auto& k : s.lines) k = LineKind::kBad;
+        break;
+      case 1:  // bad on the final line
+        s.lines.back() = LineKind::kBad;
+        break;
+      case 2: {  // bad exactly where a chunk fills: after chunk_sessions goods
+        size_t goods = 0;
+        for (auto& k : s.lines) {
+          if (k == LineKind::kBad) k = LineKind::kGood;
+          if (k == LineKind::kGood && ++goods == s.chunk_sessions) {
+            k = LineKind::kBad;
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    uint64_t bad_count = 0;
+    for (const LineKind k : s.lines) bad_count += (k == LineKind::kBad);
+    s.max_errors = rng.UniformU64(bad_count + 3);
+    return s;
+  });
+}
+
+/// Shrink a script by dropping lines (keeping max_errors/chunk fixed).
+Shrinker<ErrorScript> ShrinkScript() {
+  return [](const ErrorScript& s) {
+    std::vector<ErrorScript> out;
+    const auto vec_shrink = ShrinkVector<LineKind>(NoShrink<LineKind>(), 1);
+    for (auto& smaller : vec_shrink(s.lines)) {
+      ErrorScript cand = s;
+      cand.lines = std::move(smaller);
+      out.push_back(std::move(cand));
+    }
+    return out;
+  };
+}
+
+TEST(PropIngest, MaxErrorsToleranceMatchesLineModel) {
+  // One tiny world for every case: the script is the generated input.
+  Rng setup(0x5052u);
+  const auto world = MakeWorld(setup);
+  ASSERT_NE(world, nullptr);
+
+  const Result r = ForAllSeeded<ErrorScript>(
+      "max_errors_model", 150, ScriptGen(),
+      [&world](const ErrorScript& s) -> std::string {
+        // Model: replay ParseLine semantics line by line. A bad line is
+        // skipped while the budget lasts; the (max_errors+1)-th fails with
+        // its 1-based line number. Blank lines are silently ignored.
+        uint64_t model_skipped = 0;
+        size_t model_sessions = 0;
+        bool model_fails = false;
+        size_t fail_line = 0;
+        for (size_t i = 0; i < s.lines.size() && !model_fails; ++i) {
+          switch (s.lines[i]) {
+            case LineKind::kEmpty:
+              break;
+            case LineKind::kGood:
+              ++model_sessions;
+              break;
+            case LineKind::kBad:
+              if (model_skipped < s.max_errors) {
+                ++model_skipped;
+              } else {
+                model_fails = true;
+                fail_line = i + 1;
+              }
+              break;
+          }
+        }
+
+        const auto lines = RenderScript(s, world->users);
+        const std::string path = FreshPath("prop_ingest_err.txt");
+        {
+          std::ofstream out(path);
+          for (const auto& l : lines) out << l << "\n";
+        }
+        SessionStreamOptions opts;
+        opts.chunk_sessions = s.chunk_sessions;
+        opts.max_errors = s.max_errors;
+        auto stream = SessionStream::Open(world->users, path, opts);
+        if (!stream.ok()) {
+          std::remove(path.c_str());
+          return "open failed: " + stream.status().ToString();
+        }
+        std::string verdict;
+        std::vector<Session> chunk;
+        size_t got_sessions = 0;
+        for (;;) {
+          const Status st = stream->NextChunk(&chunk);
+          if (!st.ok()) {
+            if (!model_fails) {
+              verdict = "unexpected failure: " + st.ToString();
+            } else if (st.code() != StatusCode::kCorruption) {
+              verdict = "failure is not Corruption: " + st.ToString();
+            } else if (st.message().find("line " + std::to_string(fail_line)) ==
+                       std::string::npos) {
+              verdict = "error does not name line " +
+                        std::to_string(fail_line) + ": " + st.ToString();
+            }
+            break;
+          }
+          if (chunk.empty()) {
+            if (model_fails) {
+              verdict = "model expected a failure, stream ended clean";
+            }
+            break;
+          }
+          got_sessions += chunk.size();
+        }
+        if (verdict.empty() && !model_fails) {
+          if (got_sessions != model_sessions) {
+            verdict = "sessions " + std::to_string(got_sessions) +
+                      " != model " + std::to_string(model_sessions);
+          } else if (stream->stats().lines_skipped != model_skipped) {
+            verdict = "skipped " +
+                      std::to_string(stream->stats().lines_skipped) +
+                      " != model " + std::to_string(model_skipped);
+          } else if (stream->stats().lines_read != lines.size()) {
+            verdict = "lines_read " +
+                      std::to_string(stream->stats().lines_read) + " != " +
+                      std::to_string(lines.size());
+          } else if (model_skipped > 0 && stream->stats().first_error.empty()) {
+            verdict = "skips happened but first_error is empty";
+          }
+        }
+        std::remove(path.c_str());
+        return verdict;
+      },
+      ShrinkScript(), ShowScript);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace sisg::prop

@@ -1,0 +1,42 @@
+// Custom gtest main for the property suites: after gtest strips its own
+// flags, the remaining argv may carry property-harness knobs that override
+// the SISG_PROP_* environment (flags win, for one-command replay lines).
+//
+//   --prop_seed=S        replay exactly one case with case seed S
+//   --prop_base_seed=B   rotate the run's base seed (CI uses the commit SHA)
+//   --prop_cases=N       cap per-property case counts (sanitizer budgets)
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "gtest/gtest.h"
+#include "prop.h"
+
+namespace {
+
+bool ParseU64Flag(const char* arg, const char* name, uint64_t* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = std::strtoull(arg + n + 1, nullptr, 0);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  sisg::prop::Config& cfg = sisg::prop::MutableConfig();
+  for (int i = 1; i < argc; ++i) {
+    uint64_t v = 0;
+    if (ParseU64Flag(argv[i], "--prop_seed", &v)) {
+      cfg.replay = true;
+      cfg.replay_seed = v;
+    } else if (ParseU64Flag(argv[i], "--prop_base_seed", &v)) {
+      cfg.base_seed = v;
+    } else if (ParseU64Flag(argv[i], "--prop_cases", &v)) {
+      cfg.case_cap = v;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,483 @@
+// SIMD property suite: scalar-reference vs dispatched-kernel parity over
+// generated dims 1-256 and adversarial values (±0, subnormals, exact small
+// ints, ~1e15 magnitudes). The fp32/ADC kernels differ from scalar only in
+// summation order, so parity is a scaled tolerance; the int8 kernels
+// accumulate exactly and must match bit-for-bit. When the build machine has
+// AVX2, the dispatched side is the AVX2 table regardless of SISG_SIMD, so
+// the parity claim is about the widest kernels this binary carries.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/quant.h"
+#include "common/simd.h"
+#include "common/top_k.h"
+#include "gtest/gtest.h"
+#include "prop.h"
+
+namespace sisg::prop {
+namespace {
+
+const SimdOps& DispatchedOps() {
+  const SimdOps* avx2 = simd_avx2::Ops();
+  return avx2 != nullptr ? *avx2 : GetSimdOps();
+}
+
+/// Dim generator weighted toward vector-width boundaries, where remainder
+/// loops live.
+Gen<size_t> DimGen() {
+  return Frequency<size_t>(
+      {{3, InRange<size_t>(1, 8)},
+       {2, ElementOf<size_t>({7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+                              127, 128, 129, 255, 256})},
+       {3, InRange<size_t>(1, 256)}});
+}
+
+struct VecPairCase {
+  size_t dim = 1;
+  std::vector<float> a, b;
+};
+
+Gen<VecPairCase> VecPairGen() {
+  return Gen<VecPairCase>([](Rng& rng) {
+    VecPairCase c;
+    c.dim = DimGen()(rng);
+    const auto val = AdversarialFloat();
+    for (size_t i = 0; i < c.dim; ++i) {
+      c.a.push_back(val(rng));
+      c.b.push_back(val(rng));
+    }
+    return c;
+  });
+}
+
+std::string ShowVecPair(const VecPairCase& c) {
+  std::ostringstream os;
+  os << "{dim=" << c.dim << ", a=" << ShowValue(c.a)
+     << ", b=" << ShowValue(c.b) << "}";
+  return os.str();
+}
+
+/// Two-sided float-summation error bound for comparing two orderings of the
+/// same dot product: each ordering errs by at most ~dim * eps * sum|terms|.
+double DotTolerance(const float* a, const float* b, size_t dim) {
+  double mag = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    mag += std::fabs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
+  }
+  return 1e-4 * mag + 1e-6;
+}
+
+TEST(PropSimd, DotParityScalarVsDispatched) {
+  const SimdOps& ops = DispatchedOps();
+  const Result r = ForAllSeeded<VecPairCase>(
+      "dot_parity", 200, VecPairGen(),
+      [&](const VecPairCase& c) -> std::string {
+        const float ref = simd_scalar::Dot(c.a.data(), c.b.data(), c.dim);
+        const float got = ops.dot(c.a.data(), c.b.data(), c.dim);
+        const double tol = DotTolerance(c.a.data(), c.b.data(), c.dim);
+        if (std::fabs(static_cast<double>(ref) - got) > tol) {
+          std::ostringstream os;
+          os << "dot mismatch: scalar=" << ref << " dispatched=" << got
+             << " tol=" << tol;
+          return os.str();
+        }
+        return "";
+      },
+      nullptr, ShowVecPair);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropSimd, AxpyParityScalarVsDispatched) {
+  const SimdOps& ops = DispatchedOps();
+  const auto gen = Gen<VecPairCase>([](Rng& rng) {
+    VecPairCase c;
+    c.dim = DimGen()(rng);
+    const auto val = AdversarialFloat();
+    c.a.push_back(val(rng));  // a[0] is alpha
+    for (size_t i = 0; i < c.dim; ++i) {
+      c.a.push_back(val(rng));  // x
+      c.b.push_back(val(rng));  // y
+    }
+    return c;
+  });
+  const Result r = ForAllSeeded<VecPairCase>(
+      "axpy_parity", 200, gen,
+      [&](const VecPairCase& c) -> std::string {
+        const float alpha = c.a[0];
+        const float* x = c.a.data() + 1;
+        std::vector<float> y_ref(c.b), y_got(c.b);
+        simd_scalar::Axpy(alpha, x, y_ref.data(), c.dim);
+        ops.axpy(alpha, x, y_got.data(), c.dim);
+        for (size_t i = 0; i < c.dim; ++i) {
+          // FMA contraction differs from mul+add by one rounding of the
+          // product term; scale the bound accordingly.
+          const double tol =
+              1e-5 * (std::fabs(static_cast<double>(alpha) * x[i]) +
+                      std::fabs(static_cast<double>(c.b[i]))) +
+              1e-30;
+          if (std::fabs(static_cast<double>(y_ref[i]) - y_got[i]) > tol) {
+            std::ostringstream os;
+            os << "axpy mismatch at i=" << i << ": scalar=" << y_ref[i]
+               << " dispatched=" << y_got[i] << " tol=" << tol;
+            return os.str();
+          }
+        }
+        return "";
+      },
+      nullptr, ShowVecPair);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+struct BlockCase {
+  size_t dim = 1;
+  uint32_t n = 1;
+  uint32_t k = 1;
+  bool use_ids = false;
+  uint32_t exclude = UINT32_MAX;
+  std::vector<float> query;
+  std::vector<float> rows;  // n * AlignedRowStride(dim), padding zeroed
+  std::vector<uint32_t> ids;
+};
+
+Gen<BlockCase> BlockGen(bool adversarial) {
+  return Gen<BlockCase>([adversarial](Rng& rng) {
+    BlockCase c;
+    c.dim = DimGen()(rng);
+    c.n = static_cast<uint32_t>(rng.UniformInt(1, 40));
+    c.k = static_cast<uint32_t>(rng.UniformInt(0, c.n + 5));
+    const auto val = adversarial ? AdversarialFloat() : GaussianFloat();
+    for (size_t i = 0; i < c.dim; ++i) c.query.push_back(val(rng));
+    const size_t stride = AlignedRowStride(c.dim);
+    c.rows.assign(static_cast<size_t>(c.n) * stride, 0.0f);
+    for (uint32_t r = 0; r < c.n; ++r) {
+      for (size_t i = 0; i < c.dim; ++i) c.rows[r * stride + i] = val(rng);
+    }
+    c.use_ids = rng.Bernoulli(0.5);
+    if (c.use_ids) {
+      for (uint32_t r = 0; r < c.n; ++r) c.ids.push_back(1000 + r);
+      rng.Shuffle(c.ids);
+    }
+    if (rng.Bernoulli(0.5)) {
+      const uint32_t row = static_cast<uint32_t>(rng.UniformU64(c.n));
+      c.exclude = c.use_ids ? c.ids[row] : row;
+    }
+    return c;
+  });
+}
+
+std::string ShowBlock(const BlockCase& c) {
+  std::ostringstream os;
+  os << "{dim=" << c.dim << ", n=" << c.n << ", k=" << c.k
+     << ", use_ids=" << c.use_ids << ", exclude=" << c.exclude
+     << ", query=" << ShowValue(c.query) << "}";
+  return os.str();
+}
+
+/// Ground-truth score of block row r, computed in double.
+double GroundTruth(const BlockCase& c, uint32_t r) {
+  const size_t stride = AlignedRowStride(c.dim);
+  double s = 0.0;
+  for (size_t i = 0; i < c.dim; ++i) {
+    s += static_cast<double>(c.query[i]) *
+         static_cast<double>(c.rows[r * stride + i]);
+  }
+  return s;
+}
+
+double RowTolerance(const BlockCase& c, uint32_t r) {
+  const size_t stride = AlignedRowStride(c.dim);
+  double mag = 0.0;
+  for (size_t i = 0; i < c.dim; ++i) {
+    mag += std::fabs(static_cast<double>(c.query[i]) *
+                     static_cast<double>(c.rows[r * stride + i]));
+  }
+  return 1e-4 * mag + 1e-6;
+}
+
+TEST(PropSimd, DotBatchParityScalarVsDispatched) {
+  const SimdOps& ops = DispatchedOps();
+  const Result r = ForAllSeeded<BlockCase>(
+      "dot_batch_parity", 150, BlockGen(/*adversarial=*/true),
+      [&](const BlockCase& c) -> std::string {
+        const size_t stride = AlignedRowStride(c.dim);
+        std::vector<float> ref(c.n), got(c.n);
+        simd_scalar::DotBatch(c.query.data(), c.rows.data(), stride, c.n,
+                              c.dim, ref.data());
+        ops.dot_batch(c.query.data(), c.rows.data(), stride, c.n, c.dim,
+                      got.data());
+        for (uint32_t i = 0; i < c.n; ++i) {
+          const double tol = RowTolerance(c, i);
+          if (std::fabs(static_cast<double>(ref[i]) - got[i]) > tol) {
+            std::ostringstream os;
+            os << "row " << i << ": scalar=" << ref[i]
+               << " dispatched=" << got[i] << " tol=" << tol;
+            return os.str();
+          }
+        }
+        return "";
+      },
+      nullptr, ShowBlock);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+/// Soundness + completeness of a top-K result against double ground truth:
+/// right count, no excluded id, unique ids, every kept score correct for its
+/// id, and no skipped candidate beating the kept set by more than tolerance.
+std::string CheckTopK(const BlockCase& c, std::vector<ScoredId> got) {
+  std::vector<double> gt(c.n);
+  double max_tol = 0.0;
+  uint32_t eligible = 0;
+  for (uint32_t r = 0; r < c.n; ++r) {
+    gt[r] = GroundTruth(c, r);
+    max_tol = std::max(max_tol, RowTolerance(c, r));
+    const uint32_t id = c.use_ids ? c.ids[r] : r;
+    if (id != c.exclude) ++eligible;
+  }
+  const size_t want = std::min<size_t>(c.k, eligible);
+  if (got.size() != want) {
+    return "result count " + std::to_string(got.size()) + " != " +
+           std::to_string(want);
+  }
+  std::vector<bool> kept(c.n, false);
+  double min_kept = std::numeric_limits<double>::infinity();
+  for (const ScoredId& s : got) {
+    uint32_t row = UINT32_MAX;
+    for (uint32_t r = 0; r < c.n; ++r) {
+      const uint32_t id = c.use_ids ? c.ids[r] : r;
+      if (id == s.id) row = r;
+    }
+    if (row == UINT32_MAX) return "unknown id " + std::to_string(s.id);
+    if (s.id == c.exclude) return "excluded id returned";
+    if (kept[row]) return "duplicate id " + std::to_string(s.id);
+    kept[row] = true;
+    if (std::fabs(gt[row] - s.score) > RowTolerance(c, row)) {
+      std::ostringstream os;
+      os << "id " << s.id << " score " << s.score << " != ground truth "
+         << gt[row];
+      return os.str();
+    }
+    min_kept = std::min(min_kept, static_cast<double>(s.score));
+  }
+  for (uint32_t r = 0; r < c.n; ++r) {
+    const uint32_t id = c.use_ids ? c.ids[r] : r;
+    if (kept[r] || id == c.exclude) continue;
+    if (gt[r] > min_kept + 2.0 * max_tol) {
+      std::ostringstream os;
+      os << "skipped id " << id << " (gt " << gt[r]
+         << ") beats kept minimum " << min_kept;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+TEST(PropSimd, TopKScanSoundAgainstGroundTruth) {
+  const SimdOps& ops = DispatchedOps();
+  const Result r = ForAllSeeded<BlockCase>(
+      "top_k_scan_sound", 150, BlockGen(/*adversarial=*/true),
+      [&](const BlockCase& c) -> std::string {
+        const size_t stride = AlignedRowStride(c.dim);
+        TopKSelector sel(c.k);
+        ops.top_k_scan(c.query.data(), c.rows.data(), stride, c.n, c.dim,
+                       c.use_ids ? c.ids.data() : nullptr, c.exclude, &sel);
+        return CheckTopK(c, sel.Take());
+      },
+      nullptr, ShowBlock);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+struct I8Case {
+  size_t dim = 1;
+  uint32_t n = 1;
+  std::vector<int8_t> q;
+  std::vector<uint8_t> rows;  // n * AlignedByteStride(dim), padding zeroed
+};
+
+Gen<I8Case> I8Gen() {
+  return Gen<I8Case>([](Rng& rng) {
+    I8Case c;
+    c.dim = DimGen()(rng);
+    c.n = static_cast<uint32_t>(rng.UniformInt(1, 16));
+    for (size_t i = 0; i < c.dim; ++i) {
+      c.q.push_back(static_cast<int8_t>(rng.UniformInt(-127, 127)));
+    }
+    const size_t stride = AlignedByteStride(c.dim);
+    c.rows.assign(static_cast<size_t>(c.n) * stride, 0);
+    for (uint32_t r = 0; r < c.n; ++r) {
+      for (size_t i = 0; i < c.dim; ++i) {
+        c.rows[r * stride + i] = static_cast<uint8_t>(rng.UniformU64(256));
+      }
+    }
+    return c;
+  });
+}
+
+TEST(PropSimd, IntegerDotKernelsExactAcrossDispatch) {
+  const SimdOps& ops = DispatchedOps();
+  const Result r = ForAllSeeded<I8Case>(
+      "dot_i8_exact", 200, I8Gen(),
+      [&](const I8Case& c) -> std::string {
+        const size_t stride = AlignedByteStride(c.dim);
+        std::vector<int32_t> ref(c.n), got(c.n);
+        simd_scalar::DotBatchI8(c.q.data(), c.rows.data(), stride, c.n, c.dim,
+                                ref.data());
+        ops.dot_batch_i8(c.q.data(), c.rows.data(), stride, c.n, c.dim,
+                         got.data());
+        for (uint32_t i = 0; i < c.n; ++i) {
+          // Integer accumulation is exact: any difference is a kernel bug.
+          if (ref[i] != got[i]) {
+            return "dot_batch_i8 row " + std::to_string(i) + ": scalar " +
+                   std::to_string(ref[i]) + " != dispatched " +
+                   std::to_string(got[i]);
+          }
+          const int32_t one =
+              ops.dot_i8(c.q.data(), c.rows.data() + i * stride, c.dim);
+          if (one != ref[i]) {
+            return "dot_i8 row " + std::to_string(i) + ": " +
+                   std::to_string(one) + " != " + std::to_string(ref[i]);
+          }
+        }
+        return "";
+      });
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropSimd, TopKScanInt8BitIdenticalAcrossDispatch) {
+  const SimdOps& ops = DispatchedOps();
+  const Result r = ForAllSeeded<BlockCase>(
+      "top_k_scan_i8_bit_identical", 150, BlockGen(/*adversarial=*/false),
+      [&](const BlockCase& c) -> std::string {
+        // Quantize the generated fp32 block into the arena layout.
+        const size_t fstride = AlignedRowStride(c.dim);
+        const size_t bstride = AlignedByteStride(c.dim);
+        std::vector<uint8_t> codes(static_cast<size_t>(c.n) * bstride, 0);
+        std::vector<float> scales(c.n), mins(c.n);
+        for (uint32_t r = 0; r < c.n; ++r) {
+          QuantizeRowInt8(c.rows.data() + r * fstride, c.dim,
+                          codes.data() + r * bstride, &scales[r], &mins[r]);
+        }
+        std::vector<int8_t> qcodes(c.dim);
+        const Int8Query q =
+            QuantizeQueryInt8(c.query.data(), c.dim, qcodes.data());
+
+        TopKSelector ref_sel(c.k), got_sel(c.k);
+        simd_scalar::TopKScanI8(q, codes.data(), bstride, scales.data(),
+                                mins.data(), c.n, c.dim,
+                                c.use_ids ? c.ids.data() : nullptr, c.exclude,
+                                &ref_sel);
+        ops.top_k_scan_i8(q, codes.data(), bstride, scales.data(), mins.data(),
+                          c.n, c.dim, c.use_ids ? c.ids.data() : nullptr,
+                          c.exclude, &got_sel);
+        const auto ref = ref_sel.Take();
+        const auto got = got_sel.Take();
+        if (ref.size() != got.size()) {
+          return "result counts differ: scalar " + std::to_string(ref.size()) +
+                 " vs dispatched " + std::to_string(got.size());
+        }
+        for (size_t i = 0; i < ref.size(); ++i) {
+          // Bit-identity, not approximate: the int8 path accumulates exactly
+          // and dequantizes through one shared out-of-line expression.
+          if (ref[i].id != got[i].id ||
+              std::memcmp(&ref[i].score, &got[i].score, sizeof(float)) != 0) {
+            std::ostringstream os;
+            os << "rank " << i << ": scalar (" << ref[i].score << ", "
+               << ref[i].id << ") != dispatched (" << got[i].score << ", "
+               << got[i].id << ")";
+            return os.str();
+          }
+        }
+        return "";
+      },
+      nullptr, ShowBlock);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+struct AdcCase {
+  size_t m = 1;
+  uint32_t n = 1;
+  uint32_t k = 1;
+  uint32_t exclude = UINT32_MAX;
+  std::vector<float> table;    // m * 256
+  std::vector<uint8_t> codes;  // n * m
+};
+
+TEST(PropSimd, AdcScanSoundAgainstGroundTruth) {
+  const SimdOps& ops = DispatchedOps();
+  const auto gen = Gen<AdcCase>([](Rng& rng) {
+    AdcCase c;
+    c.m = static_cast<size_t>(rng.UniformInt(1, 16));
+    c.n = static_cast<uint32_t>(rng.UniformInt(1, 40));
+    c.k = static_cast<uint32_t>(rng.UniformInt(0, c.n + 3));
+    for (size_t i = 0; i < c.m * 256; ++i) {
+      c.table.push_back(static_cast<float>(rng.Gaussian()));
+    }
+    for (size_t i = 0; i < static_cast<size_t>(c.n) * c.m; ++i) {
+      c.codes.push_back(static_cast<uint8_t>(rng.UniformU64(256)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      c.exclude = static_cast<uint32_t>(rng.UniformU64(c.n));
+    }
+    return c;
+  });
+  const Result r = ForAllSeeded<AdcCase>(
+      "adc_scan_sound", 150, gen,
+      [&](const AdcCase& c) -> std::string {
+        TopKSelector sel(c.k);
+        ops.adc_scan(c.table.data(), c.codes.data(), c.m, c.n, nullptr,
+                     c.exclude, &sel);
+        const auto got = sel.Take();
+
+        std::vector<double> gt(c.n, 0.0);
+        double tol = 1e-6;
+        for (uint32_t r = 0; r < c.n; ++r) {
+          double mag = 0.0;
+          for (size_t s = 0; s < c.m; ++s) {
+            const double v = c.table[s * 256 + c.codes[r * c.m + s]];
+            gt[r] += v;
+            mag += std::fabs(v);
+          }
+          tol = std::max(tol, 1e-4 * mag + 1e-6);
+        }
+        const uint32_t eligible = c.n - (c.exclude != UINT32_MAX ? 1 : 0);
+        const size_t want = std::min<size_t>(c.k, eligible);
+        if (got.size() != want) {
+          return "result count " + std::to_string(got.size()) + " != " +
+                 std::to_string(want);
+        }
+        std::vector<bool> kept(c.n, false);
+        double min_kept = std::numeric_limits<double>::infinity();
+        for (const ScoredId& s : got) {
+          if (s.id >= c.n) return "unknown id " + std::to_string(s.id);
+          if (s.id == c.exclude) return "excluded id returned";
+          if (kept[s.id]) return "duplicate id " + std::to_string(s.id);
+          kept[s.id] = true;
+          if (std::fabs(gt[s.id] - s.score) > tol) {
+            std::ostringstream os;
+            os << "id " << s.id << " score " << s.score
+               << " != ground truth " << gt[s.id] << " (tol " << tol << ")";
+            return os.str();
+          }
+          min_kept = std::min(min_kept, static_cast<double>(s.score));
+        }
+        for (uint32_t r = 0; r < c.n; ++r) {
+          if (kept[r] || r == c.exclude) continue;
+          if (gt[r] > min_kept + 2.0 * tol) {
+            std::ostringstream os;
+            os << "skipped id " << r << " (gt " << gt[r]
+               << ") beats kept minimum " << min_kept;
+            return os.str();
+          }
+        }
+        return "";
+      });
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace sisg::prop
